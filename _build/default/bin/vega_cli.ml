@@ -1,0 +1,155 @@
+(* vega-cli: command-line front end to the reproduction.
+
+     vega-cli stats
+     vega-cli generate -t RISCV -f getRelocType [--model]
+     vega-cli backend -t XCore [--model]      generate + pass@1 the backend
+     vega-cli compile -t ARM -p fib -o O3 [--run]                          *)
+
+open Cmdliner
+
+let mk_pipeline ~model =
+  let prep = Vega.Pipeline.prepare () in
+  let cfg =
+    if model then Vega.Pipeline.default_config
+    else
+      {
+        Vega.Pipeline.default_config with
+        train_cfg = { Vega.Codebe.tiny_train_config with epochs = 0 };
+      }
+  in
+  let t = Vega.Pipeline.train cfg prep in
+  let decoder =
+    if model then Vega.Pipeline.model_decoder t
+    else Vega.Pipeline.retrieval_decoder t
+  in
+  (t, decoder)
+
+let target_arg =
+  let doc = "Target name (RISCV, RI5CY, XCore, or any training target)." in
+  Arg.(value & opt string "RISCV" & info [ "t"; "target" ] ~doc)
+
+let model_flag =
+  let doc = "Fine-tune the CodeBE transformer (minutes); default uses the \
+             fast retrieval decoder." in
+  Arg.(value & flag & info [ "model" ] ~doc)
+
+let stats_cmd =
+  let run () =
+    let corpus = Vega_corpus.Corpus.build () in
+    let g, f, s = Vega_corpus.Corpus.stats corpus in
+    Printf.printf
+      "targets: %d training + %d held-out\n\
+       function groups: %d\nfunctions: %d\nstatements: %d\n\
+       description files: %d\n"
+      (List.length Vega_target.Registry.training)
+      (List.length Vega_target.Registry.held_out)
+      g f s
+      (Vega_tdlang.Vfs.size corpus.Vega_corpus.Corpus.vfs)
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Corpus statistics")
+    Term.(const run $ const ())
+
+let generate_cmd =
+  let fname_arg =
+    Arg.(value & opt string "getRelocType" & info [ "f"; "function" ]
+           ~doc:"Interface function to generate.")
+  in
+  let run target fname model =
+    let t, decoder = mk_pipeline ~model in
+    match Vega.Pipeline.generate_function t ~target ~decoder ~fname with
+    | Some gf ->
+        Printf.printf "// confidence %.2f\n%s\n" gf.Vega.Generate.gf_confidence
+          (Vega.Generate.source_of gf)
+    | None ->
+        Printf.eprintf "no function template named %s\n" fname;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate one interface function for a target")
+    Term.(const run $ target_arg $ fname_arg $ model_flag)
+
+let backend_cmd =
+  let run target model =
+    let t, decoder = mk_pipeline ~model in
+    match Vega_target.Registry.find target with
+    | None ->
+        Printf.eprintf "unknown target %s\n" target;
+        exit 1
+    | Some p ->
+        let te = Vega_eval.Metrics.evaluate_target t ~decoder p () in
+        Printf.printf "%s backend: %d functions, pass@1 %.1f%%, stmt %.1f%%\n"
+          target
+          (List.length te.Vega_eval.Metrics.te_fns)
+          (100.0 *. Vega_eval.Metrics.fn_accuracy te.Vega_eval.Metrics.te_fns)
+          (100.0 *. Vega_eval.Metrics.stmt_accuracy te.Vega_eval.Metrics.te_fns);
+        List.iter
+          (fun (f : Vega_eval.Metrics.fn_eval) ->
+            Printf.printf "  %s %-6s %-28s conf %.2f%s\n"
+              (if f.fe_pass then "ok  " else "FAIL")
+              (Vega_target.Module_id.name f.fe_module)
+              f.fe_fname f.fe_confidence
+              (match f.fe_failure with
+              | Some m when not f.fe_pass -> "  [" ^ m ^ "]"
+              | _ -> ""))
+          te.Vega_eval.Metrics.te_fns
+  in
+  Cmd.v
+    (Cmd.info "backend"
+       ~doc:"Generate a whole backend and run pass@1 on every function")
+    Term.(const run $ target_arg $ model_flag)
+
+let compile_cmd =
+  let prog_arg =
+    Arg.(value & opt string "loop_sum" & info [ "p"; "program" ]
+           ~doc:"VIR program name from the built-in suites.")
+  in
+  let opt_arg =
+    Arg.(value & opt string "O3" & info [ "o"; "opt" ] ~doc:"O0 or O3.")
+  in
+  let run_flag =
+    Arg.(value & flag & info [ "run" ] ~doc:"Simulate after compiling.")
+  in
+  let run target prog optlevel do_run =
+    let case =
+      match Vega_ir.Programs.find prog with
+      | Some c -> c
+      | None ->
+          Printf.eprintf "unknown program %s\n" prog;
+          exit 1
+    in
+    let p =
+      match Vega_target.Registry.find target with
+      | Some p -> p
+      | None ->
+          Printf.eprintf "unknown target %s\n" target;
+          exit 1
+    in
+    let corpus = Vega_corpus.Corpus.build () in
+    let _, conv =
+      Vega_eval.Refbackend.backend_for corpus.Vega_corpus.Corpus.vfs p
+    in
+    let opt =
+      if optlevel = "O0" then Vega_backend.Compiler.O0 else Vega_backend.Compiler.O3
+    in
+    let out = Vega_backend.Compiler.compile conv ~opt (Vega_ir.Programs.modul_of case) in
+    print_string out.Vega_backend.Compiler.asm;
+    if do_run then begin
+      let r =
+        Vega_sim.Machine.run conv out.Vega_backend.Compiler.emitted
+          ~entry:case.Vega_ir.Programs.entry ~args:case.Vega_ir.Programs.args
+      in
+      Printf.printf "\noutput: [%s]  cycles: %d\n"
+        (String.concat "; " (List.map string_of_int r.Vega_sim.Machine.output))
+        r.Vega_sim.Machine.cycles
+    end
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile a VIR program with the base compiler")
+    Term.(const run $ target_arg $ prog_arg $ opt_arg $ run_flag)
+
+let () =
+  let doc = "VEGA: automatically generating compiler backends (reproduction)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "vega-cli" ~doc)
+          [ stats_cmd; generate_cmd; backend_cmd; compile_cmd ]))

@@ -1,0 +1,1 @@
+examples/compile_and_run.ml: Array List Printf String Sys Vega_backend Vega_corpus Vega_eval Vega_ir Vega_mc Vega_sim Vega_target

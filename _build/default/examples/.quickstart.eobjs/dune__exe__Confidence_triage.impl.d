@@ -1,0 +1,1 @@
+examples/confidence_triage.ml: Array List Printf String Sys Vega Vega_target

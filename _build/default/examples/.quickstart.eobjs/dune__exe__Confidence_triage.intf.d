@@ -1,0 +1,1 @@
+examples/confidence_triage.mli:

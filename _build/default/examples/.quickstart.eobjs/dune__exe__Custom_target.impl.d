@@ -1,0 +1,1 @@
+examples/custom_target.ml: List Printf Vega Vega_corpus Vega_eval Vega_ir Vega_target

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array List Option Printf String Sys Vega Vega_corpus Vega_srclang Vega_target

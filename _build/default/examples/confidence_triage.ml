@@ -1,0 +1,62 @@
+(* The developer workflow of Sec. 4.2 ("Manual Effort Required for
+   VEGA"): generate a whole backend, then use the per-function confidence
+   scores to decide what to review first. Low-confidence functions get
+   rewritten; high-confidence ones usually need nothing.
+
+     dune exec examples/confidence_triage.exe -- XCore *)
+
+let () =
+  let target = if Array.length Sys.argv > 1 then Sys.argv.(1) else "XCore" in
+  (match Vega_target.Registry.find target with
+  | Some _ -> ()
+  | None ->
+      Printf.eprintf "unknown target %s\n" target;
+      exit 1);
+  let prep = Vega.Pipeline.prepare () in
+  let cfg =
+    {
+      Vega.Pipeline.default_config with
+      train_cfg = { Vega.Codebe.tiny_train_config with epochs = 0 };
+    }
+  in
+  let t = Vega.Pipeline.train cfg prep in
+  let gfs =
+    Vega.Pipeline.generate_backend t ~target
+      ~decoder:(Vega.Pipeline.retrieval_decoder t)
+  in
+  let ranked =
+    List.sort
+      (fun (a : Vega.Generate.gen_func) b ->
+        compare a.gf_confidence b.gf_confidence)
+      gfs
+  in
+  Printf.printf "== confidence triage for the generated %s backend ==\n" target;
+  Printf.printf "%-8s %-6s %-30s %s\n" "conf" "module" "function" "suggestion";
+  List.iter
+    (fun (gf : Vega.Generate.gen_func) ->
+      let low_stmts =
+        List.length
+          (List.filter
+             (fun (s : Vega.Generate.gen_stmt) ->
+               s.g_score < Vega.Confidence.threshold)
+             gf.gf_stmts)
+      in
+      let advice =
+        if gf.gf_confidence < 0.5 then "review whole function"
+        else if low_stmts > 0 then
+          Printf.sprintf "check %d low-confidence statement(s)" low_stmts
+        else "likely correct as generated"
+      in
+      Printf.printf "%-8.2f %-6s %-30s %s\n" gf.gf_confidence
+        (Vega_target.Module_id.name gf.gf_module)
+        gf.gf_fname advice)
+    ranked;
+  (* detail view of the least confident function *)
+  match ranked with
+  | (worst : Vega.Generate.gen_func) :: _ ->
+      Printf.printf "\n-- least confident: %s --\n" worst.gf_fname;
+      List.iter
+        (fun (s : Vega.Generate.gen_stmt) ->
+          Printf.printf "  %.2f | %s\n" s.g_score (String.concat " " s.g_tokens))
+        worst.gf_stmts
+  | [] -> ()

@@ -1,0 +1,1 @@
+lib/backend/asmparser.ml: Array Conv Emitter Hooks List Printf String Vega_mc Vega_util

@@ -1,0 +1,1 @@
+lib/backend/asmparser.mli: Conv Emitter Vega_mc

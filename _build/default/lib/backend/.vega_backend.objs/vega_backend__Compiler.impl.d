@@ -1,0 +1,1 @@
+lib/backend/compiler.ml: Emitter Isel List Optpasses Regalloc Sched Vega_ir Vega_mc

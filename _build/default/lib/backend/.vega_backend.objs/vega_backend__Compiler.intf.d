@@ -1,0 +1,1 @@
+lib/backend/compiler.mli: Conv Emitter Vega_ir Vega_mc

@@ -1,0 +1,1 @@
+lib/backend/conv.ml: Hooks Insntab List Option Printf Vega_tdlang

@@ -1,0 +1,1 @@
+lib/backend/conv.mli: Hooks Insntab Vega_tdlang

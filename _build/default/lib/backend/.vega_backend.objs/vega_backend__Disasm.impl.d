@@ -1,0 +1,1 @@
+lib/backend/disasm.ml: Array Buffer Conv Hooks Insntab List Printf String Vega_mc

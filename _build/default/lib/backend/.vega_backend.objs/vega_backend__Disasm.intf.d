@@ -1,0 +1,1 @@
+lib/backend/disasm.mli: Conv Vega_mc

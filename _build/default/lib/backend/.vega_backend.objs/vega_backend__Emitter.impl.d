@@ -1,0 +1,1 @@
+lib/backend/emitter.ml: Array Buffer Conv Hashtbl Hooks Insntab Isel List Option Printf String Vega_ir Vega_mc

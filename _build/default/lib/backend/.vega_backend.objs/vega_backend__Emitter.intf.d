@@ -1,0 +1,1 @@
+lib/backend/emitter.mli: Conv Vega_ir Vega_mc

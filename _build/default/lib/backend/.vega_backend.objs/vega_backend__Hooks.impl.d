@@ -1,0 +1,1 @@
+lib/backend/hooks.ml: Array List Vega_mc Vega_srclang Vega_tdlang

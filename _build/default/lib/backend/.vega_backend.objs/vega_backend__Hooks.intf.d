@@ -1,0 +1,1 @@
+lib/backend/hooks.mli: Vega_mc Vega_srclang Vega_tdlang

@@ -1,0 +1,1 @@
+lib/backend/insntab.ml: Hashtbl List Option Printf Vega_tdlang

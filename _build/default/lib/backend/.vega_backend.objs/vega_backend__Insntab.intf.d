@@ -1,0 +1,1 @@
+lib/backend/insntab.mli: Vega_tdlang

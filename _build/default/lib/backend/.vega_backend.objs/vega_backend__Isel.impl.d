@@ -1,0 +1,1 @@
+lib/backend/isel.ml: Conv Hashtbl Hooks Insntab List Vega_ir Vega_mc

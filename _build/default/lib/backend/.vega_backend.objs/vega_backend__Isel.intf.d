@@ -1,0 +1,1 @@
+lib/backend/isel.mli: Conv Vega_ir Vega_mc

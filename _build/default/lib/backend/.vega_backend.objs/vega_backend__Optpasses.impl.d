@@ -1,0 +1,1 @@
+lib/backend/optpasses.ml: Array Conv Hashtbl Hooks Insntab List Option Regalloc Vega_ir Vega_mc

@@ -1,0 +1,1 @@
+lib/backend/optpasses.mli: Conv Vega_ir Vega_mc

@@ -1,0 +1,1 @@
+lib/backend/regalloc.ml: Array Conv Fun Hashtbl Hooks Insntab Isel List Vega_mc

@@ -1,0 +1,1 @@
+lib/backend/regalloc.mli: Conv Insntab Isel Vega_mc

@@ -1,0 +1,1 @@
+lib/backend/sched.ml: Array Conv Hooks Insntab List Option Regalloc Vega_mc

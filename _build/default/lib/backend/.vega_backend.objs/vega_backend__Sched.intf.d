@@ -1,0 +1,1 @@
+lib/backend/sched.mli: Conv Vega_mc

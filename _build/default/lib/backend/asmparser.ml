@@ -1,0 +1,142 @@
+module I = Vega_mc.Mcinst
+
+let strip = String.trim
+
+let split_operands s =
+  (* top-level commas; %hi(...) parentheses contain no commas here *)
+  String.split_on_char ',' s |> List.map strip |> List.filter (fun x -> x <> "")
+
+let strip_comment conv line =
+  let cc = conv.Conv.comment_char in
+  let rec find i =
+    if i + String.length cc > String.length line then None
+    else if String.sub line i (String.length cc) = cc then Some i
+    else find (i + 1)
+  in
+  match find 0 with Some i -> String.sub line 0 i | None -> line
+
+let parse conv text =
+  let hooks = conv.Conv.hooks in
+  let out = ref [] in
+  let error = ref None in
+  let fail fmt = Printf.ksprintf (fun s -> if !error = None then error := Some s) fmt in
+  List.iter
+    (fun raw ->
+      if !error = None then begin
+        let line = strip (strip_comment conv raw) in
+        if line = "" then ()
+        else if String.length line > 0 && line.[String.length line - 1] = ':' then ()
+        else if line.[0] = '.' then begin
+          let directive =
+            match String.index_opt line ' ' with
+            | Some i -> String.sub line 0 i
+            | None -> line
+          in
+          match
+            Hooks.call_bool hooks "parseDirective" [ Hooks.vstr directive ]
+          with
+          | true -> ()
+          | false -> fail "unknown directive %s" directive
+          | exception Hooks.Hook_error (h, m) -> fail "hook %s: %s" h m
+        end
+        else begin
+          let mnemonic, rest =
+            match String.index_opt line ' ' with
+            | Some i ->
+                ( String.sub line 0 i,
+                  strip (String.sub line (i + 1) (String.length line - i - 1)) )
+            | None -> (line, "")
+          in
+          match
+            let raw_ops = split_operands rest in
+            (* classify operands first: mnemonic matching needs the
+               operand shape (HasImm), as in LLVM's AsmMatcher *)
+            let has_imm =
+              List.exists
+                (fun tok ->
+                  Vega_util.Strutil.starts_with ~prefix:"%hi(" tok
+                  || Vega_util.Strutil.starts_with ~prefix:"%lo(" tok
+                  ||
+                  (* symbols sit in the immediate position of every form *)
+                  Hooks.call_int hooks "parseOperandKind" [ Hooks.vstr tok ] <> 0)
+                raw_ops
+            in
+            let opcode =
+              Hooks.call_int hooks "matchMnemonic"
+                [ Hooks.vstr mnemonic; Hooks.vbool has_imm ]
+            in
+            if opcode < 0 then Error (Printf.sprintf "unknown mnemonic %s" mnemonic)
+            else begin
+              let ops =
+                List.map
+                  (fun tok ->
+                    (* %hi/%lo notation is assembler syntax, handled
+                       structurally before target hooks *)
+                    if Vega_util.Strutil.starts_with ~prefix:"%hi(" tok then
+                      I.Osym (String.sub tok 4 (String.length tok - 5), I.Sym_hi)
+                    else if Vega_util.Strutil.starts_with ~prefix:"%lo(" tok then
+                      I.Osym (String.sub tok 4 (String.length tok - 5), I.Sym_lo)
+                    else
+                      match
+                        Hooks.call_int hooks "parseOperandKind" [ Hooks.vstr tok ]
+                      with
+                      | 0 ->
+                          if
+                            not
+                              (Hooks.call_bool hooks "isRegisterName"
+                                 [ Hooks.vstr tok ])
+                          then
+                            raise
+                              (Hooks.Hook_error
+                                 ("isRegisterName", "not a register: " ^ tok));
+                          let r =
+                            Hooks.call_int hooks "matchRegisterName"
+                              [ Hooks.vstr tok ]
+                          in
+                          if r < 0 then
+                            raise
+                              (Hooks.Hook_error
+                                 ("matchRegisterName", "bad register " ^ tok))
+                          else I.Oreg r
+                      | 1 ->
+                          I.Oimm
+                            (Hooks.call_int hooks "parseImmediate" [ Hooks.vstr tok ])
+                      | _ -> I.Olabel tok)
+                  raw_ops
+              in
+              let inst = I.mk_inst opcode ops in
+              if
+                Hooks.call_bool hooks "validateInstruction" [ Hooks.mcinst inst ]
+              then Ok inst
+              else Error (Printf.sprintf "invalid instruction %s" line)
+            end
+          with
+          | Ok inst -> out := inst :: !out
+          | Error m -> fail "%s" m
+          | exception Hooks.Hook_error (h, m) -> fail "hook %s: %s" h m
+        end
+      end)
+    (String.split_on_char '\n' text);
+  match !error with Some m -> Error m | None -> Ok (List.rev !out)
+
+let operand_eq a b =
+  match (a, b) with
+  | I.Olabel x, I.Osym (y, _) | I.Osym (x, _), I.Olabel y -> x = y
+  | _ -> a = b
+
+let inst_eq (a : I.inst) (b : I.inst) =
+  a.I.opcode = b.I.opcode
+  && List.length a.I.ops = List.length b.I.ops
+  && List.for_all2 operand_eq a.I.ops b.I.ops
+
+let roundtrip_ok conv (emitted : Emitter.t) =
+  match parse conv emitted.Emitter.asm with
+  | Error m -> Error m
+  | Ok parsed ->
+      let reference = Array.to_list emitted.Emitter.insts in
+      if List.length parsed <> List.length reference then
+        Error
+          (Printf.sprintf "instruction count mismatch: %d parsed, %d emitted"
+             (List.length parsed) (List.length reference))
+      else if List.for_all2 inst_eq parsed reference then Ok ()
+      else Error "parsed stream differs from emitted stream"

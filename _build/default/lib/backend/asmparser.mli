@@ -1,0 +1,13 @@
+(** Assembler: parse emitted assembly text back into machine instructions
+    through the ASS hooks (mnemonic matching, register/immediate/operand
+    parsing, directive handling, validation).
+
+    The regression harness round-trips the emitter's assembly and demands
+    the parsed stream equal the emitted one, so a generated ASS hook with
+    the wrong register prefix or mnemonic table fails behaviourally. *)
+
+val parse : Conv.t -> string -> (Vega_mc.Mcinst.inst list, string) result
+
+val roundtrip_ok : Conv.t -> Emitter.t -> (unit, string) result
+(** Parse [emitted.asm] and compare against the emitted instruction
+    stream. *)

@@ -1,0 +1,30 @@
+type opt_level = O0 | O3
+
+type output = {
+  emitted : Emitter.t;
+  asm : string;
+  mfuncs : Vega_mc.Mcinst.mfunc list;
+  globals : Vega_ir.Vir.global list;
+}
+
+let compile conv ~opt (m : Vega_ir.Vir.modul) =
+  let o3 = opt = O3 in
+  let mfuncs =
+    List.map
+      (fun f ->
+        let f = if o3 then Optpasses.vectorize conv f else f in
+        let out = Isel.lower conv ~opt:o3 f in
+        if o3 then begin
+          Optpasses.combine_mul_add conv out.Isel.mfunc;
+          Optpasses.fuse_cmp_branch conv out.Isel.mfunc;
+          Optpasses.hardware_loops conv out.Isel.mfunc;
+          Optpasses.peephole conv out.Isel.mfunc;
+          Sched.run conv out.Isel.mfunc
+        end;
+        let mf = Regalloc.run conv out in
+        if o3 then Sched.run_post_ra conv mf;
+        mf)
+      m.Vega_ir.Vir.funcs
+  in
+  let emitted = Emitter.emit conv mfuncs ~globals:m.Vega_ir.Vir.globals in
+  { emitted; asm = emitted.Emitter.asm; mfuncs; globals = m.Vega_ir.Vir.globals }

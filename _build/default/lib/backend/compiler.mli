@@ -1,0 +1,18 @@
+(** MiniLLVM driver: the full retargetable pipeline of Fig. 1 over one VIR
+    module, with every target-specific decision delegated to hooks.
+
+    -O0 runs selection, allocation and emission only; -O3 adds the
+    vectorizer, immediate folding, compare-branch fusion, hardware loops,
+    peephole and both scheduling passes. *)
+
+type opt_level = O0 | O3
+
+type output = {
+  emitted : Emitter.t;
+  asm : string;
+  mfuncs : Vega_mc.Mcinst.mfunc list;
+  globals : Vega_ir.Vir.global list;
+}
+
+val compile : Conv.t -> opt:opt_level -> Vega_ir.Vir.modul -> output
+(** @raise Hooks.Hook_error when any hook misbehaves. *)

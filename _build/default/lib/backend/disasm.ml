@@ -1,0 +1,76 @@
+module I = Vega_mc.Mcinst
+
+let decode conv (obj : I.obj) =
+  let hooks = conv.Conv.hooks in
+  if not (Hooks.has hooks "getInstruction") then Error "no disassembler"
+  else begin
+    let buf = Buffer.create 1024 in
+    let success = Hooks.enum_value hooks "MCDisassembler::Success" in
+    let result = ref None in
+    Array.iteri
+      (fun i word ->
+        if !result = None then begin
+          (* decode the relocatable (pre-fixup) words, objdump-style *)
+          (* serialize per target endianness, then let the hook reassemble *)
+          let bytes =
+            if conv.Conv.big_endian then
+              [ (word lsr 24) land 255; (word lsr 16) land 255; (word lsr 8) land 255; word land 255 ]
+            else
+              [ word land 255; (word lsr 8) land 255; (word lsr 16) land 255; (word lsr 24) land 255 ]
+          in
+          match
+            let word' =
+              Hooks.call_int hooks "readInstruction32"
+                (List.map Hooks.vint bytes)
+            in
+            let status =
+              Hooks.call_int hooks "getInstruction" [ Hooks.vint word' ]
+            in
+            if status <> success then
+              Buffer.add_string buf (Printf.sprintf "%04x: <unknown>\n" (i * 4))
+            else begin
+              let opcode = (word' lsr 24) land 255 in
+              match Insntab.by_opcode conv.Conv.tab opcode with
+              | None -> Buffer.add_string buf (Printf.sprintf "%04x: <bad>\n" (i * 4))
+              | Some info ->
+                  let reg field =
+                    let r =
+                      Hooks.call_int hooks "decodeRegisterOperand"
+                        [ Hooks.vint word'; Hooks.vint field ]
+                    in
+                    let st =
+                      Hooks.call_int hooks "decodeGPRRegisterClass" [ Hooks.vint r ]
+                    in
+                    if st <> success then
+                      raise (Hooks.Hook_error ("decodeGPRRegisterClass", "bad reg"))
+                    else Conv.reg_name conv r
+                  in
+                  let imm () =
+                    string_of_int
+                      (Hooks.call_int hooks "decodeSImmOperand" [ Hooks.vint word' ])
+                  in
+                  let operands =
+                    match info.Insntab.sem with
+                    | Insntab.Salu _ | Insntab.Smul | Insntab.Sdiv | Insntab.Smadd
+                    | Insntab.Svadd | Insntab.Svmul ->
+                        [ reg 0; reg 1; reg 2 ]
+                    | Insntab.Salui _ | Insntab.Sload | Insntab.Sstore ->
+                        [ reg 0; reg 1; imm () ]
+                    | Insntab.Smovi -> [ reg 0; imm () ]
+                    | Insntab.Smov -> [ reg 0; reg 1 ]
+                    | Insntab.Sbranch _ -> [ reg 0; reg 1; imm () ]
+                    | Insntab.Sjump | Insntab.Scall | Insntab.Slpsetup -> [ imm () ]
+                    | Insntab.Sret | Insntab.Snop | Insntab.Slpend -> []
+                  in
+                  Buffer.add_string buf
+                    (Printf.sprintf "%04x: %s %s\n" (i * 4) info.Insntab.mnemonic
+                       (String.concat ", " operands))
+            end
+          with
+          | () -> ()
+          | exception Hooks.Hook_error (h, m) ->
+              result := Some (Error (Printf.sprintf "hook %s: %s" h m))
+        end)
+      obj.I.text_raw;
+    match !result with Some e -> e | None -> Ok (Buffer.contents buf)
+  end

@@ -1,0 +1,9 @@
+(** Disassembler: decode the emitted text section through the DIS hooks
+    (byte reassembly per endianness, opcode validation, register and
+    immediate field extraction) and print one line per instruction.
+
+    Targets without DIS hooks (XCORE, per Sec. 4.1.4) report
+    [Error "no disassembler"]. Regression compares the decoded text
+    against the reference hooks' decoded text. *)
+
+val decode : Conv.t -> Vega_mc.Mcinst.obj -> (string, string) result

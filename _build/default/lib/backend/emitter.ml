@@ -1,0 +1,415 @@
+module I = Vega_mc.Mcinst
+
+type t = {
+  insts : I.inst array;
+  inst_addr : int array;
+  labels : (string * int) list;
+  sym_addrs : (string * int) list;
+  data_base : int;
+  obj : I.obj;
+  asm : string;
+}
+
+let sem_of conv (inst : I.inst) =
+  Option.map (fun i -> i.Insntab.sem) (Insntab.by_opcode conv.Conv.tab inst.I.opcode)
+
+(* fixup kind (enum value) of a symbolic operand, via the EMI hooks *)
+let fixup_kind_of conv (inst : I.inst) (op : I.operand) =
+  let h name = Hooks.call_int conv.Conv.hooks name [] in
+  match op with
+  | I.Osym (_, I.Sym_hi) -> Some (h "getHiFixup")
+  | I.Osym (_, I.Sym_lo) -> Some (h "getLoFixup")
+  | I.Osym (_, I.Sym_abs) -> Some (h "getAbsFixup")
+  | I.Olabel _ -> (
+      match sem_of conv inst with
+      | Some (Insntab.Sbranch _) -> Some (h "getBranchFixup")
+      | Some Insntab.Slpsetup ->
+          Some (h "getBranchFixup")
+      | Some Insntab.Sjump ->
+          Some
+            (if Hooks.has conv.Conv.hooks "getJumpFixup" then h "getJumpFixup"
+             else h "getBranchFixup")
+      | Some Insntab.Scall -> Some (h "getCallFixup")
+      | _ -> None)
+  | I.Oreg _ | I.Oimm _ -> None
+
+let sym_of_operand = function
+  | I.Osym (s, _) -> Some s
+  | I.Olabel l -> Some l
+  | I.Oreg _ | I.Oimm _ -> None
+
+let invert_branch conv opcode =
+  let tab = conv.Conv.tab in
+  match Insntab.by_opcode tab opcode with
+  | Some { Insntab.sem = Insntab.Sbranch c; _ } ->
+      let e =
+        match c with
+        | Insntab.Ceq -> "BNE"
+        | Insntab.Cne -> "BEQ"
+        | Insntab.Clt -> "BGE"
+        | Insntab.Cge -> "BLT"
+      in
+      Some (Insntab.opcode_exn tab e)
+  | _ -> None
+
+let emit conv mfuncs ~globals =
+  let hooks = conv.Conv.hooks in
+  (* validate fixup kind bound via getNumFixupKinds *)
+  let first_target_kind = 64 in
+  let nkinds = Hooks.call_int hooks "getNumFixupKinds" [] in
+  let check_kind k =
+    if k >= first_target_kind + nkinds + 8 then
+      raise
+        (Hooks.Hook_error
+           ( "getNumFixupKinds",
+             Printf.sprintf "fixup kind %d out of range (%d kinds)" k nkinds ))
+  in
+  (* ---- data layout (match the reference interpreter: base 4096) ---- *)
+  let data_base = 4096 in
+  let sym_addrs = ref [] in
+  let next = ref data_base in
+  let alloc_sym name words =
+    sym_addrs := (name, !next) :: !sym_addrs;
+    next := !next + (4 * words)
+  in
+  List.iter (fun (g : Vega_ir.Vir.global) -> alloc_sym g.gname g.size) globals;
+  alloc_sym Isel.arg_spill_sym 16;
+  (* function-pointer table: one abs-fixup word per function *)
+  let symtab_base = !next in
+  List.iter (fun (mf : I.mfunc) -> alloc_sym ("__ptr_" ^ mf.I.mname) 1) mfuncs;
+  let data_words = (!next - data_base) / 4 in
+  (* ---- relaxation loop over the flattened block list ---- *)
+  (* work on mutable copies of block instruction lists *)
+  let blocks =
+    List.concat_map
+      (fun (mf : I.mfunc) ->
+        List.map (fun (b : I.mblock) -> (mf.I.mname, b.I.mlabel, ref b.I.minsts))
+          mf.I.mblocks)
+      mfuncs
+  in
+  let func_starts = List.map (fun (mf : I.mfunc) -> mf.I.mname) mfuncs in
+  let relax_counter = ref 0 in
+  let stable = ref false and rounds = ref 0 in
+  let layout () =
+    (* returns (flattened (inst, addr) list, label->addr, label present) *)
+    let addr = ref 0 in
+    let labels = Hashtbl.create 64 in
+    let flat = ref [] in
+    List.iter
+      (fun (fname, blabel, insts) ->
+        (* align function starts *)
+        (if blabel = fname && List.mem fname func_starts then
+           let align = max 4 conv.Conv.stack_align in
+           while !addr mod align <> 0 do
+             flat := (I.mk_inst (-1) [], !addr) :: !flat;
+             (* nop placeholder; opcode filled at encoding *)
+             addr := !addr + 4
+           done);
+        Hashtbl.replace labels blabel !addr;
+        List.iter
+          (fun (inst : I.inst) ->
+            if inst.I.opcode = -2 then begin
+              match inst.I.ops with
+              | [ I.Olabel l ] -> Hashtbl.replace labels l !addr
+              | _ -> ()
+            end
+            else begin
+              flat := (inst, !addr) :: !flat;
+              addr := !addr + 4
+            end)
+          !insts)
+      blocks;
+    (List.rev !flat, labels)
+  in
+  while (not !stable) && !rounds < 8 do
+    incr rounds;
+    stable := true;
+    let _, labels = layout () in
+    (* walk blocks with running addresses and rewrite branches whose
+       pc-relative span the target cannot encode *)
+    let addr = ref 0 in
+    List.iter
+      (fun (fname, blabel, insts) ->
+        (if blabel = fname && List.mem fname func_starts then
+           let align = max 4 conv.Conv.stack_align in
+           while !addr mod align <> 0 do
+             addr := !addr + 4
+           done);
+        let changed = ref false in
+        let rewritten =
+          List.concat_map
+            (fun (inst : I.inst) ->
+              let own = !addr in
+              if inst.I.opcode <> -2 then addr := !addr + 4;
+              match sem_of conv inst with
+              | Some (Insntab.Sbranch _)
+                when (not !changed)
+                     && Hooks.has hooks "mayNeedRelaxation"
+                     && Hooks.has hooks "fixupNeedsRelaxation" -> (
+                  match
+                    List.find_opt
+                      (function I.Olabel _ -> true | _ -> false)
+                      inst.I.ops
+                  with
+                  | Some (I.Olabel target) -> (
+                      match
+                        ( Hashtbl.find_opt labels target,
+                          fixup_kind_of conv inst (I.Olabel target) )
+                      with
+                      | Some taddr, Some kind ->
+                          let span = taddr - own in
+                          let needs =
+                            Hooks.call_bool hooks "mayNeedRelaxation"
+                              [ Hooks.mcinst inst ]
+                            && Hooks.call_bool hooks "fixupNeedsRelaxation"
+                                 [ Hooks.vint kind; Hooks.vint span ]
+                          in
+                          if needs then begin
+                            changed := true;
+                            stable := false;
+                            incr relax_counter;
+                            let skip =
+                              Printf.sprintf "__relax%d" !relax_counter
+                            in
+                            match invert_branch conv inst.I.opcode with
+                            | Some inv ->
+                                let jmp_opc =
+                                  Hooks.call_int hooks "getRelaxedOpcode"
+                                    [ Hooks.vint inst.I.opcode ]
+                                in
+                                let regs =
+                                  List.filter
+                                    (function I.Oreg _ -> true | _ -> false)
+                                    inst.I.ops
+                                in
+                                [
+                                  I.mk_inst inv (regs @ [ I.Olabel skip ]);
+                                  I.mk_inst jmp_opc [ I.Olabel target ];
+                                  (* label pseudo-instruction *)
+                                  I.mk_inst (-2) [ I.Olabel skip ];
+                                ]
+                            | None -> [ inst ]
+                          end
+                          else [ inst ]
+                      | _ -> [ inst ])
+                  | _ -> [ inst ])
+              | _ -> [ inst ])
+            !insts
+        in
+        insts := rewritten)
+      blocks
+  done;
+  (* ---- final layout, resolving label pseudo-instructions ---- *)
+  let addr = ref 0 in
+  let labels : (string, int * int) Hashtbl.t = Hashtbl.create 64 in
+  (* label -> (inst index, byte addr) *)
+  let flat = ref [] in
+  let idx = ref 0 in
+  let nop_opcode () = Hooks.call_int hooks "getNopEncoding" [] lsr 24 in
+  List.iter
+    (fun (fname, blabel, insts) ->
+      (if blabel = fname && List.mem fname func_starts then begin
+         let align = max 4 conv.Conv.stack_align in
+         let pad = ref 0 in
+         while (!addr + !pad) mod align <> 0 do
+           pad := !pad + 4
+         done;
+         if !pad > 0 then begin
+           if not (Hooks.call_bool hooks "writeNopData" [ Hooks.vint !pad ]) then
+             raise (Hooks.Hook_error ("writeNopData", "cannot pad"));
+           for _ = 1 to !pad / 4 do
+             flat := I.mk_inst (nop_opcode ()) [] :: !flat;
+             incr idx;
+             addr := !addr + 4
+           done
+         end
+       end);
+      Hashtbl.replace labels blabel (!idx, !addr);
+      List.iter
+        (fun (inst : I.inst) ->
+          if inst.I.opcode = -2 then begin
+            (* local label *)
+            match inst.I.ops with
+            | [ I.Olabel l ] -> Hashtbl.replace labels l (!idx, !addr)
+            | _ -> ()
+          end
+          else if inst.I.opcode = -1 then begin
+            flat := I.mk_inst (nop_opcode ()) [] :: !flat;
+            incr idx;
+            addr := !addr + 4
+          end
+          else begin
+            flat := inst :: !flat;
+            incr idx;
+            addr := !addr + 4
+          end)
+        !insts)
+    blocks;
+  let insts = Array.of_list (List.rev !flat) in
+  let inst_addr = Array.init (Array.length insts) (fun i -> i * 4) in
+  (* ---- encoding + fixups + asm ---- *)
+  let text = Array.make (Array.length insts) 0 in
+  let text_raw = Array.make (Array.length insts) 0 in
+  let relocs = ref [] in
+  let asm = Buffer.create 2048 in
+  let label_at = Hashtbl.create 64 in
+  Hashtbl.iter (fun l (i, _) -> Hashtbl.replace label_at i l) labels;
+  Buffer.add_string asm
+    (Printf.sprintf "%s target %s\n%s text section\n" conv.Conv.comment_char
+       (Hooks.target hooks) conv.Conv.comment_char);
+  let sym_addr s =
+    match List.assoc_opt s !sym_addrs with
+    | Some a -> Some a
+    | None -> Option.map snd (Hashtbl.find_opt labels s)
+  in
+  Array.iteri
+    (fun i (inst : I.inst) ->
+      (match Hashtbl.find_opt label_at i with
+      | Some l ->
+          if List.mem l func_starts then
+            Buffer.add_string asm (Printf.sprintf ".globl %s\n" l);
+          Buffer.add_string asm (l ^ ":\n")
+      | None -> ());
+      let info = Insntab.by_opcode conv.Conv.tab inst.I.opcode in
+      let mnemonic =
+        match info with Some x -> x.Insntab.mnemonic | None -> "<bad>"
+      in
+      let op_str = function
+        | I.Oreg r -> Conv.reg_name conv r
+        | I.Oimm n -> conv.Conv.imm_marker ^ string_of_int n
+        | I.Olabel l -> l
+        | I.Osym (s, I.Sym_hi) -> Printf.sprintf "%%hi(%s)" s
+        | I.Osym (s, I.Sym_lo) -> Printf.sprintf "%%lo(%s)" s
+        | I.Osym (s, I.Sym_abs) -> s
+      in
+      Buffer.add_string asm
+        (Printf.sprintf "  %s %s" mnemonic
+           (String.concat ", " (List.map op_str inst.I.ops)));
+      (* encode with symbolic operands zeroed *)
+      let enc_ops =
+        List.map
+          (function
+            | I.Olabel _ | I.Osym _ -> I.Oimm 0
+            | o -> o)
+          inst.I.ops
+      in
+      let word =
+        Hooks.call_int hooks "encodeInstruction"
+          [ Hooks.mcinst (I.mk_inst inst.I.opcode enc_ops) ]
+      in
+      let word = ref (word land 0xFFFFFFFF) in
+      text_raw.(i) <- !word;
+      (* fixups on symbolic operands *)
+      List.iter
+        (fun op ->
+          match (fixup_kind_of conv inst op, sym_of_operand op) with
+          | Some kind, Some sym ->
+              check_kind kind;
+              let bits =
+                Hooks.call_int hooks "getFixupKindBits" [ Hooks.vint kind ]
+              in
+              let off =
+                Hooks.call_int hooks "getFixupKindOffset" [ Hooks.vint kind ]
+              in
+              Buffer.add_string asm
+                (Printf.sprintf " %s fixup: %s, kind %d, bits %d, offset %d"
+                   conv.Conv.comment_char sym kind bits off);
+              let fixup = Hooks.mcfixup ~kind in
+              let pcrel =
+                Hooks.call_bool hooks "isPCRelFixup" [ Hooks.vint kind ]
+              in
+              let forced =
+                Hooks.call_bool hooks "shouldForceRelocation" [ fixup ]
+              in
+              let local = sym_addr sym <> None in
+              if local && not forced then begin
+                let target = Option.get (sym_addr sym) in
+                let value =
+                  if pcrel then target - inst_addr.(i) else target
+                in
+                let patch =
+                  Hooks.call_int hooks "applyFixup" [ fixup; Hooks.vint value ]
+                in
+                word := (!word lor (patch land 0xFFFFFFFF)) land 0xFFFFFFFF
+              end
+              else begin
+                let rtype =
+                  Hooks.call_int hooks "getRelocType"
+                    [ Hooks.mcvalue ~variant:0; fixup; Hooks.vbool pcrel ]
+                in
+                relocs :=
+                  { I.r_offset = inst_addr.(i); r_type = rtype; r_sym = sym }
+                  :: !relocs
+              end
+          | _ -> ())
+        inst.I.ops;
+      Buffer.add_char asm '\n';
+      text.(i) <- !word)
+    insts;
+  (* ---- data section ---- *)
+  let data = Array.make data_words 0 in
+  List.iter
+    (fun (g : Vega_ir.Vir.global) ->
+      match List.assoc_opt g.gname !sym_addrs with
+      | Some base ->
+          List.iteri
+            (fun k v -> data.(((base - data_base) / 4) + k) <- v land 0xFFFFFFFF)
+            g.init
+      | None -> ())
+    globals;
+  Buffer.add_string asm (Printf.sprintf "%s data section\n" conv.Conv.comment_char);
+  List.iter
+    (fun (g : Vega_ir.Vir.global) ->
+      Buffer.add_string asm (Printf.sprintf "%s:\n" g.gname);
+      List.iter
+        (fun v -> Buffer.add_string asm (Printf.sprintf "  .word %d\n" v))
+        g.init)
+    globals;
+  (* function-pointer table: abs fixups over data words *)
+  List.iteri
+    (fun k (mf : I.mfunc) ->
+      let slot = ((symtab_base - data_base) / 4) + k in
+      let kind = Hooks.call_int hooks "getAbsFixup" [] in
+      check_kind kind;
+      let fixup = Hooks.mcfixup ~kind in
+      let forced = Hooks.call_bool hooks "shouldForceRelocation" [ fixup ] in
+      Buffer.add_string asm
+        (Printf.sprintf "__ptr_%s:\n  .word %s\n" mf.I.mname mf.I.mname);
+      if forced then
+        relocs :=
+          {
+            I.r_offset = symtab_base + (4 * k);
+            r_type =
+              Hooks.call_int hooks "getRelocType"
+                [ Hooks.mcvalue ~variant:0; fixup; Hooks.vbool false ];
+            r_sym = mf.I.mname;
+          }
+          :: !relocs
+      else
+        let target = Option.value ~default:0 (Option.map snd (Hashtbl.find_opt labels mf.I.mname)) in
+        let patch = Hooks.call_int hooks "applyFixup" [ fixup; Hooks.vint target ] in
+        data.(slot) <- patch land 0xFFFFFFFF)
+    mfuncs;
+  let labels_list = Hashtbl.fold (fun l (i, _) acc -> (l, i) :: acc) labels [] in
+  let sym_addrs_all =
+    !sym_addrs @ Hashtbl.fold (fun l (_, a) acc -> (l, a) :: acc) labels []
+  in
+  {
+    insts;
+    inst_addr;
+    labels = List.sort compare labels_list;
+    sym_addrs = List.sort compare sym_addrs_all;
+    data_base;
+    obj =
+      {
+        I.text;
+        text_raw;
+        data;
+        relocs = List.rev !relocs;
+        sym_addrs = List.sort compare sym_addrs_all;
+      };
+    asm = Buffer.contents asm;
+  }
+
+let label_index t l = List.assoc_opt l t.labels
+let find_sym t s = List.assoc_opt s t.sym_addrs

@@ -1,0 +1,24 @@
+(** Code emission: layout, branch relaxation, assembly printing with
+    llvm-mc-style fixup annotations, instruction encoding, fixup
+    resolution and relocation records — all through the EMI hooks.
+
+    The emitted program keeps its pre-encoding instruction stream (for the
+    simulator) alongside the object artifacts (for artifact-level
+    regression comparison). *)
+
+type t = {
+  insts : Vega_mc.Mcinst.inst array;  (** flattened, post-relaxation *)
+  inst_addr : int array;  (** byte address of each instruction *)
+  labels : (string * int) list;  (** label -> instruction index *)
+  sym_addrs : (string * int) list;  (** every symbol -> byte address *)
+  data_base : int;
+  obj : Vega_mc.Mcinst.obj;
+  asm : string;
+}
+
+val emit :
+  Conv.t -> Vega_mc.Mcinst.mfunc list -> globals:Vega_ir.Vir.global list -> t
+(** @raise Hooks.Hook_error when an EMI hook misbehaves. *)
+
+val label_index : t -> string -> int option
+val find_sym : t -> string -> int option

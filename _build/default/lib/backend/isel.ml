@@ -1,0 +1,328 @@
+module I = Vega_mc.Mcinst
+module V = Vega_ir.Vir
+
+let vreg_base = 1000
+let arg_spill_sym = "__argspill"
+
+type out = { mfunc : I.mfunc; next_vreg : int; has_calls : bool }
+
+let block_label fname label = if label = "entry" then fname else fname ^ "$" ^ label
+
+type ctx = {
+  conv : Conv.t;
+  opt : bool;
+  mutable next : int;
+  mutable insts : I.inst list;  (** reversed, current block *)
+  mutable calls : bool;
+  imm_cse : (int, int) Hashtbl.t;
+      (** block-local immediate -> register holding it (-O3, gated by the
+          isCheapImmediate OPT hook) *)
+}
+
+let fresh ctx =
+  let r = ctx.next in
+  ctx.next <- ctx.next + 1;
+  r
+
+let emit ctx opcode ops = ctx.insts <- I.mk_inst opcode ops :: ctx.insts
+
+let opcode ctx enum = Insntab.opcode_exn ctx.conv.Conv.tab enum
+let hooks ctx = ctx.conv.Conv.hooks
+let hooks_of = hooks
+
+let imm_fits bits n =
+  let half = 1 lsl (bits - 1) in
+  n >= -half && n < half
+
+let li_bits ctx =
+  match Insntab.by_enum ctx.conv.Conv.tab "LIi" with
+  | Some i -> i.Insntab.imm_bits
+  | None -> 12
+
+let vreg_of_vir r = vreg_base + r
+
+(* Materialize an integer constant into a fresh (or given) register. At
+   -O3, constants the target considers expensive are kept in a register
+   and reused within the block (gated by isCheapImmediate). *)
+let rec mat_imm ctx ?dst n =
+  match dst with
+  | None
+    when ctx.opt
+         && Hooks.has (hooks_of ctx) "isCheapImmediate"
+         && (not (Hooks.call_bool (hooks_of ctx) "isCheapImmediate" [ Hooks.vint n ]))
+         && Hashtbl.mem ctx.imm_cse n ->
+      Hashtbl.find ctx.imm_cse n
+  | _ -> mat_imm_fresh ctx ?dst n
+
+and mat_imm_fresh ctx ?dst n =
+  (* only fresh single-assignment registers are safe to reuse *)
+  (match dst with
+  | None -> ()
+  | Some _ -> Hashtbl.remove ctx.imm_cse n);
+  let dst =
+    match dst with
+    | Some d -> d
+    | None ->
+        let d = fresh ctx in
+        Hashtbl.replace ctx.imm_cse n d;
+        d
+  in
+  (match (n, ctx.conv.Conv.zero) with
+  | 0, Some z -> emit ctx (opcode ctx "MOVrr") [ I.Oreg dst; I.Oreg z ]
+  | _ ->
+      let bits = li_bits ctx in
+      if imm_fits bits n then emit ctx (opcode ctx "LIi") [ I.Oreg dst; I.Oimm n ]
+      else begin
+        (* compose the 32-bit pattern from 11-bit chunks, which every
+           target's signed immediate validation accepts; the simulator
+           sign-extends register writes, preserving the two's complement
+           reading *)
+        let u = n land 0xFFFFFFFF in
+        let c2 = (u lsr 22) land 0x3ff
+        and c1 = (u lsr 11) land 0x7ff
+        and c0 = u land 0x7ff in
+        let started = ref false in
+        let chunk c =
+          if !started then begin
+            emit ctx (opcode ctx "SHLri") [ I.Oreg dst; I.Oreg dst; I.Oimm 11 ];
+            if c <> 0 then
+              emit ctx (opcode ctx "ORri") [ I.Oreg dst; I.Oreg dst; I.Oimm c ]
+          end
+          else if c <> 0 then begin
+            emit ctx (opcode ctx "LIi") [ I.Oreg dst; I.Oimm c ];
+            started := true
+          end
+        in
+        chunk c2;
+        (if not !started then begin
+           emit ctx (opcode ctx "LIi") [ I.Oreg dst; I.Oimm 0 ];
+           started := true
+         end);
+        chunk c1;
+        chunk c0
+      end);
+  dst
+
+and value_reg ctx = function
+  | V.Reg r -> vreg_of_vir r
+  | V.Imm n -> mat_imm ctx n
+
+let isd ctx name = Hooks.enum_value (hooks ctx) ("ISD::" ^ name)
+
+let isd_of_binop = function
+  | V.Add -> "ADD"
+  | V.Sub -> "SUB"
+  | V.Mul -> "MUL"
+  | V.Div -> "SDIV"
+  | V.Rem -> "SDIV"  (* expanded; kept for hook queries *)
+  | V.And -> "AND"
+  | V.Or -> "OR"
+  | V.Xor -> "XOR"
+  | V.Shl -> "SHL"
+  | V.Shr -> "SRL"
+  | V.Slt -> "SETLT"
+
+let isd_of_cond = function
+  | V.Eq -> "SETEQ"
+  | V.Ne -> "SETNE"
+  | V.Lt -> "SETLT"
+  | V.Ge -> "SETGE"
+
+let select_rr ctx op =
+  let o = Hooks.call_int (hooks ctx) "selectOpcode" [ Hooks.vint (isd ctx (isd_of_binop op)) ] in
+  if o < 0 then raise (Hooks.Hook_error ("selectOpcode", "no opcode selected")) else o
+
+(* Can the second operand stay an immediate? Only with -O3 immediate
+   folding (OPT hook) plus SEL legality plus an existing imm-form. *)
+let fold_imm ctx op n =
+  if not ctx.opt then None
+  else if
+    not
+      (Hooks.call_bool (hooks ctx) "isProfitableToFoldImmediate"
+         [ Hooks.vint (isd ctx (isd_of_binop op)) ])
+  then None
+  else
+    let legal =
+      match op with
+      | V.Slt ->
+          (* keep compares in register form when the target fuses them
+             with branches *)
+          (not
+             (Hooks.has (hooks ctx) "shouldFuseCmpBranch"
+             && Hooks.call_bool (hooks ctx) "shouldFuseCmpBranch" []))
+          && Hooks.call_bool (hooks ctx) "isLegalICmpImmediate" [ Hooks.vint n ]
+      | _ -> Hooks.call_bool (hooks ctx) "isLegalAddImmediate" [ Hooks.vint n ]
+    in
+    if not legal then None
+    else
+      let o =
+        Hooks.call_int (hooks ctx) "selectImmOpcode"
+          [ Hooks.vint (isd ctx (isd_of_binop op)) ]
+      in
+      if o < 0 then None else Some o
+
+let lower_bin ctx op d a b =
+  let dst = vreg_of_vir d in
+  match op with
+  | V.Rem ->
+      (* d = a - (a/b)*b *)
+      let ra = value_reg ctx a and rb = value_reg ctx b in
+      let q = fresh ctx and m = fresh ctx in
+      emit ctx (select_rr ctx V.Div) [ I.Oreg q; I.Oreg ra; I.Oreg rb ];
+      emit ctx (select_rr ctx V.Mul) [ I.Oreg m; I.Oreg q; I.Oreg rb ];
+      emit ctx (select_rr ctx V.Sub) [ I.Oreg dst; I.Oreg ra; I.Oreg m ]
+  | _ -> (
+      match b with
+      | V.Imm n -> (
+          match fold_imm ctx op n with
+          | Some imm_opc ->
+              let ra = value_reg ctx a in
+              emit ctx imm_opc [ I.Oreg dst; I.Oreg ra; I.Oimm n ]
+          | None ->
+              let ra = value_reg ctx a in
+              let rb = mat_imm ctx n in
+              emit ctx (select_rr ctx op) [ I.Oreg dst; I.Oreg ra; I.Oreg rb ])
+      | V.Reg _ ->
+          let ra = value_reg ctx a and rb = value_reg ctx b in
+          emit ctx (select_rr ctx op) [ I.Oreg dst; I.Oreg ra; I.Oreg rb ])
+
+(* SIMD intrinsics planted by the vectorizer pass *)
+(* Materialize a symbol address: hi/lo pair on targets with both fixups,
+   a single absolute load otherwise (x86-style). *)
+let mat_addr ctx ~dst sym =
+  if Hooks.has (hooks ctx) "getHiFixup" && Hooks.has (hooks ctx) "getLoFixup" then begin
+    emit ctx (opcode ctx "LIi") [ I.Oreg dst; I.Osym (sym, I.Sym_hi) ];
+    emit ctx (opcode ctx "ADDri") [ I.Oreg dst; I.Oreg dst; I.Osym (sym, I.Sym_lo) ]
+  end
+  else emit ctx (opcode ctx "LIi") [ I.Oreg dst; I.Osym (sym, I.Sym_abs) ]
+
+let lower_vector ctx node dst_addr a_addr b_addr =
+  let o =
+    Hooks.call_int (hooks ctx) "selectVectorOpcode" [ Hooks.vint (isd ctx node) ]
+  in
+  if o < 0 then raise (Hooks.Hook_error ("selectVectorOpcode", "no vector opcode"))
+  else emit ctx o [ I.Oreg dst_addr; I.Oreg a_addr; I.Oreg b_addr ]
+
+let lower_call ctx d f args =
+  ctx.calls <- true;
+  let conv = ctx.conv in
+  let nregs_args = List.length conv.Conv.arg_regs in
+  let reg_args = List.filteri (fun i _ -> i < nregs_args) args in
+  let stack_args = List.filteri (fun i _ -> i >= nregs_args) args in
+  (* overflow arguments through the shared spill area *)
+  (if stack_args <> [] then begin
+     let base = fresh ctx in
+     mat_addr ctx ~dst:base arg_spill_sym;
+     List.iteri
+       (fun k arg ->
+         let r = value_reg ctx arg in
+         emit ctx (opcode ctx "STri") [ I.Oreg r; I.Oreg base; I.Oimm (4 * k) ])
+       stack_args
+   end);
+  List.iteri
+    (fun i arg ->
+      let phys = List.nth conv.Conv.arg_regs i in
+      let r = value_reg ctx arg in
+      emit ctx (opcode ctx "MOVrr") [ I.Oreg phys; I.Oreg r ])
+    reg_args;
+  emit ctx (opcode ctx "CALL") [ I.Olabel f ];
+  match d with
+  | Some dst ->
+      emit ctx (opcode ctx "MOVrr")
+        [ I.Oreg (vreg_of_vir dst); I.Oreg conv.Conv.ret_reg ]
+  | None -> ()
+
+let lower_instr ctx (instr : V.instr) =
+  match instr with
+  | V.Bin (op, d, a, b) -> lower_bin ctx op d a b
+  | V.Mov (d, V.Reg s) ->
+      emit ctx (opcode ctx "MOVrr") [ I.Oreg (vreg_of_vir d); I.Oreg (vreg_of_vir s) ]
+  | V.Mov (d, V.Imm n) -> ignore (mat_imm ctx ~dst:(vreg_of_vir d) n)
+  | V.Addr (d, g) -> mat_addr ctx ~dst:(vreg_of_vir d) g
+  | V.Load (d, base, off) ->
+      emit ctx (opcode ctx "LDri")
+        [ I.Oreg (vreg_of_vir d); I.Oreg (vreg_of_vir base); I.Oimm off ]
+  | V.Store (v, base, off) ->
+      let r = value_reg ctx v in
+      emit ctx (opcode ctx "STri") [ I.Oreg r; I.Oreg (vreg_of_vir base); I.Oimm off ]
+  | V.Call (None, callee, [ a3; a1; a2 ])
+    when callee = "__builtin_vadd" || callee = "__builtin_vmul" ->
+      let node = if callee = "__builtin_vadd" then "ADD" else "MUL" in
+      let rd = value_reg ctx a3 and r1 = value_reg ctx a1 and r2 = value_reg ctx a2 in
+      lower_vector ctx node rd r1 r2
+  | V.Call (d, callee, args) -> lower_call ctx d callee args
+  | V.Print v ->
+      ctx.calls <- true;
+      let r = value_reg ctx v in
+      (match ctx.conv.Conv.arg_regs with
+      | a0 :: _ -> emit ctx (opcode ctx "MOVrr") [ I.Oreg a0; I.Oreg r ]
+      | [] -> raise (Hooks.Hook_error ("getArgRegister", "no argument registers")));
+      emit ctx (opcode ctx "CALL") [ I.Olabel "print" ]
+
+let lower_term ctx fname (t : V.terminator) =
+  match t with
+  | V.Br l -> emit ctx (opcode ctx "JMP") [ I.Olabel (block_label fname l) ]
+  | V.Brcond (c, a, b, tl, fl) ->
+      let o =
+        Hooks.call_int (hooks ctx) "selectBranchOpcode"
+          [ Hooks.vint (isd ctx (isd_of_cond c)) ]
+      in
+      if o < 0 then raise (Hooks.Hook_error ("selectBranchOpcode", "no opcode"));
+      let ra = value_reg ctx a and rb = value_reg ctx b in
+      emit ctx o [ I.Oreg ra; I.Oreg rb; I.Olabel (block_label fname tl) ];
+      emit ctx (opcode ctx "JMP") [ I.Olabel (block_label fname fl) ]
+  | V.Ret v ->
+      (match v with
+      | Some v ->
+          let r = value_reg ctx v in
+          emit ctx (opcode ctx "MOVrr") [ I.Oreg ctx.conv.Conv.ret_reg; I.Oreg r ]
+      | None -> ());
+      emit ctx (opcode ctx "RET") []
+
+let lower conv ~opt (f : V.func) =
+  let ctx =
+    {
+      conv;
+      opt;
+      next = vreg_base + Vega_ir.Vir.max_reg f + 1;
+      insts = [];
+      calls = false;
+      imm_cse = Hashtbl.create 8;
+    }
+  in
+  let nregs_args = List.length conv.Conv.arg_regs in
+  let blocks =
+    List.mapi
+      (fun bi (b : V.block) ->
+        ctx.insts <- [];
+        Hashtbl.reset ctx.imm_cse;
+        (* entry: bind incoming arguments *)
+        if bi = 0 then begin
+          List.iteri
+            (fun i p ->
+              if i < nregs_args then
+                emit ctx (opcode ctx "MOVrr")
+                  [ I.Oreg (vreg_of_vir p); I.Oreg (List.nth conv.Conv.arg_regs i) ]
+              else begin
+                (* overflow argument: reload from the spill area *)
+                let base = fresh ctx in
+                mat_addr ctx ~dst:base arg_spill_sym;
+                emit ctx (opcode ctx "LDri")
+                  [
+                    I.Oreg (vreg_of_vir p);
+                    I.Oreg base;
+                    I.Oimm (4 * (i - nregs_args));
+                  ]
+              end)
+            f.params
+        end;
+        List.iter (lower_instr ctx) b.body;
+        lower_term ctx f.fname b.term;
+        { I.mlabel = block_label f.fname b.label; minsts = List.rev ctx.insts })
+      f.blocks
+  in
+  {
+    mfunc = { I.mname = f.fname; mblocks = blocks; frame_size = 0 };
+    next_vreg = ctx.next;
+    has_calls = ctx.calls;
+  }

@@ -1,0 +1,26 @@
+(** Instruction selection: lower a VIR function onto machine instructions
+    with virtual registers, consulting the SEL hooks for opcode mapping,
+    immediate legality (only at -O3, where immediate folding is enabled by
+    the OPT hook) and the calling convention.
+
+    Virtual registers start at {!vreg_base}; smaller numbers are physical
+    (pre-colored by the calling convention). *)
+
+val vreg_base : int
+
+type out = {
+  mfunc : Vega_mc.Mcinst.mfunc;
+  next_vreg : int;  (** first unused virtual register *)
+  has_calls : bool;
+}
+
+val lower : Conv.t -> opt:bool -> Vega_ir.Vir.func -> out
+(** @raise Hooks.Hook_error when a SEL hook misbehaves (pass@1 failure). *)
+
+val block_label : string -> string -> string
+(** [block_label fname label] — globally unique label; the entry block's
+    label is the function name itself. *)
+
+val arg_spill_sym : string
+(** Symbol of the shared spill area for arguments beyond the register
+    convention. *)

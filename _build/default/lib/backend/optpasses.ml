@@ -1,0 +1,359 @@
+module I = Vega_mc.Mcinst
+module V = Vega_ir.Vir
+
+let hooks (c : Conv.t) = c.Conv.hooks
+let has_hook c n = Hooks.has (hooks c) n
+let isd c name = Hooks.enum_value (hooks c) ("ISD::" ^ name)
+
+(* ------------------------------------------------------------------ *)
+(* VIR-level loop vectorization                                         *)
+
+(* Canonical elementwise loop shape (cf. Programs.vec_friendly):
+     t  = shl i, 2
+     a1 = add b1, t
+     x  = load a1, 0
+     a2 = add b2, t
+     y  = load a2, 0
+     z  = <op> x, y          with <op> in {add, mul}
+     a3 = add b3, t
+     store z, a3, 0
+     i  = add i, 1
+     brlt i, N(imm), self, exit
+   with trip count divisible by the vector factor. *)
+let match_vector_loop (b : V.block) =
+  match (b.body, b.term) with
+  | ( [
+        V.Bin (V.Shl, t, V.Reg i1, V.Imm 2);
+        V.Bin (V.Add, a1, V.Reg b1, V.Reg t1);
+        V.Load (x, a1', 0);
+        V.Bin (V.Add, a2, V.Reg b2, V.Reg t2);
+        V.Load (y, a2', 0);
+        V.Bin (op, z, V.Reg x', V.Reg y');
+        V.Bin (V.Add, a3, V.Reg b3, V.Reg t3);
+        V.Store (V.Reg z', a3', 0);
+        V.Bin (V.Add, i2, V.Reg i3, V.Imm 1);
+      ],
+      V.Brcond (V.Lt, V.Reg i4, V.Imm n, self_l, exit_l) )
+    when t1 = t && t2 = t && t3 = t && a1' = a1 && a2' = a2 && a3' = a3
+         && x' = x && y' = y && z' = z && i2 = i1 && i3 = i1 && i4 = i1
+         && self_l = b.label
+         && (op = V.Add || op = V.Mul) ->
+      Some (i1, b1, b2, b3, t, op, n, exit_l)
+  | _ -> None
+
+let vectorize conv (f : V.func) =
+  if not (has_hook conv "shouldVectorizeOp" && has_hook conv "getVectorFactor")
+  then f
+  else
+    let fresh_base = Vega_ir.Vir.max_reg f + 1 in
+    let blocks =
+      List.map
+        (fun (b : V.block) ->
+          match match_vector_loop b with
+          | Some (i, b1, b2, b3, t, op, n, exit_l) ->
+              let node = match op with V.Add -> "ADD" | _ -> "MUL" in
+              let ok =
+                Hooks.call_bool (hooks conv) "shouldVectorizeOp"
+                  [ Hooks.vint (isd conv node) ]
+              in
+              let vf = Hooks.call_int (hooks conv) "getVectorFactor" [] in
+              let width_ok =
+                (not (has_hook conv "getVectorWidth"))
+                || Hooks.call_int (hooks conv) "getVectorWidth" [] >= vf
+              in
+              if (not ok) || (not width_ok) || vf <= 1 || n mod vf <> 0 then b
+              else
+                let builtin =
+                  match op with V.Add -> "__builtin_vadd" | _ -> "__builtin_vmul"
+                in
+                let p1 = fresh_base and p2 = fresh_base + 1 and p3 = fresh_base + 2 in
+                let body =
+                  [
+                    V.Bin (V.Shl, t, V.Reg i, V.Imm 2);
+                    V.Bin (V.Add, p1, V.Reg b1, V.Reg t);
+                    V.Bin (V.Add, p2, V.Reg b2, V.Reg t);
+                    V.Bin (V.Add, p3, V.Reg b3, V.Reg t);
+                    V.Call (None, builtin, [ V.Reg p3; V.Reg p1; V.Reg p2 ]);
+                    V.Bin (V.Add, i, V.Reg i, V.Imm vf);
+                  ]
+                in
+                {
+                  b with
+                  V.body;
+                  term = V.Brcond (V.Lt, V.Reg i, V.Imm n, b.V.label, exit_l);
+                }
+          | None -> b)
+        f.V.blocks
+    in
+    { f with V.blocks = blocks }
+
+(* ------------------------------------------------------------------ *)
+(* Machine-level helpers                                                *)
+
+let sem_of conv (inst : I.inst) =
+  Option.map
+    (fun i -> i.Insntab.sem)
+    (Insntab.by_opcode conv.Conv.tab inst.I.opcode)
+
+let opcode conv e = Insntab.opcode_exn conv.Conv.tab e
+
+(* ------------------------------------------------------------------ *)
+(* Compare-branch fusion                                                *)
+
+(* SLT t, a, b ; ... ; BEQ/BNE t, z, L   where z holds 0 and t is not
+   used elsewhere in the block tail. BEQ(t,0) branches when !(a<b) -> BGE;
+   BNE(t,0) -> BLT. *)
+let fuse_cmp_branch conv mf =
+  if
+    has_hook conv "shouldFuseCmpBranch"
+    && Hooks.call_bool (hooks conv) "shouldFuseCmpBranch" []
+  then
+    List.iter
+      (fun (b : I.mblock) ->
+        (* track registers known to hold zero within the block *)
+        let zero_regs = Hashtbl.create 4 in
+        (match conv.Conv.zero with
+        | Some z -> Hashtbl.replace zero_regs z ()
+        | None -> ());
+        let arr = Array.of_list b.I.minsts in
+        let n = Array.length arr in
+        let kill = Hashtbl.create 4 in
+        for k = 0 to n - 1 do
+          let inst = arr.(k) in
+          (match (sem_of conv inst, inst.I.ops) with
+          | Some Insntab.Smovi, [ I.Oreg d; I.Oimm 0 ] -> Hashtbl.replace zero_regs d ()
+          | Some _, I.Oreg d :: _ when Hashtbl.mem zero_regs d -> (
+              match sem_of conv inst with
+              | Some
+                  ( Insntab.Salu _ | Insntab.Salui _ | Insntab.Smovi | Insntab.Smov
+                  | Insntab.Smul | Insntab.Sdiv | Insntab.Sload | Insntab.Smadd ) ->
+                  if
+                    not
+                      (match (sem_of conv inst, inst.I.ops) with
+                      | Some Insntab.Smovi, [ _; I.Oimm 0 ] -> true
+                      | _ -> false)
+                  then Hashtbl.remove zero_regs d
+              | _ -> ())
+          | _ -> ());
+          match (sem_of conv inst, inst.I.ops) with
+          | Some (Insntab.Sbranch bc), [ I.Oreg t; I.Oreg z; I.Olabel l ]
+            when Hashtbl.mem zero_regs z && (bc = Insntab.Ceq || bc = Insntab.Cne) ->
+              (* find the SLT defining t earlier in the block, with no
+                 intervening redefinition or other use of t *)
+              let rec back j =
+                if j < 0 then None
+                else
+                  let cand = arr.(j) in
+                  match (sem_of conv cand, cand.I.ops) with
+                  | Some (Insntab.Salu Insntab.Aslt), [ I.Oreg d; I.Oreg a; I.Oreg c ]
+                    when d = t ->
+                      Some (j, I.Oreg a, I.Oreg c)
+                  | Some (Insntab.Salui Insntab.Aslt), [ I.Oreg d; I.Oreg a; I.Oimm c ]
+                    when d = t ->
+                      Some (j, I.Oreg a, I.Oimm c)
+                  | _, ops
+                    when List.exists (function I.Oreg r -> r = t | _ -> false) ops
+                    ->
+                      None
+                  | _ -> back (j - 1)
+              in
+              (match back (k - 1) with
+              | Some (j, oa, oc) ->
+                  (* imm second operand needs a register for Bcc *)
+                  let ok_operand = match oc with I.Oreg _ -> true | _ -> false in
+                  if ok_operand then begin
+                    let new_op =
+                      match bc with
+                      | Insntab.Ceq -> opcode conv "BGE" (* !(a<b) *)
+                      | _ -> opcode conv "BLT"
+                    in
+                    arr.(k) <- I.mk_inst new_op [ oa; oc; I.Olabel l ];
+                    arr.(j) <- I.mk_inst (opcode conv "NOP") []
+                  end
+              | None -> ())
+          | _ -> ()
+        done;
+        ignore kill;
+        b.I.minsts <-
+          List.filter
+            (fun (i : I.inst) ->
+              not (sem_of conv i = Some Insntab.Snop && i.I.ops = []))
+            (Array.to_list arr))
+      mf.I.mblocks
+
+(* ------------------------------------------------------------------ *)
+(* Hardware loops                                                       *)
+
+(* Single-block loop: block ends with [Bcc i, bound, self; JMP exit]
+   where i is incremented by 1 once in the block and both the bound and
+   the initial value of i are constant (LIi in a preceding block). *)
+let hardware_loops conv mf =
+  if
+    has_hook conv "isHardwareLoopProfitable"
+    && has_hook conv "getHardwareLoopOpcode"
+  then begin
+    let blocks = Array.of_list mf.I.mblocks in
+    let const_of ?(include_block = -1) reg upto_bi =
+      (* last LIi reg, imm before (or, for the branch bound, inside) the
+         loop block *)
+      let v = ref None in
+      Array.iteri
+        (fun bi (b : I.mblock) ->
+          if bi < upto_bi || bi = include_block then
+            List.iter
+              (fun (inst : I.inst) ->
+                match (sem_of conv inst, inst.I.ops) with
+                | Some Insntab.Smovi, [ I.Oreg d; I.Oimm n ] when d = reg ->
+                    v := Some n
+                | Some _, I.Oreg d :: _ when d = reg -> v := None
+                | _ -> ())
+              b.I.minsts)
+        blocks;
+      !v
+    in
+    Array.iteri
+      (fun bi (b : I.mblock) ->
+        let arr = Array.of_list b.I.minsts in
+        let n = Array.length arr in
+        if n >= 3 then begin
+          match
+            ( sem_of conv arr.(n - 2),
+              arr.(n - 2).I.ops,
+              sem_of conv arr.(n - 1),
+              arr.(n - 1).I.ops )
+          with
+          | ( Some (Insntab.Sbranch Insntab.Clt),
+              [ I.Oreg i; I.Oreg bound; I.Olabel self ],
+              Some Insntab.Sjump,
+              [ I.Olabel _exit ] )
+            when self = b.I.mlabel -> (
+              (* find increment ADDri i, i, 1 *)
+              let inc_idx = ref None in
+              Array.iteri
+                (fun k inst ->
+                  match (sem_of conv inst, inst.I.ops) with
+                  | Some (Insntab.Salui Insntab.Aadd), [ I.Oreg d; I.Oreg s; I.Oimm 1 ]
+                    when d = i && s = i ->
+                      inc_idx := Some k
+                  | _ -> ())
+                arr;
+              match
+                (!inc_idx, const_of ~include_block:bi bound bi, const_of i bi)
+              with
+              | Some _, Some bnd, Some start when bnd > start ->
+                  let trip = bnd - start in
+                  let ninsns = n - 2 in
+                  let within_limit =
+                    (not (has_hook conv "getMaxHardwareLoopInsns"))
+                    || ninsns
+                       <= Hooks.call_int (hooks conv) "getMaxHardwareLoopInsns" []
+                  in
+                  if
+                    within_limit
+                    && Hooks.call_bool (hooks conv) "isHardwareLoopProfitable"
+                         [ Hooks.vint trip; Hooks.vint ninsns ]
+                  then begin
+                    let lp = Hooks.call_int (hooks conv) "getHardwareLoopOpcode" [] in
+                    let lpend =
+                      Hooks.call_int (hooks conv) "getHardwareLoopEndOpcode" []
+                    in
+                    (* preheader gets LPSETUP; loop keeps body + increment,
+                       drops the branch pair, appends LPEND *)
+                    (if bi > 0 then
+                       let pre = blocks.(bi - 1) in
+                       let setup = I.mk_inst lp [ I.Oimm trip; I.Olabel b.I.mlabel ] in
+                       (* insert before the preheader's trailing jump *)
+                       match List.rev pre.I.minsts with
+                       | last :: prefix when sem_of conv last = Some Insntab.Sjump ->
+                           pre.I.minsts <- List.rev (last :: setup :: prefix)
+                       | _ -> pre.I.minsts <- pre.I.minsts @ [ setup ]);
+                    b.I.minsts <-
+                      Array.to_list (Array.sub arr 0 (n - 2))
+                      @ [ I.mk_inst lpend [] ]
+                  end
+              | _ -> ())
+          | _ -> ()
+        end)
+      blocks
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Multiply-add combining                                               *)
+
+(* MUL t, a, b ; ADD d, c, t (or d, t, c), t used exactly once, becomes
+   MOV d, c ; MADD d, a, b — gated by canLowerMulAdd/getMulAddOpcode. *)
+let combine_mul_add conv mf =
+  if
+    has_hook conv "canLowerMulAdd"
+    && Hooks.call_bool (hooks conv) "canLowerMulAdd" []
+    && has_hook conv "getMulAddOpcode"
+  then begin
+    let madd = Hooks.call_int (hooks conv) "getMulAddOpcode" [] in
+    if madd >= 0 then begin
+      let mov = opcode conv "MOVrr" in
+      let uses_of r =
+        let count = ref 0 in
+        I.iter_insts mf (fun _ inst ->
+            let _, u = Regalloc.def_use conv.Conv.tab inst in
+            List.iter (fun x -> if x = r then incr count) u);
+        !count
+      in
+      List.iter
+        (fun (b : I.mblock) ->
+          let rec go = function
+            | m :: a :: rest -> (
+                match
+                  (sem_of conv m, m.I.ops, sem_of conv a, a.I.ops)
+                with
+                | ( Some Insntab.Smul,
+                    [ I.Oreg t; I.Oreg x; I.Oreg y ],
+                    Some (Insntab.Salu Insntab.Aadd),
+                    [ I.Oreg d; o1; o2 ] )
+                  when (o1 = I.Oreg t || o2 = I.Oreg t)
+                       && o1 <> o2 && d <> x && d <> y && uses_of t = 1 ->
+                    let c = if o1 = I.Oreg t then o2 else o1 in
+                    I.mk_inst mov [ I.Oreg d; c ]
+                    :: I.mk_inst madd [ I.Oreg d; I.Oreg x; I.Oreg y ]
+                    :: go rest
+                | _ -> m :: go (a :: rest))
+            | rest -> rest
+          in
+          b.I.minsts <- go b.I.minsts)
+        mf.I.mblocks
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Peephole                                                             *)
+
+let peephole conv mf =
+  if
+    has_hook conv "enablePeephole"
+    && Hooks.call_bool (hooks conv) "enablePeephole" []
+  then begin
+    (* self-moves *)
+    List.iter
+      (fun (b : I.mblock) ->
+        b.I.minsts <-
+          List.filter
+            (fun (inst : I.inst) ->
+              match (sem_of conv inst, inst.I.ops) with
+              | Some Insntab.Smov, [ I.Oreg a; I.Oreg b' ] -> a <> b'
+              | _ -> true)
+            b.I.minsts)
+      mf.I.mblocks;
+    (* jump to the immediately following block *)
+    let rec scan = function
+      | (b1 : I.mblock) :: (b2 : I.mblock) :: rest ->
+          (match List.rev b1.I.minsts with
+          | last :: prefix -> (
+              match (sem_of conv last, last.I.ops) with
+              | Some Insntab.Sjump, [ I.Olabel l ] when l = b2.I.mlabel ->
+                  b1.I.minsts <- List.rev prefix
+              | _ -> ())
+          | [] -> ());
+          scan (b2 :: rest)
+      | _ -> ()
+    in
+    scan mf.I.mblocks
+  end

@@ -1,0 +1,18 @@
+(** -O3 machine/IR optimization passes, every decision gated by an OPT
+    hook so that generated OPT functions are behaviourally observable:
+
+    - loop vectorization (VIR level): canonical elementwise array loops
+      become vector intrinsic calls, stepping by getVectorFactor;
+    - compare-branch fusion: SLT feeding a zero-test branch folds into
+      a direct conditional branch (shouldFuseCmpBranch);
+    - hardware loops: single-block counted loops with a constant trip
+      count become LPSETUP/LPEND (isHardwareLoopProfitable);
+    - peephole: self-move and jump-to-next elimination (enablePeephole). *)
+
+val vectorize : Conv.t -> Vega_ir.Vir.func -> Vega_ir.Vir.func
+(** Identity when the target has no SIMD hooks or declines. *)
+
+val combine_mul_add : Conv.t -> Vega_mc.Mcinst.mfunc -> unit
+val fuse_cmp_branch : Conv.t -> Vega_mc.Mcinst.mfunc -> unit
+val hardware_loops : Conv.t -> Vega_mc.Mcinst.mfunc -> unit
+val peephole : Conv.t -> Vega_mc.Mcinst.mfunc -> unit

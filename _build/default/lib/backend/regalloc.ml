@@ -1,0 +1,386 @@
+module I = Vega_mc.Mcinst
+
+let is_vreg r = r >= Isel.vreg_base
+
+(* def/use structure of one instruction, by semantics *)
+let def_use (tab : Insntab.t) (inst : I.inst) =
+  let regs =
+    List.filter_map (function I.Oreg r -> Some r | _ -> None) inst.I.ops
+  in
+  match Insntab.by_opcode tab inst.I.opcode with
+  | None -> ([], regs)  (* unknown opcode: treat all as uses *)
+  | Some info -> (
+      match info.Insntab.sem with
+      | Insntab.Salu _ | Insntab.Salui _ | Insntab.Smovi | Insntab.Smov
+      | Insntab.Smul | Insntab.Sdiv | Insntab.Sload -> (
+          match regs with d :: rest -> ([ d ], rest) | [] -> ([], []))
+      | Insntab.Smadd -> (
+          (* accumulator: defines and uses the first register *)
+          match regs with d :: rest -> ([ d ], d :: rest) | [] -> ([], []))
+      | Insntab.Sstore | Insntab.Sbranch _ | Insntab.Svadd | Insntab.Svmul ->
+          ([], regs)
+      | Insntab.Sjump | Insntab.Scall | Insntab.Sret | Insntab.Snop
+      | Insntab.Slpsetup | Insntab.Slpend ->
+          ([], regs))
+
+let is_call (tab : Insntab.t) (inst : I.inst) =
+  match Insntab.by_opcode tab inst.I.opcode with
+  | Some { Insntab.sem = Insntab.Scall; _ } -> true
+  | _ -> false
+
+type interval = {
+  vreg : int;
+  mutable istart : int;
+  mutable iend : int;
+  mutable crosses_call : bool;
+}
+
+let run (conv : Conv.t) (out : Isel.out) =
+  let mf = out.Isel.mfunc in
+  let tab = conv.Conv.tab in
+  let hooks = conv.Conv.hooks in
+  (* ---- linearize ---- *)
+  let blocks = Array.of_list mf.I.mblocks in
+  let index = ref 0 in
+  let block_range = Array.make (Array.length blocks) (0, 0) in
+  let inst_index : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun bi b ->
+      let s = !index in
+      List.iteri
+        (fun k _ ->
+          Hashtbl.replace inst_index (bi, k) !index;
+          incr index)
+        b.I.minsts;
+      block_range.(bi) <- (s, !index))
+    blocks;
+  (* ---- per-block use/def, liveness fixpoint ---- *)
+  let nb = Array.length blocks in
+  let block_uses = Array.make nb [] and block_defs = Array.make nb [] in
+  Array.iteri
+    (fun bi b ->
+      let defs = ref [] and uses = ref [] in
+      List.iter
+        (fun inst ->
+          let d, u = def_use tab inst in
+          List.iter
+            (fun r ->
+              if is_vreg r && (not (List.mem r !defs)) && not (List.mem r !uses)
+              then uses := r :: !uses)
+            u;
+          List.iter (fun r -> if is_vreg r then defs := r :: !defs) d)
+        b.I.minsts;
+      block_uses.(bi) <- !uses;
+      block_defs.(bi) <- !defs)
+    blocks;
+  let successors bi =
+    let b = blocks.(bi) in
+    let labels =
+      List.concat_map
+        (fun (inst : I.inst) ->
+          if is_call tab inst then []
+          else List.filter_map (function I.Olabel l -> Some l | _ -> None) inst.I.ops)
+        b.I.minsts
+    in
+    (* a hardware-loop end is an implicit back edge to its own block *)
+    let labels =
+      if
+        List.exists
+          (fun (inst : I.inst) ->
+            match Insntab.by_opcode tab inst.I.opcode with
+            | Some { Insntab.sem = Insntab.Slpend; _ } -> true
+            | _ -> false)
+          b.I.minsts
+      then b.I.mlabel :: labels
+      else labels
+    in
+    List.filter_map
+      (fun l ->
+        let rec find i =
+          if i >= nb then None
+          else if blocks.(i).I.mlabel = l then Some i
+          else find (i + 1)
+        in
+        find 0)
+      labels
+    @ (if bi + 1 < nb then [ bi + 1 ] else [])
+  in
+  let live_in = Array.make nb [] and live_out = Array.make nb [] in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for bi = nb - 1 downto 0 do
+      let out_set =
+        List.sort_uniq compare (List.concat_map (fun s -> live_in.(s)) (successors bi))
+      in
+      let in_set =
+        List.sort_uniq compare
+          (block_uses.(bi)
+          @ List.filter (fun r -> not (List.mem r block_defs.(bi))) out_set)
+      in
+      if out_set <> live_out.(bi) || in_set <> live_in.(bi) then begin
+        live_out.(bi) <- out_set;
+        live_in.(bi) <- in_set;
+        changed := true
+      end
+    done
+  done;
+  (* ---- intervals ---- *)
+  let intervals : (int, interval) Hashtbl.t = Hashtbl.create 64 in
+  let touch r idx =
+    if is_vreg r then begin
+      let iv =
+        match Hashtbl.find_opt intervals r with
+        | Some iv -> iv
+        | None ->
+            let iv = { vreg = r; istart = idx; iend = idx; crosses_call = false } in
+            Hashtbl.add intervals r iv;
+            iv
+      in
+      if idx < iv.istart then iv.istart <- idx;
+      if idx > iv.iend then iv.iend <- idx
+    end
+  in
+  Array.iteri
+    (fun bi b ->
+      List.iteri
+        (fun k inst ->
+          let idx = Hashtbl.find inst_index (bi, k) in
+          let d, u = def_use tab inst in
+          List.iter (fun r -> touch r idx) (d @ u))
+        b.I.minsts;
+      (* live-across-block extension *)
+      let _, bend = block_range.(bi) in
+      let bstart, _ = block_range.(bi) in
+      List.iter (fun r -> touch r (max bstart (bend - 1))) live_out.(bi);
+      List.iter (fun r -> touch r bstart) live_in.(bi))
+    blocks;
+  (* call positions *)
+  let call_positions = ref [] in
+  Array.iteri
+    (fun bi b ->
+      List.iteri
+        (fun k inst ->
+          if is_call tab inst then
+            call_positions := Hashtbl.find inst_index (bi, k) :: !call_positions)
+        b.I.minsts)
+    blocks;
+  let call_positions = List.sort compare !call_positions in
+  Hashtbl.iter
+    (fun _ iv ->
+      iv.crosses_call <-
+        List.exists (fun c -> c > iv.istart && c < iv.iend) call_positions)
+    intervals;
+  (* ---- pools ---- *)
+  let reserved_conv =
+    conv.Conv.ret_reg :: conv.Conv.arg_regs
+    @ (match conv.Conv.zero with Some z -> [ z ] | None -> [])
+  in
+  let allocatable =
+    List.filter
+      (fun r ->
+        Hooks.call_bool hooks "isAllocatableReg" [ Hooks.vint r ]
+        && not (List.mem r reserved_conv))
+      (List.init conv.Conv.nregs Fun.id)
+  in
+  let callee_saved =
+    List.filter
+      (fun r -> Hooks.call_bool hooks "isCalleeSavedReg" [ Hooks.vint r ])
+      allocatable
+  in
+  let caller_saved = List.filter (fun r -> not (List.mem r callee_saved)) allocatable in
+  (* three distinct scratch registers for spill reloads (an ALU
+     instruction can reference three distinct spilled registers); prefer
+     caller-saved, borrow callee-saved when the pool is thin *)
+  let scratch_callee = ref [] in
+  let scratch =
+    let rec take n from_caller from_callee =
+      if n = 0 then []
+      else
+        match (from_caller, from_callee) with
+        | s :: rest, _ -> s :: take (n - 1) rest from_callee
+        | [], s :: rest ->
+            scratch_callee := s :: !scratch_callee;
+            s :: take (n - 1) [] rest
+        | [], [] ->
+            raise (Hooks.Hook_error ("isAllocatableReg", "register pool too small"))
+    in
+    take 3 caller_saved callee_saved
+  in
+  let caller_pool = List.filter (fun r -> not (List.mem r scratch)) caller_saved in
+  let callee_pool = List.filter (fun r -> not (List.mem r scratch)) callee_saved in
+  (* ---- linear scan ---- *)
+  let ivs =
+    Hashtbl.fold (fun _ iv acc -> iv :: acc) intervals []
+    |> List.sort (fun a b -> compare a.istart b.istart)
+  in
+  let assignment : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let spills : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let used_callee = ref [] in
+  let active : (int * int) list ref = ref [] (* (end, phys) *) in
+  let free_caller = ref caller_pool and free_callee = ref callee_pool in
+  let next_spill = ref 0 in
+  let release upto =
+    let expired, live = List.partition (fun (e, _) -> e < upto) !active in
+    active := live;
+    List.iter
+      (fun (_, phys) ->
+        if List.mem phys callee_pool then free_callee := phys :: !free_callee
+        else free_caller := phys :: !free_caller)
+      expired
+  in
+  List.iter
+    (fun iv ->
+      release iv.istart;
+      let take pool =
+        match !pool with
+        | p :: rest ->
+            pool := rest;
+            Some p
+        | [] -> None
+      in
+      let choice =
+        if iv.crosses_call then take free_callee
+        else
+          match take free_caller with Some p -> Some p | None -> take free_callee
+      in
+      match choice with
+      | Some phys ->
+          Hashtbl.replace assignment iv.vreg phys;
+          if List.mem phys callee_pool && not (List.mem phys !used_callee) then
+            used_callee := phys :: !used_callee;
+          active := (iv.iend, phys) :: !active
+      | None ->
+          Hashtbl.replace spills iv.vreg !next_spill;
+          incr next_spill)
+    ivs;
+  (* callee-saved registers used as scratch are clobbered: save them *)
+  List.iter
+    (fun s -> if not (List.mem s !used_callee) then used_callee := s :: !used_callee)
+    !scratch_callee;
+  let used_callee = List.sort compare !used_callee in
+  (* ---- frame layout ---- *)
+  (* FI 0 = ra, FI 1 = old fp, FI 2.. = callee-saved, then spill slots *)
+  let ncs = List.length used_callee in
+  let spill_fi k = 2 + ncs + k in
+  let total_slots = 2 + ncs + !next_spill in
+  let align = conv.Conv.stack_align in
+  (* the frame must cover the deepest fp-relative slot the
+     getFrameIndexOffset hook produces (64-bit targets pace 8 bytes) *)
+  let deepest = -Conv.frame_offset conv (total_slots - 1) in
+  let deepest = max deepest (total_slots * 4) in
+  let frame_size = ((deepest + align - 1) / align) * align in
+  mf.I.frame_size <- frame_size;
+  let fp_off fi = Conv.frame_offset conv fi in
+  (* ---- rewrite ---- *)
+  let opcode e = Insntab.opcode_exn tab e in
+  let map_reg r =
+    if not (is_vreg r) then r
+    else
+      match Hashtbl.find_opt assignment r with
+      | Some p -> p
+      | None -> -1 (* spilled: handled per instruction *)
+  in
+  let rewrite_block b =
+    let out = ref [] in
+    List.iter
+      (fun (inst : I.inst) ->
+        let d, u = def_use tab inst in
+        let spilled_ops =
+          List.sort_uniq compare
+            (List.filter (fun r -> Hashtbl.mem spills r) (d @ u))
+        in
+        (* map spilled vregs to scratch registers for this instruction *)
+        let scratch_map = Hashtbl.create 4 in
+        List.iteri
+          (fun i r ->
+            let s = List.nth scratch (min i (List.length scratch - 1)) in
+            Hashtbl.replace scratch_map r s)
+          spilled_ops;
+        let subst r =
+          match Hashtbl.find_opt scratch_map r with
+          | Some s -> s
+          | None -> map_reg r
+        in
+        (* reloads for spilled uses *)
+        List.iter
+          (fun r ->
+            if Hashtbl.mem spills r && List.mem r u then
+              let fi = spill_fi (Hashtbl.find spills r) in
+              out :=
+                I.mk_inst (opcode "LDri")
+                  [
+                    I.Oreg (Hashtbl.find scratch_map r);
+                    I.Oreg conv.Conv.fp;
+                    I.Oimm (fp_off fi);
+                  ]
+                :: !out)
+          spilled_ops;
+        let ops' =
+          List.map
+            (function I.Oreg r -> I.Oreg (subst r) | o -> o)
+            inst.I.ops
+        in
+        out := { inst with I.ops = ops' } :: !out;
+        (* stores for spilled defs *)
+        List.iter
+          (fun r ->
+            if Hashtbl.mem spills r && List.mem r d then
+              let fi = spill_fi (Hashtbl.find spills r) in
+              out :=
+                I.mk_inst (opcode "STri")
+                  [
+                    I.Oreg (Hashtbl.find scratch_map r);
+                    I.Oreg conv.Conv.fp;
+                    I.Oimm (fp_off fi);
+                  ]
+                :: !out)
+          spilled_ops)
+      b.I.minsts;
+    b.I.minsts <- List.rev !out
+  in
+  List.iter rewrite_block mf.I.mblocks;
+  (* ---- prologue / epilogue ---- *)
+  let sp = conv.Conv.sp and fp = conv.Conv.fp and ra = conv.Conv.ra in
+  let prologue =
+    [
+      I.mk_inst (opcode "ADDri") [ I.Oreg sp; I.Oreg sp; I.Oimm (-frame_size) ];
+      I.mk_inst (opcode "STri")
+        [ I.Oreg ra; I.Oreg sp; I.Oimm (frame_size + fp_off 0) ];
+      I.mk_inst (opcode "STri")
+        [ I.Oreg fp; I.Oreg sp; I.Oimm (frame_size + fp_off 1) ];
+    ]
+    @ List.mapi
+        (fun j r ->
+          I.mk_inst (opcode "STri")
+            [ I.Oreg r; I.Oreg sp; I.Oimm (frame_size + fp_off (2 + j)) ])
+        used_callee
+    @ [ I.mk_inst (opcode "ADDri") [ I.Oreg fp; I.Oreg sp; I.Oimm frame_size ] ]
+  in
+  let epilogue =
+    List.mapi
+      (fun j r ->
+        I.mk_inst (opcode "LDri")
+          [ I.Oreg r; I.Oreg fp; I.Oimm (fp_off (2 + j)) ])
+      used_callee
+    @ [
+        I.mk_inst (opcode "LDri") [ I.Oreg ra; I.Oreg fp; I.Oimm (fp_off 0) ];
+        I.mk_inst (opcode "MOVrr") [ I.Oreg sp; I.Oreg fp ];
+        I.mk_inst (opcode "LDri") [ I.Oreg fp; I.Oreg fp; I.Oimm (fp_off 1) ];
+      ]
+  in
+  (match mf.I.mblocks with
+  | first :: _ -> first.I.minsts <- prologue @ first.I.minsts
+  | [] -> ());
+  (* epilogue before every RET *)
+  List.iter
+    (fun b ->
+      b.I.minsts <-
+        List.concat_map
+          (fun (inst : I.inst) ->
+            match Insntab.by_opcode tab inst.I.opcode with
+            | Some { Insntab.sem = Insntab.Sret; _ } -> epilogue @ [ inst ]
+            | _ -> [ inst ])
+          b.I.minsts)
+    mf.I.mblocks;
+  mf

@@ -1,0 +1,17 @@
+(** Linear-scan register allocation with block liveness, spilling, and
+    prologue/epilogue insertion.
+
+    The allocatable pool is defined entirely by REG hooks
+    (isAllocatableReg / isCalleeSavedReg / getNumRegs); intervals live
+    across calls take callee-saved registers, which the prologue then
+    saves. Spill slots are addressed off the frame pointer through the
+    getFrameIndexOffset hook. *)
+
+val def_use : Insntab.t -> Vega_mc.Mcinst.inst -> int list * int list
+(** Registers defined and used by one instruction, per its semantics
+    (shared with the scheduler's dependence analysis). *)
+
+val run : Conv.t -> Isel.out -> Vega_mc.Mcinst.mfunc
+(** Allocate, rewrite to physical registers, set [frame_size], and insert
+    prologue/epilogue. @raise Hooks.Hook_error when a REG hook
+    misbehaves. *)

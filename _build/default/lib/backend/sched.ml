@@ -1,0 +1,132 @@
+module I = Vega_mc.Mcinst
+
+let latency conv (inst : I.inst) =
+  Hooks.call_int conv.Conv.hooks "getInstrLatency" [ Hooks.vint inst.I.opcode ]
+
+let sem_of conv (inst : I.inst) =
+  Option.map (fun i -> i.Insntab.sem) (Insntab.by_opcode conv.Conv.tab inst.I.opcode)
+
+(* Instructions pinned to block boundaries: control flow and loop markers
+   stay put; everything between is schedulable. *)
+let is_pinned conv inst =
+  match sem_of conv inst with
+  | Some
+      ( Insntab.Sbranch _ | Insntab.Sjump | Insntab.Scall | Insntab.Sret
+      | Insntab.Slpsetup | Insntab.Slpend ) ->
+      true
+  | Some _ | None -> false
+
+let is_mem conv inst =
+  match sem_of conv inst with
+  | Some (Insntab.Sload | Insntab.Sstore | Insntab.Svadd | Insntab.Svmul) -> true
+  | Some _ | None -> false
+
+let schedule_block conv (b : I.mblock) =
+  (* split into maximal schedulable regions between pinned instructions *)
+  let insts = Array.of_list b.I.minsts in
+  let n = Array.length insts in
+  let out = ref [] in
+  let fuse_enabled = Hooks.has conv.Conv.hooks "shouldScheduleAdjacent" in
+  let region lo hi =
+    (* schedule insts[lo, hi) *)
+    let m = hi - lo in
+    if m <= 1 then
+      for k = lo to hi - 1 do
+        out := insts.(k) :: !out
+      done
+    else begin
+      let deps = Array.make m [] in
+      (* data deps: def -> later use/def of same register; memory ordered *)
+      for a = 0 to m - 1 do
+        let ia = insts.(lo + a) in
+        let da, ua = Regalloc.def_use conv.Conv.tab ia in
+        for b' = a + 1 to m - 1 do
+          let ib = insts.(lo + b') in
+          let db, ub = Regalloc.def_use conv.Conv.tab ib in
+          let overlap l1 l2 = List.exists (fun r -> List.mem r l2) l1 in
+          if
+            overlap da ub (* RAW *) || overlap da db (* WAW *)
+            || overlap ua db (* WAR *)
+            || (is_mem conv ia && is_mem conv ib)
+          then deps.(b') <- a :: deps.(b')
+        done
+      done;
+      (* fusion pairs: keep adjacent when the hook asks for it *)
+      let fused_with = Array.make m (-1) in
+      if fuse_enabled then
+        for a = 0 to m - 2 do
+          let ia = insts.(lo + a) and ib = insts.(lo + a + 1) in
+          if
+            Hooks.call_bool conv.Conv.hooks "shouldScheduleAdjacent"
+              [ Hooks.vint ia.I.opcode; Hooks.vint ib.I.opcode ]
+          then fused_with.(a) <- a + 1
+        done;
+      (* critical-path priority, boosted for high-latency defs *)
+      let prio = Array.make m 0 in
+      let high_latency opc =
+        Hooks.has conv.Conv.hooks "isHighLatencyDef"
+        && Hooks.call_bool conv.Conv.hooks "isHighLatencyDef" [ Hooks.vint opc ]
+      in
+      for a = m - 1 downto 0 do
+        let lat =
+          latency conv insts.(lo + a)
+          + if high_latency insts.(lo + a).I.opcode then 2 else 0
+        in
+        prio.(a) <- lat;
+        for b' = a + 1 to m - 1 do
+          if List.mem a deps.(b') then prio.(a) <- max prio.(a) (lat + prio.(b'))
+        done
+      done;
+      (* greedy list scheduling *)
+      let emitted = Array.make m false in
+      let indeg = Array.make m 0 in
+      Array.iteri (fun b' ds -> indeg.(b') <- List.length ds) deps;
+      let remaining = ref m in
+      while !remaining > 0 do
+        let best = ref (-1) in
+        for a = 0 to m - 1 do
+          if (not emitted.(a)) && indeg.(a) = 0 then
+            if !best = -1 || prio.(a) > prio.(!best) then best := a
+        done;
+        let emit_one a =
+          emitted.(a) <- true;
+          decr remaining;
+          out := insts.(lo + a) :: !out;
+          for b' = 0 to m - 1 do
+            if List.mem a deps.(b') then indeg.(b') <- indeg.(b') - 1
+          done
+        in
+        if !best = -1 then begin
+          (* cycle should not happen; fall back to original order *)
+          for a = 0 to m - 1 do
+            if not emitted.(a) then emit_one a
+          done
+        end
+        else begin
+          let a = !best in
+          emit_one a;
+          (* pull the fusion partner right behind, if ready *)
+          let p = fused_with.(a) in
+          if p >= 0 && (not emitted.(p)) && indeg.(p) = 0 then emit_one p
+        end
+      done
+    end
+  in
+  let lo = ref 0 in
+  for k = 0 to n - 1 do
+    if is_pinned conv insts.(k) then begin
+      region !lo k;
+      out := insts.(k) :: !out;
+      lo := k + 1
+    end
+  done;
+  region !lo n;
+  b.I.minsts <- List.rev !out
+
+let run conv mf = List.iter (schedule_block conv) mf.I.mblocks
+
+let run_post_ra conv mf =
+  if
+    Hooks.has conv.Conv.hooks "enablePostRAScheduler"
+    && Hooks.call_bool conv.Conv.hooks "enablePostRAScheduler" []
+  then run conv mf

@@ -1,0 +1,11 @@
+(** List scheduling within basic blocks, driven by the SCH hooks: critical
+    path priorities from getInstrLatency, macro-fusion pairs kept adjacent
+    per shouldScheduleAdjacent, and an optional second pass after register
+    allocation gated by enablePostRAScheduler. *)
+
+val schedule_block : Conv.t -> Vega_mc.Mcinst.mblock -> unit
+(** Reorder one block in place, preserving data/memory/control order. *)
+
+val run : Conv.t -> Vega_mc.Mcinst.mfunc -> unit
+val run_post_ra : Conv.t -> Vega_mc.Mcinst.mfunc -> unit
+(** No-op unless the enablePostRAScheduler hook says otherwise. *)

@@ -1,0 +1,1 @@
+lib/core/codebe.ml: Array List Logs Vega_nn Vega_util

@@ -1,0 +1,1 @@
+lib/core/codebe.mli: Vega_nn

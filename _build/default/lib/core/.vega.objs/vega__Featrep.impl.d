@@ -1,0 +1,1 @@
+lib/core/featrep.ml: Array Confidence Featsel Fun List Option Preprocess Resolve Template Vega_nn Vega_util

@@ -1,0 +1,1 @@
+lib/core/featrep.mli: Featsel Resolve Template

@@ -1,0 +1,1 @@
+lib/core/featsel.ml: Array Hashtbl List Option Preprocess String Template Vega_tdlang Vega_util

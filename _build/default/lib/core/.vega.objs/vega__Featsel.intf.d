@@ -1,0 +1,1 @@
+lib/core/featsel.mli: Template Vega_tdlang

@@ -1,0 +1,1 @@
+lib/core/forkflow.ml: List Option String Vega_corpus Vega_srclang Vega_target Vega_util

@@ -1,0 +1,1 @@
+lib/core/forkflow.mli: Vega_corpus Vega_srclang Vega_target

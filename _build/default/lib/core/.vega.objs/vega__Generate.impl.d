@@ -1,0 +1,1 @@
+lib/core/generate.ml: Codebe Confidence Featrep Featsel Float Fun List Resolve String Template Vega_target

@@ -1,0 +1,1 @@
+lib/core/generate.mli: Featrep Featsel Resolve Template Vega_target

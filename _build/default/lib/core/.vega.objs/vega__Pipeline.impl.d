@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Codebe Featrep Featsel Generate Hashtbl List Logs Option Preprocess Resolve Retrieval Template Vega_corpus Vega_target

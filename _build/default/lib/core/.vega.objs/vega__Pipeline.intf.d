@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Codebe Featsel Generate Resolve Retrieval Template Vega_corpus

@@ -1,0 +1,1 @@
+lib/core/preprocess.ml: Array List Printf String Vega_srclang Vega_util

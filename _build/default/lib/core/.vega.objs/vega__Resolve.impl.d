@@ -1,0 +1,1 @@
+lib/core/resolve.ml: Featsel Fun Hashtbl List Option Preprocess String Template Vega_util

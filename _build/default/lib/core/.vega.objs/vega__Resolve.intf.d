@@ -1,0 +1,1 @@
+lib/core/resolve.mli: Featsel Preprocess Template

@@ -1,0 +1,1 @@
+lib/core/retrieval.ml: Array Featrep Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/core/template.ml: Array Fun Hashtbl List Option Preprocess Printf String Vega_gumtree Vega_target Vega_util

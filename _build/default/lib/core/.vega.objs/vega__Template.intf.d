@@ -1,0 +1,1 @@
+lib/core/template.mli: Preprocess Vega_target

@@ -1,0 +1,54 @@
+let threshold = 0.5
+
+let score ~n_tokens ~n_common ~slot_candidates ~present =
+  if not present then 0.0
+  else if n_tokens = 0 then 1.0
+  else begin
+    let t = float_of_int n_tokens in
+    let common = float_of_int n_common /. t in
+    let var =
+      List.fold_left
+        (fun acc n -> acc +. (1.0 /. (t *. float_of_int (max 1 n))))
+        0.0 slot_candidates
+    in
+    Float.min 1.0 (common +. var)
+  end
+
+let counts (st : Template.stmt_template) =
+  let n_tokens = List.length st.Template.items in
+  let n_common =
+    List.length
+      (List.filter
+         (function Template.Tok _ -> true | Template.Slot _ -> false)
+         st.Template.items)
+  in
+  (n_tokens, n_common)
+
+let statement_score ?slot_candidates (st : Template.stmt_template) ~present =
+  let n_tokens, n_common = counts st in
+  let slot_candidates =
+    match slot_candidates with
+    | Some l -> l
+    | None -> List.init st.Template.nslots (fun _ -> 1)
+  in
+  score ~n_tokens ~n_common ~slot_candidates ~present
+
+let slot_candidate_counts analysis (view : Featsel.target_view) ~col ~line
+    (st : Template.stmt_template) =
+  List.init st.Template.nslots (fun si ->
+      match Featsel.pattern analysis ~col ~line ~slot:si with
+      | Some pat ->
+          let props =
+            List.filter_map
+              (function
+                | Featsel.Pprop p -> Some p
+                | Featsel.Pcompose { prop; _ } -> Some prop
+                | Featsel.Plit _ | Featsel.Pindex -> None)
+              pat
+          in
+          List.fold_left
+            (fun acc p -> max acc (List.length (Featsel.candidates_for view p)))
+            1 props
+      | None -> 1)
+
+let function_confidence = function [] -> 0.0 | s :: _ -> s

@@ -1,0 +1,31 @@
+(** Confidence scores, Eq. (1) of the paper:
+
+    CS(S_k) = (|T_com|/|T| + sum over SV of 1/(|T| * N(SV))) * has(S_k)
+
+    where |T| counts the statement template's tokens, |T_com| the common
+    tokens, and N(SV) the number of possible target-specific values of
+    each placeholder. Statements score 1.0 when fully common and present,
+    0.0 when absent; a statement whose placeholder has many candidate
+    values scores low, flagging it for review (threshold 0.5). *)
+
+val threshold : float
+(** The accept threshold (0.5, Sec. 3.3). *)
+
+val score :
+  n_tokens:int -> n_common:int -> slot_candidates:int list -> present:bool -> float
+
+val statement_score :
+  ?slot_candidates:int list -> Template.stmt_template -> present:bool -> float
+(** Convenience over a statement template; [slot_candidates] defaults to
+    1 per slot. *)
+
+val slot_candidate_counts :
+  Featsel.t -> Featsel.target_view -> col:int -> line:int ->
+  Template.stmt_template -> int list
+(** N(SV) per slot: the candidate-set size of the property behind each
+    slot for the given target (1 when unresolved). *)
+
+val function_confidence : float list -> float
+(** Confidence of a whole generated function: the paper uses the first
+    statement's (function definition's) score; we take it as
+    [List.hd scores] with 0 for an empty function. *)

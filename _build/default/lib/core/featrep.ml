@@ -1,0 +1,260 @@
+module Vocab = Vega_nn.Vocab
+module Strutil = Vega_util.Strutil
+
+type fv = {
+  fname : string;
+  col : int;
+  line : int;
+  inst : int;
+  target : string;
+  present : bool;
+  score : float;
+  registers : string list;
+  input : string list;
+  output : string list option;
+}
+
+let max_registers = 8
+let max_input_len = 72
+let max_output_len = 24
+let max_subwords = 3
+let max_template_tokens = 22
+
+(* ------------------------------------------------------------------ *)
+(* Registers                                                            *)
+
+let apply_pattern pat values idx =
+  List.filter_map
+    (fun item ->
+      match item with
+      | Featsel.Plit _ -> None
+      | Featsel.Pindex -> Some (string_of_int idx)
+      | Featsel.Pprop p ->
+          Option.map (fun v -> v) (List.assoc_opt p values)
+      | Featsel.Pcompose { pre; prop; post } ->
+          Option.map (fun v -> pre ^ v ^ post) (List.assoc_opt prop values))
+    pat
+
+let registers_of analysis (column : Template.column) ~col
+    (iv : Resolve.inst_values) =
+  let regs = ref [] in
+  List.iteri
+    (fun li st ->
+      List.iter
+        (fun si ->
+          match Featsel.pattern analysis ~col ~line:li ~slot:si with
+          | Some pat ->
+              List.iter
+                (fun w -> if List.length !regs < max_registers then regs := w :: !regs)
+                (apply_pattern pat iv.Resolve.iv_values iv.Resolve.iv_index)
+          | None -> ())
+        (List.init st.Template.nslots Fun.id))
+    column.Template.unit;
+  List.rev !regs
+
+(* Deterministic rendering of one template line from resolved values:
+   the fallback used by template-guided repair when the decoder emits a
+   malformed token sequence. *)
+let render_line analysis (column : Template.column) ~col ~line
+    (iv : Resolve.inst_values) (st : Template.stmt_template) =
+  ignore column;
+  let slots =
+    List.init st.Template.nslots (fun si ->
+        match Featsel.pattern analysis ~col ~line ~slot:si with
+        | Some pat -> apply_pattern pat iv.Resolve.iv_values iv.Resolve.iv_index
+        | None -> [])
+  in
+  if st.Template.nslots > 0 && List.for_all (fun s -> s = []) slots then None
+  else Some (Template.render_instance st slots)
+
+(* ------------------------------------------------------------------ *)
+(* Token sequences                                                      *)
+
+let subwords v =
+  let ws = List.map Strutil.lowercase (Strutil.camel_words v) in
+  let ws = if ws = [] then [ Strutil.lowercase v ] else ws in
+  List.filteri (fun i _ -> i < max_subwords) ws
+
+let clip n l = List.filteri (fun i _ -> i < n) l
+
+let input_of ~fname ~(st : Template.stmt_template) ~view ~registers ~repeated
+    ~inst =
+  let tpl_tokens = clip max_template_tokens (Template.tokens_of_template st) in
+  let indep =
+    List.map (fun (_, b) -> if b then "T" else "F") view.Featsel.independent
+  in
+  let regs =
+    List.concat
+      (List.mapi
+         (fun k w -> (Vocab.copy_token k :: subwords w) @ [ "<SEP>" ])
+         registers)
+  in
+  let idx_part =
+    if repeated then [ Vocab.index_token; string_of_int (min inst 30) ] else []
+  in
+  clip max_input_len
+    (("<CLS>" :: ("F#" ^ fname) :: ("K#" ^ st.Template.kind) :: tpl_tokens)
+    @ [ "<SEP>" ] @ indep @ [ "<SEP>" ] @ regs @ idx_part)
+
+(* Substitute register words (and the instance index) back by reference
+   tokens so the output vocabulary stays closed. *)
+let encode_line_tokens ~registers ~inst tokens =
+  List.map
+    (fun tok ->
+      let rec find k = function
+        | [] -> None
+        | r :: _ when r = tok -> Some k
+        | _ :: rest -> find (k + 1) rest
+      in
+      match find 0 registers with
+      | Some k -> Vocab.copy_token k
+      | None -> if tok = string_of_int inst then Vocab.index_token else tok)
+    tokens
+
+let output_of ~(st : Template.stmt_template) ~present ~score ~registers
+    ~line_tokens ~inst =
+  let body =
+    match (present, line_tokens) with
+    | true, Some tokens -> encode_line_tokens ~registers ~inst tokens
+    | true, None -> Template.tokens_of_template st
+    | false, _ -> Template.tokens_of_template st
+  in
+  clip max_output_len (Vocab.score_token (if present then score else 0.0) :: body)
+
+let decode_output ~registers ~inst tokens =
+  let regs = Array.of_list registers in
+  match tokens with
+  | [] -> (None, [])
+  | first :: rest ->
+      let score, body =
+        match Vocab.score_of_token first with
+        | Some s -> (Some s, rest)
+        | None -> (None, tokens)
+      in
+      let body =
+        List.map
+          (fun tok ->
+            match Vocab.copy_of_token tok with
+            | Some k when k < Array.length regs -> regs.(k)
+            | Some _ -> tok
+            | None -> if tok = Vocab.index_token then string_of_int inst else tok)
+          body
+      in
+      (score, body)
+
+(* ------------------------------------------------------------------ *)
+(* Training and generation FV sets                                      *)
+
+let indexed_columns (tpl : Template.t) =
+  (-1, Template.signature_column tpl)
+  :: List.mapi (fun i c -> (i, c)) tpl.Template.columns
+
+let training_fvs analysis (tpl : Template.t) ~max_inst_per_column =
+  let out = ref [] in
+  let emit fv = out := fv :: !out in
+  List.iter
+    (fun (view : Featsel.target_view) ->
+      let tname = view.tv_target in
+      List.iter
+        (fun (ci, (column : Template.column)) ->
+          match List.assoc_opt tname column.Template.occurrences with
+          | Some insts ->
+              List.iteri
+                (fun idx inst ->
+                  if idx < max_inst_per_column then begin
+                    let iv = Resolve.training_values analysis tpl ~col:ci inst idx in
+                    let registers = registers_of analysis column ~col:ci iv in
+                    List.iteri
+                      (fun li st ->
+                        let line = List.nth inst li in
+                        let score =
+                          Confidence.statement_score
+                            ~slot_candidates:
+                              (Confidence.slot_candidate_counts analysis view
+                                 ~col:ci ~line:li st)
+                            st ~present:true
+                        in
+                        emit
+                          {
+                            fname = tpl.Template.fname;
+                            col = ci;
+                            line = li;
+                            inst = idx;
+                            target = tname;
+                            present = true;
+                            score;
+                            registers;
+                            input =
+                              input_of ~fname:tpl.Template.fname ~st ~view
+                                ~registers ~repeated:column.Template.repeated
+                                ~inst:idx;
+                            output =
+                              Some
+                                (output_of ~st ~present:true ~score ~registers
+                                   ~line_tokens:(Some line.Preprocess.tokens)
+                                   ~inst:idx);
+                          })
+                      column.Template.unit
+                  end)
+                insts
+          | None ->
+              (* absent statement: one FV per unit line, score 0 *)
+              List.iteri
+                (fun li st ->
+                  emit
+                    {
+                      fname = tpl.Template.fname;
+                      col = ci;
+                      line = li;
+                      inst = 0;
+                      target = tname;
+                      present = false;
+                      score = 0.0;
+                      registers = [];
+                      input =
+                        input_of ~fname:tpl.Template.fname ~st ~view
+                          ~registers:[] ~repeated:column.Template.repeated
+                          ~inst:0;
+                      output =
+                        Some
+                          (output_of ~st ~present:false ~score:0.0 ~registers:[]
+                             ~line_tokens:None ~inst:0);
+                    })
+                column.Template.unit)
+        (indexed_columns tpl))
+    analysis.Featsel.views;
+  List.rev !out
+
+let generation_fvs analysis (tpl : Template.t) hints (view : Featsel.target_view)
+    =
+  let out = ref [] in
+  List.iter
+    (fun (ci, (column : Template.column)) ->
+      let ivs = Resolve.enumerate_instances analysis tpl hints view ~col:ci column in
+      List.iter
+        (fun (iv : Resolve.inst_values) ->
+          let registers = registers_of analysis column ~col:ci iv in
+          List.iteri
+            (fun li st ->
+              out :=
+                ( {
+                    fname = tpl.Template.fname;
+                    col = ci;
+                    line = li;
+                    inst = iv.Resolve.iv_index;
+                    target = view.tv_target;
+                    present = true;
+                    score = 0.0;
+                    registers;
+                    input =
+                      input_of ~fname:tpl.Template.fname ~st ~view ~registers
+                        ~repeated:column.Template.repeated
+                        ~inst:iv.Resolve.iv_index;
+                    output = None;
+                  },
+                  iv )
+                :: !out)
+            column.Template.unit)
+        ivs)
+    (indexed_columns tpl);
+  List.rev !out

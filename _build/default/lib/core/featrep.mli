@@ -1,0 +1,81 @@
+(** Feature representation (Sec. 3.2.3) and CodeBE I/O encoding
+    (Sec. 3.3).
+
+    Every statement instance maps to a feature vector
+    [FV_k = <T_k, V_k>]: the tokenized statement template plus property
+    values. The model-facing encoding works with {e copy registers}: the
+    full words produced by applying the slot patterns to the instance's
+    resolved property values. Inputs spell register contents as subword
+    pieces; outputs reference them with [<COPY_k>] tokens, so the decoder
+    can emit identifiers it has never seen (our stand-in for UniXcoder's
+    byte-level BPE). *)
+
+type fv = {
+  fname : string;
+  col : int;  (** -1 for the function-definition statement *)
+  line : int;  (** line within the column's unit *)
+  inst : int;  (** instance index within a repeated column *)
+  target : string;
+  present : bool;
+  score : float;  (** Eq. (1) confidence used as training signal *)
+  registers : string list;  (** full words available for copying *)
+  input : string list;
+  output : string list option;  (** None on the generation side *)
+}
+
+val max_registers : int
+val max_input_len : int
+val max_output_len : int
+
+val render_line :
+  Featsel.t -> Template.column -> col:int -> line:int -> Resolve.inst_values ->
+  Template.stmt_template -> string list option
+(** Deterministic rendering of a template line from resolved property
+    values — the fallback of template-guided repair (None when no slot
+    value could be resolved). *)
+
+val registers_of :
+  Featsel.t -> Template.column -> col:int -> Resolve.inst_values -> string list
+(** Apply the column's slot patterns to resolved values, yielding the
+    instance's copy-register words in (line, slot, word) order. *)
+
+val input_of :
+  fname:string ->
+  st:Template.stmt_template ->
+  view:Featsel.target_view ->
+  registers:string list ->
+  repeated:bool ->
+  inst:int ->
+  string list
+(** Build the input token sequence [I_k]. *)
+
+val output_of :
+  st:Template.stmt_template ->
+  present:bool ->
+  score:float ->
+  registers:string list ->
+  line_tokens:string list option ->
+  inst:int ->
+  string list
+(** Build the output sequence [O_k]: score bucket token, then either the
+    statement tokens (with register references substituted) or, when
+    absent, the raw template tokens. *)
+
+val decode_output :
+  registers:string list -> inst:int -> string list -> float option * string list
+(** Interpret a generated output sequence: extract the leading confidence
+    bucket and substitute [<COPY_k>]/[<IDX>] references. *)
+
+val training_fvs :
+  Featsel.t -> Template.t -> max_inst_per_column:int -> fv list
+(** All training feature vectors of one function group (over the
+    template's training targets), including absent-statement examples. *)
+
+val generation_fvs :
+  Featsel.t ->
+  Template.t ->
+  Resolve.hints ->
+  Featsel.target_view ->
+  (fv * Resolve.inst_values) list
+(** Feature vectors for a new target (Sec. 3.4): instances enumerated and
+    values resolved from its description files; [output = None]. *)

@@ -1,0 +1,87 @@
+module Ast = Vega_srclang.Ast
+module P = Vega_target.Profile
+module Strutil = Vega_util.Strutil
+
+let fork_source = "Mips"
+
+(* The unmodified fork of Sec. 4.2: only the class-prefix rename needed
+   to drop the code into the new backend tree. ISA-specific enum members,
+   mnemonic strings and numeric values all survive verbatim (and are
+   wrong for the new target). *)
+let rename ~(src : P.t) ~(dst : P.t) s =
+  if s = src.P.name then dst.P.name
+  else if
+    String.length s > String.length src.P.name
+    && String.sub s 0 (String.length src.P.name) = src.P.name
+    && s.[String.length src.P.name] >= 'A'
+    && s.[String.length src.P.name] <= 'Z'
+  then
+    (* class-like identifier: MipsELFObjectWriter -> RISCVELFObjectWriter *)
+    dst.P.name ^ String.sub s (String.length src.P.name)
+        (String.length s - String.length src.P.name)
+  else s
+
+let rec rename_expr ~src ~dst (e : Ast.expr) : Ast.expr =
+  let r = rename ~src ~dst in
+  let re = rename_expr ~src ~dst in
+  match e with
+  | Ast.Int _ | Ast.Chr _ | Ast.Bool _ | Ast.Nullptr -> e
+  | Ast.Str s -> Ast.Str (r s)
+  | Ast.Id x -> Ast.Id (r x)
+  | Ast.Scoped parts -> Ast.Scoped (List.map r parts)
+  | Ast.Call (f, args) -> Ast.Call (r f, List.map re args)
+  | Ast.Method (recv, m, args) -> Ast.Method (re recv, m, List.map re args)
+  | Ast.Member (recv, f) -> Ast.Member (re recv, f)
+  | Ast.Index (recv, i) -> Ast.Index (re recv, re i)
+  | Ast.Unop (op, a) -> Ast.Unop (op, re a)
+  | Ast.Binop (op, a, b) -> Ast.Binop (op, re a, re b)
+  | Ast.Ternary (c, t, f) -> Ast.Ternary (re c, re t, re f)
+  | Ast.Cast (ty, a) -> Ast.Cast (r ty, re a)
+
+let rec rename_stmt ~src ~dst (s : Ast.stmt) : Ast.stmt =
+  let re = rename_expr ~src ~dst in
+  let rl = List.map (rename_stmt ~src ~dst) in
+  match s with
+  | Ast.Decl (ty, name, init) ->
+      Ast.Decl (rename ~src ~dst ty, name, Option.map re init)
+  | Ast.Assign (op, lhs, rhs) -> Ast.Assign (op, re lhs, re rhs)
+  | Ast.Expr e -> Ast.Expr (re e)
+  | Ast.If (c, t, e) -> Ast.If (re c, rl t, rl e)
+  | Ast.Switch (scrut, arms, default) ->
+      Ast.Switch
+        ( re scrut,
+          List.map
+            (fun (a : Ast.arm) ->
+              { Ast.labels = List.map re a.labels; body = rl a.body })
+            arms,
+          rl default )
+  | Ast.Return e -> Ast.Return (Option.map re e)
+  | Ast.Break | Ast.Continue -> s
+  | Ast.While (c, body) -> Ast.While (re c, rl body)
+  | Ast.For (i, c, st, body) ->
+      Ast.For
+        ( Option.map (rename_stmt ~src ~dst) i,
+          Option.map re c,
+          Option.map (rename_stmt ~src ~dst) st,
+          rl body )
+
+let fork_function ~src ~dst (f : Ast.func) =
+  {
+    Ast.ret_type = rename ~src ~dst f.ret_type;
+    cls = Option.map (rename ~src ~dst) f.cls;
+    name = f.name;
+    params =
+      List.map
+        (fun (p : Ast.param) -> { p with Ast.ptype = rename ~src ~dst p.ptype })
+        f.params;
+    body = List.map (rename_stmt ~src ~dst) f.body;
+  }
+
+let fork_backend ~dst =
+  let src = Vega_target.Registry.find_exn fork_source in
+  List.filter_map
+    (fun spec ->
+      match Vega_corpus.Corpus.reference_inlined spec src with
+      | Some f -> Some (spec, fork_function ~src ~dst f)
+      | None -> None)
+    Vega_corpus.Corpus.all_specs

@@ -1,0 +1,25 @@
+(** The ForkFlow baseline (Sec. 4.2): fork each function from an existing
+    backend — the paper forks from MIPS, the most similar architecture —
+    and apply the mechanical renames of a first porting pass
+    (case-preserving substitution of the source target's name). Values
+    tied to the source ISA (fixup members, opcodes, latencies) survive the
+    rename and are wrong for the new target, which is why ForkFlow scores
+    below 8% accuracy. *)
+
+val fork_source : string
+(** Name of the backend functions are forked from ("Mips"). *)
+
+val rename :
+  src:Vega_target.Profile.t -> dst:Vega_target.Profile.t -> string -> string
+(** Case-preserving target-name substitution on one identifier/string. *)
+
+val fork_function :
+  src:Vega_target.Profile.t ->
+  dst:Vega_target.Profile.t ->
+  Vega_srclang.Ast.func ->
+  Vega_srclang.Ast.func
+(** Fork one reference implementation to the destination target. *)
+
+val fork_backend :
+  dst:Vega_target.Profile.t -> (Vega_corpus.Spec.t * Vega_srclang.Ast.func) list
+(** Fork every interface function the fork source implements. *)

@@ -1,0 +1,113 @@
+type decoder = Featrep.fv -> string list * float array
+
+type gen_stmt = {
+  g_col : int;
+  g_line : int;
+  g_inst : int;
+  g_score : float;
+  g_tokens : string list;
+}
+
+type gen_func = {
+  gf_fname : string;
+  gf_module : Vega_target.Module_id.t;
+  gf_target : string;
+  gf_confidence : float;
+  gf_stmts : gen_stmt list;
+}
+
+let run ctx (tpl : Template.t) analysis hints ~target ~decoder =
+  let view = Featsel.view_for_new_target ctx tpl analysis target in
+  let fvs = Featrep.generation_fvs analysis tpl hints view in
+  let stmts =
+    List.map
+      (fun ((fv : Featrep.fv), (iv : Resolve.inst_values)) ->
+        let out_tokens, probs = decoder fv in
+        let score_opt, body =
+          Featrep.decode_output ~registers:fv.registers ~inst:fv.inst out_tokens
+        in
+        let column0 =
+          if fv.col = -1 then Template.signature_column tpl
+          else List.nth tpl.Template.columns fv.col
+        in
+        let st0 = List.nth column0.Template.unit fv.line in
+        (* the paper's Eq. (1): has(S_k) estimated from the independent
+           properties, N(SV) from the target's candidate sets; the model's
+           own score token only ever lowers it *)
+        let has =
+          fv.col = -1 || Resolve.presence_estimate analysis tpl column0 view
+        in
+        let eq1 =
+          Confidence.statement_score
+            ~slot_candidates:
+              (Confidence.slot_candidate_counts analysis view ~col:fv.col
+                 ~line:fv.line st0)
+            st0 ~present:has
+        in
+        let model_score =
+          match score_opt with
+          | Some s -> s
+          | None -> Codebe.mean_token_prob probs
+        in
+        let score = if has then Float.min 1.0 (Float.max eq1 0.0) else 0.0 in
+        let score =
+          (* a model that is confident a present statement is absent still
+             flags it for review (Err-CS channel) *)
+          if has && model_score < 0.25 then Float.min score 0.45 else score
+        in
+        (* template-guided repair: a kept statement that does not fit its
+           own statement template is re-rendered from the resolved values
+           (the generator owns the template, Sec. 3.4) *)
+        let column = column0 in
+        let st = st0 in
+        let slots_well_formed slots =
+          (* every slot's word count must agree with its pattern arity *)
+          List.for_all2
+            (fun toks si ->
+              match
+                Featsel.pattern analysis ~col:fv.col ~line:fv.line ~slot:si
+              with
+              | Some pat -> List.length toks = List.length pat
+              | None -> true)
+            slots
+            (List.init st.Template.nslots Fun.id)
+        in
+        let body =
+          if score < Confidence.threshold then body
+          else
+            match Template.match_instance st body with
+            | Some slots when slots_well_formed slots -> body
+            | Some _ | None -> (
+                match
+                  Featrep.render_line analysis column ~col:fv.col ~line:fv.line
+                    iv st
+                with
+                | Some fixed -> fixed
+                | None -> body)
+        in
+        {
+          g_col = fv.col;
+          g_line = fv.line;
+          g_inst = fv.inst;
+          g_score = score;
+          g_tokens = body;
+        })
+      fvs
+  in
+  let confidence = match stmts with [] -> 0.0 | s :: _ -> s.g_score in
+  {
+    gf_fname = tpl.Template.fname;
+    gf_module = tpl.Template.module_;
+    gf_target = target;
+    gf_confidence = confidence;
+    gf_stmts = stmts;
+  }
+
+let kept_stmts gf =
+  List.filter (fun s -> s.g_score >= Confidence.threshold) gf.gf_stmts
+
+let text_of_stmts stmts =
+  String.concat "\n" (List.map (fun s -> String.concat " " s.g_tokens) stmts)
+
+let source_of gf = text_of_stmts (kept_stmts gf)
+let source_of_all gf = text_of_stmts gf.gf_stmts

@@ -1,0 +1,44 @@
+(** Target-Specific Code Generation (Sec. 3.4): assemble a complete
+    function for a new target from its feature vectors and a decoder
+    (CodeBE, or the retrieval baseline for the model ablation).
+
+    The confidence score of the whole function is its first statement's
+    (the function definition's) score, as in the paper. *)
+
+type decoder = Featrep.fv -> string list * float array
+(** Maps an input FV to output tokens plus per-token probabilities. *)
+
+type gen_stmt = {
+  g_col : int;
+  g_line : int;
+  g_inst : int;
+  g_score : float;
+  g_tokens : string list;  (** decoded tokens, copy references resolved *)
+}
+
+type gen_func = {
+  gf_fname : string;
+  gf_module : Vega_target.Module_id.t;
+  gf_target : string;
+  gf_confidence : float;
+  gf_stmts : gen_stmt list;  (** stream order; includes sub-threshold ones *)
+}
+
+val run :
+  Featsel.context ->
+  Template.t ->
+  Featsel.t ->
+  Resolve.hints ->
+  target:string ->
+  decoder:decoder ->
+  gen_func
+
+val kept_stmts : gen_func -> gen_stmt list
+(** Statements at or above the 0.5 confidence threshold (what pass@1
+    evaluates after the paper's removal step). *)
+
+val source_of : gen_func -> string
+(** Parseable source text of the kept statements. *)
+
+val source_of_all : gen_func -> string
+(** Source text keeping sub-threshold statements too (for inspection). *)

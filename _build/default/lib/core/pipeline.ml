@@ -1,0 +1,187 @@
+module Corpus = Vega_corpus.Corpus
+
+type bundle = {
+  spec : Vega_corpus.Spec.t;
+  tpl : Template.t;
+  analysis : Featsel.t;
+  hints : Resolve.hints;
+}
+
+type split = Group_split | Backend_split
+
+type prepared = {
+  corpus : Corpus.t;
+  ctx : Featsel.context;
+  bundles : bundle list;
+}
+
+type t = {
+  prep : prepared;
+  codebe : Codebe.t;
+  retrieval : Retrieval.t;
+  train_pairs : (string list * string list) list;
+  verify_pairs : (string list * string list) list;
+}
+
+type config = {
+  train_cfg : Codebe.train_config;
+  max_inst_per_column : int;
+  split : split;
+  split_seed : int;
+  train_fraction : float;
+}
+
+let default_config =
+  {
+    train_cfg = Codebe.default_train_config;
+    max_inst_per_column = 3;
+    split = Group_split;
+    split_seed = 13;
+    train_fraction = 0.75;
+  }
+
+let test_config =
+  {
+    default_config with
+    train_cfg = Codebe.tiny_train_config;
+    max_inst_per_column = 2;
+  }
+
+let src_log = Logs.Src.create "vega.pipeline" ~doc:"VEGA pipeline"
+
+module Log = (val Logs.src_log src_log : Logs.LOG)
+
+(* Pre-process one reference implementation into template inputs. *)
+let impl_items (impl : Corpus.impl) =
+  let lines =
+    Preprocess.run
+      (Preprocess.normalize_ifchains
+         (Preprocess.inline_helpers impl.Corpus.fn impl.Corpus.helpers))
+      ~helpers:impl.Corpus.helpers
+  in
+  lines
+
+let template_of_group (g : Corpus.group) =
+  let per_target =
+    List.map
+      (fun (impl : Corpus.impl) ->
+        let items = impl_items impl in
+        (* split off the function-definition line *)
+        match items with
+        | Preprocess.Single ({ Preprocess.kind = "fundef"; _ } as sig_line) :: rest
+          ->
+            (impl.Corpus.target, sig_line, rest)
+        | _ ->
+            (* should not happen: every function flattens to fundef first *)
+            ( impl.Corpus.target,
+              { Preprocess.kind = "fundef"; tokens = [] },
+              items ))
+      g.Corpus.impls
+  in
+  let impls = List.map (fun (t, _, items) -> (t, items)) per_target in
+  let signature_lines = List.map (fun (t, s, _) -> (t, s)) per_target in
+  Template.build ~fname:g.Corpus.spec.Vega_corpus.Spec.fname
+    ~module_:g.Corpus.spec.Vega_corpus.Spec.module_ impls ~signature_lines
+
+let prepare ?corpus () =
+  let corpus = match corpus with Some c -> c | None -> Corpus.build () in
+  let training_targets =
+    List.map (fun (p : Vega_target.Profile.t) -> p.name) Vega_target.Registry.training
+  in
+  let ctx = Featsel.make_context corpus.Corpus.vfs ~targets:training_targets in
+  (* register held-out targets so generation can read their files *)
+  let ctx =
+    List.fold_left
+      (fun ctx (p : Vega_target.Profile.t) -> Featsel.add_target ctx p.name)
+      ctx Vega_target.Registry.held_out
+  in
+  let bundles =
+    List.filter_map
+      (fun (g : Corpus.group) ->
+        if g.Corpus.impls = [] then None
+        else begin
+          let tpl = template_of_group g in
+          let analysis = Featsel.analyze ctx tpl in
+          let hints = Resolve.collect_hints analysis tpl in
+          Some { spec = g.Corpus.spec; tpl; analysis; hints }
+        end)
+      corpus.Corpus.groups
+  in
+  Log.info (fun m -> m "prepared %d function templates" (List.length bundles));
+  { corpus; ctx; bundles }
+
+let bundle_for prep fname =
+  List.find_opt (fun b -> b.spec.Vega_corpus.Spec.fname = fname) prep.bundles
+
+(* hash-free deterministic pseudo-random assignment for splits *)
+let in_train_fraction seed key fraction =
+  let h = Hashtbl.hash (seed, key) land 0xFFFF in
+  float_of_int h /. 65536.0 < fraction
+
+let train cfg prep =
+  let train_pairs = ref [] and verify_pairs = ref [] in
+  List.iter
+    (fun b ->
+      let fvs =
+        Featrep.training_fvs b.analysis b.tpl
+          ~max_inst_per_column:cfg.max_inst_per_column
+      in
+      List.iter
+        (fun (fv : Featrep.fv) ->
+          match fv.output with
+          | Some output ->
+              let key =
+                match cfg.split with
+                | Group_split ->
+                    (* per function within the group *)
+                    b.spec.Vega_corpus.Spec.fname ^ "/" ^ fv.target
+                | Backend_split -> fv.target
+              in
+              let pair = (fv.input, output) in
+              if in_train_fraction cfg.split_seed key cfg.train_fraction then
+                train_pairs := pair :: !train_pairs
+              else verify_pairs := pair :: !verify_pairs
+          | None -> ())
+        fvs)
+    prep.bundles;
+  let train_pairs = List.rev !train_pairs in
+  let verify_pairs = List.rev !verify_pairs in
+  Log.info (fun m ->
+      m "training CodeBE on %d pairs (%d verification)"
+        (List.length train_pairs) (List.length verify_pairs));
+  let codebe = Codebe.train cfg.train_cfg train_pairs in
+  (* the retrieval baseline needs fv records; rebuild them aligned *)
+  let retr_pairs = ref [] in
+  List.iter
+    (fun b ->
+      let fvs =
+        Featrep.training_fvs b.analysis b.tpl
+          ~max_inst_per_column:cfg.max_inst_per_column
+      in
+      List.iter
+        (fun (fv : Featrep.fv) ->
+          match fv.output with
+          | Some output -> retr_pairs := (fv, output) :: !retr_pairs
+          | None -> ())
+        fvs)
+    prep.bundles;
+  let retrieval = Retrieval.build (List.rev !retr_pairs) in
+  { prep; codebe; retrieval; train_pairs; verify_pairs }
+
+let verification_exact_match t =
+  (* cap for time: EM over at most 400 held-out pairs *)
+  let pairs = List.filteri (fun i _ -> i < 400) t.verify_pairs in
+  Codebe.exact_match t.codebe pairs
+
+let model_decoder t (fv : Featrep.fv) = Codebe.infer t.codebe fv.input
+let retrieval_decoder t = Retrieval.decode t.retrieval
+
+let generate_backend t ~target ~decoder =
+  List.map
+    (fun b -> Generate.run t.prep.ctx b.tpl b.analysis b.hints ~target ~decoder)
+    t.prep.bundles
+
+let generate_function t ~target ~decoder ~fname =
+  Option.map
+    (fun b -> Generate.run t.prep.ctx b.tpl b.analysis b.hints ~target ~decoder)
+    (bundle_for t.prep fname)

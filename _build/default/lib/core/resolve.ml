@@ -1,0 +1,462 @@
+module Strutil = Vega_util.Strutil
+
+type inst_values = { iv_index : int; iv_values : (string * string) list }
+
+let max_instances = 24
+
+(* ------------------------------------------------------------------ *)
+(* Pattern application                                                  *)
+
+(* Walk a slot's pattern against its concrete word list, extracting
+   property values. Pattern and words are positional; surplus on either
+   side is ignored. *)
+let values_of_slot pattern words =
+  let rec go pat ws acc =
+    match (pat, ws) with
+    | [], _ | _, [] -> acc
+    | Featsel.Plit _ :: pr, _ :: wr -> go pr wr acc
+    | Featsel.Pindex :: pr, _ :: wr -> go pr wr acc
+    | Featsel.Pprop p :: pr, w :: wr -> go pr wr ((p, w) :: acc)
+    | Featsel.Pcompose { pre; prop; post } :: pr, w :: wr ->
+        let wl = String.length w
+        and prel = String.length pre
+        and postl = String.length post in
+        let acc =
+          if
+            wl >= prel + postl
+            && String.sub w 0 prel = pre
+            && String.sub w (wl - postl) postl = post
+          then (prop, String.sub w prel (wl - prel - postl)) :: acc
+          else acc
+        in
+        go pr wr acc
+  in
+  List.rev (go pattern words [])
+
+let training_values_col analysis (column : Template.column) ~col inst idx =
+  let values = ref [] in
+  List.iteri
+    (fun li st ->
+      if st.Template.nslots > 0 then
+        let line = List.nth inst li in
+        match Template.match_instance st line.Preprocess.tokens with
+        | Some slots ->
+            List.iteri
+              (fun si words ->
+                match Featsel.pattern analysis ~col ~line:li ~slot:si with
+                | Some pat ->
+                    List.iter
+                      (fun (p, v) ->
+                        if not (List.mem_assoc p !values) then
+                          values := (p, v) :: !values)
+                      (values_of_slot pat words)
+                | None -> ())
+              slots
+        | None -> ())
+    column.Template.unit;
+  { iv_index = idx; iv_values = List.rev !values }
+
+let training_values analysis (tpl : Template.t) ~col inst idx =
+  let column =
+    if col = -1 then Template.signature_column tpl else List.nth tpl.columns col
+  in
+  training_values_col analysis column ~col inst idx
+
+(* ------------------------------------------------------------------ *)
+(* Driving property                                                     *)
+
+let pattern_props pat =
+  List.filter_map
+    (function
+      | Featsel.Pprop p -> Some p
+      | Featsel.Pcompose { prop; _ } -> Some prop
+      | Featsel.Plit _ | Featsel.Pindex -> None)
+    pat
+
+(* slots of the column in (line, slot) order with their patterns *)
+let column_patterns analysis (column : Template.column) ~col =
+  List.concat
+    (List.mapi
+       (fun li st ->
+         List.filter_map
+           (fun si ->
+             match Featsel.pattern analysis ~col ~line:li ~slot:si with
+             | Some pat -> Some (li, si, pat)
+             | None -> None)
+           (List.init st.Template.nslots Fun.id))
+       column.Template.unit)
+
+(* The driving property of a repeated column is the one whose values vary
+   across instances within a training target (MCFixupKind varies arm by
+   arm; the qualifier Name is constant and must not drive). Falls back to
+   the first referenced property. *)
+let driving_prop analysis ~col (column : Template.column) =
+  let pats = column_patterns analysis column ~col in
+  let props =
+    List.concat_map (fun (_, _, pat) -> pattern_props pat) pats
+    |> List.fold_left (fun acc p -> if List.mem p acc then acc else p :: acc) []
+    |> List.rev
+  in
+  let varies p =
+    List.exists
+      (fun (_, insts) ->
+        let values =
+          List.filteri (fun i _ -> i < 6) insts
+          |> List.mapi (fun idx inst ->
+                 List.assoc_opt p
+                   (training_values_col analysis column ~col inst idx).iv_values)
+          |> List.filter_map Fun.id
+        in
+        List.length (List.sort_uniq compare values) >= 2)
+      column.Template.occurrences
+  in
+  match List.find_opt varies props with
+  | Some p -> Some p
+  | None -> ( match props with p :: _ -> Some p | [] -> None)
+
+(* Statement presence for a new target (the paper's has(S_k), Sec. 2.4:
+   "T_2 appears for ARM due to a definition of VariantKind within ARM's
+   TGTDIRs"): find independent properties whose truth values coincide
+   exactly with the column's presence across training targets; the
+   statement is present for a new target iff all such correlates hold.
+   Without a perfect correlate, majority presence decides. *)
+let presence_estimate (analysis : Featsel.t) (tpl : Template.t)
+    (column : Template.column) (view : Featsel.target_view) =
+  (* only the targets implementing this interface function vote; the
+     others do not have the function at all *)
+  let training = tpl.Template.targets in
+  let group_views =
+    List.filter
+      (fun v -> List.mem v.Featsel.tv_target training)
+      analysis.Featsel.views
+  in
+  let present t = List.mem_assoc t column.Template.occurrences in
+  let correlates =
+    List.filter_map
+      (fun (p : Featsel.prop) ->
+        if p.Featsel.kind <> Featsel.Independent then None
+        else if
+          group_views <> []
+          && List.for_all
+               (fun v ->
+                 match List.assoc_opt p.Featsel.pname v.Featsel.independent with
+                 | Some value -> value = present v.Featsel.tv_target
+                 | None -> false)
+               group_views
+        then Some p.Featsel.pname
+        else None)
+      analysis.Featsel.props
+  in
+  match correlates with
+  | _ :: _ ->
+      List.for_all
+        (fun pname ->
+          Option.value ~default:false
+            (List.assoc_opt pname view.Featsel.independent))
+        correlates
+  | [] ->
+      let n_present = List.length (List.filter present training) in
+      2 * n_present >= List.length training
+
+(* ------------------------------------------------------------------ *)
+(* Hints                                                                *)
+
+type hints = {
+  words : (int * int * int, (string, float) Hashtbl.t) Hashtbl.t;
+      (** per-slot word frequencies of training values *)
+  pairs : (int * string, (string * string, int) Hashtbl.t) Hashtbl.t;
+      (** (column, property) -> (driving value, property value) counts;
+          the cross-target value pairing (ISD::ADD with ADDrr) the paper's
+          model learns through attention *)
+}
+
+let hint_words_of value =
+  List.map Strutil.lowercase (Strutil.camel_words value)
+
+let collect_hints (analysis : Featsel.t) (tpl : Template.t) =
+  let h : (int * int * int, (string, float) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let indexed =
+    (-1, Template.signature_column tpl)
+    :: List.mapi (fun i c -> (i, c)) tpl.Template.columns
+  in
+  List.iter
+    (fun (ci, (col : Template.column)) ->
+      List.iteri
+        (fun li st ->
+          if st.Template.nslots > 0 then
+            List.iter
+              (fun (_tname, insts) ->
+                List.iter
+                  (fun inst ->
+                    let line = List.nth inst li in
+                    match Template.match_instance st line.Preprocess.tokens with
+                    | Some slots ->
+                        List.iteri
+                          (fun si words ->
+                            let key = (ci, li, si) in
+                            let tbl =
+                              match Hashtbl.find_opt h key with
+                              | Some t -> t
+                              | None ->
+                                  let t = Hashtbl.create 8 in
+                                  Hashtbl.add h key t;
+                                  t
+                            in
+                            List.iter
+                              (fun w ->
+                                List.iter
+                                  (fun hw ->
+                                    Hashtbl.replace tbl hw
+                                      (1.0
+                                      +. Option.value ~default:0.0
+                                           (Hashtbl.find_opt tbl hw)))
+                                  (hint_words_of w))
+                              words)
+                          slots
+                    | None -> ())
+                  insts)
+              col.Template.occurrences)
+        col.Template.unit)
+    indexed;
+  (* normalize counts to frequencies *)
+  Hashtbl.iter
+    (fun _ tbl ->
+      let total = Hashtbl.fold (fun _ c acc -> acc +. c) tbl 0.0 in
+      if total > 0.0 then
+        Hashtbl.iter (fun w c -> Hashtbl.replace tbl w (c /. total)) tbl)
+    h;
+  (* value pairs: driving value vs every other property value, pooled
+     over all training instances of each column *)
+  let pairs = Hashtbl.create 32 in
+  List.iter
+    (fun (ci, (col : Template.column)) ->
+      match driving_prop analysis ~col:ci col with
+      | None -> ()
+      | Some d ->
+          List.iter
+            (fun (_tname, insts) ->
+              List.iteri
+                (fun idx inst ->
+                  let iv = training_values_col analysis col ~col:ci inst idx in
+                  match List.assoc_opt d iv.iv_values with
+                  | None -> ()
+                  | Some dval ->
+                      List.iter
+                        (fun (p, v) ->
+                          if p <> d then begin
+                            let tbl =
+                              match Hashtbl.find_opt pairs (ci, p) with
+                              | Some t -> t
+                              | None ->
+                                  let t = Hashtbl.create 16 in
+                                  Hashtbl.add pairs (ci, p) t;
+                                  t
+                            in
+                            Hashtbl.replace tbl (dval, v)
+                              (1
+                              + Option.value ~default:0
+                                  (Hashtbl.find_opt tbl (dval, v)))
+                          end)
+                        iv.iv_values)
+                insts)
+            col.Template.occurrences)
+    indexed;
+  { words = h; pairs }
+
+let score_candidate hints ~col ~line ~slot ~driving candidate =
+  let sim =
+    match driving with
+    | Some d ->
+        let s = 2.0 *. Strutil.common_token_score candidate d in
+        (* whole-string embedding (ADD inside ADDrr) is the strongest cue *)
+        let lc = Strutil.lowercase candidate and ld = Strutil.lowercase d in
+        if
+          String.length ld >= 3
+          && (Strutil.contains_sub ~sub:ld lc || Strutil.contains_sub ~sub:lc ld)
+        then s +. 1.5
+        else s
+    | None -> 0.0
+  in
+  let hint_bonus =
+    match Hashtbl.find_opt hints.words (col, line, slot) with
+    | Some tbl ->
+        List.fold_left
+          (fun acc w -> acc +. Option.value ~default:0.0 (Hashtbl.find_opt tbl w))
+          0.0
+          (hint_words_of candidate)
+    | None -> 0.0
+  in
+  sim +. hint_bonus
+
+(* best remembered pairing of a driving value for one property *)
+let paired_value hints ~col pname driving =
+  match Hashtbl.find_opt hints.pairs (col, pname) with
+  | None -> None
+  | Some tbl ->
+      Hashtbl.fold
+        (fun (d, v) count best ->
+          if d <> driving then best
+          else
+            match best with
+            | Some (_, bc) when bc >= count -> best
+            | _ -> Some (v, count))
+        tbl None
+      |> Option.map fst
+
+(* ------------------------------------------------------------------ *)
+(* Driving property and enumeration                                    *)
+
+let ordered_driving analysis (tpl : Template.t) ~col column =
+  match driving_prop analysis ~col column with
+  | None -> false
+  | Some d ->
+      List.for_all
+        (fun (tname, insts) ->
+          match Featsel.view analysis tname with
+          | None -> true
+          | Some tv ->
+              let cands = List.map fst (Featsel.candidates_for tv d) in
+              let values =
+                List.mapi
+                  (fun idx inst ->
+                    List.assoc_opt d
+                      (training_values analysis tpl ~col inst idx).iv_values)
+                  insts
+              in
+              List.length values <= List.length cands
+              && List.for_all2
+                   (fun v c -> match v with None -> false | Some v -> v = c)
+                   values
+                   (List.filteri
+                      (fun i _ -> i < List.length values)
+                      cands))
+        column.Template.occurrences
+
+let resolve_prop hints tv ~col pats ~driving pname =
+  (* candidate list for pname, scored at the first slot referencing it *)
+  let cands = Featsel.candidates_for tv pname in
+  match cands with
+  | [] -> None
+  | _ -> (
+      (* a remembered cross-target pairing beats similarity scoring *)
+      match
+        Option.bind driving (fun d ->
+            match paired_value hints ~col pname d with
+            | Some v when List.mem_assoc v cands -> Some v
+            | _ -> None)
+      with
+      | Some v -> Some v
+      | None ->
+      let li, si =
+        match
+          List.find_opt (fun (_, _, pat) -> List.mem pname (pattern_props pat)) pats
+        with
+        | Some (li, si, _) -> (li, si)
+        | None -> (0, 0)
+      in
+      let best =
+        List.fold_left
+          (fun acc (v, _) ->
+            let s = score_candidate hints ~col ~line:li ~slot:si ~driving v in
+            match acc with
+            | Some (_, bs) when bs >= s -> acc
+            | _ -> Some (v, s))
+          None cands
+      in
+      Option.map fst best)
+
+let enumerate_instances analysis (tpl : Template.t) hints tv ~col column =
+  let pats = column_patterns analysis column ~col in
+  let props =
+    List.sort_uniq compare (List.concat_map (fun (_, _, p) -> pattern_props p) pats)
+  in
+  if props = [] then
+    if not column.Template.repeated then [ { iv_index = 0; iv_values = [] } ]
+    else begin
+      (* no property drives this repeated column (e.g. the indexed
+         operand-field blocks of encodeInstruction): keep the training
+         median number of instances, distinguished by index alone *)
+      let counts =
+        List.map (fun (_, insts) -> List.length insts) column.Template.occurrences
+        |> List.sort compare
+      in
+      let m = match counts with [] -> 1 | l -> List.nth l (List.length l / 2) in
+      List.init (min m max_instances) (fun i -> { iv_index = i; iv_values = [] })
+    end
+  else if not column.Template.repeated then
+    let driving = driving_prop analysis ~col column in
+    let driving_value =
+      Option.bind driving (fun d -> resolve_prop hints tv ~col pats ~driving:None d)
+    in
+    let values =
+      List.filter_map
+        (fun p ->
+          let v =
+            if Some p = driving then driving_value
+            else resolve_prop hints tv ~col pats ~driving:driving_value p
+          in
+          Option.map (fun v -> (p, v)) v)
+        props
+    in
+    [ { iv_index = 0; iv_values = values } ]
+  else
+    match driving_prop analysis ~col column with
+    | None -> [ { iv_index = 0; iv_values = [] } ]
+    | Some d ->
+        let cands = Featsel.candidates_for tv d in
+        let all = List.map fst cands in
+        let pats = column_patterns analysis column ~col in
+        let d_li, d_si =
+          match
+            List.find_opt (fun (_, _, pat) -> List.mem d (pattern_props pat)) pats
+          with
+          | Some (li, si, _) -> (li, si)
+          | None -> (0, 0)
+        in
+        (* Unordered drivers (e.g. latency switches listing only the
+           interesting opcodes) do not enumerate the whole candidate set:
+           cap at the median training arm count, preferring candidates
+           that look like the training values. *)
+        let ordered = ordered_driving analysis tpl ~col column in
+        let training_counts =
+          List.concat_map
+            (fun (_, insts) -> [ List.length insts ])
+            column.Template.occurrences
+          |> List.sort compare
+        in
+        let median =
+          match training_counts with
+          | [] -> List.length all
+          | l -> List.nth l (List.length l / 2)
+        in
+        let cands =
+          if ordered || List.length all <= median then all
+          else
+            let scored =
+              List.map
+                (fun c ->
+                  (c, score_candidate hints ~col ~line:d_li ~slot:d_si ~driving:None c))
+                all
+            in
+            let sorted =
+              List.stable_sort (fun (_, a) (_, b) -> compare b a) scored
+            in
+            List.filteri (fun i _ -> i < median) (List.map fst sorted)
+        in
+        let cands = List.filteri (fun i _ -> i < max_instances) cands in
+        List.mapi
+          (fun idx c ->
+            let values =
+              List.filter_map
+                (fun p ->
+                  if p = d then Some (p, c)
+                  else
+                    Option.map
+                      (fun v -> (p, v))
+                      (resolve_prop hints tv ~col pats ~driving:(Some c) p))
+                props
+            in
+            { iv_index = idx; iv_values = values })
+          cands

@@ -1,0 +1,59 @@
+(** Target-side value resolution (Sec. 3.4).
+
+    Training side: extract, per statement instance, the concrete value of
+    every dependent property (the V_k of Fig. 3(e)).
+
+    Generation side: enumerate the instances a column should have for a
+    new target (one per candidate of the column's driving property for
+    repeated columns) and resolve every dependent property's value from
+    the target's description files, ranking candidates by name similarity
+    to the driving value plus slot hint words mined from training values
+    (the mechanism that makes Err-V mistakes possible, as in Table 2). *)
+
+type inst_values = {
+  iv_index : int;
+  iv_values : (string * string) list;
+      (** dependent property -> raw value; missing entry = NULL *)
+}
+
+type hints
+(** Per-slot word-frequency statistics of training values. *)
+
+val collect_hints : Featsel.t -> Template.t -> hints
+
+val training_values :
+  Featsel.t -> Template.t -> col:int -> Preprocess.cline list -> int -> inst_values
+(** [training_values analysis tpl ~col inst idx] — concrete property
+    values of one training instance (unit lines) at index [idx]. *)
+
+val presence_estimate :
+  Featsel.t -> Template.t -> Template.column -> Featsel.target_view -> bool
+(** The paper's has(S_k) for a new target: true iff every independent
+    property that exactly correlates with the column's presence across
+    training targets holds in the target's view (majority presence when
+    no correlate exists). *)
+
+val driving_prop : Featsel.t -> col:int -> Template.column -> string option
+(** The dependent property that enumerates a repeated column's instances
+    (the first property referenced by the unit's slot patterns). *)
+
+val ordered_driving : Featsel.t -> Template.t -> col:int -> Template.column -> bool
+(** True when, for every training target, instance j's driving value is
+    candidate j in file order (e.g. switches listing a whole enum). *)
+
+val score_candidate :
+  hints -> col:int -> line:int -> slot:int -> driving:string option -> string -> float
+(** Ranking score of one candidate value. *)
+
+val enumerate_instances :
+  Featsel.t ->
+  Template.t ->
+  hints ->
+  Featsel.target_view ->
+  col:int ->
+  Template.column ->
+  inst_values list
+(** Instances for a new target, with resolved values. Empty when the
+    driving property has no candidates (statement will be absent). *)
+
+val max_instances : int

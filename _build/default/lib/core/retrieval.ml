@@ -1,0 +1,52 @@
+type entry = { bag : (string, float) Hashtbl.t; norm : float; output : string list }
+
+type t = entry array
+
+let bag_of tokens =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun tok ->
+      Hashtbl.replace tbl tok
+        (1.0 +. Option.value ~default:0.0 (Hashtbl.find_opt tbl tok)))
+    tokens;
+  tbl
+
+let norm_of tbl =
+  sqrt (Hashtbl.fold (fun _ c acc -> acc +. (c *. c)) tbl 0.0)
+
+let build pairs =
+  Array.of_list
+    (List.map
+       (fun ((fv : Featrep.fv), output) ->
+         let bag = bag_of fv.input in
+         { bag; norm = norm_of bag; output })
+       pairs)
+
+let size t = Array.length t
+
+let cosine a b =
+  let dot = ref 0.0 in
+  Hashtbl.iter
+    (fun tok c ->
+      match Hashtbl.find_opt b.bag tok with
+      | Some c' -> dot := !dot +. (c *. c')
+      | None -> ())
+    a.bag;
+  if a.norm = 0.0 || b.norm = 0.0 then 0.0 else !dot /. (a.norm *. b.norm)
+
+let decode t (fv : Featrep.fv) =
+  let query =
+    let bag = bag_of fv.input in
+    { bag; norm = norm_of bag; output = [] }
+  in
+  let best = ref None in
+  Array.iter
+    (fun e ->
+      let s = cosine query e in
+      match !best with
+      | Some (_, bs) when bs >= s -> ()
+      | _ -> best := Some (e, s))
+    t;
+  match !best with
+  | Some (e, s) -> (e.output, Array.make (List.length e.output) s)
+  | None -> ([], [||])

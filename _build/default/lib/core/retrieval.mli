@@ -1,0 +1,16 @@
+(** Retrieval decoder: the "statistical method" the paper argues against
+    (Sec. 2.4) and our model-ablation arm.
+
+    For each generation FV it returns the output of the nearest training
+    FV by bag-of-tokens cosine similarity over inputs. Presence and value
+    arrangement therefore come from the single most similar training
+    statement instead of a learned combination. *)
+
+type t
+
+val build : (Featrep.fv * string list) list -> t
+(** [(fv, output)] pairs from training. *)
+
+val decode : t -> Generate.decoder
+
+val size : t -> int

@@ -1,0 +1,1 @@
+lib/corpus/corpus.ml: Descfiles List Option Spec Spec_ass Spec_dis Spec_emi Spec_opt Spec_reg Spec_sch Spec_sel Vega_srclang Vega_target Vega_tdlang

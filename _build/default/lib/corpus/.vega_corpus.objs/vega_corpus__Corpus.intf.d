@@ -1,0 +1,1 @@
+lib/corpus/corpus.mli: Spec Vega_srclang Vega_target Vega_tdlang

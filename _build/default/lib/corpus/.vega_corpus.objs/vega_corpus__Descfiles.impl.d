@@ -1,0 +1,1 @@
+lib/corpus/descfiles.ml: Buffer List Printf Spec String Vega_target Vega_tdlang

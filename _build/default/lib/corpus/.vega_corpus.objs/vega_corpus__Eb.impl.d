@@ -1,0 +1,1 @@
+lib/corpus/eb.ml: List Vega_srclang Vega_target

@@ -1,0 +1,1 @@
+lib/corpus/spec.ml: List String Vega_srclang Vega_target

@@ -1,0 +1,1 @@
+lib/corpus/spec_ass.ml: Eb Hashtbl List Spec String Vega_srclang Vega_target

@@ -1,0 +1,1 @@
+lib/corpus/spec_dis.ml: Eb List Spec Vega_srclang Vega_target

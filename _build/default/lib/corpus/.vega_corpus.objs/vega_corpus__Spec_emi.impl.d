@@ -1,0 +1,1 @@
+lib/corpus/spec_emi.ml: Eb List Spec String Vega_srclang Vega_target

@@ -1,0 +1,1 @@
+lib/corpus/spec_opt.ml: Eb List Option Spec Vega_srclang Vega_target

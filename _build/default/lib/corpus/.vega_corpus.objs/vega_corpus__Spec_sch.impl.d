@@ -1,0 +1,1 @@
+lib/corpus/spec_sch.ml: Eb Hashtbl List Option Spec Vega_srclang Vega_target

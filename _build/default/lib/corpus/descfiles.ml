@@ -1,0 +1,366 @@
+(** Renderer of the virtual file tree: LLVM-provided code under LLVMDIRs
+    and per-target description files under TGTDIRs.
+
+    Feature selection (Algorithm 1) and target-specific generation read
+    these files back through {!Vega_tdlang}; nothing in the pipeline sees
+    the profiles directly, which keeps the "from description files only"
+    property of the paper honest. *)
+
+module P = Vega_target.Profile
+module Vfs = Vega_tdlang.Vfs
+
+let spf = Printf.sprintf
+
+(* ---------------------------------------------------------------- *)
+(* LLVM-provided code (shared once per tree)                         *)
+
+let mcfixup_h =
+  {|namespace llvmmc {
+enum MCFixupKind {
+  FK_NONE = 0,
+  FK_Data_1 = 1,
+  FK_Data_2 = 2,
+  FK_Data_4 = 3,
+  FK_Data_8 = 4,
+  FirstTargetFixupKind = 64,
+  MaxTargetFixupKind = 128
+};
+}
+class MCFixup {
+  unsigned getTargetKind();
+  unsigned getOffset();
+};
+|}
+
+let mcexpr_h =
+  {|class MCSymbolRefExpr {
+  enum VariantKind {
+    VK_None = 0
+  };
+};
+|}
+
+let mcvalue_h = {|class MCValue {
+  unsigned getAccessVariant();
+};
+|}
+
+let mcinst_h =
+  {|class MCOperand {
+  bool isReg();
+  bool isImm();
+  unsigned getReg();
+  int getImm();
+};
+class MCInst {
+  unsigned getOpcode();
+  unsigned getNumOperands();
+  MCOperand getOperand(unsigned Idx);
+};
+|}
+
+let mcdisassembler_h =
+  {|class MCDisassembler {
+  enum DecodeStatus {
+    Fail = 0,
+    SoftFail = 2,
+    Success = 3
+  };
+};
+|}
+
+let mcelfobjectwriter_h =
+  {|class MCELFObjectTargetWriter {
+  unsigned getRelocType(MCValue Target, MCFixup Fixup, bool IsPCRel);
+};
+class MCAsmBackend {
+  unsigned applyFixup(MCFixup Fixup, unsigned Value);
+  unsigned getNumFixupKinds();
+  bool mayNeedRelaxation(MCInst Inst);
+};
+class MCCodeEmitter {
+  unsigned encodeInstruction(MCInst MI);
+};
+|}
+
+let stringref_h =
+  {|class StringRef {
+  bool startswith(StringRef Prefix);
+  bool endswith(StringRef Suffix);
+  StringRef substr(unsigned Start);
+  unsigned size();
+  bool empty();
+  bool equals(StringRef Other);
+  int getAsInteger();
+  bool isDigits();
+};
+|}
+
+let isdopcodes_h =
+  {|namespace ISD {
+enum NodeType {
+  ADD = 1,
+  SUB = 2,
+  MUL = 3,
+  SDIV = 4,
+  AND = 5,
+  OR = 6,
+  XOR = 7,
+  SHL = 8,
+  SRL = 9,
+  SETLT = 10,
+  SETEQ = 11,
+  SETNE = 12,
+  SETGE = 13,
+  LOAD = 14,
+  STORE = 15,
+  BR = 16,
+  BRCOND = 17,
+  CALL = 18,
+  RET = 19,
+  Constant = 20
+};
+}
+|}
+
+let codegen_interfaces_h =
+  {|class TargetLowering {
+  bool isLegalAddImmediate(int Imm);
+  bool isLegalICmpImmediate(int Imm);
+};
+class TargetInstrInfo {
+  bool isProfitableToFoldImmediate(unsigned ISDOpc);
+};
+class TargetRegisterInfo {
+  unsigned getFrameRegister();
+  unsigned getRARegister();
+};
+class TargetSubtargetInfo {
+  bool enablePostRAScheduler();
+};
+class TargetSchedModel {
+  unsigned getInstrLatency(unsigned Opcode);
+  unsigned getIssueWidth();
+};
+class TargetFrameLowering {
+  int getFrameIndexOffset(int FI);
+};
+|}
+
+let target_td =
+  {|class Target {
+  string Name = "";
+  string Endianness = "little";
+  int IssueWidth = 1;
+  int EnableMulAdd = 0;
+  int EnablePostRA = 0;
+  int EnableFusion = 0;
+  int VectorWidth = 1;
+  int HwLoopInsns = 0;
+  int StackAlignment = 8;
+  int MispredictPenalty = 3;
+  int WordBits = 32;
+  string ImmMarker = "";
+  string CommentChar = "#";
+}
+class Instruction {
+  string Mnemonic = "";
+  string EnumName = "";
+  string OperandType = "";
+  int Opcode = 0;
+  int Latency = 1;
+  int MicroOps = 1;
+  int ImmBits = 16;
+}
+class RegisterClass {
+  int NumRegs = 0;
+  string Prefix = "";
+  int StackReg = 0;
+  int LinkReg = 0;
+  int FrameReg = 0;
+  int ZeroReg = -1;
+  int RetReg = 0;
+  list<int> ArgRegs = [];
+  list<int> CalleeSaved = [];
+  list<int> Reserved = [];
+}
+class SchedMachineModel {
+  int LoadLatency = 2;
+  int MulLatency = 3;
+  int DivLatency = 12;
+  int BranchLatency = 1;
+}
+|}
+
+let elf_h = {|namespace ELF {
+enum BaseRelocType {
+  R_NONE = 0
+};
+}
+|}
+
+let render_llvm_common vfs =
+  Vfs.add vfs ~path:"llvm/MC/MCFixup.h" mcfixup_h;
+  Vfs.add vfs ~path:"llvm/MC/MCExpr.h" mcexpr_h;
+  Vfs.add vfs ~path:"llvm/MC/MCValue.h" mcvalue_h;
+  Vfs.add vfs ~path:"llvm/MC/MCInst.h" mcinst_h;
+  Vfs.add vfs ~path:"llvm/MC/MCDisassembler.h" mcdisassembler_h;
+  Vfs.add vfs ~path:"llvm/MC/MCELFObjectWriter.h" mcelfobjectwriter_h;
+  Vfs.add vfs ~path:"llvm/MC/StringRef.h" stringref_h;
+  Vfs.add vfs ~path:"llvm/CodeGen/ISDOpcodes.h" isdopcodes_h;
+  Vfs.add vfs ~path:"llvm/CodeGen/TargetInterfaces.h" codegen_interfaces_h;
+  Vfs.add vfs ~path:"llvm/Target/Target.td" target_td;
+  Vfs.add vfs ~path:"llvm/BinaryFormat/ELF.h" elf_h
+
+(* ---------------------------------------------------------------- *)
+(* Per-target description files                                      *)
+
+let target_record (p : P.t) =
+  let endian = match p.endian with P.Little -> "little" | P.Big -> "big" in
+  let b v = if v then 1 else 0 in
+  let hwloop_insns =
+    if not p.features.P.has_hwloop then 0
+    else if p.name = "Hexagon" then 64
+    else 32
+  in
+  String.concat "\n"
+    [
+      spf "def %s : Target {" p.name;
+      spf "  let Name = %S;" p.td_name;
+      spf "  let Endianness = %S;" endian;
+      spf "  let IssueWidth = %d;" p.sched.P.issue_width;
+      spf "  let EnableMulAdd = %d;" (b p.features.P.has_madd);
+      spf "  let EnablePostRA = %d;" (b p.sched.P.post_ra);
+      spf "  let EnableFusion = %d;" (b p.sched.P.fuse_cmp_branch);
+      spf "  let VectorWidth = %d;" (if p.features.P.has_simd then 4 else 1);
+      spf "  let HwLoopInsns = %d;" hwloop_insns;
+      spf "  let StackAlignment = %d;" (2 * (p.word_bits / 8));
+      spf "  let MispredictPenalty = %d;"
+        ((2 * p.sched.P.branch_latency) + p.sched.P.issue_width);
+      spf "  let WordBits = %d;" p.word_bits;
+      spf "  let ImmMarker = %S;" p.imm_marker;
+      spf "  let CommentChar = %S;" p.comment_char;
+      "}";
+      "";
+    ]
+
+let instr_info_td (p : P.t) =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (insn : P.insn) ->
+      let operand_type =
+        match insn.op_class with
+        | P.Branch | P.Jump | P.CallOp | P.LoopSetup -> "OPERAND_PCREL"
+        | P.Alui | P.Movi -> "OPERAND_IMM"
+        | _ -> ""
+      in
+      Buffer.add_string buf (spf "def %s : Instruction {\n" (Spec.insn_enum_t p insn));
+      Buffer.add_string buf (spf "  let Mnemonic = %S;\n" insn.mnemonic);
+      Buffer.add_string buf (spf "  let EnumName = %S;\n" (Spec.insn_enum insn));
+      if operand_type <> "" then
+        Buffer.add_string buf (spf "  let OperandType = %S;\n" operand_type);
+      Buffer.add_string buf (spf "  let Opcode = %d;\n" insn.opcode);
+      Buffer.add_string buf (spf "  let Latency = %d;\n" insn.latency);
+      Buffer.add_string buf (spf "  let MicroOps = %d;\n" insn.micro_ops);
+      Buffer.add_string buf (spf "  let ImmBits = %d;\n" (Spec.imm_bits p));
+      Buffer.add_string buf "}\n")
+    p.insns;
+  Buffer.contents buf
+
+let register_info_td (p : P.t) =
+  let ints l = "[" ^ String.concat ", " (List.map string_of_int l) ^ "]" in
+  String.concat "\n"
+    [
+      "def GPR : RegisterClass {";
+      spf "  let NumRegs = %d;" p.regs.P.reg_count;
+      spf "  let Prefix = %S;" p.regs.P.reg_prefix;
+      spf "  let StackReg = %d;" p.regs.P.sp;
+      spf "  let LinkReg = %d;" p.regs.P.ra;
+      spf "  let FrameReg = %d;" p.regs.P.fp;
+      (* targets without a hardwired zero leave the field out entirely,
+         giving feature selection a real presence signal *)
+      (match p.regs.P.zero with
+      | Some z -> spf "  let ZeroReg = %d;" z
+      | None -> "  // no zero register");
+      spf "  let RetReg = %d;" p.regs.P.ret_reg;
+      spf "  let ArgRegs = %s;" (ints p.regs.P.arg_regs);
+      spf "  let CalleeSaved = %s;" (ints p.regs.P.callee_saved);
+      spf "  let Reserved = %s;" (ints p.regs.P.reserved);
+      "}";
+      "";
+    ]
+
+let schedule_td (p : P.t) =
+  String.concat "\n"
+    [
+      spf "def %sModel : SchedMachineModel {" p.name;
+      spf "  let LoadLatency = %d;" p.sched.P.load_latency;
+      spf "  let MulLatency = %d;" p.sched.P.mul_latency;
+      spf "  let DivLatency = %d;" p.sched.P.div_latency;
+      spf "  let BranchLatency = %d;" p.sched.P.branch_latency;
+      "}";
+      "";
+    ]
+
+let fixup_kinds_h (p : P.t) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (spf "namespace %s {\n" p.name);
+  Buffer.add_string buf "enum Fixups {\n";
+  List.iteri
+    (fun i (f : P.fixup) ->
+      if i = 0 then
+        Buffer.add_string buf (spf "  %s = FirstTargetFixupKind,\n" f.fx_name)
+      else Buffer.add_string buf (spf "  %s,\n" f.fx_name))
+    p.fixups;
+  Buffer.add_string buf "  LastTargetFixupKind\n";
+  Buffer.add_string buf "};\n}\n";
+  Buffer.contents buf
+
+let gen_instr_info_h (p : P.t) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (spf "namespace %s {\n" p.name);
+  Buffer.add_string buf "enum Opcodes {\n";
+  let n = List.length p.insns in
+  List.iteri
+    (fun i (insn : P.insn) ->
+      Buffer.add_string buf
+        (spf "  %s = %d%s\n" (Spec.insn_enum_t p insn) insn.opcode
+           (if i = n - 1 then "" else ",")))
+    p.insns;
+  Buffer.add_string buf "};\n}\n";
+  Buffer.contents buf
+
+let mcexpr_target_h (p : P.t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (spf "class %sMCExpr {\n" p.name);
+  Buffer.add_string buf "  enum VariantKind {\n";
+  let n = List.length p.variant_kinds in
+  List.iteri
+    (fun i (vk : P.variant_kind) ->
+      Buffer.add_string buf
+        (spf "    %s = %d%s\n" vk.vk_name (i + 1) (if i = n - 1 then "" else ",")))
+    p.variant_kinds;
+  Buffer.add_string buf "  };\n};\n";
+  Buffer.contents buf
+
+let elf_relocs_def (p : P.t) =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun (name, value) ->
+      Buffer.add_string buf (spf "ELF_RELOC(%s, %d)\n" name value))
+    (P.all_relocs p);
+  Buffer.contents buf
+
+let render_target vfs (p : P.t) =
+  let dir = "lib/Target/" ^ p.name in
+  Vfs.add vfs ~path:(spf "%s/%s.td" dir p.name) (target_record p);
+  Vfs.add vfs ~path:(spf "%s/%sInstrInfo.td" dir p.name) (instr_info_td p);
+  Vfs.add vfs ~path:(spf "%s/%sRegisterInfo.td" dir p.name) (register_info_td p);
+  Vfs.add vfs ~path:(spf "%s/%sSchedule.td" dir p.name) (schedule_td p);
+  Vfs.add vfs ~path:(spf "%s/%sFixupKinds.h" dir p.name) (fixup_kinds_h p);
+  Vfs.add vfs ~path:(spf "%s/%sGenInstrInfo.h" dir p.name) (gen_instr_info_h p);
+  if p.variant_kinds <> [] then
+    Vfs.add vfs ~path:(spf "%s/%sMCExpr.h" dir p.name) (mcexpr_target_h p);
+  Vfs.add vfs
+    ~path:(spf "llvm/BinaryFormat/ELFRelocs/%s.def" p.name)
+    (elf_relocs_def p)

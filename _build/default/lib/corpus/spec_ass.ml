@@ -1,0 +1,178 @@
+(** ASS (Assembler Parsing) interface-function specs: register/immediate/
+    mnemonic parsing and operand validation for the target AsmParser. *)
+
+module P = Vega_target.Profile
+module Ast = Vega_srclang.Ast
+open Eb
+
+let asm_parser (p : P.t) = p.name ^ "AsmParser"
+
+let match_register_name =
+  Spec.mk ~module_:Vega_target.Module_id.ASS ~fname:"matchRegisterName"
+    ~cls:asm_parser ~ret:"int"
+    ~params:[ ("StringRef", "Name") ]
+    (fun p ->
+      let prefix = p.regs.P.reg_prefix in
+      [
+        if_ (not_ (meth (id "Name") "startswith" [ s prefix ])) [ ret (i (-1)) ];
+        decl "StringRef" "Digits"
+          (meth (id "Name") "substr" [ i (String.length prefix) ]);
+        if_ (not_ (meth (id "Digits") "isDigits" [])) [ ret (i (-1)) ];
+        decl "int" "RegNo" (meth (id "Digits") "getAsInteger" []);
+        if_ (id "RegNo" >=. i p.regs.P.reg_count) [ ret (i (-1)) ];
+        ret (id "RegNo");
+      ])
+
+let parse_immediate =
+  Spec.mk ~module_:ASS ~fname:"parseImmediate" ~cls:asm_parser ~ret:"int"
+    ~params:[ ("StringRef", "Tok") ]
+    (fun p ->
+      let strip_marker =
+        if p.imm_marker = "" then []
+        else
+          [
+            if_ (meth (id "Tok") "startswith" [ s p.imm_marker ])
+              [ assign (id "Tok") (meth (id "Tok") "substr" [ i (String.length p.imm_marker) ]) ];
+          ]
+      in
+      strip_marker @ [ ret (meth (id "Tok") "getAsInteger" []) ])
+
+let is_register_name =
+  Spec.mk ~module_:ASS ~fname:"isRegisterName" ~cls:asm_parser ~ret:"bool"
+    ~params:[ ("StringRef", "Name") ]
+    (fun p ->
+      [
+        if_ (not_ (meth (id "Name") "startswith" [ s p.regs.P.reg_prefix ]))
+          [ ret (b false) ];
+        ret
+          (meth
+             (meth (id "Name") "substr" [ i (String.length p.regs.P.reg_prefix) ])
+             "isDigits" []);
+      ])
+
+let match_mnemonic =
+  Spec.mk ~module_:ASS ~fname:"matchMnemonic" ~cls:asm_parser ~ret:"int"
+    ~params:[ ("StringRef", "Mnemonic"); ("bool", "HasImm") ]
+    (fun p ->
+      (* several targets reuse one mnemonic for the register and the
+         immediate form (ARM's mov/lsl); disambiguate on operand shape,
+         like LLVM's AsmMatcher *)
+      let imm_form (insn : P.insn) =
+        match insn.op_class with
+        | P.Alui | P.Movi | P.Load | P.Store | P.LoopSetup -> true
+        | _ -> false
+      in
+      let groups = Hashtbl.create 32 in
+      let order = ref [] in
+      List.iter
+        (fun (insn : P.insn) ->
+          (match Hashtbl.find_opt groups insn.mnemonic with
+          | Some l -> Hashtbl.replace groups insn.mnemonic (l @ [ insn ])
+          | None ->
+              Hashtbl.add groups insn.mnemonic [ insn ];
+              order := insn.mnemonic :: !order))
+        p.insns;
+      List.concat_map
+        (fun m ->
+          let insns = Hashtbl.find groups m in
+          let body =
+            match insns with
+            | [ one ] -> [ ret (tgt p (Spec.insn_enum_t p one)) ]
+            | several -> (
+                let imm = List.find_opt imm_form several in
+                let rr = List.find_opt (fun x -> not (imm_form x)) several in
+                match (imm, rr) with
+                | Some im, Some r ->
+                    [
+                      if_ (id "HasImm") [ ret (tgt p (Spec.insn_enum_t p im)) ];
+                      ret (tgt p (Spec.insn_enum_t p r));
+                    ]
+                | Some im, None -> [ ret (tgt p (Spec.insn_enum_t p im)) ]
+                | None, Some r -> [ ret (tgt p (Spec.insn_enum_t p r)) ]
+                | None, None -> [ ret (i (-1)) ])
+          in
+          [ if_ (meth (id "Mnemonic") "equals" [ s m ]) body ])
+        (List.rev !order)
+      @ [ ret (i (-1)) ])
+
+let is_valid_immediate =
+  Spec.mk ~module_:ASS ~fname:"isValidImmediate" ~cls:asm_parser ~ret:"bool"
+    ~params:[ ("int", "Value") ]
+    (fun p ->
+      [ ret (id "Value" >=. i (Spec.imm_lo p) &&. (id "Value" <=. i (Spec.imm_hi p))) ])
+
+let validate_instruction =
+  Spec.mk ~module_:ASS ~fname:"validateInstruction" ~cls:asm_parser ~ret:"bool"
+    ~params:[ ("MCInst", "Inst") ]
+    (fun p ->
+      let imm_forms =
+        List.filter_map
+          (fun (insn : P.insn) ->
+            match insn.op_class with
+            | P.Alui | P.Movi -> Some (tgt p (Spec.insn_enum_t p insn))
+            | _ -> None)
+          p.insns
+      in
+      [
+        decl "unsigned" "N" (meth (id "Inst") "getNumOperands" []);
+        if_ (id "N" >. i 3) [ ret (b false) ];
+        decl "unsigned" "Opcode" (meth (id "Inst") "getOpcode" []);
+        switch (id "Opcode")
+          [
+            arm imm_forms
+              [
+                decl "int" "Imm"
+                  (meth (meth (id "Inst") "getOperand" [ id "N" -. i 1 ]) "getImm" []);
+                ret (call "isValidImmediate" [ id "Imm" ]);
+              ];
+          ]
+          [ ret (b true) ];
+      ])
+
+let parse_operand_kind =
+  Spec.mk ~module_:ASS ~fname:"parseOperandKind" ~cls:asm_parser ~ret:"unsigned"
+    ~params:[ ("StringRef", "Tok") ]
+    (fun p ->
+      let marker_check =
+        if p.imm_marker = "" then []
+        else
+          [ if_ (meth (id "Tok") "startswith" [ s p.imm_marker ]) [ ret (i 1) ] ]
+      in
+      [
+        if_
+          (meth (id "Tok") "startswith" [ s p.regs.P.reg_prefix ]
+          &&. meth
+                (meth (id "Tok") "substr" [ i (String.length p.regs.P.reg_prefix) ])
+                "isDigits" [])
+          [ ret (i 0) ];
+      ]
+      @ marker_check
+      @ [
+          if_ (meth (id "Tok") "isDigits" []) [ ret (i 1) ];
+          if_ (meth (id "Tok") "startswith" [ s "-" ]) [ ret (i 1) ];
+          ret (i 2);
+        ])
+
+let parse_directive =
+  Spec.mk ~module_:ASS ~fname:"parseDirective" ~cls:asm_parser ~ret:"bool"
+    ~params:[ ("StringRef", "Name") ]
+    (fun p ->
+      let word_directive = if p.word_bits >= 32 then ".word" else ".hword" in
+      [
+        if_ (meth (id "Name") "equals" [ s word_directive ]) [ ret (b true) ];
+        if_ (meth (id "Name") "equals" [ s ".align" ]) [ ret (b true) ];
+        if_ (meth (id "Name") "equals" [ s ".globl" ]) [ ret (b true) ];
+        ret (b false);
+      ])
+
+let all =
+  [
+    match_register_name;
+    parse_immediate;
+    is_register_name;
+    match_mnemonic;
+    is_valid_immediate;
+    validate_instruction;
+    parse_operand_kind;
+    parse_directive;
+  ]

@@ -1,0 +1,94 @@
+(** DIS (Disassembler) interface-function specs. Absent entirely for
+    targets without a disassembler (XCORE on LLVM 3.0, Sec. 4.1.4). *)
+
+module P = Vega_target.Profile
+module Ast = Vega_srclang.Ast
+open Eb
+
+let disassembler (p : P.t) = p.name ^ "Disassembler"
+let has_dis (p : P.t) = p.features.P.has_disassembler
+
+let read_instruction32 =
+  Spec.mk ~module_:Vega_target.Module_id.DIS ~fname:"readInstruction32"
+    ~cls:disassembler ~ret:"unsigned"
+    ~params:
+      [ ("unsigned", "B0"); ("unsigned", "B1"); ("unsigned", "B2"); ("unsigned", "B3") ]
+    ~applies:has_dis
+    (fun p ->
+      match p.endian with
+      | P.Little ->
+          [
+            ret
+              (id "B0" |. (id "B1" <<. i 8) |. (id "B2" <<. i 16)
+              |. (id "B3" <<. i 24));
+          ]
+      | P.Big ->
+          [
+            ret
+              (id "B3" |. (id "B2" <<. i 8) |. (id "B1" <<. i 16)
+              |. (id "B0" <<. i 24));
+          ])
+
+let get_instruction =
+  Spec.mk ~module_:DIS ~fname:"getInstruction" ~cls:disassembler ~ret:"unsigned"
+    ~params:[ ("unsigned", "Insn") ]
+    ~applies:has_dis
+    (fun p ->
+      [
+        decl "unsigned" "Opcode" (id "Insn" >>. i Spec.enc_opcode_shift &. i 255);
+        switch (id "Opcode")
+          [
+            arm
+              (List.map (fun (insn : P.insn) -> tgt p (Spec.insn_enum_t p insn)) p.insns)
+              [ ret (sc [ "MCDisassembler"; "Success" ]) ];
+          ]
+          [ ret (sc [ "MCDisassembler"; "Fail" ]) ];
+      ])
+
+let decode_gpr_register_class =
+  Spec.mk ~module_:DIS ~fname:"decodeGPRRegisterClass" ~cls:disassembler
+    ~ret:"unsigned"
+    ~params:[ ("unsigned", "RegNo") ]
+    ~applies:has_dis
+    (fun p ->
+      [
+        if_ (id "RegNo" >=. i p.regs.P.reg_count)
+          [ ret (sc [ "MCDisassembler"; "Fail" ]) ];
+        ret (sc [ "MCDisassembler"; "Success" ]);
+      ])
+
+let decode_simm_operand =
+  Spec.mk ~module_:DIS ~fname:"decodeSImmOperand" ~cls:disassembler ~ret:"int"
+    ~params:[ ("unsigned", "Insn") ]
+    ~applies:has_dis
+    (fun _p ->
+      [
+        decl "int" "Imm" (id "Insn" &. i Spec.enc_imm_mask);
+        if_
+          (id "Imm" &. i 2048 <>. i 0)
+          [ assign (id "Imm") (id "Imm" -. i 4096) ];
+        ret (id "Imm");
+      ])
+
+let decode_register_operand =
+  Spec.mk ~module_:DIS ~fname:"decodeRegisterOperand" ~cls:disassembler
+    ~ret:"unsigned"
+    ~params:[ ("unsigned", "Insn"); ("unsigned", "Field") ]
+    ~applies:has_dis
+    (fun _p ->
+      [
+        if_ (id "Field" === i 0)
+          [ ret (id "Insn" >>. i Spec.enc_f1_shift &. i 63) ];
+        if_ (id "Field" === i 1)
+          [ ret (id "Insn" >>. i Spec.enc_f2_shift &. i 63) ];
+        ret (id "Insn" >>. i 6 &. i 63);
+      ])
+
+let all =
+  [
+    read_instruction32;
+    get_instruction;
+    decode_gpr_register_class;
+    decode_simm_operand;
+    decode_register_operand;
+  ]

@@ -1,0 +1,354 @@
+(** EMI (Code Emission) interface-function specs: the ELF object writer,
+    asm backend (fixups, relaxation) and MC code emitter hooks. Contains
+    the paper's running example, getRelocType. *)
+
+module P = Vega_target.Profile
+module Ast = Vega_srclang.Ast
+open Eb
+
+let mask bits = (1 lsl bits) - 1
+
+(* A few training targets spell their fixup dispatch as if/else-if chains;
+   pre-processing normalizes them to switch, exercising Sec. 3.1. *)
+let ifchain_targets = [ "Sparc"; "MSP430"; "M68k" ]
+let use_ifchain (p : P.t) = List.mem p.name ifchain_targets
+
+(** Dispatch over fixup kinds: switch or (for designated targets) an
+    equivalent if/else-if chain. [cases] are (enum member, body);
+    [default] is the fallback body. *)
+let fixup_dispatch (p : P.t) ~scrut ~cases ~default =
+  if use_ifchain p then
+    let rec chain = function
+      | [] -> default
+      | (name, body) :: rest -> [ ifelse (id scrut === tgt p name) body (chain rest) ]
+    in
+    chain cases
+  else
+    [
+      switch (id scrut)
+        (List.map (fun (name, body) -> arm [ tgt p name ] body) cases)
+        default;
+    ]
+
+let obj_writer (p : P.t) = p.name ^ "ELFObjectWriter"
+let asm_backend (p : P.t) = p.name ^ "AsmBackend"
+let code_emitter (p : P.t) = p.name ^ "MCCodeEmitter"
+
+let elf_none (p : P.t) = "R_" ^ String.uppercase_ascii p.td_name ^ "_NONE"
+
+let get_reloc_type =
+  Spec.mk ~module_:Vega_target.Module_id.EMI ~fname:"getRelocType" ~cls:obj_writer
+    ~ret:"unsigned"
+    ~params:
+      [ ("MCValue", "Target"); ("MCFixup", "Fixup"); ("bool", "IsPCRel") ]
+    (fun p ->
+      let s1 = decl "unsigned" "Kind" (meth (id "Fixup") "getTargetKind" []) in
+      let variant_part =
+        if p.features.P.has_variant_kinds then
+          [
+            decl "MCSymbolRefExpr::VariantKind" "Modifier"
+              (meth (id "Target") "getAccessVariant" []);
+            switch (id "Modifier")
+              (List.map
+                 (fun (vk : P.variant_kind) ->
+                   arm
+                     [ Ast.Scoped [ p.name ^ "MCExpr"; vk.vk_name ] ]
+                     [ ret (elf vk.vk_reloc) ])
+                 p.variant_kinds)
+              [ break_ ];
+          ]
+        else []
+      in
+      let pcrel_cases =
+        List.map
+          (fun (f : P.fixup) -> (f.fx_name, [ ret (elf f.fx_reloc_pcrel) ]))
+          p.fixups
+      in
+      let abs_cases =
+        List.map
+          (fun (f : P.fixup) -> (f.fx_name, [ ret (elf f.fx_reloc_abs) ]))
+          p.fixups
+      in
+      [ s1 ] @ variant_part
+      @ [
+          if_ (id "IsPCRel")
+            (fixup_dispatch p ~scrut:"Kind" ~cases:pcrel_cases
+               ~default:[ ret (elf (elf_none p)) ]);
+        ]
+      @ fixup_dispatch p ~scrut:"Kind" ~cases:abs_cases
+          ~default:[ unreachable "invalid fixup kind!" ])
+
+let adjust_fixup_value =
+  Spec.mk ~module_:EMI ~fname:"adjustFixupValue" ~cls:asm_backend ~ret:"unsigned"
+    ~params:[ ("unsigned", "Kind"); ("unsigned", "Value") ]
+    (fun p ->
+      let cases =
+        List.map
+          (fun (f : P.fixup) ->
+            let e =
+              if f.fx_shift = 0 then id "Value" &. i (mask f.fx_bits)
+              else id "Value" >>. i f.fx_shift &. i (mask f.fx_bits)
+            in
+            (f.fx_name, [ ret e ]))
+          p.fixups
+      in
+      let data_case = ret (id "Value") in
+      if use_ifchain p then
+        fixup_dispatch p ~scrut:"Kind" ~cases
+          ~default:
+            [ ifelse (id "Kind" === id "FK_Data_4") [ data_case ]
+                [ unreachable "Unknown fixup kind!" ];
+            ]
+      else
+        [
+          switch (id "Kind")
+            (List.map (fun (name, body) -> arm [ tgt p name ] body) cases
+            @ [ arm [ id "FK_Data_4" ] [ data_case ] ])
+            [ unreachable "Unknown fixup kind!" ];
+        ])
+
+let apply_fixup =
+  Spec.mk ~module_:EMI ~fname:"applyFixup" ~cls:asm_backend ~ret:"unsigned"
+    ~params:[ ("MCFixup", "Fixup"); ("unsigned", "Value") ]
+    (fun _p ->
+      [
+        decl "unsigned" "Kind" (meth (id "Fixup") "getTargetKind" []);
+        if_ (id "Value" === i 0) [ ret (i 0) ];
+        decl "unsigned" "Adjusted" (call "adjustFixupValue" [ id "Kind"; id "Value" ]);
+        decl "unsigned" "Offset" (call "getFixupKindOffset" [ id "Kind" ]);
+        ret (id "Adjusted" <<. id "Offset");
+      ])
+
+let get_fixup_kind_bits =
+  Spec.mk ~module_:EMI ~fname:"getFixupKindBits" ~cls:asm_backend ~ret:"unsigned"
+    ~params:[ ("unsigned", "Kind") ]
+    (fun p ->
+      fixup_dispatch p ~scrut:"Kind"
+        ~cases:(List.map (fun (f : P.fixup) -> (f.fx_name, [ ret (i f.fx_bits) ])) p.fixups)
+        ~default:[ ret (i 32) ])
+
+let get_fixup_kind_offset =
+  Spec.mk ~module_:EMI ~fname:"getFixupKindOffset" ~cls:asm_backend ~ret:"unsigned"
+    ~params:[ ("unsigned", "Kind") ]
+    (fun p ->
+      fixup_dispatch p ~scrut:"Kind"
+        ~cases:
+          (List.map (fun (f : P.fixup) -> (f.fx_name, [ ret (i f.fx_offset) ])) p.fixups)
+        ~default:[ ret (i 0) ])
+
+let is_pcrel_fixup =
+  Spec.mk ~module_:EMI ~fname:"isPCRelFixup" ~cls:asm_backend ~ret:"bool"
+    ~params:[ ("unsigned", "Kind") ]
+    (fun p ->
+      let pcrel = List.filter (fun (f : P.fixup) -> f.fx_pcrel) p.fixups in
+      if pcrel = [] then [ ret (b false) ]
+      else if use_ifchain p then
+        fixup_dispatch p ~scrut:"Kind"
+          ~cases:(List.map (fun (f : P.fixup) -> (f.fx_name, [ ret (b true) ])) pcrel)
+          ~default:[ ret (b false) ]
+      else
+        [
+          switch (id "Kind")
+            [
+              arm (List.map (fun (f : P.fixup) -> tgt p f.fx_name) pcrel)
+                [ ret (b true) ];
+            ]
+            [ ret (b false) ];
+        ])
+
+let get_num_fixup_kinds =
+  Spec.mk ~module_:EMI ~fname:"getNumFixupKinds" ~cls:asm_backend ~ret:"unsigned"
+    ~params:[]
+    (fun p -> [ ret (i (List.length p.fixups)) ])
+
+let should_force_relocation =
+  Spec.mk ~module_:EMI ~fname:"shouldForceRelocation" ~cls:asm_backend ~ret:"bool"
+    ~params:[ ("MCFixup", "Fixup") ]
+    (fun p ->
+      let forced =
+        List.filter
+          (fun (f : P.fixup) ->
+            match f.fx_kind with
+            | P.Fk_got | P.Fk_plt | P.Fk_tls | P.Fk_call -> true
+            | P.Fk_branch | P.Fk_jump | P.Fk_hi | P.Fk_lo | P.Fk_abs_word -> false)
+          p.fixups
+      in
+      decl "unsigned" "Kind" (meth (id "Fixup") "getTargetKind" [])
+      ::
+      (if forced = [] then [ ret (b false) ]
+       else if use_ifchain p then
+         fixup_dispatch p ~scrut:"Kind"
+           ~cases:(List.map (fun (f : P.fixup) -> (f.fx_name, [ ret (b true) ])) forced)
+           ~default:[ ret (b false) ]
+       else
+         [
+           switch (id "Kind")
+             [
+               arm (List.map (fun (f : P.fixup) -> tgt p f.fx_name) forced)
+                 [ ret (b true) ];
+             ]
+             [ ret (b false) ];
+         ]))
+
+let get_nop_encoding =
+  Spec.mk ~module_:EMI ~fname:"getNopEncoding" ~cls:code_emitter ~ret:"unsigned"
+    ~params:[]
+    (fun p ->
+      match P.find_insn p P.Nop with
+      | Some nop -> [ ret (tgt p (Spec.insn_enum_t p nop) <<. i Spec.enc_opcode_shift) ]
+      | None -> [ ret (i 0) ])
+
+let write_nop_data =
+  Spec.mk ~module_:EMI ~fname:"writeNopData" ~cls:asm_backend ~ret:"bool"
+    ~params:[ ("unsigned", "Count") ]
+    (fun _p ->
+      [
+        if_ (Ast.Binop (Ast.Rem, id "Count", i 4) <>. i 0) [ ret (b false) ];
+        ret (b true);
+      ])
+
+let encode_instruction =
+  Spec.mk ~module_:EMI ~fname:"encodeInstruction" ~cls:code_emitter ~ret:"unsigned"
+    ~params:[ ("MCInst", "MI") ]
+    (fun _p ->
+      (* register fields at bits 18/12/6, a (single) immediate in the low
+         12 bits *)
+      [
+        decl "unsigned" "Opcode" (meth (id "MI") "getOpcode" []);
+        decl "unsigned" "Value" (id "Opcode" <<. i Spec.enc_opcode_shift);
+        decl "unsigned" "N" (meth (id "MI") "getNumOperands" []);
+        decl "unsigned" "Idx" (i 0);
+        decl "unsigned" "Shift" (i Spec.enc_f1_shift);
+        Ast.While
+          ( id "Idx" <. id "N",
+            [ decl "MCOperand" "MO" (meth (id "MI") "getOperand" [ id "Idx" ]) ]
+            @ [
+                if_
+                  (meth (id "MO") "isReg" [])
+                  [
+                    Ast.Assign
+                      ( Ast.Or_set,
+                        id "Value",
+                        call "getMachineOpValue" [ id "MO" ] <<. id "Shift" );
+                    Ast.Assign (Ast.Sub_set, id "Shift", i 6);
+                  ];
+                if_
+                  (meth (id "MO") "isImm" [])
+                  [
+                    Ast.Assign
+                      ( Ast.Or_set,
+                        id "Value",
+                        call "getMachineOpValue" [ id "MO" ] &. i Spec.enc_imm_mask
+                      );
+                  ];
+                Ast.Assign (Ast.Add_set, id "Idx", i 1);
+              ] );
+        ret (id "Value");
+      ])
+
+let get_machine_op_value =
+  Spec.mk ~module_:EMI ~fname:"getMachineOpValue" ~cls:code_emitter ~ret:"unsigned"
+    ~params:[ ("MCOperand", "MO") ]
+    (fun _p ->
+      [
+        if_ (meth (id "MO") "isReg" []) [ ret (meth (id "MO") "getReg" []) ];
+        if_ (meth (id "MO") "isImm" [])
+          [ ret (meth (id "MO") "getImm" [] &. i Spec.enc_imm_mask) ];
+        unreachable "unknown operand type";
+      ])
+
+let branch_enums (p : P.t) =
+  List.filter_map
+    (fun (i : P.insn) ->
+      if i.op_class = P.Branch then Some (Spec.insn_enum_t p i) else None)
+    p.insns
+
+let may_need_relaxation =
+  Spec.mk ~module_:EMI ~fname:"mayNeedRelaxation" ~cls:asm_backend ~ret:"bool"
+    ~params:[ ("MCInst", "Inst") ]
+    ~applies:(fun p -> p.features.P.has_relaxation)
+    (fun p ->
+      [
+        decl "unsigned" "Opcode" (meth (id "Inst") "getOpcode" []);
+        switch (id "Opcode")
+          [ arm (List.map (fun e -> tgt p e) (branch_enums p)) [ ret (b true) ] ]
+          [ ret (b false) ];
+      ])
+
+let fixup_needs_relaxation =
+  Spec.mk ~module_:EMI ~fname:"fixupNeedsRelaxation" ~cls:asm_backend ~ret:"bool"
+    ~params:[ ("unsigned", "Kind"); ("int", "Value") ]
+    ~applies:(fun p -> p.features.P.has_relaxation)
+    (fun p ->
+      let cases =
+        List.filter_map
+          (fun (f : P.fixup) ->
+            match f.fx_kind with
+            | P.Fk_branch | P.Fk_jump ->
+                let k = 1 lsl (f.fx_bits + f.fx_shift - 1) in
+                Some
+                  ( f.fx_name,
+                    [ ret (id "Value" <. i (-k) ||. (id "Value" >=. i k)) ] )
+            | _ -> None)
+          p.fixups
+      in
+      fixup_dispatch p ~scrut:"Kind" ~cases ~default:[ ret (b false) ])
+
+let get_relaxed_opcode =
+  Spec.mk ~module_:EMI ~fname:"getRelaxedOpcode" ~cls:asm_backend ~ret:"unsigned"
+    ~params:[ ("unsigned", "Op") ]
+    ~applies:(fun p -> p.features.P.has_relaxation)
+    (fun p ->
+      let jmp =
+        match P.find_insn p P.Jump with
+        | Some j -> tgt p (Spec.insn_enum_t p j)
+        | None -> id "Op"
+      in
+      [
+        switch (id "Op")
+          [ arm (List.map (fun e -> tgt p e) (branch_enums p)) [ ret jmp ] ]
+          [ ret (id "Op") ];
+      ])
+
+(* Fixup-selection hooks: which fixup kind an instruction category
+   attaches. One-line, fully value-driven functions — the "easy" end of
+   the paper's accuracy spectrum. *)
+let fixup_getter fname kind =
+  Spec.mk ~module_:EMI ~fname ~cls:asm_backend ~ret:"unsigned" ~params:[]
+    ~applies:(fun p -> P.fixup_by_kind p kind <> None)
+    (fun p ->
+      match P.fixup_by_kind p kind with
+      | Some f -> [ ret (tgt p f.P.fx_name) ]
+      | None -> assert false)
+
+let get_branch_fixup = fixup_getter "getBranchFixup" P.Fk_branch
+let get_jump_fixup = fixup_getter "getJumpFixup" P.Fk_jump
+let get_call_fixup = fixup_getter "getCallFixup" P.Fk_call
+let get_hi_fixup = fixup_getter "getHiFixup" P.Fk_hi
+let get_lo_fixup = fixup_getter "getLoFixup" P.Fk_lo
+let get_abs_fixup = fixup_getter "getAbsFixup" P.Fk_abs_word
+
+let all =
+  [
+    get_reloc_type;
+    get_branch_fixup;
+    get_jump_fixup;
+    get_call_fixup;
+    get_hi_fixup;
+    get_lo_fixup;
+    get_abs_fixup;
+    adjust_fixup_value;
+    apply_fixup;
+    get_fixup_kind_bits;
+    get_fixup_kind_offset;
+    is_pcrel_fixup;
+    get_num_fixup_kinds;
+    should_force_relocation;
+    get_nop_encoding;
+    write_nop_data;
+    encode_instruction;
+    get_machine_op_value;
+    may_need_relaxation;
+    fixup_needs_relaxation;
+    get_relaxed_opcode;
+  ]

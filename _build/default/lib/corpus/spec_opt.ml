@@ -1,0 +1,120 @@
+(** OPT (Code Optimization) interface-function specs: immediate folding,
+    compare-branch fusion, hardware loops and SIMD vectorization — the
+    module the paper identifies as the most customized (over 90% manual
+    effort under ForkFlow). *)
+
+module P = Vega_target.Profile
+module Ast = Vega_srclang.Ast
+open Eb
+
+let instr_info (p : P.t) = p.name ^ "InstrInfo"
+let hwloops (p : P.t) = p.name ^ "HardwareLoops"
+let vectorizer (p : P.t) = p.name ^ "Vectorizer"
+
+let isd name = sc [ "ISD"; name ]
+
+let is_profitable_to_fold_immediate =
+  Spec.mk ~module_:Vega_target.Module_id.OPT ~fname:"isProfitableToFoldImmediate"
+    ~cls:instr_info ~ret:"bool"
+    ~params:[ ("unsigned", "ISDOpc") ]
+    (fun p ->
+      let nodes =
+        List.filter_map
+          (fun (insn : P.insn) ->
+            match (insn.op_class, insn.alu) with
+            | P.Alui, Some op ->
+                Some
+                  (match op with
+                  | P.Add -> "ADD"
+                  | P.And -> "AND"
+                  | P.Or -> "OR"
+                  | P.Shl -> "SHL"
+                  | P.Shr -> "SRL"
+                  | P.Slt -> "SETLT"
+                  | P.Sub -> "SUB"
+                  | P.Xor -> "XOR")
+            | _ -> None)
+          p.insns
+      in
+      [
+        switch (id "ISDOpc")
+          [ arm (List.map isd nodes) [ ret (b true) ] ]
+          [ ret (b false) ];
+      ])
+
+let should_fuse_cmp_branch =
+  Spec.mk ~module_:OPT ~fname:"shouldFuseCmpBranch" ~cls:instr_info ~ret:"bool"
+    ~params:[]
+    (fun _p -> [ ret (id "EnableFusion" <>. i 0) ])
+
+let is_hardware_loop_profitable =
+  Spec.mk ~module_:OPT ~fname:"isHardwareLoopProfitable" ~cls:hwloops ~ret:"bool"
+    ~params:[ ("unsigned", "TripCount"); ("unsigned", "NumInsns") ]
+    ~applies:(fun p -> p.features.P.has_hwloop)
+    (fun p ->
+      let max_insns = if p.name = "Hexagon" then 64 else 32 in
+      [
+        if_ (id "TripCount" <. i 2) [ ret (b false) ];
+        if_ (id "NumInsns" >. i max_insns) [ ret (b false) ];
+        ret (b true);
+      ])
+
+let get_hardware_loop_opcode =
+  Spec.mk ~module_:OPT ~fname:"getHardwareLoopOpcode" ~cls:hwloops ~ret:"unsigned"
+    ~params:[]
+    ~applies:(fun p -> p.features.P.has_hwloop)
+    (fun p -> [ ret (tgt p (Spec.insn_enum_t p (Option.get (P.find_insn p P.LoopSetup)))) ])
+
+let get_hardware_loop_end_opcode =
+  Spec.mk ~module_:OPT ~fname:"getHardwareLoopEndOpcode" ~cls:hwloops
+    ~ret:"unsigned" ~params:[]
+    ~applies:(fun p -> p.features.P.has_hwloop)
+    (fun p -> [ ret (tgt p (Spec.insn_enum_t p (Option.get (P.find_insn p P.LoopEnd)))) ])
+
+let get_max_hardware_loop_insns =
+  Spec.mk ~module_:OPT ~fname:"getMaxHardwareLoopInsns" ~cls:hwloops
+    ~ret:"unsigned" ~params:[]
+    ~applies:(fun p -> p.features.P.has_hwloop)
+    (fun _p -> [ ret (id "HwLoopInsns") ])
+
+let should_vectorize_op =
+  Spec.mk ~module_:OPT ~fname:"shouldVectorizeOp" ~cls:vectorizer ~ret:"bool"
+    ~params:[ ("unsigned", "ISDOpc") ]
+    ~applies:(fun p -> p.features.P.has_simd)
+    (fun _p ->
+      [
+        switch (id "ISDOpc")
+          [ arm [ isd "ADD"; isd "MUL" ] [ ret (b true) ] ]
+          [ ret (b false) ];
+      ])
+
+let get_vector_factor =
+  Spec.mk ~module_:OPT ~fname:"getVectorFactor" ~cls:vectorizer ~ret:"unsigned"
+    ~params:[]
+    ~applies:(fun p -> p.features.P.has_simd)
+    (fun _p -> [ ret (id "VectorWidth") ])
+
+let is_cheap_immediate =
+  Spec.mk ~module_:OPT ~fname:"isCheapImmediate" ~cls:instr_info ~ret:"bool"
+    ~params:[ ("int", "Imm") ]
+    (fun p ->
+      [ ret (id "Imm" >=. i (Spec.imm_lo p) &&. (id "Imm" <=. i (Spec.imm_hi p))) ])
+
+let enable_peephole =
+  Spec.mk ~module_:OPT ~fname:"enablePeephole" ~cls:instr_info ~ret:"bool"
+    ~params:[]
+    (fun _p -> [ ret (id "IssueWidth" <=. i 2) ])
+
+let all =
+  [
+    is_profitable_to_fold_immediate;
+    should_fuse_cmp_branch;
+    is_hardware_loop_profitable;
+    get_hardware_loop_opcode;
+    get_hardware_loop_end_opcode;
+    get_max_hardware_loop_insns;
+    should_vectorize_op;
+    get_vector_factor;
+    is_cheap_immediate;
+    enable_peephole;
+  ]

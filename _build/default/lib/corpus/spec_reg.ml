@@ -1,0 +1,81 @@
+(** REG (Register Allocation) interface-function specs: frame/stack/link
+    registers, reserved and callee-saved sets, frame-index offsets. *)
+
+module P = Vega_target.Profile
+module Ast = Vega_srclang.Ast
+open Eb
+
+let reg_info (p : P.t) = p.name ^ "RegisterInfo"
+let frame_lowering (p : P.t) = p.name ^ "FrameLowering"
+
+let get_frame_register =
+  Spec.mk ~module_:Vega_target.Module_id.REG ~fname:"getFrameRegister"
+    ~cls:reg_info ~ret:"unsigned" ~params:[]
+    (fun p -> [ ret (i p.regs.P.fp) ])
+
+let get_stack_register =
+  Spec.mk ~module_:REG ~fname:"getStackRegister" ~cls:reg_info ~ret:"unsigned"
+    ~params:[]
+    (fun p -> [ ret (i p.regs.P.sp) ])
+
+let get_ra_register =
+  Spec.mk ~module_:REG ~fname:"getRARegister" ~cls:reg_info ~ret:"unsigned"
+    ~params:[]
+    (fun p -> [ ret (i p.regs.P.ra) ])
+
+let int_set_switch ~param values ~in_set ~not_in_set =
+  match values with
+  | [] -> [ ret not_in_set ]
+  | _ ->
+      [
+        switch (id param)
+          [ arm (List.map i values) [ ret in_set ] ]
+          [ ret not_in_set ];
+      ]
+
+let is_reserved_reg =
+  Spec.mk ~module_:REG ~fname:"isReservedReg" ~cls:reg_info ~ret:"bool"
+    ~params:[ ("unsigned", "RegNo") ]
+    (fun p ->
+      int_set_switch ~param:"RegNo" p.regs.P.reserved ~in_set:(b true)
+        ~not_in_set:(b false))
+
+let is_callee_saved_reg =
+  Spec.mk ~module_:REG ~fname:"isCalleeSavedReg" ~cls:reg_info ~ret:"bool"
+    ~params:[ ("unsigned", "RegNo") ]
+    (fun p ->
+      int_set_switch ~param:"RegNo" p.regs.P.callee_saved ~in_set:(b true)
+        ~not_in_set:(b false))
+
+let is_allocatable_reg =
+  Spec.mk ~module_:REG ~fname:"isAllocatableReg" ~cls:reg_info ~ret:"bool"
+    ~params:[ ("unsigned", "RegNo") ]
+    (fun p ->
+      if_ (id "RegNo" >=. i p.regs.P.reg_count) [ ret (b false) ]
+      :: int_set_switch ~param:"RegNo" p.regs.P.reserved ~in_set:(b false)
+           ~not_in_set:(b true))
+
+let get_num_regs =
+  Spec.mk ~module_:REG ~fname:"getNumRegs" ~cls:reg_info ~ret:"unsigned" ~params:[]
+    (fun p -> [ ret (i p.regs.P.reg_count) ])
+
+let get_frame_index_offset =
+  Spec.mk ~module_:REG ~fname:"getFrameIndexOffset" ~cls:frame_lowering ~ret:"int"
+    ~params:[ ("int", "FI") ]
+    (fun p ->
+      (* stack slots hold full machine words; sub-32-bit targets still
+         address 4-byte slots *)
+      let word = max 4 (p.word_bits / 8) in
+      [ ret (neg ((id "FI" +. i 1) *. i word)) ])
+
+let all =
+  [
+    get_frame_register;
+    get_stack_register;
+    get_ra_register;
+    is_reserved_reg;
+    is_callee_saved_reg;
+    is_allocatable_reg;
+    get_num_regs;
+    get_frame_index_offset;
+  ]

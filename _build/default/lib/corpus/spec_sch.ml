@@ -1,0 +1,129 @@
+(** SCH (Instruction Scheduling) interface-function specs: latencies,
+    issue width, macro-fusion, post-RA scheduling. *)
+
+module P = Vega_target.Profile
+module Ast = Vega_srclang.Ast
+open Eb
+
+let subtarget (p : P.t) = p.name ^ "Subtarget"
+let sched_model (p : P.t) = p.name ^ "SchedModel"
+
+(** Group instructions by latency and emit one case arm per group. *)
+let latency_cases (p : P.t) =
+  let groups = Hashtbl.create 8 in
+  List.iter
+    (fun (insn : P.insn) ->
+      if insn.latency <> 1 then begin
+        let l = Option.value ~default:[] (Hashtbl.find_opt groups insn.latency) in
+        Hashtbl.replace groups insn.latency (l @ [ Spec.insn_enum_t p insn ])
+      end)
+    p.insns;
+  Hashtbl.fold (fun lat enums acc -> (lat, enums) :: acc) groups []
+  |> List.sort compare
+
+let get_instr_latency =
+  Spec.mk ~module_:Vega_target.Module_id.SCH ~fname:"getInstrLatency"
+    ~cls:sched_model ~ret:"unsigned"
+    ~params:[ ("unsigned", "Opcode") ]
+    (fun p ->
+      [
+        switch (id "Opcode")
+          (List.map
+             (fun (lat, enums) ->
+               arm (List.map (fun e -> tgt p e) enums) [ ret (i lat) ])
+             (latency_cases p))
+          [ ret (i 1) ];
+      ])
+
+let get_issue_width =
+  Spec.mk ~module_:SCH ~fname:"getIssueWidth" ~cls:sched_model ~ret:"unsigned"
+    ~params:[]
+    (fun p -> [ ret (i p.sched.P.issue_width) ])
+
+let enable_post_ra_scheduler =
+  Spec.mk ~module_:SCH ~fname:"enablePostRAScheduler" ~cls:subtarget ~ret:"bool"
+    ~params:[]
+    (fun _p -> [ ret (id "EnablePostRA" <>. i 0) ])
+
+let should_schedule_adjacent =
+  Spec.mk ~module_:SCH ~fname:"shouldScheduleAdjacent" ~cls:sched_model
+    ~ret:"bool"
+    ~params:[ ("unsigned", "FirstOpc"); ("unsigned", "SecondOpc") ]
+    (fun p ->
+      if not p.sched.P.fuse_cmp_branch then [ ret (b false) ]
+      else
+        let branches =
+          List.filter_map
+            (fun (insn : P.insn) ->
+              if insn.op_class = P.Branch then Some (tgt p (Spec.insn_enum_t p insn))
+              else None)
+            p.insns
+        in
+        let slt_rr = Spec.insn_enum_t p (Option.get (P.alu_insn p P.Slt)) in
+        let slt_ri = Spec.insn_enum_t p (Option.get (P.alui_insn p P.Slt)) in
+        [
+          if_
+            (id "FirstOpc" === tgt p slt_rr ||. (id "FirstOpc" === tgt p slt_ri))
+            [
+              switch (id "SecondOpc")
+                [ arm branches [ ret (b true) ] ]
+                [ ret (b false) ];
+            ];
+          ret (b false);
+        ])
+
+let get_num_micro_ops =
+  Spec.mk ~module_:SCH ~fname:"getNumMicroOps" ~cls:sched_model ~ret:"unsigned"
+    ~params:[ ("unsigned", "Opcode") ]
+    (fun p ->
+      let multi =
+        List.filter_map
+          (fun (insn : P.insn) ->
+            if insn.micro_ops <> 1 then Some (insn.micro_ops, Spec.insn_enum_t p insn)
+            else None)
+          p.insns
+      in
+      [
+        switch (id "Opcode")
+          (List.map (fun (n, e) -> arm [ tgt p e ] [ ret (i n) ]) multi)
+          [ ret (i 1) ];
+      ])
+
+let is_high_latency_def =
+  Spec.mk ~module_:SCH ~fname:"isHighLatencyDef" ~cls:sched_model ~ret:"bool"
+    ~params:[ ("unsigned", "Opcode") ]
+    (fun p ->
+      let high =
+        List.filter_map
+          (fun (insn : P.insn) ->
+            if insn.latency >= 4 then Some (tgt p (Spec.insn_enum_t p insn)) else None)
+          p.insns
+      in
+      match high with
+      | [] -> [ ret (b false) ]
+      | _ ->
+          [
+            switch (id "Opcode") [ arm high [ ret (b true) ] ] [ ret (b false) ];
+          ])
+
+let get_load_latency =
+  Spec.mk ~module_:SCH ~fname:"getLoadLatency" ~cls:subtarget ~ret:"unsigned"
+    ~params:[]
+    (fun p -> [ ret (i p.sched.P.load_latency) ])
+
+let get_mispredict_penalty =
+  Spec.mk ~module_:SCH ~fname:"getMispredictPenalty" ~cls:subtarget
+    ~ret:"unsigned" ~params:[]
+    (fun p -> [ ret (i ((2 * p.sched.P.branch_latency) + p.sched.P.issue_width)) ])
+
+let all =
+  [
+    get_instr_latency;
+    get_issue_width;
+    enable_post_ra_scheduler;
+    should_schedule_adjacent;
+    get_num_micro_ops;
+    is_high_latency_def;
+    get_load_latency;
+    get_mispredict_penalty;
+  ]

@@ -1,0 +1,170 @@
+(** SEL (Instruction Selection) interface-function specs: ISD-node to
+    machine-opcode mapping, immediate legality, calling convention. *)
+
+module P = Vega_target.Profile
+module Ast = Vega_srclang.Ast
+open Eb
+
+let isel (p : P.t) = p.name ^ "DAGToDAGISel"
+let lowering (p : P.t) = p.name ^ "TargetLowering"
+
+let isd name = sc [ "ISD"; name ]
+
+let select_opcode =
+  Spec.mk ~module_:Vega_target.Module_id.SEL ~fname:"selectOpcode" ~cls:isel
+    ~ret:"int"
+    ~params:[ ("unsigned", "ISDOpc") ]
+    (fun p ->
+      let cases =
+        List.filter_map
+          (fun (insn : P.insn) ->
+            match Spec.isd_of_insn insn with
+            | Some node when insn.op_class <> P.Alui ->
+                Some (arm [ isd node ] [ ret (tgt p (Spec.insn_enum_t p insn)) ])
+            | _ -> None)
+          p.insns
+      in
+      [ switch (id "ISDOpc") cases [ ret (i (-1)) ] ])
+
+let select_imm_opcode =
+  Spec.mk ~module_:SEL ~fname:"selectImmOpcode" ~cls:isel ~ret:"int"
+    ~params:[ ("unsigned", "ISDOpc") ]
+    (fun p ->
+      let cases =
+        List.filter_map
+          (fun (insn : P.insn) ->
+            match (insn.op_class, insn.alu) with
+            | P.Alui, Some op ->
+                let node =
+                  match op with
+                  | P.Add -> "ADD"
+                  | P.And -> "AND"
+                  | P.Or -> "OR"
+                  | P.Shl -> "SHL"
+                  | P.Shr -> "SRL"
+                  | P.Slt -> "SETLT"
+                  | P.Sub -> "SUB"
+                  | P.Xor -> "XOR"
+                in
+                Some (arm [ isd node ] [ ret (tgt p (Spec.insn_enum_t p insn)) ])
+            | _ -> None)
+          p.insns
+      in
+      [ switch (id "ISDOpc") cases [ ret (i (-1)) ] ])
+
+let select_branch_opcode =
+  Spec.mk ~module_:SEL ~fname:"selectBranchOpcode" ~cls:isel ~ret:"int"
+    ~params:[ ("unsigned", "CondCode") ]
+    (fun p ->
+      let cases =
+        List.filter_map
+          (fun (insn : P.insn) ->
+            match insn.cond with
+            | Some c ->
+                let node =
+                  match c with
+                  | P.Ceq -> "SETEQ"
+                  | P.Cne -> "SETNE"
+                  | P.Clt -> "SETLT"
+                  | P.Cge -> "SETGE"
+                in
+                Some (arm [ isd node ] [ ret (tgt p (Spec.insn_enum_t p insn)) ])
+            | None -> None)
+          p.insns
+      in
+      [ switch (id "CondCode") cases [ ret (i (-1)) ] ])
+
+let is_legal_add_immediate =
+  Spec.mk ~module_:SEL ~fname:"isLegalAddImmediate" ~cls:lowering ~ret:"bool"
+    ~params:[ ("int", "Imm") ]
+    (fun p ->
+      [ ret (id "Imm" >=. i (Spec.imm_lo p) &&. (id "Imm" <=. i (Spec.imm_hi p))) ])
+
+let is_legal_icmp_immediate =
+  Spec.mk ~module_:SEL ~fname:"isLegalICmpImmediate" ~cls:lowering ~ret:"bool"
+    ~params:[ ("int", "Imm") ]
+    (fun p ->
+      (* compare immediates are one bit tighter on dense-imm targets *)
+      let lo = if p.features.P.dense_imm then Spec.imm_lo p / 2 else Spec.imm_lo p in
+      let hi = if p.features.P.dense_imm then Spec.imm_hi p / 2 else Spec.imm_hi p in
+      [ ret (id "Imm" >=. i lo &&. (id "Imm" <=. i hi)) ])
+
+let get_arg_register =
+  Spec.mk ~module_:SEL ~fname:"getArgRegister" ~cls:lowering ~ret:"unsigned"
+    ~params:[ ("unsigned", "Idx") ]
+    (fun p ->
+      let cases =
+        List.mapi (fun idx reg -> arm [ i idx ] [ ret (i reg) ]) p.regs.P.arg_regs
+      in
+      [ switch (id "Idx") cases [ unreachable "argument index out of range" ] ])
+
+let get_num_arg_registers =
+  Spec.mk ~module_:SEL ~fname:"getNumArgRegisters" ~cls:lowering ~ret:"unsigned"
+    ~params:[]
+    (fun p -> [ ret (i (List.length p.regs.P.arg_regs)) ])
+
+let get_return_register =
+  Spec.mk ~module_:SEL ~fname:"getReturnRegister" ~cls:lowering ~ret:"unsigned"
+    ~params:[]
+    (fun p -> [ ret (i p.regs.P.ret_reg) ])
+
+let get_zero_register =
+  Spec.mk ~module_:SEL ~fname:"getZeroRegister" ~cls:lowering ~ret:"unsigned"
+    ~params:[]
+    ~applies:(fun p -> p.regs.P.zero <> None)
+    (fun p ->
+      match p.regs.P.zero with Some z -> [ ret (i z) ] | None -> assert false)
+
+let can_lower_mul_add =
+  Spec.mk ~module_:SEL ~fname:"canLowerMulAdd" ~cls:lowering ~ret:"bool" ~params:[]
+    (fun _p -> [ ret (id "EnableMulAdd" <>. i 0) ])
+
+let select_vector_opcode =
+  Spec.mk ~module_:SEL ~fname:"selectVectorOpcode" ~cls:isel ~ret:"int"
+    ~params:[ ("unsigned", "ISDOpc") ]
+    ~applies:(fun p -> p.features.P.has_simd)
+    (fun p ->
+      [
+        switch (id "ISDOpc")
+          [
+            arm [ isd "ADD" ]
+              [ ret (tgt p (Spec.insn_enum_t p (Option.get (P.find_insn p P.Vadd)))) ];
+            arm [ isd "MUL" ]
+              [ ret (tgt p (Spec.insn_enum_t p (Option.get (P.find_insn p P.Vmul)))) ];
+          ]
+          [ ret (i (-1)) ];
+      ])
+
+let get_vector_width =
+  Spec.mk ~module_:SEL ~fname:"getVectorWidth" ~cls:lowering ~ret:"unsigned"
+    ~params:[]
+    ~applies:(fun p -> p.features.P.has_simd)
+    (fun _p -> [ ret (id "VectorWidth") ])
+
+let get_mul_add_opcode =
+  Spec.mk ~module_:SEL ~fname:"getMulAddOpcode" ~cls:isel ~ret:"int" ~params:[]
+    ~applies:(fun p -> p.features.P.has_madd)
+    (fun p -> [ ret (tgt p (Spec.insn_enum_t p (Option.get (P.find_insn p P.Madd)))) ])
+
+let get_stack_alignment =
+  Spec.mk ~module_:SEL ~fname:"getStackAlignment" ~cls:lowering ~ret:"unsigned"
+    ~params:[]
+    (fun p -> [ ret (i (2 * (p.word_bits / 8))) ])
+
+let all =
+  [
+    select_opcode;
+    select_imm_opcode;
+    select_branch_opcode;
+    is_legal_add_immediate;
+    is_legal_icmp_immediate;
+    get_arg_register;
+    get_num_arg_registers;
+    get_return_register;
+    get_zero_register;
+    can_lower_mul_add;
+    get_mul_add_opcode;
+    select_vector_opcode;
+    get_vector_width;
+    get_stack_alignment;
+  ]

@@ -1,0 +1,1 @@
+lib/eval/effort.ml: List Metrics Option Vega_target

@@ -1,0 +1,1 @@
+lib/eval/metrics.ml: Array Hashtbl List Option Printf Regression String Vega Vega_corpus Vega_gumtree Vega_srclang Vega_target Vega_util

@@ -1,0 +1,1 @@
+lib/eval/metrics.mli: Vega Vega_ir Vega_target

@@ -1,0 +1,1 @@
+lib/eval/perf.ml: List Metrics Refbackend Vega_backend Vega_ir Vega_sim Vega_srclang Vega_target

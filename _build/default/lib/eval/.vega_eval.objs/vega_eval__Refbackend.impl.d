@@ -1,0 +1,1 @@
+lib/eval/refbackend.ml: List Option Vega_backend Vega_corpus Vega_target

@@ -1,0 +1,1 @@
+lib/eval/regression.ml: List Printf Refbackend Vega_backend Vega_ir Vega_mc Vega_sim Vega_srclang Vega_target

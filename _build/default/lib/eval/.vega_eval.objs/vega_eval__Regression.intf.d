@@ -1,0 +1,1 @@
+lib/eval/regression.mli: Vega_backend Vega_ir Vega_mc Vega_srclang Vega_target Vega_tdlang

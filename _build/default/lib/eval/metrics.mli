@@ -1,0 +1,58 @@
+(** Per-function evaluation: pass@1, statement-level accuracy, the error
+    taxonomy of Table 2, and multi-source attribution (purple bars of
+    Fig. 8). Also evaluates ForkFlow baselines with the same machinery. *)
+
+type fn_eval = {
+  fe_fname : string;
+  fe_module : Vega_target.Module_id.t;
+  fe_confidence : float;
+  fe_pass : bool;  (** pass@1 *)
+  fe_failure : string option;
+  fe_acc_stmts : int;  (** statements needing no manual change *)
+  fe_ref_stmts : int;  (** statements of the reference implementation *)
+  fe_gen_stmts : int;  (** statements generated (kept) *)
+  fe_multi_source : bool;
+      (** no single training backend explains every generated statement *)
+  fe_err_v : bool;
+  fe_err_cs : bool;
+  fe_err_def : bool;
+}
+
+type target_eval = {
+  te_target : string;
+  te_fns : fn_eval list;
+  te_gen_seconds : float;  (** wall-clock of the generation stage (Fig. 7) *)
+  te_module_seconds : (Vega_target.Module_id.t * float) list;
+}
+
+val evaluate_target :
+  Vega.Pipeline.t ->
+  decoder:Vega.Generate.decoder ->
+  Vega_target.Profile.t ->
+  ?cases:Vega_ir.Programs.case list ->
+  unit ->
+  target_eval
+(** Generate the whole backend for a held-out target and pass@1-check
+    every function. *)
+
+val evaluate_forkflow :
+  Vega.Pipeline.prepared ->
+  Vega_target.Profile.t ->
+  ?cases:Vega_ir.Programs.case list ->
+  unit ->
+  target_eval
+(** The ForkFlow baseline through the same harness. *)
+
+(** {1 Aggregation} *)
+
+val fn_accuracy : fn_eval list -> float
+val stmt_accuracy : fn_eval list -> float
+val by_module : target_eval -> (Vega_target.Module_id.t * fn_eval list) list
+val acc_by_module : target_eval -> (Vega_target.Module_id.t * float) list
+val err_rates : fn_eval list -> float * float * float
+(** (Err-V, Err-CS, Err-Def) rates over all functions. *)
+
+val conf1_share : fn_eval list -> float
+(** Among accurate functions, share with confidence > 0.99 (Fig. 8). *)
+
+val multi_source_share : fn_eval list -> float

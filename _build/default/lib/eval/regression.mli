@@ -1,0 +1,71 @@
+(** The pass@1 regression harness (Sec. 4.1.4).
+
+    Each generated function is substituted into the base compiler (the
+    reference hook set); the full regression suite is then compiled at -O0
+    and -O3 and checked on four axes, mirroring how LLVM regression tests
+    exercise a backend:
+    - simulated program output against the VIR interpreter golden stream;
+    - object artifacts (text words, data words, relocation records) and
+      assembly text against the reference compilation;
+    - assembler round-trip (parse own assembly, compare streams);
+    - disassembler output against the reference decode.
+
+    A function passing everything is {e accurate} (pass@1). *)
+
+type case_artifacts = {
+  ca_case : string;
+  ca_opt : string;
+  ca_output : int list;
+  ca_cycles : int;
+  ca_text : int array;
+  ca_data : int array;
+  ca_relocs : Vega_mc.Mcinst.reloc list;
+  ca_asm : string;
+  ca_disasm : string option;
+}
+
+type failure = {
+  f_case : string;  (** which regression case *)
+  f_reason : string;
+}
+
+val default_cases : Vega_ir.Programs.case list
+(** The pass@1 regression set (all of [Programs.regression]). *)
+
+val compile_case :
+  Vega_backend.Conv.t ->
+  Vega_ir.Programs.case ->
+  opt:Vega_backend.Compiler.opt_level ->
+  (case_artifacts, string) result
+
+val reference_artifacts :
+  Vega_tdlang.Vfs.t ->
+  Vega_target.Profile.t ->
+  ?cases:Vega_ir.Programs.case list ->
+  unit ->
+  case_artifacts list
+(** Compile the suite with reference hooks; raises on internal failure
+    (the reference backend must be green). *)
+
+val check_sources :
+  Vega_tdlang.Vfs.t ->
+  Vega_target.Profile.t ->
+  sources:(string * Vega_srclang.Ast.func) list ->
+  reference:case_artifacts list ->
+  ?cases:Vega_ir.Programs.case list ->
+  unit ->
+  (unit, failure) result
+(** Run the suite with the given hook sources and compare everything
+    against the reference artifacts. *)
+
+val pass1 :
+  Vega_tdlang.Vfs.t ->
+  Vega_target.Profile.t ->
+  reference:case_artifacts list ->
+  fname:string ->
+  replacement:Vega_srclang.Ast.func option ->
+  ?cases:Vega_ir.Programs.case list ->
+  unit ->
+  (unit, failure) result
+(** Substitute one function ([None] models an unparseable generation,
+    removing the hook) into the reference set and check. *)

@@ -1,0 +1,1 @@
+lib/gumtree/matching.ml: Hashtbl List Option Tree

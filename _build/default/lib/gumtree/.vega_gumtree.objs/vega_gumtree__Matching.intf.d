@@ -1,0 +1,1 @@
+lib/gumtree/matching.mli: Tree

@@ -1,0 +1,1 @@
+lib/gumtree/stmt_align.ml: Array Hashtbl List Matching String Tree Vega_util

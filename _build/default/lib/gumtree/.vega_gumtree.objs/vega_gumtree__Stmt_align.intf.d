@@ -1,0 +1,1 @@
+lib/gumtree/stmt_align.mli:

@@ -1,0 +1,1 @@
+lib/gumtree/tree.mli:

@@ -1,0 +1,30 @@
+type t = {
+  id : int;
+  label : string;
+  children : t list;
+  size : int;
+  height : int;
+  hash : int;
+}
+
+let counter = ref 0
+
+let node label children =
+  incr counter;
+  let size = List.fold_left (fun acc c -> acc + c.size) 1 children in
+  let height = List.fold_left (fun acc c -> max acc (c.height + 1)) 0 children in
+  let hash = Hashtbl.hash (label, List.map (fun c -> c.hash) children) in
+  { id = !counter; label; children; size; height; hash }
+
+let leaf label = node label []
+
+let rec descendants t = t :: List.concat_map descendants t.children
+
+let rec isomorphic a b =
+  a.hash = b.hash && a.label = b.label && a.size = b.size
+  && List.length a.children = List.length b.children
+  && List.for_all2 isomorphic a.children b.children
+
+let of_lines lines =
+  node "function"
+    (List.map (fun (kind, tokens) -> node kind (List.map leaf tokens)) lines)

@@ -1,0 +1,30 @@
+(** Generic labelled ordered trees for the GumTree-style matcher.
+
+    Nodes carry a [label] (node kind + value, e.g. a token spelling) and an
+    opaque [id] unique within one tree. Hashes and sizes are precomputed
+    bottom-up so that isomorphism tests are O(1). *)
+
+type t = private {
+  id : int;
+  label : string;
+  children : t list;
+  size : int;  (** number of nodes in the subtree, including self *)
+  height : int;
+  hash : int;  (** structural hash: equal for isomorphic subtrees *)
+}
+
+val node : string -> t list -> t
+(** Build a node; ids are assigned from a global counter (fresh per
+    process, never reused, so two trees never share ids). *)
+
+val leaf : string -> t
+val descendants : t -> t list
+(** All nodes of the subtree in pre-order, including the root. *)
+
+val isomorphic : t -> t -> bool
+(** Structural equality (labels + shape); hash-accelerated. *)
+
+val of_lines : (string * string list) list -> t
+(** [of_lines [(kind, tokens); ...]] builds the two-level tree used for
+    statement alignment: a root whose children are statement nodes
+    (labelled by kind) with token leaves. *)

@@ -1,0 +1,1 @@
+lib/ir/programs.pp.ml: Buffer List Printf Vir_interp Vir_parser

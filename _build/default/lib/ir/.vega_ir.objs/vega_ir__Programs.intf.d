@@ -1,0 +1,1 @@
+lib/ir/programs.pp.mli: Vir

@@ -1,0 +1,1 @@
+lib/ir/vir.pp.ml: Buffer List Option Ppx_deriving_runtime Printf String

@@ -1,0 +1,1 @@
+lib/ir/vir_interp.pp.mli: Vir

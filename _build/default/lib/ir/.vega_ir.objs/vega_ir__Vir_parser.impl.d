@@ -1,0 +1,1 @@
+lib/ir/vir_parser.pp.ml: List Printf String Vir

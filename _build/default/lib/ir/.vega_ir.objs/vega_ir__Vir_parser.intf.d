@@ -1,0 +1,1 @@
+lib/ir/vir_parser.pp.mli: Vir

@@ -1,0 +1,813 @@
+type case = { name : string; source : string; entry : string; args : int list }
+
+let mk name ?(entry = "main") ?(args = []) source = { name; source; entry; args }
+
+(* ------------------------------------------------------------------ *)
+(* Regression cases                                                     *)
+
+let arith_basic =
+  mk "arith_basic"
+    {|
+func @main() {
+entry:
+  %r0 = mov 21
+  %r1 = mov 4
+  %r2 = add %r0, %r1
+  print %r2
+  %r3 = sub %r0, %r1
+  print %r3
+  %r4 = mul %r0, %r1
+  print %r4
+  %r5 = div %r0, %r1
+  print %r5
+  %r6 = rem %r0, %r1
+  print %r6
+  ret 0
+}
+|}
+
+let arith_bitwise =
+  mk "arith_bitwise"
+    {|
+func @main() {
+entry:
+  %r0 = mov 204
+  %r1 = mov 170
+  %r2 = and %r0, %r1
+  print %r2
+  %r3 = or %r0, %r1
+  print %r3
+  %r4 = xor %r0, %r1
+  print %r4
+  %r5 = shl %r0, 3
+  print %r5
+  %r6 = shr %r0, 2
+  print %r6
+  ret 0
+}
+|}
+
+let arith_imm_small =
+  mk "arith_imm_small"
+    {|
+func @main() {
+entry:
+  %r0 = mov 100
+  %r1 = add %r0, 27
+  print %r1
+  %r2 = and %r1, 15
+  print %r2
+  %r3 = or %r2, 96
+  print %r3
+  %r4 = slt %r2, 8
+  print %r4
+  ret 0
+}
+|}
+
+let arith_imm_large =
+  mk "arith_imm_large"
+    {|
+func @main() {
+entry:
+  %r0 = mov 7
+  %r1 = add %r0, 100000
+  print %r1
+  %r2 = mov 1048575
+  print %r2
+  %r3 = add %r2, 123456
+  print %r3
+  ret 0
+}
+|}
+
+let negatives =
+  mk "negatives"
+    {|
+func @main() {
+entry:
+  %r0 = mov -5
+  %r1 = add %r0, -10
+  print %r1
+  %r2 = mul %r1, -3
+  print %r2
+  %r3 = slt %r1, 0
+  print %r3
+  ret 0
+}
+|}
+
+let branches =
+  mk "branches"
+    {|
+func @main() {
+entry:
+  %r0 = mov 5
+  breq %r0, 5, yes1, no1
+yes1:
+  print 1
+  br t2
+no1:
+  print 0
+  br t2
+t2:
+  brne %r0, 4, yes2, no2
+yes2:
+  print 1
+  br t3
+no2:
+  print 0
+  br t3
+t3:
+  brlt %r0, 9, yes3, no3
+yes3:
+  print 1
+  br t4
+no3:
+  print 0
+  br t4
+t4:
+  brge %r0, 5, yes4, done
+yes4:
+  print 1
+  br done
+done:
+  ret 0
+}
+|}
+
+let loop_sum =
+  mk "loop_sum"
+    {|
+func @main() {
+entry:
+  %r0 = mov 0
+  %r1 = mov 1
+  br loop
+loop:
+  %r0 = add %r0, %r1
+  %r1 = add %r1, 1
+  brlt %r1, 11, loop, done
+done:
+  print %r0
+  ret %r0
+}
+|}
+
+let nested_loops =
+  mk "nested_loops"
+    {|
+func @main() {
+entry:
+  %r0 = mov 0
+  %r1 = mov 0
+  br outer
+outer:
+  %r2 = mov 0
+  br inner
+inner:
+  %r0 = add %r0, 1
+  %r2 = add %r2, 1
+  brlt %r2, 4, inner, inext
+inext:
+  %r1 = add %r1, 1
+  brlt %r1, 3, outer, done
+done:
+  print %r0
+  ret 0
+}
+|}
+
+let calls_simple =
+  mk "calls_simple"
+    {|
+func @double(%r0) {
+entry:
+  %r1 = add %r0, %r0
+  ret %r1
+}
+func @main() {
+entry:
+  %r0 = call @double(21)
+  print %r0
+  %r1 = call @double(%r0)
+  print %r1
+  ret 0
+}
+|}
+
+let calls_many_args =
+  mk "calls_many_args"
+    {|
+func @sum9(%r0, %r1, %r2, %r3, %r4, %r5, %r6, %r7, %r8) {
+entry:
+  %r9 = add %r0, %r1
+  %r9 = add %r9, %r2
+  %r9 = add %r9, %r3
+  %r9 = add %r9, %r4
+  %r9 = add %r9, %r5
+  %r9 = add %r9, %r6
+  %r9 = add %r9, %r7
+  %r9 = add %r9, %r8
+  ret %r9
+}
+func @main() {
+entry:
+  %r0 = call @sum9(1, 2, 3, 4, 5, 6, 7, 8, 9)
+  print %r0
+  ret 0
+}
+|}
+
+let recursion_fib =
+  mk "recursion_fib"
+    {|
+func @fib(%r0) {
+entry:
+  brlt %r0, 2, base, rec
+base:
+  ret %r0
+rec:
+  %r1 = sub %r0, 1
+  %r2 = call @fib(%r1)
+  %r3 = sub %r0, 2
+  %r4 = call @fib(%r3)
+  %r5 = add %r2, %r4
+  ret %r5
+}
+func @main() {
+entry:
+  %r0 = call @fib(12)
+  print %r0
+  ret 0
+}
+|}
+
+let globals_array =
+  mk "globals_array"
+    {|
+global @data[8] = {3, 1, 4, 1, 5, 9, 2, 6}
+func @main() {
+entry:
+  %r0 = addr @data
+  %r1 = mov 0
+  %r2 = mov 0
+  br loop
+loop:
+  %r3 = shl %r2, 2
+  %r4 = add %r0, %r3
+  %r5 = load %r4, 0
+  %r1 = add %r1, %r5
+  %r2 = add %r2, 1
+  brlt %r2, 8, loop, done
+done:
+  print %r1
+  ret 0
+}
+|}
+
+let memory_store =
+  mk "memory_store"
+    {|
+global @buf[4] = {0, 0, 0, 0}
+func @main() {
+entry:
+  %r0 = addr @buf
+  store 11, %r0, 0
+  store 22, %r0, 4
+  store 33, %r0, 8
+  %r1 = load %r0, 4
+  print %r1
+  %r2 = load %r0, 0
+  %r3 = load %r0, 8
+  %r4 = add %r2, %r3
+  print %r4
+  ret 0
+}
+|}
+
+let shifts_edge =
+  mk "shifts_edge"
+    {|
+func @main() {
+entry:
+  %r0 = mov 1
+  %r1 = shl %r0, 30
+  print %r1
+  %r2 = shr %r1, 15
+  print %r2
+  %r3 = mov -16
+  %r4 = shr %r3, 28
+  print %r4
+  ret 0
+}
+|}
+
+let div_chain =
+  mk "div_chain"
+    {|
+func @main() {
+entry:
+  %r0 = mov 1000000
+  br loop
+loop:
+  %r0 = div %r0, 3
+  print %r0
+  brlt %r0, 1, done, loop
+done:
+  ret 0
+}
+|}
+
+let mul_add_chain =
+  mk "mul_add_chain"
+    {|
+func @main() {
+entry:
+  %r0 = mov 0
+  %r1 = mov 1
+  br loop
+loop:
+  %r2 = mul %r1, %r1
+  %r0 = add %r0, %r2
+  %r1 = add %r1, 1
+  brlt %r1, 9, loop, done
+done:
+  print %r0
+  ret 0
+}
+|}
+
+let cmp_branch_fuse =
+  mk "cmp_branch_fuse"
+    {|
+func @main() {
+entry:
+  %r0 = mov 0
+  %r1 = mov 0
+  br loop
+loop:
+  %r2 = slt %r1, 50
+  breq %r2, 0, done, body
+body:
+  %r0 = add %r0, %r1
+  %r1 = add %r1, 3
+  br loop
+done:
+  print %r0
+  ret 0
+}
+|}
+
+let vec_friendly =
+  mk "vec_friendly"
+    {|
+global @a[16] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+global @b[16] = {16, 15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1}
+global @c[16] = {}
+func @main() {
+entry:
+  %r0 = addr @a
+  %r1 = addr @b
+  %r2 = addr @c
+  %r3 = mov 0
+  br loop
+loop:
+  %r4 = shl %r3, 2
+  %r5 = add %r0, %r4
+  %r6 = load %r5, 0
+  %r7 = add %r1, %r4
+  %r8 = load %r7, 0
+  %r9 = add %r6, %r8
+  %r10 = add %r2, %r4
+  store %r9, %r10, 0
+  %r3 = add %r3, 1
+  brlt %r3, 16, loop, check
+check:
+  %r11 = mov 0
+  %r12 = mov 0
+  br cloop
+cloop:
+  %r13 = shl %r12, 2
+  %r14 = add %r2, %r13
+  %r15 = load %r14, 0
+  %r11 = add %r11, %r15
+  %r12 = add %r12, 1
+  brlt %r12, 16, cloop, done
+done:
+  print %r11
+  ret 0
+}
+|}
+
+(* Immediates straddling the 12-bit/16-bit legality boundary: folding
+   decisions (isLegalAddImmediate / selectImmOpcode) become visible in the
+   emitted artifacts. *)
+let imm_range_probe =
+  mk "imm_range_probe"
+    {|
+func @main() {
+entry:
+  %r0 = mov 5
+  %r1 = add %r0, 1500
+  print %r1
+  %r2 = add %r1, 3000
+  print %r2
+  %r3 = add %r2, 20000
+  print %r3
+  %r4 = and %r3, 4000
+  print %r4
+  %r7 = add %r4, 20000
+  print %r7
+  %r5 = slt %r0, 2040
+  print %r5
+  %r6 = slt %r0, 30000
+  print %r6
+  ret 0
+}
+|}
+
+(* A loop whose body is long enough that short-range conditional branches
+   (AVR 7-bit, XCORE 10-bit) must be relaxed into an inverted branch plus
+   a long jump. The body is generated straight-line code. *)
+let relax_stress =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "func @main() {\nentry:\n  %r0 = mov 1\n  %r1 = mov 0\n  br loop\nloop:\n";
+  for k = 0 to 139 do
+    Buffer.add_string buf (Printf.sprintf "  %%r0 = add %%r0, %d\n" ((k mod 7) + 1));
+    Buffer.add_string buf "  %r0 = xor %r0, 21\n"
+  done;
+  Buffer.add_string buf
+    "  %r1 = add %r1, 1\n  brlt %r1, 3, loop, done\ndone:\n  print %r0\n  ret 0\n}\n";
+  mk "relax_stress" (Buffer.contents buf)
+
+let regression =
+  [
+    arith_basic;
+    arith_bitwise;
+    arith_imm_small;
+    arith_imm_large;
+    negatives;
+    branches;
+    loop_sum;
+    nested_loops;
+    calls_simple;
+    calls_many_args;
+    recursion_fib;
+    globals_array;
+    memory_store;
+    shifts_edge;
+    div_chain;
+    mul_add_chain;
+    cmp_branch_fuse;
+    vec_friendly;
+    imm_range_probe;
+    relax_stress;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Benchmarks (Fig. 10 workloads)                                       *)
+
+let bench_fib =
+  mk "fib"
+    {|
+func @fib(%r0) {
+entry:
+  brlt %r0, 2, base, rec
+base:
+  ret %r0
+rec:
+  %r1 = sub %r0, 1
+  %r2 = call @fib(%r1)
+  %r3 = sub %r0, 2
+  %r4 = call @fib(%r3)
+  %r5 = add %r2, %r4
+  ret %r5
+}
+func @main() {
+entry:
+  %r0 = call @fib(15)
+  print %r0
+  ret 0
+}
+|}
+
+let bench_matmul =
+  mk "matmul"
+    {|
+global @ma[64] = {}
+global @mb[64] = {}
+global @mc[64] = {}
+func @main() {
+entry:
+  %r0 = addr @ma
+  %r1 = addr @mb
+  %r2 = addr @mc
+  %r3 = mov 0
+  br init
+init:
+  %r4 = shl %r3, 2
+  %r5 = add %r0, %r4
+  %r6 = and %r3, 7
+  %r7 = add %r6, 1
+  store %r7, %r5, 0
+  %r8 = add %r1, %r4
+  %r9 = shr %r3, 3
+  %r10 = add %r9, 1
+  store %r10, %r8, 0
+  %r3 = add %r3, 1
+  brlt %r3, 64, init, mm_i
+mm_i:
+  %r11 = mov 0
+  br iloop
+iloop:
+  %r12 = mov 0
+  br jloop
+jloop:
+  %r13 = mov 0
+  %r14 = mov 0
+  br kloop
+kloop:
+  %r15 = shl %r11, 3
+  %r16 = add %r15, %r14
+  %r17 = shl %r16, 2
+  %r18 = add %r0, %r17
+  %r19 = load %r18, 0
+  %r20 = shl %r14, 3
+  %r21 = add %r20, %r12
+  %r22 = shl %r21, 2
+  %r23 = add %r1, %r22
+  %r24 = load %r23, 0
+  %r25 = mul %r19, %r24
+  %r13 = add %r13, %r25
+  %r14 = add %r14, 1
+  brlt %r14, 8, kloop, kdone
+kdone:
+  %r26 = shl %r11, 3
+  %r27 = add %r26, %r12
+  %r28 = shl %r27, 2
+  %r29 = add %r2, %r28
+  store %r13, %r29, 0
+  %r12 = add %r12, 1
+  brlt %r12, 8, jloop, jdone
+jdone:
+  %r11 = add %r11, 1
+  brlt %r11, 8, iloop, sum
+sum:
+  %r30 = mov 0
+  %r31 = mov 0
+  br sloop
+sloop:
+  %r32 = shl %r31, 2
+  %r33 = add %r2, %r32
+  %r34 = load %r33, 0
+  %r30 = add %r30, %r34
+  %r31 = add %r31, 1
+  brlt %r31, 64, sloop, done
+done:
+  print %r30
+  ret 0
+}
+|}
+
+let bench_crc =
+  mk "crc32"
+    {|
+global @msg[16] = {72, 101, 108, 108, 111, 44, 32, 86, 69, 71, 65, 33, 33, 33, 49, 50}
+func @main() {
+entry:
+  %r0 = addr @msg
+  %r1 = mov -1
+  %r2 = mov 0
+  br byte_loop
+byte_loop:
+  %r3 = shl %r2, 2
+  %r4 = add %r0, %r3
+  %r5 = load %r4, 0
+  %r1 = xor %r1, %r5
+  %r6 = mov 0
+  br bit_loop
+bit_loop:
+  %r7 = and %r1, 1
+  %r8 = shr %r1, 1
+  breq %r7, 0, noxor, doxor
+doxor:
+  %r1 = xor %r8, -306674912
+  br bit_next
+noxor:
+  %r1 = mov %r8
+  br bit_next
+bit_next:
+  %r6 = add %r6, 1
+  brlt %r6, 8, bit_loop, byte_next
+byte_next:
+  %r2 = add %r2, 1
+  brlt %r2, 16, byte_loop, done
+done:
+  print %r1
+  ret 0
+}
+|}
+
+let bench_sort =
+  mk "bubble_sort"
+    {|
+global @arr[24] = {19, 3, 14, 7, 22, 1, 9, 16, 5, 11, 20, 2, 13, 8, 17, 4, 23, 6, 10, 15, 21, 12, 18, 24}
+func @main() {
+entry:
+  %r0 = addr @arr
+  %r1 = mov 0
+  br outer
+outer:
+  %r2 = mov 0
+  br inner
+inner:
+  %r3 = shl %r2, 2
+  %r4 = add %r0, %r3
+  %r5 = load %r4, 0
+  %r6 = load %r4, 4
+  brlt %r6, %r5, swap, noswap
+swap:
+  store %r6, %r4, 0
+  store %r5, %r4, 4
+  br inext
+noswap:
+  br inext
+inext:
+  %r2 = add %r2, 1
+  brlt %r2, 23, inner, onext
+onext:
+  %r1 = add %r1, 1
+  brlt %r1, 23, outer, verify
+verify:
+  %r7 = mov 0
+  %r8 = mov 0
+  br vloop
+vloop:
+  %r9 = shl %r8, 2
+  %r10 = add %r0, %r9
+  %r11 = load %r10, 0
+  %r12 = mul %r11, %r8
+  %r7 = add %r7, %r12
+  %r8 = add %r8, 1
+  brlt %r8, 24, vloop, done
+done:
+  print %r7
+  ret 0
+}
+|}
+
+let bench_dotprod =
+  mk "dotprod"
+    {|
+global @va[32] = {}
+global @vb[32] = {}
+func @main() {
+entry:
+  %r0 = addr @va
+  %r1 = addr @vb
+  %r2 = mov 0
+  br init
+init:
+  %r3 = shl %r2, 2
+  %r4 = add %r0, %r3
+  %r5 = add %r2, 3
+  store %r5, %r4, 0
+  %r6 = add %r1, %r3
+  %r7 = sub 32, %r2
+  store %r7, %r6, 0
+  %r2 = add %r2, 1
+  brlt %r2, 32, init, dot
+dot:
+  %r8 = mov 0
+  %r9 = mov 0
+  br dloop
+dloop:
+  %r10 = shl %r9, 2
+  %r11 = add %r0, %r10
+  %r12 = load %r11, 0
+  %r13 = add %r1, %r10
+  %r14 = load %r13, 0
+  %r15 = mul %r12, %r14
+  %r8 = add %r8, %r15
+  %r9 = add %r9, 1
+  brlt %r9, 32, dloop, done
+done:
+  print %r8
+  ret 0
+}
+|}
+
+let bench_fir =
+  mk "fir_filter"
+    {|
+global @signal[40] = {}
+global @coef[4] = {2, -1, 3, 1}
+global @out[36] = {}
+func @main() {
+entry:
+  %r0 = addr @signal
+  %r1 = mov 0
+  br init
+init:
+  %r2 = shl %r1, 2
+  %r3 = add %r0, %r2
+  %r4 = mul %r1, 7
+  %r5 = and %r4, 31
+  store %r5, %r3, 0
+  %r1 = add %r1, 1
+  brlt %r1, 40, init, fir
+fir:
+  %r6 = addr @coef
+  %r7 = addr @out
+  %r8 = mov 0
+  br floop
+floop:
+  %r9 = mov 0
+  %r10 = mov 0
+  br tap
+tap:
+  %r11 = add %r8, %r10
+  %r12 = shl %r11, 2
+  %r13 = add %r0, %r12
+  %r14 = load %r13, 0
+  %r15 = shl %r10, 2
+  %r16 = add %r6, %r15
+  %r17 = load %r16, 0
+  %r18 = mul %r14, %r17
+  %r9 = add %r9, %r18
+  %r10 = add %r10, 1
+  brlt %r10, 4, tap, emit
+emit:
+  %r19 = shl %r8, 2
+  %r20 = add %r7, %r19
+  store %r9, %r20, 0
+  %r8 = add %r8, 1
+  brlt %r8, 36, floop, sum
+sum:
+  %r21 = mov 0
+  %r22 = mov 0
+  br sloop
+sloop:
+  %r23 = shl %r22, 2
+  %r24 = add %r7, %r23
+  %r25 = load %r24, 0
+  %r21 = add %r21, %r25
+  %r22 = add %r22, 1
+  brlt %r22, 36, sloop, done
+done:
+  print %r21
+  ret 0
+}
+|}
+
+let bench_popcount =
+  mk "popcount"
+    {|
+func @main() {
+entry:
+  %r0 = mov 0
+  %r1 = mov 1
+  br loop
+loop:
+  %r2 = mul %r1, 2654435761
+  %r3 = mov 0
+  %r4 = mov %r2
+  br bits
+bits:
+  %r5 = and %r4, 1
+  %r3 = add %r3, %r5
+  %r4 = shr %r4, 1
+  brne %r4, 0, bits, next
+next:
+  %r0 = add %r0, %r3
+  %r1 = add %r1, 1
+  brlt %r1, 40, loop, done
+done:
+  print %r0
+  ret 0
+}
+|}
+
+let bench_vecadd =
+  mk "vecadd" vec_friendly.source
+
+let benchmarks =
+  [
+    bench_fib;
+    bench_matmul;
+    bench_crc;
+    bench_sort;
+    bench_dotprod;
+    bench_fir;
+    bench_popcount;
+    bench_vecadd;
+  ]
+
+let find name =
+  List.find_opt (fun c -> c.name = name) (regression @ benchmarks)
+
+let modul_of c = Vir_parser.parse c.source
+
+let golden c =
+  fst (Vir_interp.run (modul_of c) ~entry:c.entry ~args:c.args)

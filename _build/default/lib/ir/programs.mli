@@ -1,0 +1,21 @@
+(** Workload programs.
+
+    [regression] stands in for the LLVM regression suites of Sec. 4.1.3
+    (scaled down; see DESIGN.md): each case exercises a specific backend
+    behaviour. [benchmarks] stand in for SPEC CPU2017 / PULP tests /
+    Embench in Fig. 10: loop kernels where -O3 (immediate folding,
+    fusion, hardware loops, SIMD) pays off. *)
+
+type case = {
+  name : string;
+  source : string;  (** VIR text *)
+  entry : string;
+  args : int list;
+}
+
+val regression : case list
+val benchmarks : case list
+val find : string -> case option
+val modul_of : case -> Vir.modul
+val golden : case -> int list
+(** Print stream from the reference interpreter. *)

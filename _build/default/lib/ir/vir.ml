@@ -1,0 +1,156 @@
+(** VIR, the miniature intermediate representation MiniLLVM lowers.
+
+    Non-SSA three-address code over 32/64-bit integers: virtual registers,
+    basic blocks with explicit terminators, word-addressed global arrays,
+    calls, and a [print] intrinsic whose output stream is the observable
+    behaviour compared between the reference interpreter and the
+    simulators. *)
+
+type reg = int [@@deriving show { with_path = false }, eq]
+
+type value = Reg of reg | Imm of int [@@deriving show { with_path = false }, eq]
+
+type binop = Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr | Slt
+[@@deriving show { with_path = false }, eq]
+
+type cond = Eq | Ne | Lt | Ge [@@deriving show { with_path = false }, eq]
+
+type instr =
+  | Bin of binop * reg * value * value
+  | Mov of reg * value
+  | Addr of reg * string  (** address of a global *)
+  | Load of reg * reg * int  (** dst, base, byte offset *)
+  | Store of value * reg * int  (** src, base, byte offset *)
+  | Call of reg option * string * value list
+  | Print of value  (** observable output *)
+[@@deriving show { with_path = false }, eq]
+
+type terminator =
+  | Br of string
+  | Brcond of cond * value * value * string * string  (** then, else *)
+  | Ret of value option
+[@@deriving show { with_path = false }, eq]
+
+type block = { label : string; body : instr list; term : terminator }
+[@@deriving show { with_path = false }, eq]
+
+type func = {
+  fname : string;
+  params : reg list;
+  blocks : block list;  (** entry first *)
+}
+[@@deriving show { with_path = false }, eq]
+
+type global = { gname : string; size : int; init : int list }
+[@@deriving show { with_path = false }, eq]
+
+type modul = { funcs : func list; globals : global list }
+[@@deriving show { with_path = false }, eq]
+
+let binop_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Rem -> "rem"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Shl -> "shl"
+  | Shr -> "shr"
+  | Slt -> "slt"
+
+let cond_name = function Eq -> "eq" | Ne -> "ne" | Lt -> "lt" | Ge -> "ge"
+
+let value_str = function Reg r -> Printf.sprintf "%%r%d" r | Imm n -> string_of_int n
+
+let instr_str = function
+  | Bin (op, d, a, b) ->
+      Printf.sprintf "%%r%d = %s %s, %s" d (binop_name op) (value_str a)
+        (value_str b)
+  | Mov (d, v) -> Printf.sprintf "%%r%d = mov %s" d (value_str v)
+  | Addr (d, g) -> Printf.sprintf "%%r%d = addr @%s" d g
+  | Load (d, base, off) -> Printf.sprintf "%%r%d = load %%r%d, %d" d base off
+  | Store (v, base, off) ->
+      Printf.sprintf "store %s, %%r%d, %d" (value_str v) base off
+  | Call (Some d, f, args) ->
+      Printf.sprintf "%%r%d = call @%s(%s)" d f
+        (String.concat ", " (List.map value_str args))
+  | Call (None, f, args) ->
+      Printf.sprintf "call @%s(%s)" f (String.concat ", " (List.map value_str args))
+  | Print v -> Printf.sprintf "print %s" (value_str v)
+
+let term_str = function
+  | Br l -> Printf.sprintf "br %s" l
+  | Brcond (c, a, b, t, f) ->
+      Printf.sprintf "br%s %s, %s, %s, %s" (cond_name c) (value_str a)
+        (value_str b) t f
+  | Ret None -> "ret"
+  | Ret (Some v) -> Printf.sprintf "ret %s" (value_str v)
+
+let func_str f =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "func @%s(%s) {\n" f.fname
+       (String.concat ", " (List.map (Printf.sprintf "%%r%d") f.params)));
+  List.iter
+    (fun b ->
+      Buffer.add_string buf (b.label ^ ":\n");
+      List.iter (fun i -> Buffer.add_string buf ("  " ^ instr_str i ^ "\n")) b.body;
+      Buffer.add_string buf ("  " ^ term_str b.term ^ "\n"))
+    f.blocks;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let modul_str m =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun g ->
+      Buffer.add_string buf
+        (Printf.sprintf "global @%s[%d] = {%s}\n" g.gname g.size
+           (String.concat ", " (List.map string_of_int g.init))))
+    m.globals;
+  List.iter (fun f -> Buffer.add_string buf (func_str f)) m.funcs;
+  Buffer.contents buf
+
+let find_func m name = List.find_opt (fun f -> f.fname = name) m.funcs
+
+let find_block f label = List.find_opt (fun b -> b.label = label) f.blocks
+
+(** Highest virtual register used in a function (parameters included). *)
+let max_reg f =
+  let m = ref (-1) in
+  let see r = if r > !m then m := r in
+  let see_v = function Reg r -> see r | Imm _ -> () in
+  List.iter see f.params;
+  List.iter
+    (fun b ->
+      List.iter
+        (function
+          | Bin (_, d, a, b) ->
+              see d;
+              see_v a;
+              see_v b
+          | Mov (d, v) ->
+              see d;
+              see_v v
+          | Addr (d, _) -> see d
+          | Load (d, base, _) ->
+              see d;
+              see base
+          | Store (v, base, _) ->
+              see_v v;
+              see base
+          | Call (d, _, args) ->
+              Option.iter see d;
+              List.iter see_v args
+          | Print v -> see_v v)
+        b.body;
+      match b.term with
+      | Brcond (_, a, b', _, _) ->
+          see_v a;
+          see_v b'
+      | Ret (Some v) -> see_v v
+      | Br _ | Ret None -> ())
+    f.blocks;
+  !m

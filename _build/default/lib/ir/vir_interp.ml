@@ -1,0 +1,123 @@
+exception Error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+(* 32-bit wraparound semantics shared with the simulators *)
+let wrap n = (n land 0xFFFFFFFF) - (if n land 0x80000000 <> 0 then 0x100000000 else 0)
+
+let eval_bin op a b =
+  let v =
+    match op with
+    | Vir.Add -> a + b
+    | Vir.Sub -> a - b
+    | Vir.Mul -> a * b
+    | Vir.Div -> if b = 0 then err "division by zero" else a / b
+    | Vir.Rem -> if b = 0 then err "remainder by zero" else a mod b
+    | Vir.And -> a land b
+    | Vir.Or -> a lor b
+    | Vir.Xor -> a lxor b
+    | Vir.Shl -> a lsl (b land 31)
+    | Vir.Shr -> (a land 0xFFFFFFFF) lsr (b land 31)
+    | Vir.Slt -> if a < b then 1 else 0
+  in
+  wrap v
+
+let eval_cond c a b =
+  match c with
+  | Vir.Eq -> a = b
+  | Vir.Ne -> a <> b
+  | Vir.Lt -> a < b
+  | Vir.Ge -> a >= b
+
+type state = {
+  m : Vir.modul;
+  mem : int array;  (** word-indexed; addresses are byte addresses *)
+  gaddr : (string, int) Hashtbl.t;
+  output : int list ref;
+  mutable fuel : int;
+}
+
+let word_addr st byte =
+  if byte land 3 <> 0 then err "unaligned access at %d" byte;
+  let w = byte / 4 in
+  if w < 0 || w >= Array.length st.mem then err "address %d out of bounds" byte;
+  w
+
+let rec exec_func st (f : Vir.func) args =
+  let regs = Hashtbl.create 32 in
+  if List.length args < List.length f.params then
+    err "function %s expects %d arguments" f.fname (List.length f.params);
+  List.iteri
+    (fun i p -> Hashtbl.replace regs p (List.nth args i))
+    f.params;
+  let value = function
+    | Vir.Reg r -> (
+        match Hashtbl.find_opt regs r with
+        | Some v -> v
+        | None -> err "use of undefined register %%r%d in %s" r f.fname)
+    | Vir.Imm n -> n
+  in
+  let rec run_block (b : Vir.block) =
+    List.iter
+      (fun instr ->
+        st.fuel <- st.fuel - 1;
+        if st.fuel <= 0 then err "fuel exhausted";
+        match instr with
+        | Vir.Bin (op, d, a, c) -> Hashtbl.replace regs d (eval_bin op (value a) (value c))
+        | Vir.Mov (d, v) -> Hashtbl.replace regs d (value v)
+        | Vir.Addr (d, g) -> (
+            match Hashtbl.find_opt st.gaddr g with
+            | Some a -> Hashtbl.replace regs d a
+            | None -> err "unknown global @%s" g)
+        | Vir.Load (d, base, off) ->
+            let a = word_addr st (value (Vir.Reg base) + off) in
+            Hashtbl.replace regs d st.mem.(a)
+        | Vir.Store (v, base, off) ->
+            let a = word_addr st (value (Vir.Reg base) + off) in
+            st.mem.(a) <- wrap (value v)
+        | Vir.Call (d, callee, cargs) -> (
+            match Vir.find_func st.m callee with
+            | Some cf ->
+                let r = exec_func st cf (List.map value cargs) in
+                Option.iter
+                  (fun dst -> Hashtbl.replace regs dst (Option.value ~default:0 r))
+                  d
+            | None -> err "unknown function @%s" callee)
+        | Vir.Print v -> st.output := wrap (value v) :: !(st.output))
+      b.body;
+    st.fuel <- st.fuel - 1;
+    if st.fuel <= 0 then err "fuel exhausted";
+    match b.term with
+    | Vir.Br l -> goto l
+    | Vir.Brcond (c, a, bv, t, e) ->
+        if eval_cond c (value a) (value bv) then goto t else goto e
+    | Vir.Ret None -> None
+    | Vir.Ret (Some v) -> Some (value v)
+  and goto l =
+    match Vir.find_block f l with
+    | Some b -> run_block b
+    | None -> err "unknown label %s in %s" l f.fname
+  in
+  match f.blocks with
+  | entry :: _ -> run_block entry
+  | [] -> err "function %s has no blocks" f.fname
+
+let run ?(fuel = 2_000_000) ?(mem_words = 65_536) m ~entry ~args =
+  let st =
+    { m; mem = Array.make mem_words 0; gaddr = Hashtbl.create 8; output = ref []; fuel }
+  in
+  (* globals from byte address 4096 up (0 stays a trap address) *)
+  let next = ref 4096 in
+  List.iter
+    (fun (g : Vir.global) ->
+      Hashtbl.replace st.gaddr g.gname !next;
+      List.iteri (fun i v -> st.mem.((!next / 4) + i) <- wrap v) g.init;
+      next := !next + (4 * g.size))
+    m.globals;
+  let f =
+    match Vir.find_func m entry with
+    | Some f -> f
+    | None -> err "unknown entry function @%s" entry
+  in
+  let r = exec_func st f args in
+  (List.rev !(st.output), r)

@@ -1,0 +1,16 @@
+(** Reference interpreter for VIR.
+
+    Its [print] output stream is the golden behaviour the simulators must
+    reproduce, making every regression comparison end-to-end behavioural.
+    Execution is fuel-bounded. *)
+
+exception Error of string
+
+val run :
+  ?fuel:int -> ?mem_words:int -> Vir.modul -> entry:string -> args:int list ->
+  int list * int option
+(** [run m ~entry ~args] executes [entry]; returns the print stream and
+    the entry function's return value. Default fuel 2_000_000 steps,
+    memory 65_536 words.
+    @raise Error on missing symbols, out-of-bounds access, division by
+    zero, or fuel exhaustion. *)

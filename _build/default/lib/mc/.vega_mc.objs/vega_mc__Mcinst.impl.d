@@ -1,0 +1,1 @@
+lib/mc/mcinst.pp.ml: List Ppx_deriving_runtime

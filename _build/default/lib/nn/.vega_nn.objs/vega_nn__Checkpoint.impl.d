@@ -1,0 +1,1 @@
+lib/nn/checkpoint.ml: Array Char Fun Int64 List Printf String Tensor

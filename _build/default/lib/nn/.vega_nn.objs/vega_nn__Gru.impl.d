@@ -1,0 +1,1 @@
+lib/nn/gru.ml: Adam Array Float Layers List Tensor Vega_util Vocab

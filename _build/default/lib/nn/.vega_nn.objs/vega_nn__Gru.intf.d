@@ -1,0 +1,1 @@
+lib/nn/gru.mli: Adam Tensor

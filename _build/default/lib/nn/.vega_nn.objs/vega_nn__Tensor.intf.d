@@ -1,0 +1,1 @@
+lib/nn/tensor.mli: Vega_util

@@ -1,0 +1,1 @@
+lib/nn/transformer.ml: Adam Array Float Layers List Tensor Vega_util Vocab

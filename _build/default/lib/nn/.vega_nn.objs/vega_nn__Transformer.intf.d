@@ -1,0 +1,1 @@
+lib/nn/transformer.mli: Adam Tensor

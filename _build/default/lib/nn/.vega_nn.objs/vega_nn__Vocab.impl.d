@@ -1,0 +1,1 @@
+lib/nn/vocab.ml: Array Float Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/nn/vocab.mli:

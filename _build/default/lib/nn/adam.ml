@@ -1,0 +1,45 @@
+type t = {
+  params : Tensor.t array;
+  m : float array array;
+  v : float array array;
+  mutable lr : float;
+  beta1 : float;
+  beta2 : float;
+  eps : float;
+  mutable t_step : int;
+}
+
+let create ?(beta1 = 0.9) ?(beta2 = 0.999) ?(eps = 1e-8) ~lr params =
+  let params = Array.of_list params in
+  {
+    params;
+    m = Array.map (fun (p : Tensor.t) -> Array.make (Array.length p.data) 0.0) params;
+    v = Array.map (fun (p : Tensor.t) -> Array.make (Array.length p.data) 0.0) params;
+    lr;
+    beta1;
+    beta2;
+    eps;
+    t_step = 0;
+  }
+
+let set_lr t lr = t.lr <- lr
+
+let zero_grads t =
+  Array.iter (fun (p : Tensor.t) -> Array.fill p.grad 0 (Array.length p.grad) 0.0) t.params
+
+let step t =
+  t.t_step <- t.t_step + 1;
+  let bc1 = 1.0 -. (t.beta1 ** float_of_int t.t_step) in
+  let bc2 = 1.0 -. (t.beta2 ** float_of_int t.t_step) in
+  Array.iteri
+    (fun k (p : Tensor.t) ->
+      let m = t.m.(k) and v = t.v.(k) in
+      for i = 0 to Array.length p.data - 1 do
+        let g = p.grad.(i) in
+        m.(i) <- (t.beta1 *. m.(i)) +. ((1.0 -. t.beta1) *. g);
+        v.(i) <- (t.beta2 *. v.(i)) +. ((1.0 -. t.beta2) *. g *. g);
+        let mhat = m.(i) /. bc1 and vhat = v.(i) /. bc2 in
+        p.data.(i) <- p.data.(i) -. (t.lr *. mhat /. (sqrt vhat +. t.eps))
+      done)
+    t.params;
+  zero_grads t

@@ -1,0 +1,12 @@
+(** Adam optimizer (Sec. 4.1.2 uses Adam with cross-entropy). *)
+
+type t
+
+val create : ?beta1:float -> ?beta2:float -> ?eps:float -> lr:float ->
+  Tensor.t list -> t
+
+val step : t -> unit
+(** Apply one update from the accumulated gradients, then zero them. *)
+
+val zero_grads : t -> unit
+val set_lr : t -> float -> unit

@@ -1,0 +1,69 @@
+exception Format_error of string
+
+let magic = "VEGACKPT1"
+
+let save ~path ?(tokens = []) params =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc magic;
+      output_binary_int oc (List.length tokens);
+      List.iter
+        (fun tok ->
+          output_binary_int oc (String.length tok);
+          output_string oc tok)
+        tokens;
+      output_binary_int oc (List.length params);
+      List.iter
+        (fun (p : Tensor.t) ->
+          output_binary_int oc p.Tensor.rows;
+          output_binary_int oc p.Tensor.cols;
+          Array.iter
+            (fun v ->
+              let bits = Int64.bits_of_float v in
+              for k = 0 to 7 do
+                output_char oc
+                  (Char.chr
+                     (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (8 * k)) 0xFFL)))
+              done)
+            p.Tensor.data)
+        params)
+
+let load ~path params =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let buf = really_input_string ic (String.length magic) in
+      if buf <> magic then raise (Format_error "bad magic");
+      let ntok = input_binary_int ic in
+      let tokens =
+        List.init ntok (fun _ ->
+            let len = input_binary_int ic in
+            really_input_string ic len)
+      in
+      let n = input_binary_int ic in
+      if n <> List.length params then
+        raise
+          (Format_error
+             (Printf.sprintf "checkpoint has %d tensors, model has %d" n
+                (List.length params)));
+      List.iter
+        (fun (p : Tensor.t) ->
+          let rows = input_binary_int ic and cols = input_binary_int ic in
+          if rows <> p.Tensor.rows || cols <> p.Tensor.cols then
+            raise
+              (Format_error
+                 (Printf.sprintf "shape mismatch: %dx%d vs %dx%d" rows cols
+                    p.Tensor.rows p.Tensor.cols));
+          for i = 0 to (rows * cols) - 1 do
+            let bits = ref 0L in
+            for k = 0 to 7 do
+              let byte = Char.code (input_char ic) in
+              bits := Int64.logor !bits (Int64.shift_left (Int64.of_int byte) (8 * k))
+            done;
+            p.Tensor.data.(i) <- Int64.float_of_bits !bits
+          done)
+        params;
+      tokens)

@@ -1,0 +1,13 @@
+(** Flat binary checkpointing of parameter lists (and token lists for
+    vocabularies). Format: a magic header, then per-tensor dimensions and
+    raw little-endian float64 payloads — enough to persist a fine-tuned
+    CodeBE between runs. *)
+
+exception Format_error of string
+
+val save : path:string -> ?tokens:string list -> Tensor.t list -> unit
+
+val load : path:string -> Tensor.t list -> string list
+(** Load parameters in place (shapes must match the checkpoint) and
+    return the stored token list (empty if none was saved).
+    @raise Format_error on mismatch or corruption. *)

@@ -1,0 +1,135 @@
+module T = Tensor
+
+type linear = { w : T.t; b : T.t }
+
+let linear rng ~d_in ~d_out = { w = T.param rng d_in d_out; b = T.param rng ~scale:0.01 1 d_out }
+let linear_fwd l x = T.add (T.matmul x l.w) l.b
+let linear_params l = [ l.w; l.b ]
+
+type norm = { gain : T.t; bias : T.t }
+
+let norm ~d =
+  let gain = T.create 1 d (Array.make d 1.0) in
+  let bias = T.create 1 d (Array.make d 0.0) in
+  (* layernorm params participate in training despite constant init *)
+  ( {
+      gain = { gain with T.is_param = true };
+      bias = { bias with T.is_param = true };
+    }
+    : norm )
+
+let norm_fwd n x = T.layernorm ~gain:n.gain ~bias:n.bias x
+let norm_params n = [ n.gain; n.bias ]
+
+type attention = {
+  heads : int;
+  d_head : int;
+  wq : linear;
+  wk : linear;
+  wv : linear;
+  wo : linear;
+}
+
+let attention rng ~d_model ~heads =
+  assert (d_model mod heads = 0);
+  {
+    heads;
+    d_head = d_model / heads;
+    wq = linear rng ~d_in:d_model ~d_out:d_model;
+    wk = linear rng ~d_in:d_model ~d_out:d_model;
+    wv = linear rng ~d_in:d_model ~d_out:d_model;
+    wo = linear rng ~d_in:d_model ~d_out:d_model;
+  }
+
+(* Split head h columns out of a (L x d_model) projection. *)
+let head_slice t ~h ~d_head =
+  (* implemented as matmul with a constant selector for simplicity would
+     be wasteful; instead copy columns via transpose+rows_slice *)
+  let tt = T.transpose t in
+  let sl = T.rows_slice tt (h * d_head) d_head in
+  T.transpose sl
+
+let attention_fwd at ~q_input ~kv_input ~mask =
+  let q_all = linear_fwd at.wq q_input in
+  let k_all = linear_fwd at.wk kv_input in
+  let v_all = linear_fwd at.wv kv_input in
+  let outs =
+    List.init at.heads (fun h ->
+        let q = head_slice q_all ~h ~d_head:at.d_head in
+        let k = head_slice k_all ~h ~d_head:at.d_head in
+        let v = head_slice v_all ~h ~d_head:at.d_head in
+        let scores =
+          T.scale (1.0 /. sqrt (float_of_int at.d_head)) (T.matmul q (T.transpose k))
+        in
+        let weights = T.softmax_rows ?mask scores in
+        T.matmul weights v)
+  in
+  (* concat heads along columns: transpose-concat-transpose *)
+  let concat = T.transpose (T.concat_rows (List.map T.transpose outs)) in
+  linear_fwd at.wo concat
+
+let attention_params at =
+  linear_params at.wq @ linear_params at.wk @ linear_params at.wv
+  @ linear_params at.wo
+
+type block = {
+  att : attention;
+  n1 : norm;
+  n2 : norm;
+  ff1 : linear;
+  ff2 : linear;
+}
+
+let encoder_block rng ~d_model ~heads ~d_ff =
+  {
+    att = attention rng ~d_model ~heads;
+    n1 = norm ~d:d_model;
+    n2 = norm ~d:d_model;
+    ff1 = linear rng ~d_in:d_model ~d_out:d_ff;
+    ff2 = linear rng ~d_in:d_ff ~d_out:d_model;
+  }
+
+let encoder_fwd b x =
+  let a = attention_fwd b.att ~q_input:x ~kv_input:x ~mask:None in
+  let x = norm_fwd b.n1 (T.add x a) in
+  let ff = linear_fwd b.ff2 (T.gelu (linear_fwd b.ff1 x)) in
+  norm_fwd b.n2 (T.add x ff)
+
+let block_params b =
+  attention_params b.att @ norm_params b.n1 @ norm_params b.n2
+  @ linear_params b.ff1 @ linear_params b.ff2
+
+type dec_block = {
+  self_att : attention;
+  cross_att : attention;
+  dn1 : norm;
+  dn2 : norm;
+  dn3 : norm;
+  dff1 : linear;
+  dff2 : linear;
+}
+
+let decoder_block rng ~d_model ~heads ~d_ff =
+  {
+    self_att = attention rng ~d_model ~heads;
+    cross_att = attention rng ~d_model ~heads;
+    dn1 = norm ~d:d_model;
+    dn2 = norm ~d:d_model;
+    dn3 = norm ~d:d_model;
+    dff1 = linear rng ~d_in:d_model ~d_out:d_ff;
+    dff2 = linear rng ~d_in:d_ff ~d_out:d_model;
+  }
+
+let decoder_fwd b ~x ~memory =
+  let causal i j = j <= i in
+  let a = attention_fwd b.self_att ~q_input:x ~kv_input:x ~mask:(Some causal) in
+  let x = norm_fwd b.dn1 (T.add x a) in
+  let c = attention_fwd b.cross_att ~q_input:x ~kv_input:memory ~mask:None in
+  let x = norm_fwd b.dn2 (T.add x c) in
+  let ff = linear_fwd b.dff2 (T.gelu (linear_fwd b.dff1 x)) in
+  norm_fwd b.dn3 (T.add x ff)
+
+let dec_block_params b =
+  attention_params b.self_att @ attention_params b.cross_att @ norm_params b.dn1
+  @ norm_params b.dn2 @ norm_params b.dn3 @ linear_params b.dff1
+  @ linear_params b.dff2

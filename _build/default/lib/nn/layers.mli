@@ -1,0 +1,44 @@
+(** Transformer building blocks over {!Tensor}. Every block exposes its
+    trainable parameters through [params]. *)
+
+type linear
+
+val linear : Vega_util.Rng.t -> d_in:int -> d_out:int -> linear
+val linear_fwd : linear -> Tensor.t -> Tensor.t
+val linear_params : linear -> Tensor.t list
+
+type norm
+
+val norm : d:int -> norm
+val norm_fwd : norm -> Tensor.t -> Tensor.t
+val norm_params : norm -> Tensor.t list
+
+type attention
+
+val attention : Vega_util.Rng.t -> d_model:int -> heads:int -> attention
+
+val attention_fwd :
+  attention ->
+  q_input:Tensor.t ->
+  kv_input:Tensor.t ->
+  mask:(int -> int -> bool) option ->
+  Tensor.t
+(** Multi-head attention; self-attention when [q_input == kv_input].
+    [mask i j] permits query row i to attend to key row j. *)
+
+val attention_params : attention -> Tensor.t list
+
+type block
+
+val encoder_block : Vega_util.Rng.t -> d_model:int -> heads:int -> d_ff:int -> block
+val encoder_fwd : block -> Tensor.t -> Tensor.t
+val block_params : block -> Tensor.t list
+
+type dec_block
+
+val decoder_block : Vega_util.Rng.t -> d_model:int -> heads:int -> d_ff:int -> dec_block
+
+val decoder_fwd : dec_block -> x:Tensor.t -> memory:Tensor.t -> Tensor.t
+(** Causal self-attention then cross-attention over [memory]. *)
+
+val dec_block_params : dec_block -> Tensor.t list

@@ -1,0 +1,419 @@
+type t = {
+  data : float array;
+  rows : int;
+  cols : int;
+  grad : float array;
+  is_param : bool;
+}
+
+(* The tape holds backward closures in forward order. *)
+let tape : (unit -> unit) list ref = ref []
+let tape_active = ref false
+
+let push_back f = if !tape_active then tape := f :: !tape
+
+let with_tape f =
+  assert (not !tape_active);
+  tape := [];
+  tape_active := true;
+  Fun.protect
+    ~finally:(fun () ->
+      tape := [];
+      tape_active := false)
+    f
+
+let backward t =
+  assert (t.rows = 1 && t.cols = 1);
+  t.grad.(0) <- 1.0;
+  List.iter (fun f -> f ()) !tape;
+  tape := []
+
+let create rows cols data =
+  assert (Array.length data = rows * cols);
+  { data; rows; cols; grad = Array.make (rows * cols) 0.0; is_param = false }
+
+let zeros rows cols = create rows cols (Array.make (rows * cols) 0.0)
+
+let param rng ?scale rows cols =
+  let s = match scale with Some s -> s | None -> 1.0 /. sqrt (float_of_int cols) in
+  let data = Array.init (rows * cols) (fun _ -> s *. Vega_util.Rng.gaussian rng) in
+  { data; rows; cols; grad = Array.make (rows * cols) 0.0; is_param = true }
+
+let get t i j = t.data.((i * t.cols) + j)
+let set_ t i j v = t.data.((i * t.cols) + j) <- v
+let to_float t = t.data.(0)
+let params_count ps = List.fold_left (fun a p -> a + Array.length p.data) 0 ps
+
+let out rows cols = zeros rows cols
+
+let matmul a b =
+  assert (a.cols = b.rows);
+  let m = a.rows and k = a.cols and n = b.cols in
+  let c = out m n in
+  for i = 0 to m - 1 do
+    let arow = i * k in
+    for p = 0 to k - 1 do
+      let av = a.data.(arow + p) in
+      if av <> 0.0 then begin
+        let brow = p * n in
+        let crow = i * n in
+        for j = 0 to n - 1 do
+          c.data.(crow + j) <- c.data.(crow + j) +. (av *. b.data.(brow + j))
+        done
+      end
+    done
+  done;
+  push_back (fun () ->
+      (* dA = dC * B^T ; dB = A^T * dC *)
+      for i = 0 to m - 1 do
+        for p = 0 to k - 1 do
+          let brow = p * n and crow = i * n in
+          let acc = ref 0.0 in
+          for j = 0 to n - 1 do
+            acc := !acc +. (c.grad.(crow + j) *. b.data.(brow + j))
+          done;
+          a.grad.((i * k) + p) <- a.grad.((i * k) + p) +. !acc
+        done
+      done;
+      for p = 0 to k - 1 do
+        for j = 0 to n - 1 do
+          let acc = ref 0.0 in
+          for i = 0 to m - 1 do
+            acc := !acc +. (a.data.((i * k) + p) *. c.grad.((i * n) + j))
+          done;
+          b.grad.((p * n) + j) <- b.grad.((p * n) + j) +. !acc
+        done
+      done);
+  c
+
+let add a b =
+  if b.rows = 1 && a.rows > 1 then begin
+    assert (a.cols = b.cols);
+    let c = out a.rows a.cols in
+    for i = 0 to a.rows - 1 do
+      for j = 0 to a.cols - 1 do
+        c.data.((i * a.cols) + j) <- a.data.((i * a.cols) + j) +. b.data.(j)
+      done
+    done;
+    push_back (fun () ->
+        for i = 0 to a.rows - 1 do
+          for j = 0 to a.cols - 1 do
+            let g = c.grad.((i * a.cols) + j) in
+            a.grad.((i * a.cols) + j) <- a.grad.((i * a.cols) + j) +. g;
+            b.grad.(j) <- b.grad.(j) +. g
+          done
+        done);
+    c
+  end
+  else begin
+    assert (a.rows = b.rows && a.cols = b.cols);
+    let n = Array.length a.data in
+    let c = out a.rows a.cols in
+    for i = 0 to n - 1 do
+      c.data.(i) <- a.data.(i) +. b.data.(i)
+    done;
+    push_back (fun () ->
+        for i = 0 to n - 1 do
+          a.grad.(i) <- a.grad.(i) +. c.grad.(i);
+          b.grad.(i) <- b.grad.(i) +. c.grad.(i)
+        done);
+    c
+  end
+
+let scale s a =
+  let n = Array.length a.data in
+  let c = out a.rows a.cols in
+  for i = 0 to n - 1 do
+    c.data.(i) <- s *. a.data.(i)
+  done;
+  push_back (fun () ->
+      for i = 0 to n - 1 do
+        a.grad.(i) <- a.grad.(i) +. (s *. c.grad.(i))
+      done);
+  c
+
+let gelu a =
+  (* tanh approximation *)
+  let n = Array.length a.data in
+  let c = out a.rows a.cols in
+  let k = sqrt (2.0 /. Float.pi) in
+  for i = 0 to n - 1 do
+    let x = a.data.(i) in
+    let t = tanh (k *. (x +. (0.044715 *. x *. x *. x))) in
+    c.data.(i) <- 0.5 *. x *. (1.0 +. t)
+  done;
+  push_back (fun () ->
+      for i = 0 to n - 1 do
+        let x = a.data.(i) in
+        let u = k *. (x +. (0.044715 *. x *. x *. x)) in
+        let t = tanh u in
+        let du = k *. (1.0 +. (3.0 *. 0.044715 *. x *. x)) in
+        let d = (0.5 *. (1.0 +. t)) +. (0.5 *. x *. (1.0 -. (t *. t)) *. du) in
+        a.grad.(i) <- a.grad.(i) +. (d *. c.grad.(i))
+      done);
+  c
+
+let sigmoid a =
+  let n = Array.length a.data in
+  let c = out a.rows a.cols in
+  for i = 0 to n - 1 do
+    c.data.(i) <- 1.0 /. (1.0 +. exp (-.a.data.(i)))
+  done;
+  push_back (fun () ->
+      for i = 0 to n - 1 do
+        let s = c.data.(i) in
+        a.grad.(i) <- a.grad.(i) +. (s *. (1.0 -. s) *. c.grad.(i))
+      done);
+  c
+
+let tanh_ a =
+  let n = Array.length a.data in
+  let c = out a.rows a.cols in
+  for i = 0 to n - 1 do
+    c.data.(i) <- tanh a.data.(i)
+  done;
+  push_back (fun () ->
+      for i = 0 to n - 1 do
+        let t = c.data.(i) in
+        a.grad.(i) <- a.grad.(i) +. ((1.0 -. (t *. t)) *. c.grad.(i))
+      done);
+  c
+
+let mul_elt a b =
+  assert (a.rows = b.rows && a.cols = b.cols);
+  let n = Array.length a.data in
+  let c = out a.rows a.cols in
+  for i = 0 to n - 1 do
+    c.data.(i) <- a.data.(i) *. b.data.(i)
+  done;
+  push_back (fun () ->
+      for i = 0 to n - 1 do
+        a.grad.(i) <- a.grad.(i) +. (b.data.(i) *. c.grad.(i));
+        b.grad.(i) <- b.grad.(i) +. (a.data.(i) *. c.grad.(i))
+      done);
+  c
+
+let one_minus a =
+  let n = Array.length a.data in
+  let c = out a.rows a.cols in
+  for i = 0 to n - 1 do
+    c.data.(i) <- 1.0 -. a.data.(i)
+  done;
+  push_back (fun () ->
+      for i = 0 to n - 1 do
+        a.grad.(i) <- a.grad.(i) -. c.grad.(i)
+      done);
+  c
+
+let softmax_rows ?mask a =
+  let m = a.rows and n = a.cols in
+  let c = out m n in
+  let allowed i j = match mask with None -> true | Some f -> f i j in
+  for i = 0 to m - 1 do
+    let row = i * n in
+    let mx = ref neg_infinity in
+    for j = 0 to n - 1 do
+      if allowed i j then mx := Float.max !mx a.data.(row + j)
+    done;
+    let sum = ref 0.0 in
+    for j = 0 to n - 1 do
+      if allowed i j then begin
+        let e = exp (a.data.(row + j) -. !mx) in
+        c.data.(row + j) <- e;
+        sum := !sum +. e
+      end
+      else c.data.(row + j) <- 0.0
+    done;
+    if !sum > 0.0 then
+      for j = 0 to n - 1 do
+        c.data.(row + j) <- c.data.(row + j) /. !sum
+      done
+  done;
+  push_back (fun () ->
+      for i = 0 to m - 1 do
+        let row = i * n in
+        let dot = ref 0.0 in
+        for j = 0 to n - 1 do
+          dot := !dot +. (c.grad.(row + j) *. c.data.(row + j))
+        done;
+        for j = 0 to n - 1 do
+          a.grad.(row + j) <-
+            a.grad.(row + j)
+            +. (c.data.(row + j) *. (c.grad.(row + j) -. !dot))
+        done
+      done);
+  c
+
+let layernorm ~gain ~bias a =
+  let m = a.rows and n = a.cols in
+  assert (gain.rows = 1 && gain.cols = n && bias.rows = 1 && bias.cols = n);
+  let c = out m n in
+  let mus = Array.make m 0.0 and sigmas = Array.make m 0.0 in
+  let eps = 1e-5 in
+  for i = 0 to m - 1 do
+    let row = i * n in
+    let mu = ref 0.0 in
+    for j = 0 to n - 1 do
+      mu := !mu +. a.data.(row + j)
+    done;
+    let mu = !mu /. float_of_int n in
+    let var = ref 0.0 in
+    for j = 0 to n - 1 do
+      let d = a.data.(row + j) -. mu in
+      var := !var +. (d *. d)
+    done;
+    let sigma = sqrt ((!var /. float_of_int n) +. eps) in
+    mus.(i) <- mu;
+    sigmas.(i) <- sigma;
+    for j = 0 to n - 1 do
+      c.data.(row + j) <-
+        (gain.data.(j) *. ((a.data.(row + j) -. mu) /. sigma)) +. bias.data.(j)
+    done
+  done;
+  push_back (fun () ->
+      for i = 0 to m - 1 do
+        let row = i * n in
+        let mu = mus.(i) and sigma = sigmas.(i) in
+        let nf = float_of_int n in
+        (* intermediate sums for the layernorm jacobian *)
+        let sum_gy = ref 0.0 and sum_gyx = ref 0.0 in
+        for j = 0 to n - 1 do
+          let gy = c.grad.(row + j) *. gain.data.(j) in
+          let xhat = (a.data.(row + j) -. mu) /. sigma in
+          sum_gy := !sum_gy +. gy;
+          sum_gyx := !sum_gyx +. (gy *. xhat);
+          gain.grad.(j) <- gain.grad.(j) +. (c.grad.(row + j) *. xhat);
+          bias.grad.(j) <- bias.grad.(j) +. c.grad.(row + j)
+        done;
+        for j = 0 to n - 1 do
+          let gy = c.grad.(row + j) *. gain.data.(j) in
+          let xhat = (a.data.(row + j) -. mu) /. sigma in
+          let d =
+            (gy -. (!sum_gy /. nf) -. (xhat *. !sum_gyx /. nf)) /. sigma
+          in
+          a.grad.(row + j) <- a.grad.(row + j) +. d
+        done
+      done);
+  c
+
+let transpose a =
+  let m = a.rows and n = a.cols in
+  let c = out n m in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      c.data.((j * m) + i) <- a.data.((i * n) + j)
+    done
+  done;
+  push_back (fun () ->
+      for i = 0 to m - 1 do
+        for j = 0 to n - 1 do
+          a.grad.((i * n) + j) <- a.grad.((i * n) + j) +. c.grad.((j * m) + i)
+        done
+      done);
+  c
+
+let rows_slice a lo n =
+  assert (lo >= 0 && lo + n <= a.rows);
+  let c = out n a.cols in
+  Array.blit a.data (lo * a.cols) c.data 0 (n * a.cols);
+  push_back (fun () ->
+      for i = 0 to (n * a.cols) - 1 do
+        a.grad.((lo * a.cols) + i) <- a.grad.((lo * a.cols) + i) +. c.grad.(i)
+      done);
+  c
+
+let concat_rows ts =
+  match ts with
+  | [] -> invalid_arg "concat_rows: empty"
+  | first :: _ ->
+      let cols = first.cols in
+      let rows = List.fold_left (fun acc t -> acc + t.rows) 0 ts in
+      let c = out rows cols in
+      let off = ref 0 in
+      List.iter
+        (fun t ->
+          assert (t.cols = cols);
+          Array.blit t.data 0 c.data !off (Array.length t.data);
+          off := !off + Array.length t.data)
+        ts;
+      push_back (fun () ->
+          let off = ref 0 in
+          List.iter
+            (fun t ->
+              for i = 0 to Array.length t.data - 1 do
+                t.grad.(i) <- t.grad.(i) +. c.grad.(!off + i)
+              done;
+              off := !off + Array.length t.data)
+            ts);
+      c
+
+let embed ~table ids =
+  let n = Array.length ids in
+  let d = table.cols in
+  let c = out n d in
+  Array.iteri
+    (fun i id ->
+      assert (id >= 0 && id < table.rows);
+      Array.blit table.data (id * d) c.data (i * d) d)
+    ids;
+  push_back (fun () ->
+      Array.iteri
+        (fun i id ->
+          for j = 0 to d - 1 do
+            table.grad.((id * d) + j) <-
+              table.grad.((id * d) + j) +. c.grad.((i * d) + j)
+          done)
+        ids);
+  c
+
+let add_rows_positional x pos =
+  assert (x.rows <= pos.rows && x.cols = pos.cols);
+  let c = out x.rows x.cols in
+  for i = 0 to x.rows - 1 do
+    for j = 0 to x.cols - 1 do
+      c.data.((i * x.cols) + j) <-
+        x.data.((i * x.cols) + j) +. pos.data.((i * x.cols) + j)
+    done
+  done;
+  push_back (fun () ->
+      for i = 0 to (x.rows * x.cols) - 1 do
+        x.grad.(i) <- x.grad.(i) +. c.grad.(i);
+        pos.grad.(i) <- pos.grad.(i) +. c.grad.(i)
+      done);
+  c
+
+let cross_entropy ~logits ~targets =
+  let m = logits.rows and n = logits.cols in
+  assert (Array.length targets = m);
+  let probs = Array.make (m * n) 0.0 in
+  let loss = ref 0.0 in
+  for i = 0 to m - 1 do
+    let row = i * n in
+    let mx = ref neg_infinity in
+    for j = 0 to n - 1 do
+      mx := Float.max !mx logits.data.(row + j)
+    done;
+    let sum = ref 0.0 in
+    for j = 0 to n - 1 do
+      let e = exp (logits.data.(row + j) -. !mx) in
+      probs.(row + j) <- e;
+      sum := !sum +. e
+    done;
+    for j = 0 to n - 1 do
+      probs.(row + j) <- probs.(row + j) /. !sum
+    done;
+    loss := !loss -. log (Float.max 1e-12 probs.(row + targets.(i)))
+  done;
+  let c = out 1 1 in
+  c.data.(0) <- !loss /. float_of_int m;
+  push_back (fun () ->
+      let g = c.grad.(0) /. float_of_int m in
+      for i = 0 to m - 1 do
+        let row = i * n in
+        for j = 0 to n - 1 do
+          let delta = if j = targets.(i) then 1.0 else 0.0 in
+          logits.grad.(row + j) <-
+            logits.grad.(row + j) +. (g *. (probs.(row + j) -. delta))
+        done
+      done);
+  c

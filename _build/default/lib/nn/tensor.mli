@@ -1,0 +1,81 @@
+(** Minimal reverse-mode autograd over 2-D float tensors.
+
+    This is the substrate for CodeBE-mini, the from-scratch transformer
+    that stands in for UniXcoder (see DESIGN.md). Tensors are row-major
+    [rows x cols]; a global tape records operations and [backward] replays
+    it in reverse. Parameters are tensors created with [param]; their
+    gradients accumulate across examples until {!Adam} steps and
+    {!zero_grads} clears them. *)
+
+type t = {
+  data : float array;
+  rows : int;
+  cols : int;
+  grad : float array;  (** same length as [data]; zeros unless reached *)
+  is_param : bool;
+}
+
+val create : int -> int -> float array -> t
+(** Constant (no-grad-needed leaf); array length must be rows*cols. *)
+
+val zeros : int -> int -> t
+val param : Vega_util.Rng.t -> ?scale:float -> int -> int -> t
+(** Gaussian-initialized trainable parameter; default scale
+    [1/sqrt cols]. *)
+
+val get : t -> int -> int -> float
+val set_ : t -> int -> int -> float -> unit
+(** In-place raw write; only for building constant inputs. *)
+
+(** {1 Tape} *)
+
+val with_tape : (unit -> 'a) -> 'a
+(** Run a forward+backward pass with a fresh tape; the tape is discarded
+    afterwards. Nested calls are not allowed. *)
+
+val backward : t -> unit
+(** Seed the (scalar) tensor's gradient with 1 and backpropagate through
+    the current tape. *)
+
+(** {1 Ops} — all differentiable *)
+
+val matmul : t -> t -> t
+val add : t -> t -> t
+(** Elementwise; if [b] has one row it broadcasts across rows of [a]. *)
+
+val scale : float -> t -> t
+val gelu : t -> t
+val sigmoid : t -> t
+val tanh_ : t -> t
+
+val mul_elt : t -> t -> t
+(** Elementwise (Hadamard) product; shapes must match. *)
+
+val one_minus : t -> t
+(** [1 - x], elementwise. *)
+
+val softmax_rows : ?mask:(int -> int -> bool) -> t -> t
+(** Row softmax; [mask i j = false] forces logit (i,j) to -inf. *)
+
+val layernorm : gain:t -> bias:t -> t -> t
+(** Per-row normalization; [gain]/[bias] are 1 x cols parameters. *)
+
+val transpose : t -> t
+val rows_slice : t -> int -> int -> t
+(** [rows_slice t lo n] — differentiable view copy of n rows from lo. *)
+
+val concat_rows : t list -> t
+val embed : table:t -> int array -> t
+(** Gather rows of [table] by token ids. *)
+
+val cross_entropy : logits:t -> targets:int array -> t
+(** Mean token cross-entropy; returns a 1x1 tensor. Softmax fused. *)
+
+val add_rows_positional : t -> t -> t
+(** [add_rows_positional x pos] adds [pos]'s first [rows x] rows to [x]
+    (positional-embedding addition; gradients flow into both). *)
+
+val to_float : t -> float
+(** Value of a 1x1 tensor. *)
+
+val params_count : t list -> int

@@ -1,0 +1,120 @@
+module T = Tensor
+
+type config = {
+  d_model : int;
+  heads : int;
+  d_ff : int;
+  n_layers : int;
+  max_len : int;
+  vocab_size : int;
+}
+
+let default_config ~vocab_size =
+  { d_model = 48; heads = 4; d_ff = 96; n_layers = 2; max_len = 96; vocab_size }
+
+type t = {
+  cfg : config;
+  tok_emb : T.t;
+  pos_emb : T.t;
+  enc : Layers.block array;
+  dec : Layers.dec_block array;
+  out_proj : Layers.linear;
+}
+
+let create ?(seed = 7) cfg =
+  let rng = Vega_util.Rng.create seed in
+  {
+    cfg;
+    tok_emb = T.param rng ~scale:0.05 cfg.vocab_size cfg.d_model;
+    pos_emb = T.param rng ~scale:0.05 cfg.max_len cfg.d_model;
+    enc =
+      Array.init cfg.n_layers (fun _ ->
+          Layers.encoder_block rng ~d_model:cfg.d_model ~heads:cfg.heads
+            ~d_ff:cfg.d_ff);
+    dec =
+      Array.init cfg.n_layers (fun _ ->
+          Layers.decoder_block rng ~d_model:cfg.d_model ~heads:cfg.heads
+            ~d_ff:cfg.d_ff);
+    out_proj = Layers.linear rng ~d_in:cfg.d_model ~d_out:cfg.vocab_size;
+  }
+
+let config t = t.cfg
+
+let params t =
+  [ t.tok_emb; t.pos_emb ]
+  @ List.concat_map Layers.block_params (Array.to_list t.enc)
+  @ List.concat_map Layers.dec_block_params (Array.to_list t.dec)
+  @ Layers.linear_params t.out_proj
+
+let n_params t = T.params_count (params t)
+
+let clip arr max_len = if Array.length arr > max_len then Array.sub arr 0 max_len else arr
+
+let encode t src =
+  let src = clip src t.cfg.max_len in
+  let x = T.embed ~table:t.tok_emb src in
+  let x = T.add_rows_positional x t.pos_emb in
+  Array.fold_left (fun x b -> Layers.encoder_fwd b x) x t.enc
+
+let decode_logits t ~memory dec_ids =
+  let x = T.embed ~table:t.tok_emb dec_ids in
+  let x = T.add_rows_positional x t.pos_emb in
+  let x =
+    Array.fold_left (fun x b -> Layers.decoder_fwd b ~x ~memory) x t.dec
+  in
+  Layers.linear_fwd t.out_proj x
+
+let loss t ~src ~tgt =
+  let tgt = clip tgt (t.cfg.max_len - 2) in
+  let memory = encode t src in
+  (* decoder input: [E2D] tgt...; targets: tgt... [EOS] *)
+  let dec_in = Array.append [| Vocab.e2d |] tgt in
+  let targets = Array.append tgt [| Vocab.eos |] in
+  let logits = decode_logits t ~memory dec_in in
+  T.cross_entropy ~logits ~targets
+
+let train_step t opt batch =
+  let total = ref 0.0 in
+  List.iter
+    (fun (src, tgt) ->
+      T.with_tape (fun () ->
+          let l = loss t ~src ~tgt in
+          total := !total +. T.to_float l;
+          T.backward l))
+    batch;
+  Adam.step opt;
+  !total /. float_of_int (max 1 (List.length batch))
+
+let generate t ~src ?(max_out = 48) () =
+  let max_out = min max_out (t.cfg.max_len - 2) in
+  T.with_tape (fun () ->
+      (* a tape accumulates, but we never call backward; with_tape keeps
+         memory bounded by discarding it afterwards *)
+      let memory = encode t src in
+      let out = ref [] and probs = ref [] in
+      let continue_ = ref true in
+      while !continue_ && List.length !out < max_out do
+        let dec_in = Array.of_list (Vocab.e2d :: List.rev !out) in
+        let logits = decode_logits t ~memory dec_in in
+        let last = logits.T.rows - 1 in
+        (* softmax over the last row *)
+        let n = logits.T.cols in
+        let mx = ref neg_infinity in
+        for j = 0 to n - 1 do
+          mx := Float.max !mx (T.get logits last j)
+        done;
+        let sum = ref 0.0 in
+        let es = Array.init n (fun j -> exp (T.get logits last j -. !mx)) in
+        Array.iter (fun e -> sum := !sum +. e) es;
+        let best = ref 0 in
+        for j = 1 to n - 1 do
+          if es.(j) > es.(!best) then best := j
+        done;
+        let p = es.(!best) /. !sum in
+        if !best = Vocab.eos then continue_ := false
+        else begin
+          out := !best :: !out;
+          probs := p :: !probs
+        end
+      done;
+      (Array.of_list (List.rev !out), Array.of_list (List.rev !probs)))

@@ -1,0 +1,35 @@
+(** CodeBE-mini: a from-scratch transformer encoder–decoder.
+
+    Stand-in for UniXcoder (DESIGN.md): token + position embeddings,
+    [n_layers] encoder and decoder blocks, tied-free output projection,
+    teacher-forced cross-entropy training and greedy decoding that also
+    reports per-token probabilities (used for confidence blending). *)
+
+type config = {
+  d_model : int;
+  heads : int;
+  d_ff : int;
+  n_layers : int;
+  max_len : int;  (** maximum input/output length (paper: 512) *)
+  vocab_size : int;
+}
+
+val default_config : vocab_size:int -> config
+
+type t
+
+val create : ?seed:int -> config -> t
+val config : t -> config
+val params : t -> Tensor.t list
+val n_params : t -> int
+
+val loss : t -> src:int array -> tgt:int array -> Tensor.t
+(** Teacher-forced loss of emitting [tgt] (terminated by EOS internally)
+    given [src]. Must run inside {!Tensor.with_tape}. *)
+
+val train_step : t -> Adam.t -> (int array * int array) list -> float
+(** Accumulate gradients over the mini-batch, step the optimizer, return
+    the mean loss. *)
+
+val generate : t -> src:int array -> ?max_out:int -> unit -> int array * float array
+(** Greedy decode: output ids (without EOS) and per-token probabilities. *)

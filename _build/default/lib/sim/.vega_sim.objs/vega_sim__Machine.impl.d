@@ -1,0 +1,1 @@
+lib/sim/machine.ml: Array Hashtbl List Printf Vega_backend Vega_mc

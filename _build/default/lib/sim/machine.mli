@@ -1,0 +1,27 @@
+(** ISA simulator executing an emitted program (our QEMU / PULP-RTL / XSIM
+    stand-in, Sec. 4.1.5).
+
+    Functional semantics come from the instruction table; the cycle model
+    is driven by the SCH hooks (latencies, issue width, micro-ops, load
+    latency, mispredict penalty), with hardware loops running their
+    back-edge for free and SIMD ops retiring whole 4-word lanes — which is
+    what gives -O3 its Fig. 10 shape. *)
+
+type status = Finished of int option | Trap of string
+
+type result = {
+  output : int list;  (** print stream; must match the VIR golden run *)
+  cycles : int;
+  retired : int;  (** dynamic instruction count *)
+  status : status;
+}
+
+val run :
+  ?fuel:int ->
+  ?mem_words:int ->
+  Vega_backend.Conv.t ->
+  Vega_backend.Emitter.t ->
+  entry:string ->
+  args:int list ->
+  result
+(** Fuel defaults to 4_000_000 retired instructions. *)

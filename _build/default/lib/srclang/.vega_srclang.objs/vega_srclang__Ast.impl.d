@@ -1,0 +1,1 @@
+lib/srclang/ast.pp.ml: List Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/srclang/interp.pp.ml: Ast Char Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/srclang/interp.pp.mli: Ast

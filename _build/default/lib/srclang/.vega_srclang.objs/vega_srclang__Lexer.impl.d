@@ -1,0 +1,1 @@
+lib/srclang/lexer.pp.ml: Buffer List Printf String Token

@@ -1,0 +1,1 @@
+lib/srclang/lines.pp.ml: Ast Lexer List Printer Printf String Token

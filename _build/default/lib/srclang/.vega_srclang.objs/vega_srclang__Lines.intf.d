@@ -1,0 +1,1 @@
+lib/srclang/lines.pp.mli: Ast

@@ -1,0 +1,1 @@
+lib/srclang/parser.pp.ml: Array Ast Buffer Lexer List Printf Result String Token

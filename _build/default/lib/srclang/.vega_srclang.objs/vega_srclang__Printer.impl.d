@@ -1,0 +1,1 @@
+lib/srclang/printer.pp.ml: Ast List Printf String

@@ -1,0 +1,1 @@
+lib/srclang/printer.pp.mli: Ast

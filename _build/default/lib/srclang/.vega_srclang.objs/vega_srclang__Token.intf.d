@@ -1,0 +1,1 @@
+lib/srclang/token.pp.mli:

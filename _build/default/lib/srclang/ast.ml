@@ -1,0 +1,86 @@
+(** Abstract syntax of BackendC.
+
+    A deliberately small C++ subset: enough to express the bodies of LLVM
+    backend interface functions (relocation selection, fixup application,
+    operand lowering, scheduling queries, emission, parsing, decoding)
+    while remaining interpretable (see {!Interp}).
+
+    Naming note: [Scoped ["ARM"; "fixup_arm_movt_hi16"]] represents the
+    C++ qualified name [ARM::fixup_arm_movt_hi16]; these qualified names
+    are exactly the target-specific values the paper's feature selection
+    extracts. *)
+
+type unop = Neg | Not | Bnot [@@deriving show { with_path = false }, eq]
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | Shl
+  | Shr
+  | Band
+  | Bor
+  | Bxor
+  | Land
+  | Lor
+  | Eq
+  | Ne
+  | Lt
+  | Gt
+  | Le
+  | Ge
+[@@deriving show { with_path = false }, eq]
+
+type expr =
+  | Int of int
+  | Str of string
+  | Chr of char
+  | Bool of bool
+  | Nullptr
+  | Id of string
+  | Scoped of string list  (** [A::B::c] *)
+  | Call of string * expr list  (** free-function call *)
+  | Method of expr * string * expr list  (** [recv.m(args)] / [recv->m(args)] *)
+  | Member of expr * string  (** [recv.f] / [recv->f] *)
+  | Index of expr * expr
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Ternary of expr * expr * expr
+  | Cast of string * expr  (** [static_cast<T>(e)] or C-style [(unsigned)e] *)
+[@@deriving show { with_path = false }, eq]
+
+type assign_op = Set | Add_set | Sub_set | Or_set | And_set | Shl_set | Shr_set
+[@@deriving show { with_path = false }, eq]
+
+type stmt =
+  | Decl of string * string * expr option  (** type, name, initializer *)
+  | Assign of assign_op * expr * expr
+  | Expr of expr
+  | If of expr * stmt list * stmt list
+  | Switch of expr * arm list * stmt list  (** scrutinee, arms, default body *)
+  | Return of expr option
+  | Break
+  | Continue
+  | While of expr * stmt list
+  | For of stmt option * expr option * stmt option * stmt list
+[@@deriving show { with_path = false }, eq]
+
+and arm = { labels : expr list; body : stmt list }
+(** One [case] group; [labels] lists the fallthrough case values that share
+    [body]. A body not ending in [Break]/[Return] falls through to the next
+    arm, as in C. *)
+[@@deriving show { with_path = false }, eq]
+
+type param = { ptype : string; pname : string }
+[@@deriving show { with_path = false }, eq]
+
+type func = {
+  ret_type : string;
+  cls : string option;  (** enclosing class for [Cls::name] definitions *)
+  name : string;
+  params : param list;
+  body : stmt list;
+}
+[@@deriving show { with_path = false }, eq]

@@ -1,0 +1,337 @@
+type value = VInt of int | VBool of bool | VStr of string | VUnit | VNull | VObj of obj
+
+and obj = {
+  oclass : string;
+  call : string -> value list -> value;
+  get : string -> value;
+}
+
+exception Runtime_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
+
+type env = {
+  enums : (string, int) Hashtbl.t;
+  short_enums : (string, int option) Hashtbl.t;
+      (* last component -> value; [None] marks an ambiguous short name *)
+  globals : (string, value) Hashtbl.t;
+  funcs : (string, value list -> value) Hashtbl.t;
+}
+
+let create_env () =
+  {
+    enums = Hashtbl.create 64;
+    short_enums = Hashtbl.create 64;
+    globals = Hashtbl.create 16;
+    funcs = Hashtbl.create 16;
+  }
+
+let add_enum env name v =
+  Hashtbl.replace env.enums name v;
+  let short =
+    match String.rindex_opt name ':' with
+    | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+    | None -> name
+  in
+  if short <> name then
+    match Hashtbl.find_opt env.short_enums short with
+    | Some (Some v') when v' <> v -> Hashtbl.replace env.short_enums short None
+    | Some _ -> ()
+    | None -> Hashtbl.replace env.short_enums short (Some v)
+
+let add_global env name v = Hashtbl.replace env.globals name v
+let add_func env name f = Hashtbl.replace env.funcs name f
+
+let lookup_enum env name =
+  match Hashtbl.find_opt env.enums name with
+  | Some v -> Some v
+  | None -> (
+      match Hashtbl.find_opt env.short_enums name with
+      | Some (Some v) -> Some v
+      | Some None | None -> None)
+
+let truthy = function
+  | VBool b -> b
+  | VInt n -> n <> 0
+  | VNull -> false
+  | VStr _ -> err "string used as condition"
+  | VUnit -> err "void used as condition"
+  | VObj o -> err "object %s used as condition" o.oclass
+
+let to_int = function
+  | VInt n -> n
+  | VBool true -> 1
+  | VBool false -> 0
+  | VNull -> 0
+  | v ->
+      err "expected integer, got %s"
+        (match v with
+        | VStr _ -> "string"
+        | VUnit -> "void"
+        | VObj o -> o.oclass
+        | VInt _ | VBool _ | VNull -> assert false)
+
+let obj oclass ?(get = fun f -> err "no field %s" f) call = VObj { oclass; call; get }
+
+exception Return_exc of value
+exception Break_exc
+exception Continue_exc
+
+type frame = { env : env; locals : (string, value) Hashtbl.t; mutable fuel : int }
+
+let burn fr =
+  fr.fuel <- fr.fuel - 1;
+  if fr.fuel <= 0 then err "fuel exhausted (non-terminating function?)"
+
+let value_eq a b =
+  match (a, b) with
+  | VInt x, VInt y -> x = y
+  | VBool x, VBool y -> x = y
+  | VStr x, VStr y -> x = y
+  | VNull, VNull -> true
+  | VInt x, VBool y | VBool y, VInt x -> x = if y then 1 else 0
+  | VNull, VInt y | VInt y, VNull -> y = 0
+  | _ -> false
+
+let rec eval fr (e : Ast.expr) : value =
+  burn fr;
+  match e with
+  | Ast.Int n -> VInt n
+  | Ast.Str s -> VStr s
+  | Ast.Chr c -> VInt (Char.code c)
+  | Ast.Bool b -> VBool b
+  | Ast.Nullptr -> VNull
+  | Ast.Id name -> lookup fr name
+  | Ast.Scoped parts -> (
+      let qual = String.concat "::" parts in
+      match lookup_enum fr.env qual with
+      | Some v -> VInt v
+      | None -> (
+          match Hashtbl.find_opt fr.env.globals qual with
+          | Some v -> v
+          | None -> err "unknown qualified name %s" qual))
+  | Ast.Call (fname, args) -> (
+      let argv = List.map (eval fr) args in
+      match Hashtbl.find_opt fr.env.funcs fname with
+      | Some f -> f argv
+      | None -> err "unknown function %s" fname)
+  | Ast.Method (recv, m, args) -> (
+      let rv = eval fr recv in
+      let argv = List.map (eval fr) args in
+      match rv with
+      | VObj o -> o.call m argv
+      | VStr s -> str_method s m argv
+      | _ -> err "method %s on non-object" m)
+  | Ast.Member (recv, f) -> (
+      match recv with
+      (* [A.f] where [A] is not a local reads enum/global [A::f]. *)
+      | Ast.Id base when not (local_defined fr base) -> (
+          let qual = base ^ "::" ^ f in
+          match lookup_enum fr.env qual with
+          | Some v -> VInt v
+          | None -> (
+              match Hashtbl.find_opt fr.env.globals qual with
+              | Some v -> v
+              | None -> err "unknown name %s" qual))
+      | _ -> (
+          match eval fr recv with
+          | VObj o -> o.get f
+          | _ -> err "field %s on non-object" f))
+  | Ast.Index (recv, i) -> (
+      let rv = eval fr recv and iv = eval fr i in
+      match rv with
+      | VObj o -> o.call "__index" [ iv ]
+      | VStr s ->
+          let idx = to_int iv in
+          if idx < 0 || idx >= String.length s then err "string index out of bounds"
+          else VInt (Char.code s.[idx])
+      | _ -> err "indexing non-indexable value")
+  | Ast.Unop (op, a) -> (
+      let v = eval fr a in
+      match op with
+      | Ast.Neg -> VInt (-to_int v)
+      | Ast.Not -> VBool (not (truthy v))
+      | Ast.Bnot -> VInt (lnot (to_int v)))
+  | Ast.Binop (op, a, b) -> eval_binop fr op a b
+  | Ast.Ternary (c, t, f) -> if truthy (eval fr c) then eval fr t else eval fr f
+  | Ast.Cast (_, a) -> eval fr a
+
+(* LLVM StringRef-flavoured methods, so assembler-parser hooks read like
+   their LLVM counterparts. *)
+and str_method s m argv =
+  match (m, argv) with
+  | "startswith", [ VStr p ] -> VBool (String.length p <= String.length s
+                                       && String.sub s 0 (String.length p) = p)
+  | "endswith", [ VStr p ] ->
+      let ls = String.length s and lp = String.length p in
+      VBool (lp <= ls && String.sub s (ls - lp) lp = p)
+  | "substr", [ start ] ->
+      let k = to_int start in
+      if k < 0 || k > String.length s then err "substr out of range"
+      else VStr (String.sub s k (String.length s - k))
+  | "size", [] -> VInt (String.length s)
+  | "empty", [] -> VBool (s = "")
+  | "equals", [ VStr t ] -> VBool (s = t)
+  | "lower", [] -> VStr (String.lowercase_ascii s)
+  | "upper", [] -> VStr (String.uppercase_ascii s)
+  | "getAsInteger", [] -> (
+      match int_of_string_opt s with
+      | Some v -> VInt v
+      | None -> err "getAsInteger: %S is not an integer" s)
+  | "isDigits", [] ->
+      VBool (s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s)
+  | _ -> err "unknown string method %s" m
+
+and eval_binop fr op a b =
+  match op with
+  | Ast.Land -> VBool (truthy (eval fr a) && truthy (eval fr b))
+  | Ast.Lor -> VBool (truthy (eval fr a) || truthy (eval fr b))
+  | Ast.Eq -> VBool (value_eq (eval fr a) (eval fr b))
+  | Ast.Ne -> VBool (not (value_eq (eval fr a) (eval fr b)))
+  | Ast.Add -> (
+      match (eval fr a, eval fr b) with
+      | VStr x, VStr y -> VStr (x ^ y)
+      | x, y -> VInt (to_int x + to_int y))
+  | Ast.Sub -> int2 fr a b ( - )
+  | Ast.Mul -> int2 fr a b ( * )
+  | Ast.Div ->
+      int2 fr a b (fun x y -> if y = 0 then err "division by zero" else x / y)
+  | Ast.Rem ->
+      int2 fr a b (fun x y -> if y = 0 then err "remainder by zero" else x mod y)
+  | Ast.Shl -> int2 fr a b (fun x y -> x lsl y)
+  | Ast.Shr -> int2 fr a b (fun x y -> x lsr y)
+  | Ast.Band -> int2 fr a b ( land )
+  | Ast.Bor -> int2 fr a b ( lor )
+  | Ast.Bxor -> int2 fr a b ( lxor )
+  | Ast.Lt -> cmp fr a b ( < )
+  | Ast.Gt -> cmp fr a b ( > )
+  | Ast.Le -> cmp fr a b ( <= )
+  | Ast.Ge -> cmp fr a b ( >= )
+
+and int2 fr a b f = VInt (f (to_int (eval fr a)) (to_int (eval fr b)))
+and cmp fr a b f = VBool (f (to_int (eval fr a)) (to_int (eval fr b)))
+
+and local_defined fr name = Hashtbl.mem fr.locals name
+
+and lookup fr name =
+  match Hashtbl.find_opt fr.locals name with
+  | Some v -> v
+  | None -> (
+      match Hashtbl.find_opt fr.env.globals name with
+      | Some v -> v
+      | None -> (
+          match lookup_enum fr.env name with
+          | Some v -> VInt v
+          | None -> err "unknown identifier %s" name))
+
+let rec exec fr (s : Ast.stmt) : unit =
+  burn fr;
+  match s with
+  | Ast.Decl (_, name, init) ->
+      let v = match init with Some e -> eval fr e | None -> VInt 0 in
+      Hashtbl.replace fr.locals name v
+  | Ast.Assign (op, lhs, rhs) -> assign fr op lhs rhs
+  | Ast.Expr e -> ignore (eval fr e)
+  | Ast.Return None -> raise (Return_exc VUnit)
+  | Ast.Return (Some e) -> raise (Return_exc (eval fr e))
+  | Ast.Break -> raise Break_exc
+  | Ast.Continue -> raise Continue_exc
+  | Ast.If (c, t, e) -> exec_list fr (if truthy (eval fr c) then t else e)
+  | Ast.While (c, body) -> (
+      try
+        while truthy (eval fr c) do
+          burn fr;
+          try exec_list fr body with Continue_exc -> ()
+        done
+      with Break_exc -> ())
+  | Ast.For (init, cond, step, body) -> (
+      (match init with Some s0 -> exec fr s0 | None -> ());
+      let check () = match cond with Some c -> truthy (eval fr c) | None -> true in
+      try
+        while check () do
+          burn fr;
+          (try exec_list fr body with Continue_exc -> ());
+          match step with Some s1 -> exec fr s1 | None -> ()
+        done
+      with Break_exc -> ())
+  | Ast.Switch (scrut, arms, default) -> exec_switch fr scrut arms default
+
+and exec_switch fr scrut arms default =
+  let v = eval fr scrut in
+  let rec find = function
+    | [] -> None
+    | ({ Ast.labels; _ } as arm) :: rest ->
+        if List.exists (fun l -> value_eq (eval fr l) v) labels then
+          Some (arm :: rest)
+        else find rest
+  in
+  (* Fallthrough: run every arm body from the matched arm onwards; a
+     [break] escapes via [Break_exc]; falling off the last arm continues
+     into the default body (our corpus always places default last). *)
+  let run_bodies bodies =
+    List.iter (fun (arm : Ast.arm) -> exec_list fr arm.body) bodies
+  in
+  try
+    match find arms with
+    | Some tail -> (
+        try
+          run_bodies tail;
+          exec_list fr default
+        with Break_exc -> ())
+    | None -> ( try exec_list fr default with Break_exc -> ())
+  with Break_exc -> ()
+
+and assign fr op lhs rhs =
+  let rv = eval fr rhs in
+  let combined current =
+    match op with
+    | Ast.Set -> rv
+    | Ast.Add_set -> VInt (to_int current + to_int rv)
+    | Ast.Sub_set -> VInt (to_int current - to_int rv)
+    | Ast.Or_set -> VInt (to_int current lor to_int rv)
+    | Ast.And_set -> VInt (to_int current land to_int rv)
+    | Ast.Shl_set -> VInt (to_int current lsl to_int rv)
+    | Ast.Shr_set -> VInt (to_int current lsr to_int rv)
+  in
+  match lhs with
+  | Ast.Id name ->
+      let current =
+        match Hashtbl.find_opt fr.locals name with
+        | Some v -> v
+        | None -> (
+            match op with
+            | Ast.Set -> VInt 0
+            | _ -> ( match Hashtbl.find_opt fr.env.globals name with
+                     | Some v -> v
+                     | None -> err "unknown identifier %s" name))
+      in
+      Hashtbl.replace fr.locals name (combined current)
+  | Ast.Member (recv, f) -> (
+      match eval fr recv with
+      | VObj o ->
+          let current = try o.get f with Runtime_error _ -> VInt 0 in
+          ignore (o.call "__set" [ VStr f; combined current ])
+      | _ -> err "field assignment on non-object")
+  | Ast.Index (recv, i) -> (
+      match eval fr recv with
+      | VObj o ->
+          let iv = eval fr i in
+          let current = try o.call "__index" [ iv ] with Runtime_error _ -> VInt 0 in
+          ignore (o.call "__set_index" [ iv; combined current ])
+      | _ -> err "index assignment on non-object")
+  | _ -> err "bad assignment target"
+
+and exec_list fr body = List.iter (exec fr) body
+
+let call ?(fuel = 100_000) env (f : Ast.func) args =
+  let locals = Hashtbl.create 16 in
+  let nparams = List.length f.params and nargs = List.length args in
+  if nparams <> nargs then
+    err "%s expects %d arguments, got %d" f.name nparams nargs;
+  List.iter2 (fun { Ast.pname; _ } v -> Hashtbl.replace locals pname v) f.params args;
+  let fr = { env; locals; fuel } in
+  match exec_list fr f.body with
+  | () -> VUnit
+  | exception Return_exc v -> v
+  | exception Break_exc -> err "break outside loop/switch"
+  | exception Continue_exc -> err "continue outside loop"

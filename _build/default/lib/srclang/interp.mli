@@ -1,0 +1,57 @@
+(** Evaluator for BackendC functions.
+
+    pass@1 in the paper substitutes a generated function into the base
+    compiler and runs regression tests. Our backend hooks are BackendC
+    functions executed by this interpreter against a runtime environment
+    supplied by [lib/backend]; a generated function is therefore judged by
+    behaviour, not by textual match.
+
+    Evaluation is fuel-bounded: generated code can loop, and the harness
+    must classify it as failing rather than hang. *)
+
+type value =
+  | VInt of int
+  | VBool of bool
+  | VStr of string
+  | VUnit
+  | VNull
+  | VObj of obj  (** opaque runtime object with method/field dispatch *)
+
+and obj = {
+  oclass : string;  (** class name, for diagnostics *)
+  call : string -> value list -> value;
+  get : string -> value;
+}
+
+exception Runtime_error of string
+(** Unknown identifier, bad operand types, fuel exhaustion, or an
+    [llvm_unreachable]/[report_fatal_error] reached at run time. *)
+
+type env
+
+val create_env : unit -> env
+
+val add_enum : env -> string -> int -> unit
+(** [add_enum env "ARM::fixup_arm_movt_hi16" 42] registers a qualified
+    enum member. Unqualified last components are registered too and
+    resolve when unambiguous. *)
+
+val add_global : env -> string -> value -> unit
+val add_func : env -> string -> (value list -> value) -> unit
+
+val lookup_enum : env -> string -> int option
+
+val call : ?fuel:int -> env -> Ast.func -> value list -> value
+(** Invoke a function with positional arguments (bound to its parameters).
+    Default fuel: 100_000 evaluation steps.
+    @raise Runtime_error on any dynamic failure. *)
+
+val truthy : value -> bool
+(** C truthiness; raises on objects/strings. *)
+
+val to_int : value -> int
+(** @raise Runtime_error when the value has no integer reading (booleans
+    widen as in C). *)
+
+val obj : string -> ?get:(string -> value) -> (string -> value list -> value) -> value
+(** [obj cls ~get call] builds a [VObj]. Default [get] raises. *)

@@ -1,0 +1,203 @@
+exception Error of string
+
+let keyword = function
+  | "if" -> Some Token.KwIf
+  | "else" -> Some Token.KwElse
+  | "switch" -> Some Token.KwSwitch
+  | "case" -> Some Token.KwCase
+  | "default" -> Some Token.KwDefault
+  | "return" -> Some Token.KwReturn
+  | "break" -> Some Token.KwBreak
+  | "continue" -> Some Token.KwContinue
+  | "for" -> Some Token.KwFor
+  | "while" -> Some Token.KwWhile
+  | "true" -> Some Token.KwTrue
+  | "false" -> Some Token.KwFalse
+  | "const" -> Some Token.KwConst
+  | "unsigned" -> Some Token.KwUnsigned
+  | "nullptr" -> Some Token.KwNullptr
+  | _ -> None
+
+let is_id_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_id_char c = is_id_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let pos = ref 0 and line = ref 1 in
+  let toks = ref [] in
+  let fail msg = raise (Error (Printf.sprintf "line %d: %s" !line msg)) in
+  let peek k = if !pos + k < n then Some src.[!pos + k] else None in
+  let emit t = toks := t :: !toks in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = '\n' then begin
+      incr line;
+      incr pos
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr pos
+    else if c = '/' && peek 1 = Some '/' then begin
+      while !pos < n && src.[!pos] <> '\n' do
+        incr pos
+      done
+    end
+    else if c = '/' && peek 1 = Some '*' then begin
+      pos := !pos + 2;
+      let closed = ref false in
+      while (not !closed) && !pos < n do
+        if src.[!pos] = '\n' then incr line;
+        if src.[!pos] = '*' && peek 1 = Some '/' then begin
+          closed := true;
+          pos := !pos + 2
+        end
+        else incr pos
+      done;
+      if not !closed then fail "unterminated block comment"
+    end
+    else if is_id_start c then begin
+      let start = !pos in
+      while !pos < n && is_id_char src.[!pos] do
+        incr pos
+      done;
+      let word = String.sub src start (!pos - start) in
+      match keyword word with Some kw -> emit kw | None -> emit (Token.Id word)
+    end
+    else if is_digit c then begin
+      let start = !pos in
+      if c = '0' && (peek 1 = Some 'x' || peek 1 = Some 'X') then begin
+        pos := !pos + 2;
+        while
+          !pos < n
+          && (is_digit src.[!pos]
+             || (src.[!pos] >= 'a' && src.[!pos] <= 'f')
+             || (src.[!pos] >= 'A' && src.[!pos] <= 'F'))
+        do
+          incr pos
+        done
+      end
+      else
+        while !pos < n && is_digit src.[!pos] do
+          incr pos
+        done;
+      (* Swallow C integer suffixes: 0xffffU, 1ULL, ... *)
+      while !pos < n && (src.[!pos] = 'u' || src.[!pos] = 'U' || src.[!pos] = 'l' || src.[!pos] = 'L') do
+        incr pos
+      done;
+      let lit = String.sub src start (!pos - start) in
+      let digits =
+        let stop = ref (String.length lit) in
+        while
+          !stop > 0
+          &&
+          match lit.[!stop - 1] with 'u' | 'U' | 'l' | 'L' -> true | _ -> false
+        do
+          decr stop
+        done;
+        String.sub lit 0 !stop
+      in
+      match int_of_string_opt digits with
+      | Some v -> emit (Token.Int_lit v)
+      | None -> fail (Printf.sprintf "bad integer literal %S" lit)
+    end
+    else if c = '"' then begin
+      incr pos;
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while (not !closed) && !pos < n do
+        let d = src.[!pos] in
+        if d = '"' then begin
+          closed := true;
+          incr pos
+        end
+        else if d = '\\' && !pos + 1 < n then begin
+          (match src.[!pos + 1] with
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '"' -> Buffer.add_char buf '"'
+          | e -> fail (Printf.sprintf "bad escape '\\%c'" e));
+          pos := !pos + 2
+        end
+        else begin
+          if d = '\n' then fail "newline in string literal";
+          Buffer.add_char buf d;
+          incr pos
+        end
+      done;
+      if not !closed then fail "unterminated string literal";
+      emit (Token.Str_lit (Buffer.contents buf))
+    end
+    else if c = '\'' then begin
+      if !pos + 2 < n && src.[!pos + 2] = '\'' then begin
+        emit (Token.Char_lit src.[!pos + 1]);
+        pos := !pos + 3
+      end
+      else fail "bad character literal"
+    end
+    else begin
+      let two = if !pos + 1 < n then String.sub src !pos 2 else "" in
+      let three = if !pos + 2 < n then String.sub src !pos 3 else "" in
+      let t3 =
+        match three with "<<=" -> Some Token.ShlEq | ">>=" -> Some Token.ShrEq | _ -> None
+      in
+      match t3 with
+      | Some t ->
+          emit t;
+          pos := !pos + 3
+      | None -> (
+          let t2 =
+            match two with
+            | "::" -> Some Token.ColonColon
+            | "->" -> Some Token.Arrow
+            | "+=" -> Some Token.PlusEq
+            | "-=" -> Some Token.MinusEq
+            | "|=" -> Some Token.OrEq
+            | "&=" -> Some Token.AndEq
+            | "&&" -> Some Token.AmpAmp
+            | "||" -> Some Token.PipePipe
+            | "==" -> Some Token.EqEq
+            | "!=" -> Some Token.NotEq
+            | "<=" -> Some Token.Le
+            | ">=" -> Some Token.Ge
+            | "<<" -> Some Token.Shl
+            | ">>" -> Some Token.Shr
+            | _ -> None
+          in
+          match t2 with
+          | Some t ->
+              emit t;
+              pos := !pos + 2
+          | None ->
+              let t1 =
+                match c with
+                | '(' -> Token.LParen
+                | ')' -> Token.RParen
+                | '{' -> Token.LBrace
+                | '}' -> Token.RBrace
+                | '[' -> Token.LBracket
+                | ']' -> Token.RBracket
+                | ';' -> Token.Semi
+                | ',' -> Token.Comma
+                | ':' -> Token.Colon
+                | '.' -> Token.Dot
+                | '?' -> Token.Question
+                | '=' -> Token.Assign
+                | '+' -> Token.Plus
+                | '-' -> Token.Minus
+                | '*' -> Token.Star
+                | '/' -> Token.Slash
+                | '%' -> Token.Percent
+                | '&' -> Token.Amp
+                | '|' -> Token.Pipe
+                | '^' -> Token.Caret
+                | '~' -> Token.Tilde
+                | '!' -> Token.Bang
+                | '<' -> Token.Lt
+                | '>' -> Token.Gt
+                | _ -> fail (Printf.sprintf "unexpected character %C" c)
+              in
+              emit t1;
+              incr pos)
+    end
+  done;
+  List.rev !toks

@@ -1,0 +1,11 @@
+(** Hand-written lexer for BackendC.
+
+    Comments ([//] and [/* */]) and whitespace are discarded, matching the
+    paper's pre-processing step that strips non-functional elements. *)
+
+exception Error of string
+(** Raised on malformed input, with a message carrying line context. *)
+
+val tokenize : string -> Token.t list
+(** Tokenize a full source string. The result never contains [Token.Eof];
+    callers append it as a sentinel if they need one. *)

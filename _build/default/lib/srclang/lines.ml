@@ -1,0 +1,94 @@
+type kind =
+  | Fundef
+  | Simple
+  | Open_if
+  | Open_else
+  | Open_elseif
+  | Open_switch
+  | Open_while
+  | Open_for
+  | Case_label
+  | Default_label
+  | Close
+
+type t = { kind : kind; text : string }
+
+let kind_name = function
+  | Fundef -> "fundef"
+  | Simple -> "simple"
+  | Open_if -> "if"
+  | Open_else -> "else"
+  | Open_elseif -> "elseif"
+  | Open_switch -> "switch"
+  | Open_while -> "while"
+  | Open_for -> "for"
+  | Case_label -> "case"
+  | Default_label -> "default"
+  | Close -> "close"
+
+let of_func (f : Ast.func) =
+  let out = ref [] in
+  let emit kind text = out := { kind; text } :: !out in
+  let rec stmts body = List.iter stmt body
+  and stmt (s : Ast.stmt) =
+    match s with
+    | Ast.Decl _ | Ast.Assign _ | Ast.Expr _ | Ast.Return _ | Ast.Break | Ast.Continue
+      ->
+        emit Simple (Printer.simple_stmt s ^ ";")
+    | Ast.If (c, t, e) ->
+        emit Open_if (Printf.sprintf "if (%s) {" (Printer.expr c));
+        stmts t;
+        else_chain e
+    | Ast.While (c, body) ->
+        emit Open_while (Printf.sprintf "while (%s) {" (Printer.expr c));
+        stmts body;
+        emit Close "}"
+    | Ast.For (init, cond, step, body) ->
+        emit Open_for
+          (Printf.sprintf "for (%s; %s; %s) {"
+             (match init with Some s -> Printer.simple_stmt s | None -> "")
+             (match cond with Some e -> Printer.expr e | None -> "")
+             (match step with Some s -> Printer.simple_stmt s | None -> ""));
+        stmts body;
+        emit Close "}"
+    | Ast.Switch (scrut, arms, default) ->
+        emit Open_switch (Printf.sprintf "switch (%s) {" (Printer.expr scrut));
+        List.iter
+          (fun { Ast.labels; body } ->
+            List.iter
+              (fun l -> emit Case_label (Printf.sprintf "case %s:" (Printer.expr l)))
+              labels;
+            stmts body)
+          arms;
+        (match default with
+        | [] -> ()
+        | _ ->
+            emit Default_label "default:";
+            stmts default);
+        emit Close "}"
+  and else_chain = function
+    | [] -> emit Close "}"
+    | [ Ast.If (c, t, e) ] ->
+        emit Open_elseif (Printf.sprintf "} else if (%s) {" (Printer.expr c));
+        stmts t;
+        else_chain e
+    | e ->
+        emit Open_else "} else {";
+        stmts e;
+        emit Close "}"
+  in
+  emit Fundef (Printer.signature f);
+  stmts f.body;
+  emit Close "}";
+  List.rev !out
+
+let to_source lines = String.concat "\n" (List.map (fun l -> l.text) lines)
+let texts_to_source texts = String.concat "\n" texts
+
+let tokens_of_text text =
+  match Lexer.tokenize text with
+  | toks -> List.map Token.to_string toks
+  | exception Lexer.Error _ ->
+      String.split_on_char ' ' text |> List.filter (fun s -> s <> "")
+
+let tokens_of l = tokens_of_text l.text

@@ -1,0 +1,40 @@
+(** Linearization of a function into the paper's notion of statements.
+
+    Sec. 3.1 defines a statement as "a line ending with any of ';', '{',
+    '}'". This module flattens a parsed function into exactly those lines
+    (the [S_1 .. S_k] of Fig. 2), which is the unit of alignment,
+    templatization and model I/O throughout VEGA. *)
+
+type kind =
+  | Fundef  (** the signature line, [".... (args) {"] *)
+  | Simple  (** declaration / assignment / call / return / break, ends [';'] *)
+  | Open_if  (** ["if (cond) {"] *)
+  | Open_else  (** ["} else {"] *)
+  | Open_elseif  (** ["} else if (cond) {"] *)
+  | Open_switch  (** ["switch (e) {"] *)
+  | Open_while
+  | Open_for
+  | Case_label  (** ["case X:"] — the paper treats labels as statements *)
+  | Default_label
+  | Close  (** ["}"] *)
+
+type t = { kind : kind; text : string }
+
+val kind_name : kind -> string
+
+val of_func : Ast.func -> t list
+(** Flatten a function into statement lines, signature first, final ["}"]
+    last. *)
+
+val to_source : t list -> string
+(** Join statement lines back into parseable source text. *)
+
+val texts_to_source : string list -> string
+(** Same, from raw line texts (as produced by the model). *)
+
+val tokens_of : t -> string list
+(** Canonical token spellings of one line; tokenization matches
+    {!Lexer.tokenize}. Falls back to whitespace splitting if the line does
+    not lex (possible for model-generated text). *)
+
+val tokens_of_text : string -> string list

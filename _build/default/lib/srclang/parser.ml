@@ -1,0 +1,459 @@
+exception Error of string
+
+type state = { toks : Token.t array; mutable pos : int }
+
+let fail st msg =
+  let around =
+    let lo = max 0 (st.pos - 3) and hi = min (Array.length st.toks) (st.pos + 4) in
+    let slice = Array.sub st.toks lo (hi - lo) in
+    String.concat " " (Array.to_list (Array.map Token.to_string slice))
+  in
+  raise (Error (Printf.sprintf "%s (near: %s)" msg around))
+
+let peek st = if st.pos < Array.length st.toks then st.toks.(st.pos) else Token.Eof
+let advance st = st.pos <- st.pos + 1
+
+let expect st t =
+  if Token.equal (peek st) t then advance st
+  else fail st (Printf.sprintf "expected %S" (Token.to_string t))
+
+let accept st t =
+  if Token.equal (peek st) t then begin
+    advance st;
+    true
+  end
+  else false
+
+let ident st =
+  match peek st with
+  | Token.Id s ->
+      advance st;
+      s
+  | _ -> fail st "expected identifier"
+
+(* Types are single identifiers possibly prefixed by [const]/[unsigned] and
+   suffixed by [*]/[&]; the whole spelling is kept as one string. *)
+let parse_type st =
+  let buf = Buffer.create 16 in
+  let add s =
+    if Buffer.length buf > 0 then Buffer.add_char buf ' ';
+    Buffer.add_string buf s
+  in
+  let rec quals () =
+    if accept st Token.KwConst then begin
+      add "const";
+      quals ()
+    end
+  in
+  quals ();
+  (if accept st Token.KwUnsigned then begin
+     add "unsigned";
+     (* allow "unsigned int" *)
+     match peek st with
+     | Token.Id ("int" | "long" | "char") ->
+         add (ident st)
+     | _ -> ()
+   end
+   else begin
+     let first = ident st in
+     let rec scoped acc =
+       if Token.equal (peek st) Token.ColonColon then begin
+         advance st;
+         scoped (acc ^ "::" ^ ident st)
+       end
+       else acc
+     in
+     add (scoped first)
+   end);
+  let rec suffixes () =
+    match peek st with
+    | Token.Star ->
+        advance st;
+        Buffer.add_char buf '*';
+        suffixes ()
+    | Token.Amp ->
+        advance st;
+        Buffer.add_char buf '&';
+        suffixes ()
+    | _ -> ()
+  in
+  suffixes ();
+  Buffer.contents buf
+
+let is_type_start st =
+  match peek st with
+  | Token.KwConst | Token.KwUnsigned -> true
+  | Token.Id _ -> (
+      (* Id followed by Id (possibly through * / &) introduces a declaration. *)
+      let save = st.pos in
+      let result =
+        try
+          let _ = parse_type st in
+          match peek st with Token.Id _ -> true | _ -> false
+        with Error _ -> false
+      in
+      st.pos <- save;
+      result)
+  | _ -> false
+
+let rec parse_expr_prec st =
+  let e = parse_lor st in
+  if accept st Token.Question then begin
+    let t = parse_expr_prec st in
+    expect st Token.Colon;
+    let f = parse_expr_prec st in
+    Ast.Ternary (e, t, f)
+  end
+  else e
+
+and binlevel st next table =
+  let lhs = ref (next st) in
+  let rec loop () =
+    match List.assoc_opt (peek st) table with
+    | Some op ->
+        advance st;
+        let rhs = next st in
+        lhs := Ast.Binop (op, !lhs, rhs);
+        loop ()
+    | None -> ()
+  in
+  loop ();
+  !lhs
+
+and parse_lor st = binlevel st parse_land [ (Token.PipePipe, Ast.Lor) ]
+and parse_land st = binlevel st parse_bor [ (Token.AmpAmp, Ast.Land) ]
+and parse_bor st = binlevel st parse_bxor [ (Token.Pipe, Ast.Bor) ]
+and parse_bxor st = binlevel st parse_band [ (Token.Caret, Ast.Bxor) ]
+and parse_band st = binlevel st parse_equality [ (Token.Amp, Ast.Band) ]
+
+and parse_equality st =
+  binlevel st parse_rel [ (Token.EqEq, Ast.Eq); (Token.NotEq, Ast.Ne) ]
+
+and parse_rel st =
+  binlevel st parse_shift
+    [ (Token.Lt, Ast.Lt); (Token.Gt, Ast.Gt); (Token.Le, Ast.Le); (Token.Ge, Ast.Ge) ]
+
+and parse_shift st =
+  binlevel st parse_add [ (Token.Shl, Ast.Shl); (Token.Shr, Ast.Shr) ]
+
+and parse_add st = binlevel st parse_mul [ (Token.Plus, Ast.Add); (Token.Minus, Ast.Sub) ]
+
+and parse_mul st =
+  binlevel st parse_unary
+    [ (Token.Star, Ast.Mul); (Token.Slash, Ast.Div); (Token.Percent, Ast.Rem) ]
+
+and parse_unary st =
+  match peek st with
+  | Token.Minus -> (
+      advance st;
+      (* fold negative integer literals so that -1 round-trips as Int *)
+      match parse_unary st with
+      | Ast.Int n -> Ast.Int (-n)
+      | e -> Ast.Unop (Ast.Neg, e))
+  | Token.Bang ->
+      advance st;
+      Ast.Unop (Ast.Not, parse_unary st)
+  | Token.Tilde ->
+      advance st;
+      Ast.Unop (Ast.Bnot, parse_unary st)
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let e = ref (parse_primary st) in
+  let rec loop () =
+    match peek st with
+    | Token.Dot | Token.Arrow ->
+        advance st;
+        let name = ident st in
+        if accept st Token.LParen then begin
+          let args = parse_args st in
+          e := Ast.Method (!e, name, args)
+        end
+        else e := Ast.Member (!e, name);
+        loop ()
+    | Token.LBracket ->
+        advance st;
+        let idx = parse_expr_prec st in
+        expect st Token.RBracket;
+        e := Ast.Index (!e, idx);
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  !e
+
+and parse_args st =
+  if accept st Token.RParen then []
+  else begin
+    let rec more acc =
+      let a = parse_expr_prec st in
+      if accept st Token.Comma then more (a :: acc)
+      else begin
+        expect st Token.RParen;
+        List.rev (a :: acc)
+      end
+    in
+    more []
+  end
+
+and parse_primary st =
+  match peek st with
+  | Token.Int_lit n ->
+      advance st;
+      Ast.Int n
+  | Token.Str_lit s ->
+      advance st;
+      Ast.Str s
+  | Token.Char_lit c ->
+      advance st;
+      Ast.Chr c
+  | Token.KwTrue ->
+      advance st;
+      Ast.Bool true
+  | Token.KwFalse ->
+      advance st;
+      Ast.Bool false
+  | Token.KwNullptr ->
+      advance st;
+      Ast.Nullptr
+  | Token.LParen ->
+      advance st;
+      let e = parse_expr_prec st in
+      expect st Token.RParen;
+      e
+  | Token.KwUnsigned ->
+      (* functional-style cast: unsigned(e) *)
+      advance st;
+      expect st Token.LParen;
+      let e = parse_expr_prec st in
+      expect st Token.RParen;
+      Ast.Cast ("unsigned", e)
+  | Token.Id "static_cast" ->
+      advance st;
+      expect st Token.Lt;
+      let ty = parse_type st in
+      expect st Token.Gt;
+      expect st Token.LParen;
+      let e = parse_expr_prec st in
+      expect st Token.RParen;
+      Ast.Cast (ty, e)
+  | Token.Id _ ->
+      let first = ident st in
+      let rec scoped acc =
+        if Token.equal (peek st) Token.ColonColon then begin
+          advance st;
+          scoped (ident st :: acc)
+        end
+        else List.rev acc
+      in
+      let parts = scoped [ first ] in
+      if accept st Token.LParen then
+        let args = parse_args st in
+        Ast.Call (String.concat "::" parts, args)
+      else if List.length parts = 1 then Ast.Id first
+      else Ast.Scoped parts
+  | t -> fail st (Printf.sprintf "unexpected token %S in expression" (Token.to_string t))
+
+let assign_op_of_token = function
+  | Token.Assign -> Some Ast.Set
+  | Token.PlusEq -> Some Ast.Add_set
+  | Token.MinusEq -> Some Ast.Sub_set
+  | Token.OrEq -> Some Ast.Or_set
+  | Token.AndEq -> Some Ast.And_set
+  | Token.ShlEq -> Some Ast.Shl_set
+  | Token.ShrEq -> Some Ast.Shr_set
+  | _ -> None
+
+let rec parse_stmt st : Ast.stmt =
+  match peek st with
+  | Token.KwReturn ->
+      advance st;
+      if accept st Token.Semi then Ast.Return None
+      else begin
+        let e = parse_expr_prec st in
+        expect st Token.Semi;
+        Ast.Return (Some e)
+      end
+  | Token.KwBreak ->
+      advance st;
+      expect st Token.Semi;
+      Ast.Break
+  | Token.KwContinue ->
+      advance st;
+      expect st Token.Semi;
+      Ast.Continue
+  | Token.KwIf ->
+      advance st;
+      expect st Token.LParen;
+      let cond = parse_expr_prec st in
+      expect st Token.RParen;
+      let then_ = parse_block_or_stmt st in
+      let else_ =
+        if accept st Token.KwElse then
+          if Token.equal (peek st) Token.KwIf then [ parse_stmt st ]
+          else parse_block_or_stmt st
+        else []
+      in
+      Ast.If (cond, then_, else_)
+  | Token.KwWhile ->
+      advance st;
+      expect st Token.LParen;
+      let cond = parse_expr_prec st in
+      expect st Token.RParen;
+      let body = parse_block_or_stmt st in
+      Ast.While (cond, body)
+  | Token.KwFor ->
+      advance st;
+      expect st Token.LParen;
+      let init =
+        if Token.equal (peek st) Token.Semi then begin
+          advance st;
+          None
+        end
+        else Some (parse_simple_stmt st)
+      in
+      let cond =
+        if Token.equal (peek st) Token.Semi then None else Some (parse_expr_prec st)
+      in
+      expect st Token.Semi;
+      let step =
+        if Token.equal (peek st) Token.RParen then None
+        else Some (parse_simple_no_semi st)
+      in
+      expect st Token.RParen;
+      let body = parse_block_or_stmt st in
+      Ast.For (init, cond, step, body)
+  | Token.KwSwitch ->
+      advance st;
+      expect st Token.LParen;
+      let scrut = parse_expr_prec st in
+      expect st Token.RParen;
+      expect st Token.LBrace;
+      let arms = ref [] and default = ref [] in
+      let rec arm_loop () =
+        match peek st with
+        | Token.RBrace -> advance st
+        | Token.KwCase ->
+            let rec labels acc =
+              if accept st Token.KwCase then begin
+                let l = parse_expr_prec st in
+                expect st Token.Colon;
+                labels (l :: acc)
+              end
+              else List.rev acc
+            in
+            let labels = labels [] in
+            let body = parse_case_body st in
+            arms := { Ast.labels; body } :: !arms;
+            arm_loop ()
+        | Token.KwDefault ->
+            advance st;
+            expect st Token.Colon;
+            default := parse_case_body st;
+            arm_loop ()
+        | t -> fail st (Printf.sprintf "unexpected %S in switch" (Token.to_string t))
+      in
+      arm_loop ();
+      Ast.Switch (scrut, List.rev !arms, !default)
+  | _ -> parse_simple_stmt st
+
+and parse_case_body st =
+  let rec loop acc =
+    match peek st with
+    | Token.KwCase | Token.KwDefault | Token.RBrace -> List.rev acc
+    | _ -> loop (parse_stmt st :: acc)
+  in
+  loop []
+
+and parse_block_or_stmt st =
+  if accept st Token.LBrace then begin
+    let rec loop acc =
+      if accept st Token.RBrace then List.rev acc else loop (parse_stmt st :: acc)
+    in
+    loop []
+  end
+  else [ parse_stmt st ]
+
+(* declaration / assignment / expression statement, consuming the ';' *)
+and parse_simple_stmt st =
+  let s = parse_simple_no_semi st in
+  expect st Token.Semi;
+  s
+
+and parse_simple_no_semi st =
+  if is_type_start st then begin
+    let ty = parse_type st in
+    let name = ident st in
+    let init = if accept st Token.Assign then Some (parse_expr_prec st) else None in
+    Ast.Decl (ty, name, init)
+  end
+  else begin
+    let lhs = parse_expr_prec st in
+    match assign_op_of_token (peek st) with
+    | Some op ->
+        advance st;
+        let rhs = parse_expr_prec st in
+        Ast.Assign (op, lhs, rhs)
+    | None -> Ast.Expr lhs
+  end
+
+let parse_params st =
+  expect st Token.LParen;
+  if accept st Token.RParen then []
+  else begin
+    let rec more acc =
+      let ptype = parse_type st in
+      let pname = ident st in
+      let p = { Ast.ptype; pname } in
+      if accept st Token.Comma then more (p :: acc)
+      else begin
+        expect st Token.RParen;
+        List.rev (p :: acc)
+      end
+    in
+    more []
+  end
+
+let parse_function_state st =
+  let ret_type = parse_type st in
+  let first = ident st in
+  let cls, name =
+    if accept st Token.ColonColon then (Some first, ident st) else (None, first)
+  in
+  let params = parse_params st in
+  (* tolerate trailing qualifiers like [const] before the body *)
+  let _ = accept st Token.KwConst in
+  expect st Token.LBrace;
+  let rec body acc =
+    if accept st Token.RBrace then List.rev acc else body (parse_stmt st :: acc)
+  in
+  let body = body [] in
+  { Ast.ret_type; cls; name; params; body }
+
+let make_state src =
+  let toks = Lexer.tokenize src in
+  { toks = Array.of_list toks; pos = 0 }
+
+let finish st v =
+  if st.pos <> Array.length st.toks then fail st "trailing tokens" else v
+
+let parse_function src =
+  let st = make_state src in
+  finish st (parse_function_state st)
+
+let parse_function_opt src =
+  match parse_function src with
+  | f -> Ok f
+  | exception Error msg -> Result.Error msg
+  | exception Lexer.Error msg -> Result.Error msg
+
+let parse_expr src =
+  let st = make_state src in
+  finish st (parse_expr_prec st)
+
+let parse_stmts src =
+  let st = make_state src in
+  let rec loop acc =
+    if st.pos = Array.length st.toks then List.rev acc else loop (parse_stmt st :: acc)
+  in
+  loop []

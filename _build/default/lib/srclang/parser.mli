@@ -1,0 +1,20 @@
+(** Recursive-descent parser for BackendC.
+
+    The grammar covers the statement and expression forms produced by the
+    corpus generator and by VEGA's code generator. Generated code that
+    fails to parse is classified as deficient (Err-Def) by the evaluation
+    harness, so parse errors are reported, never fatal. *)
+
+exception Error of string
+
+val parse_function : string -> Ast.func
+(** Parse a single function definition. @raise Error on malformed input. *)
+
+val parse_function_opt : string -> (Ast.func, string) result
+(** Like {!parse_function} but capturing lex/parse failures. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a standalone expression (used by tests). @raise Error. *)
+
+val parse_stmts : string -> Ast.stmt list
+(** Parse a brace-less statement sequence (used by tests). @raise Error. *)

@@ -1,0 +1,133 @@
+let unop_str = function Ast.Neg -> "-" | Ast.Not -> "!" | Ast.Bnot -> "~"
+
+let binop_str = function
+  | Ast.Add -> "+"
+  | Ast.Sub -> "-"
+  | Ast.Mul -> "*"
+  | Ast.Div -> "/"
+  | Ast.Rem -> "%"
+  | Ast.Shl -> "<<"
+  | Ast.Shr -> ">>"
+  | Ast.Band -> "&"
+  | Ast.Bor -> "|"
+  | Ast.Bxor -> "^"
+  | Ast.Land -> "&&"
+  | Ast.Lor -> "||"
+  | Ast.Eq -> "=="
+  | Ast.Ne -> "!="
+  | Ast.Lt -> "<"
+  | Ast.Gt -> ">"
+  | Ast.Le -> "<="
+  | Ast.Ge -> ">="
+
+let assign_str = function
+  | Ast.Set -> "="
+  | Ast.Add_set -> "+="
+  | Ast.Sub_set -> "-="
+  | Ast.Or_set -> "|="
+  | Ast.And_set -> "&="
+  | Ast.Shl_set -> "<<="
+  | Ast.Shr_set -> ">>="
+
+(* Precedence levels; higher binds tighter. *)
+let prec = function
+  | Ast.Lor -> 1
+  | Ast.Land -> 2
+  | Ast.Bor -> 3
+  | Ast.Bxor -> 4
+  | Ast.Band -> 5
+  | Ast.Eq | Ast.Ne -> 6
+  | Ast.Lt | Ast.Gt | Ast.Le | Ast.Ge -> 7
+  | Ast.Shl | Ast.Shr -> 8
+  | Ast.Add | Ast.Sub -> 9
+  | Ast.Mul | Ast.Div | Ast.Rem -> 10
+
+let rec expr_prec level e =
+  match e with
+  | Ast.Int n -> string_of_int n
+  | Ast.Str s -> Printf.sprintf "%S" s
+  | Ast.Chr c -> Printf.sprintf "'%c'" c
+  | Ast.Bool true -> "true"
+  | Ast.Bool false -> "false"
+  | Ast.Nullptr -> "nullptr"
+  | Ast.Id s -> s
+  | Ast.Scoped parts -> String.concat "::" parts
+  | Ast.Call (f, args) -> Printf.sprintf "%s(%s)" f (args_str args)
+  | Ast.Method (recv, m, args) ->
+      Printf.sprintf "%s.%s(%s)" (expr_prec 100 recv) m (args_str args)
+  | Ast.Member (recv, f) -> Printf.sprintf "%s.%s" (expr_prec 100 recv) f
+  | Ast.Index (recv, i) -> Printf.sprintf "%s[%s]" (expr_prec 100 recv) (expr_prec 0 i)
+  | Ast.Unop (op, a) -> Printf.sprintf "%s%s" (unop_str op) (expr_prec 90 a)
+  | Ast.Binop (op, a, b) ->
+      let p = prec op in
+      let s =
+        Printf.sprintf "%s %s %s" (expr_prec p a) (binop_str op) (expr_prec (p + 1) b)
+      in
+      if p < level then "(" ^ s ^ ")" else s
+  | Ast.Ternary (c, t, f) ->
+      let s =
+        Printf.sprintf "%s ? %s : %s" (expr_prec 1 c) (expr_prec 0 t) (expr_prec 0 f)
+      in
+      if level > 0 then "(" ^ s ^ ")" else s
+  | Ast.Cast (ty, a) -> Printf.sprintf "static_cast<%s>(%s)" ty (expr_prec 0 a)
+
+and args_str args = String.concat ", " (List.map (expr_prec 0) args)
+
+let expr e = expr_prec 0 e
+
+let simple_stmt = function
+  | Ast.Decl (ty, name, None) -> Printf.sprintf "%s %s" ty name
+  | Ast.Decl (ty, name, Some init) -> Printf.sprintf "%s %s = %s" ty name (expr init)
+  | Ast.Assign (op, lhs, rhs) ->
+      Printf.sprintf "%s %s %s" (expr lhs) (assign_str op) (expr rhs)
+  | Ast.Expr e -> expr e
+  | Ast.Return None -> "return"
+  | Ast.Return (Some e) -> Printf.sprintf "return %s" (expr e)
+  | Ast.Break -> "break"
+  | Ast.Continue -> "continue"
+  | Ast.If _ | Ast.Switch _ | Ast.While _ | Ast.For _ ->
+      invalid_arg "Printer.simple_stmt: compound statement"
+
+let rec stmt_flat s =
+  match s with
+  | Ast.If (c, t, e) ->
+      let els =
+        match e with
+        | [] -> ""
+        | _ -> Printf.sprintf " else { %s }" (String.concat " " (List.map stmt_flat e))
+      in
+      Printf.sprintf "if (%s) { %s }%s" (expr c)
+        (String.concat " " (List.map stmt_flat t))
+        els
+  | Ast.Switch (scrut, arms, default) ->
+      let arm_str { Ast.labels; body } =
+        String.concat " " (List.map (fun l -> Printf.sprintf "case %s:" (expr l)) labels)
+        ^ " "
+        ^ String.concat " " (List.map stmt_flat body)
+      in
+      let parts = List.map arm_str arms in
+      let parts =
+        match default with
+        | [] -> parts
+        | _ -> parts @ [ "default: " ^ String.concat " " (List.map stmt_flat default) ]
+      in
+      Printf.sprintf "switch (%s) { %s }" (expr scrut) (String.concat " " parts)
+  | Ast.While (c, body) ->
+      Printf.sprintf "while (%s) { %s }" (expr c)
+        (String.concat " " (List.map stmt_flat body))
+  | Ast.For (init, cond, step, body) ->
+      Printf.sprintf "for (%s; %s; %s) { %s }"
+        (match init with Some s -> simple_stmt s | None -> "")
+        (match cond with Some e -> expr e | None -> "")
+        (match step with Some s -> simple_stmt s | None -> "")
+        (String.concat " " (List.map stmt_flat body))
+  | Ast.Decl _ | Ast.Assign _ | Ast.Expr _ | Ast.Return _ | Ast.Break | Ast.Continue ->
+      simple_stmt s ^ ";"
+
+let signature (f : Ast.func) =
+  let params =
+    String.concat ", "
+      (List.map (fun { Ast.ptype; pname } -> ptype ^ " " ^ pname) f.params)
+  in
+  let qual = match f.cls with Some c -> c ^ "::" | None -> "" in
+  Printf.sprintf "%s %s%s(%s) {" f.ret_type qual f.name params

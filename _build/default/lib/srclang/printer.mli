@@ -1,0 +1,17 @@
+(** Canonical pretty-printing of BackendC.
+
+    The printer fixes one spelling per AST so that statement alignment and
+    templatization operate on a normalized token stream (the paper strips
+    formatting noise in pre-processing; we never reintroduce it). *)
+
+val expr : Ast.expr -> string
+val stmt_flat : Ast.stmt -> string
+(** One-line rendering of a statement (nested blocks inline); tests only. *)
+
+val simple_stmt : Ast.stmt -> string
+(** Body of a simple (non-compound) statement, without the trailing [';'].
+    @raise Invalid_argument on compound statements. *)
+
+val signature : Ast.func -> string
+(** The function-definition line, e.g.
+    ["unsigned ARMELFObjectWriter::getRelocType(MCValue Target, MCFixup Fixup, bool IsPCRel) {"]. *)

@@ -1,0 +1,125 @@
+type t =
+  | Id of string
+  | Int_lit of int
+  | Str_lit of string
+  | Char_lit of char
+  | KwIf
+  | KwElse
+  | KwSwitch
+  | KwCase
+  | KwDefault
+  | KwReturn
+  | KwBreak
+  | KwContinue
+  | KwFor
+  | KwWhile
+  | KwTrue
+  | KwFalse
+  | KwConst
+  | KwUnsigned
+  | KwNullptr
+  | LParen
+  | RParen
+  | LBrace
+  | RBrace
+  | LBracket
+  | RBracket
+  | Semi
+  | Comma
+  | Colon
+  | ColonColon
+  | Dot
+  | Arrow
+  | Question
+  | Assign
+  | PlusEq
+  | MinusEq
+  | OrEq
+  | AndEq
+  | ShlEq
+  | ShrEq
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Percent
+  | Amp
+  | Pipe
+  | Caret
+  | Tilde
+  | Bang
+  | AmpAmp
+  | PipePipe
+  | EqEq
+  | NotEq
+  | Lt
+  | Gt
+  | Le
+  | Ge
+  | Shl
+  | Shr
+  | Eof
+
+let to_string = function
+  | Id s -> s
+  | Int_lit n -> string_of_int n
+  | Str_lit s -> Printf.sprintf "%S" s
+  | Char_lit c -> Printf.sprintf "'%c'" c
+  | KwIf -> "if"
+  | KwElse -> "else"
+  | KwSwitch -> "switch"
+  | KwCase -> "case"
+  | KwDefault -> "default"
+  | KwReturn -> "return"
+  | KwBreak -> "break"
+  | KwContinue -> "continue"
+  | KwFor -> "for"
+  | KwWhile -> "while"
+  | KwTrue -> "true"
+  | KwFalse -> "false"
+  | KwConst -> "const"
+  | KwUnsigned -> "unsigned"
+  | KwNullptr -> "nullptr"
+  | LParen -> "("
+  | RParen -> ")"
+  | LBrace -> "{"
+  | RBrace -> "}"
+  | LBracket -> "["
+  | RBracket -> "]"
+  | Semi -> ";"
+  | Comma -> ","
+  | Colon -> ":"
+  | ColonColon -> "::"
+  | Dot -> "."
+  | Arrow -> "->"
+  | Question -> "?"
+  | Assign -> "="
+  | PlusEq -> "+="
+  | MinusEq -> "-="
+  | OrEq -> "|="
+  | AndEq -> "&="
+  | ShlEq -> "<<="
+  | ShrEq -> ">>="
+  | Plus -> "+"
+  | Minus -> "-"
+  | Star -> "*"
+  | Slash -> "/"
+  | Percent -> "%"
+  | Amp -> "&"
+  | Pipe -> "|"
+  | Caret -> "^"
+  | Tilde -> "~"
+  | Bang -> "!"
+  | AmpAmp -> "&&"
+  | PipePipe -> "||"
+  | EqEq -> "=="
+  | NotEq -> "!="
+  | Lt -> "<"
+  | Gt -> ">"
+  | Le -> "<="
+  | Ge -> ">="
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Eof -> ""
+
+let equal (a : t) (b : t) = a = b

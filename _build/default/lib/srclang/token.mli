@@ -1,0 +1,73 @@
+(** Tokens of BackendC, the miniature C++-like language in which the
+    corpus of backend interface functions is written.
+
+    The token granularity matches what the paper's feature-selection stage
+    needs: identifiers, scoped names ([A::b] lexes as [Id "A"; ColonColon;
+    Id "b"]), literals, and punctuation. *)
+
+type t =
+  | Id of string
+  | Int_lit of int
+  | Str_lit of string
+  | Char_lit of char
+  | KwIf
+  | KwElse
+  | KwSwitch
+  | KwCase
+  | KwDefault
+  | KwReturn
+  | KwBreak
+  | KwContinue
+  | KwFor
+  | KwWhile
+  | KwTrue
+  | KwFalse
+  | KwConst
+  | KwUnsigned
+  | KwNullptr
+  | LParen
+  | RParen
+  | LBrace
+  | RBrace
+  | LBracket
+  | RBracket
+  | Semi
+  | Comma
+  | Colon
+  | ColonColon
+  | Dot
+  | Arrow
+  | Question
+  | Assign
+  | PlusEq
+  | MinusEq
+  | OrEq
+  | AndEq
+  | ShlEq
+  | ShrEq
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Percent
+  | Amp
+  | Pipe
+  | Caret
+  | Tilde
+  | Bang
+  | AmpAmp
+  | PipePipe
+  | EqEq
+  | NotEq
+  | Lt
+  | Gt
+  | Le
+  | Ge
+  | Shl
+  | Shr
+  | Eof
+
+val to_string : t -> string
+(** Canonical source spelling of a token ([Eof] renders as [""]). *)
+
+val equal : t -> t -> bool

@@ -1,0 +1,1 @@
+lib/tdlang/catalog.pp.ml: Def_parser Filename H_parser Hashtbl List Logs Option String Td_ast Td_lex Td_parser Vfs

@@ -1,0 +1,1 @@
+lib/tdlang/catalog.pp.mli: Td_ast Vfs

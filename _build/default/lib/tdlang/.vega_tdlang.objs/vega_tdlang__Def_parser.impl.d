@@ -1,0 +1,1 @@
+lib/tdlang/def_parser.pp.ml: Array List Td_ast Td_lex

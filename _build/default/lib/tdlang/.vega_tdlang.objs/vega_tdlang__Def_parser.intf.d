@@ -1,0 +1,1 @@
+lib/tdlang/def_parser.pp.mli: Td_ast

@@ -1,0 +1,1 @@
+lib/tdlang/h_parser.pp.ml: Array List Printf String Td_ast Td_lex

@@ -1,0 +1,1 @@
+lib/tdlang/h_parser.pp.mli: Td_ast

@@ -1,0 +1,1 @@
+lib/tdlang/td_ast.pp.ml: List Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/tdlang/td_lex.pp.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/tdlang/td_lex.pp.mli:

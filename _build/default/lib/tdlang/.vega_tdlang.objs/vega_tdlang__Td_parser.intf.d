@@ -1,0 +1,1 @@
+lib/tdlang/td_parser.pp.mli: Td_ast

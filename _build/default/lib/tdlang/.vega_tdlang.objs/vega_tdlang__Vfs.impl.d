@@ -1,0 +1,1 @@
+lib/tdlang/vfs.pp.ml: Hashtbl List Printf String

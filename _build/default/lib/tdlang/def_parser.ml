@@ -1,0 +1,27 @@
+exception Error of string
+
+let parse src =
+  let toks = Array.of_list (Td_lex.tokenize src) in
+  let n = Array.length toks in
+  let pos = ref 0 in
+  let out = ref [] in
+  while !pos < n do
+    match toks.(!pos) with
+    | Td_lex.Word "ELF_RELOC" ->
+        if
+          !pos + 5 < n
+          &&
+          match (toks.(!pos + 1), toks.(!pos + 3), toks.(!pos + 5)) with
+          | Td_lex.Punct "(", Td_lex.Punct ",", Td_lex.Punct ")" -> true
+          | _ -> false
+        then begin
+          (match (toks.(!pos + 2), toks.(!pos + 4)) with
+          | Td_lex.Word reloc_name, Td_lex.Num reloc_value ->
+              out := { Td_ast.reloc_name; reloc_value } :: !out
+          | _ -> raise (Error "malformed ELF_RELOC entry"));
+          pos := !pos + 6
+        end
+        else raise (Error "malformed ELF_RELOC entry")
+    | _ -> raise (Error "expected ELF_RELOC")
+  done;
+  List.rev !out

@@ -1,0 +1,11 @@
+(** Parser for X-macro [.def] files, e.g.
+    llvm/BinaryFormat/ELFRelocs/ARM.def:
+    {v
+    ELF_RELOC(R_ARM_NONE, 0x00)
+    ELF_RELOC(R_ARM_PC24, 0x01)
+    v} *)
+
+exception Error of string
+
+val parse : string -> Td_ast.reloc list
+(** @raise Error on malformed input. *)

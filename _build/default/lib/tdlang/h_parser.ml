@@ -1,0 +1,163 @@
+exception Error of string
+
+type st = { toks : Td_lex.tok array; mutable pos : int }
+
+let fail st msg =
+  let near =
+    let lo = max 0 (st.pos - 2) and hi = min (Array.length st.toks) (st.pos + 3) in
+    String.concat " "
+      (Array.to_list (Array.map Td_lex.to_string (Array.sub st.toks lo (hi - lo))))
+  in
+  raise (Error (Printf.sprintf "%s (near: %s)" msg near))
+
+let peek st = if st.pos < Array.length st.toks then Some st.toks.(st.pos) else None
+let advance st = st.pos <- st.pos + 1
+
+let expect_punct st p =
+  match peek st with
+  | Some (Td_lex.Punct q) when q = p -> advance st
+  | _ -> fail st (Printf.sprintf "expected %S" p)
+
+let word st =
+  match peek st with
+  | Some (Td_lex.Word w) ->
+      advance st;
+      w
+  | _ -> fail st "expected identifier"
+
+let accept_punct st p =
+  match peek st with
+  | Some (Td_lex.Punct q) when q = p ->
+      advance st;
+      true
+  | _ -> false
+
+(* enum E { a, b = 3, c = Ref }  — cursor after "enum" *)
+let parse_enum st scope : Td_ast.enum_decl =
+  let enum_name = word st in
+  expect_punct st "{";
+  let rec members acc =
+    match peek st with
+    | Some (Td_lex.Punct "}") ->
+        advance st;
+        List.rev acc
+    | Some (Td_lex.Word name) ->
+        advance st;
+        let init =
+          if accept_punct st "=" then
+            match peek st with
+            | Some (Td_lex.Num n) ->
+                advance st;
+                Td_ast.Init_int n
+            | Some (Td_lex.Word r) ->
+                advance st;
+                (* allow qualified refs A::b *)
+                let r = ref r in
+                while accept_punct st "::" do
+                  r := !r ^ "::" ^ word st
+                done;
+                Td_ast.Init_ref !r
+            | _ -> fail st "expected enum initializer"
+          else Td_ast.Init_none
+        in
+        let _ = accept_punct st "," in
+        members ((name, init) :: acc)
+    | _ -> fail st "expected enum member or '}'"
+  in
+  let members = members [] in
+  let _ = accept_punct st ";" in
+  { Td_ast.enum_scope = scope; enum_name; members }
+
+let skip_to_semi_balanced st =
+  (* Skip a member declaration inside a class body up to its ';',
+     balancing braces (for inline method bodies). *)
+  let depth = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek st with
+    | Some (Td_lex.Punct "{") ->
+        incr depth;
+        advance st
+    | Some (Td_lex.Punct "}") ->
+        if !depth = 0 then continue_ := false
+        else begin
+          decr depth;
+          advance st;
+          (* method body followed by no ';' ends the member *)
+          if !depth = 0 then continue_ := false
+        end
+    | Some (Td_lex.Punct ";") when !depth = 0 ->
+        advance st;
+        continue_ := false
+    | Some _ -> advance st
+    | None -> continue_ := false
+  done
+
+let rec parse_decls st scope acc =
+  match peek st with
+  | None -> List.rev acc
+  | Some (Td_lex.Punct "}") -> List.rev acc
+  | Some (Td_lex.Word "namespace") ->
+      advance st;
+      let n = word st in
+      expect_punct st "{";
+      let inner = parse_decls st (Some n) [] in
+      expect_punct st "}";
+      let _ = accept_punct st ";" in
+      parse_decls st scope (List.rev_append (List.rev inner) acc)
+  | Some (Td_lex.Word "enum") ->
+      advance st;
+      let e = parse_enum st scope in
+      parse_decls st scope (Td_ast.Enum_top e :: acc)
+  | Some (Td_lex.Word ("class" | "struct")) ->
+      advance st;
+      let name = word st in
+      (* optional base-class clause *)
+      if accept_punct st ":" then begin
+        let rec skip_bases () =
+          match peek st with
+          | Some (Td_lex.Punct "{") | None -> ()
+          | Some _ ->
+              advance st;
+              skip_bases ()
+        in
+        skip_bases ()
+      end;
+      if accept_punct st ";" then parse_decls st scope (Td_ast.Class_decl (name, []) :: acc)
+      else begin
+        expect_punct st "{";
+        let enums = ref [] in
+        let rec body () =
+          match peek st with
+          | Some (Td_lex.Punct "}") ->
+              advance st;
+              let _ = accept_punct st ";" in
+              ()
+          | Some (Td_lex.Word "enum") ->
+              advance st;
+              enums := parse_enum st (Some name) :: !enums;
+              body ()
+          | Some (Td_lex.Word ("public" | "private" | "protected")) ->
+              advance st;
+              let _ = accept_punct st ":" in
+              body ()
+          | Some _ ->
+              skip_to_semi_balanced st;
+              body ()
+          | None -> fail st "unterminated class body"
+        in
+        body ();
+        parse_decls st scope (Td_ast.Class_decl (name, List.rev !enums) :: acc)
+      end
+  | Some (Td_lex.Word "extern") ->
+      advance st;
+      let ty = word st in
+      let name = word st in
+      expect_punct st ";";
+      parse_decls st scope (Td_ast.Global_decl (ty, name) :: acc)
+  | Some t -> fail st (Printf.sprintf "unexpected %S" (Td_lex.to_string t))
+
+let parse src =
+  let st = { toks = Array.of_list (Td_lex.tokenize src); pos = 0 } in
+  let decls = parse_decls st None [] in
+  if st.pos <> Array.length st.toks then fail st "trailing tokens" else decls

@@ -1,0 +1,16 @@
+(** Parser for the C-header subset used by target description [.h] files
+    (e.g. ARMFixupKinds.h) and by the LLVM-provided headers under
+    LLVMDIRs (e.g. MCFixup.h, MCExpr.h).
+
+    Recognized declarations:
+    {v
+    namespace N { enum E { a, b = 3, c = SomeRef }; }
+    class C { enum E { ... }; };     // methods/fields are skipped
+    enum E { ... };
+    extern unsigned G;
+    v} *)
+
+exception Error of string
+
+val parse : string -> Td_ast.h_decl list
+(** @raise Error on malformed input. *)

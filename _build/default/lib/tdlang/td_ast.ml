@@ -1,0 +1,42 @@
+(** Parsed shapes of target-description files.
+
+    Three formats feed feature selection:
+    - TableGen-like [.td] records ([def ARM : Target { let Name = "ARM"; }]),
+    - C-header [.h] declarations (namespaced enums, class names, extern
+      globals) — the files like ARMFixupKinds.h the paper mines,
+    - X-macro [.def] relocation lists ([ELF_RELOC(R_ARM_NONE, 0x00)]). *)
+
+type value =
+  | Vstr of string
+  | Vint of int
+  | Vid of string
+  | Vlist of value list
+[@@deriving show { with_path = false }, eq]
+
+type record = {
+  rec_name : string;  (** [def <rec_name>] *)
+  rec_class : string;  (** parent class after [:] *)
+  fields : (string * value) list;  (** [let f = v;] bindings *)
+}
+[@@deriving show { with_path = false }, eq]
+
+(** Enum member initializer as written; numeric resolution happens in
+    {!Catalog}. *)
+type member_init = Init_none | Init_int of int | Init_ref of string
+[@@deriving show { with_path = false }, eq]
+
+type enum_decl = {
+  enum_scope : string option;  (** enclosing [namespace]/[class] name *)
+  enum_name : string;
+  members : (string * member_init) list;
+}
+[@@deriving show { with_path = false }, eq]
+
+type h_decl =
+  | Class_decl of string * enum_decl list  (** class name + nested enums *)
+  | Enum_top of enum_decl
+  | Global_decl of string * string  (** type, name — [extern unsigned OperandType;] *)
+[@@deriving show { with_path = false }, eq]
+
+type reloc = { reloc_name : string; reloc_value : int }
+[@@deriving show { with_path = false }, eq]

@@ -1,0 +1,92 @@
+type tok = Word of string | Num of int | Str of string | Punct of string
+
+let is_word_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_word_char c = is_word_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let toks = ref [] in
+  let emit t = toks := t :: !toks in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then incr pos
+    else if c = '/' && !pos + 1 < n && src.[!pos + 1] = '/' then
+      while !pos < n && src.[!pos] <> '\n' do
+        incr pos
+      done
+    else if c = '/' && !pos + 1 < n && src.[!pos + 1] = '*' then begin
+      pos := !pos + 2;
+      while
+        !pos + 1 < n && not (src.[!pos] = '*' && src.[!pos + 1] = '/')
+      do
+        incr pos
+      done;
+      pos := min n (!pos + 2)
+    end
+    else if c = '#' then
+      (* preprocessor-ish lines in .h/.def: skip to end of line *)
+      while !pos < n && src.[!pos] <> '\n' do
+        incr pos
+      done
+    else if is_word_start c then begin
+      let start = !pos in
+      while !pos < n && is_word_char src.[!pos] do
+        incr pos
+      done;
+      emit (Word (String.sub src start (!pos - start)))
+    end
+    else if is_digit c then begin
+      let start = !pos in
+      if c = '0' && !pos + 1 < n && (src.[!pos + 1] = 'x' || src.[!pos + 1] = 'X') then begin
+        pos := !pos + 2;
+        while
+          !pos < n
+          && (is_digit src.[!pos]
+             || (src.[!pos] >= 'a' && src.[!pos] <= 'f')
+             || (src.[!pos] >= 'A' && src.[!pos] <= 'F'))
+        do
+          incr pos
+        done
+      end
+      else
+        while !pos < n && is_digit src.[!pos] do
+          incr pos
+        done;
+      let lit = String.sub src start (!pos - start) in
+      emit (Num (int_of_string lit))
+    end
+    else if c = '"' then begin
+      incr pos;
+      let buf = Buffer.create 16 in
+      while !pos < n && src.[!pos] <> '"' do
+        Buffer.add_char buf src.[!pos];
+        incr pos
+      done;
+      incr pos;
+      emit (Str (Buffer.contents buf))
+    end
+    else begin
+      (* punct: greedy two-char for "::", otherwise single char *)
+      if c = ':' && !pos + 1 < n && src.[!pos + 1] = ':' then begin
+        emit (Punct "::");
+        pos := !pos + 2
+      end
+      else begin
+        emit (Punct (String.make 1 c));
+        incr pos
+      end
+    end
+  done;
+  List.rev !toks
+
+let words src =
+  List.filter_map (function Word w -> Some w | Num _ | Str _ | Punct _ -> None)
+    (tokenize src)
+
+let to_string = function
+  | Word w -> w
+  | Num n -> string_of_int n
+  | Str s -> Printf.sprintf "%S" s
+  | Punct p -> p

@@ -1,0 +1,20 @@
+(** Shared word-level tokenizer for target description files (.td, .h,
+    .def).
+
+    Algorithm 1 performs its searches "using string comparisons ... on
+    token sequences of the files"; this is that tokenizer. It is
+    deliberately more forgiving than {!Vega_srclang.Lexer}: any text in
+    the description-file formats lexes. *)
+
+type tok =
+  | Word of string  (** identifier-like *)
+  | Num of int
+  | Str of string  (** double-quoted *)
+  | Punct of string  (** any other non-space glyph run, e.g. ["::"], ["{"] *)
+
+val tokenize : string -> tok list
+
+val words : string -> string list
+(** Just the [Word] payloads, in order. *)
+
+val to_string : tok -> string

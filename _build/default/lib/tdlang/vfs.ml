@@ -1,0 +1,44 @@
+type t = (string, string) Hashtbl.t
+
+let create () = Hashtbl.create 256
+let add t ~path content = Hashtbl.replace t path content
+let read t path = Hashtbl.find_opt t path
+
+let read_exn t path =
+  match read t path with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "Vfs.read_exn: no file %s" path)
+
+let files_under t dir =
+  let prefix = dir ^ "/" in
+  Hashtbl.fold
+    (fun path content acc ->
+      if path = dir || String.starts_with ~prefix path then (path, content) :: acc
+      else acc)
+    t []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let files_under_dirs t dirs =
+  let seen = Hashtbl.create 64 in
+  List.concat_map
+    (fun d ->
+      List.filter
+        (fun (p, _) ->
+          if Hashtbl.mem seen p then false
+          else begin
+            Hashtbl.add seen p ();
+            true
+          end)
+        (files_under t d))
+    dirs
+
+let mem t path = Hashtbl.mem t path
+let size t = Hashtbl.length t
+
+let llvmdirs = [ "llvm/CodeGen"; "llvm/MC"; "llvm/BinaryFormat"; "llvm/Target" ]
+
+(* The ELFRelocs family follows LLVM's per-target naming convention;
+   restricting the search to the target's own .def file is how VEGA
+   "locates corresponding files for new targets" (Sec. 2.3). *)
+let tgtdirs target =
+  [ "lib/Target/" ^ target; "llvm/BinaryFormat/ELFRelocs/" ^ target ^ ".def" ]

@@ -1,0 +1,33 @@
+(** Virtual file tree holding LLVM-provided code and target description
+    files.
+
+    The paper's Algorithm 1 searches two directory families:
+    LLVMDIRs = llvm/CodeGen, llvm/MC, llvm/BinaryFormat, llvm/Target and
+    TGTDIRs = lib/Target/<Target>, llvm/BinaryFormat/ELFRelocs. The corpus
+    generator renders files into this tree; feature selection reads them
+    back as text, so the pipeline genuinely runs off description files. *)
+
+type t
+
+val create : unit -> t
+val add : t -> path:string -> string -> unit
+(** Register (or overwrite) a file. Paths use ['/'] separators. *)
+
+val read : t -> string -> string option
+val read_exn : t -> string -> string
+
+val files_under : t -> string -> (string * string) list
+(** [files_under t dir] lists [(path, contents)] of files whose path has
+    [dir ^ "/"] as a prefix (or equals [dir]), sorted by path. *)
+
+val files_under_dirs : t -> string list -> (string * string) list
+(** Union of {!files_under} over several roots, deduplicated. *)
+
+val mem : t -> string -> bool
+val size : t -> int
+
+val llvmdirs : string list
+(** The paper's LLVMDIRs constant. *)
+
+val tgtdirs : string -> string list
+(** [tgtdirs target] — the paper's TGTDIRs for one target. *)

@@ -1,0 +1,1 @@
+lib/util/lcs.ml: Array List

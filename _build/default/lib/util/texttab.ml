@@ -1,0 +1,47 @@
+type row = Cells of string list | Rule
+
+type t = { headers : string list; mutable rows : row list }
+
+let create ~headers = { headers; rows = [] }
+let add_row t cells = t.rows <- Cells cells :: t.rows
+let add_rule t = t.rows <- Rule :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols =
+    List.fold_left
+      (fun acc r -> match r with Cells c -> max acc (List.length c) | Rule -> acc)
+      (List.length t.headers) rows
+  in
+  let widths = Array.make ncols 0 in
+  let measure cells =
+    List.iteri (fun i c -> if i < ncols then widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  measure t.headers;
+  List.iter (function Cells c -> measure c | Rule -> ()) rows;
+  let buf = Buffer.create 256 in
+  let pad i s = s ^ String.make (widths.(i) - String.length s) ' ' in
+  let emit_cells cells =
+    let cells = Array.of_list cells in
+    for i = 0 to ncols - 1 do
+      let c = if i < Array.length cells then cells.(i) else "" in
+      Buffer.add_string buf (pad i c);
+      if i < ncols - 1 then Buffer.add_string buf "  "
+    done;
+    Buffer.add_char buf '\n'
+  in
+  let total = Array.fold_left ( + ) 0 widths + (2 * (ncols - 1)) in
+  emit_cells t.headers;
+  Buffer.add_string buf (String.make total '-');
+  Buffer.add_char buf '\n';
+  List.iter
+    (function
+      | Cells c -> emit_cells c
+      | Rule ->
+          Buffer.add_string buf (String.make total '-');
+          Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let fmt_pct f = Printf.sprintf "%.1f%%" (100.0 *. f)
+let fmt_f ?(digits = 2) f = Printf.sprintf "%.*f" digits f

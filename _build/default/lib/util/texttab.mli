@@ -1,0 +1,20 @@
+(** Fixed-width text tables for the benchmark harness output.
+
+    Every table and figure of the paper is re-emitted as text by
+    [bench/main.exe]; this module renders the rows. *)
+
+type t
+
+val create : headers:string list -> t
+val add_row : t -> string list -> unit
+val add_rule : t -> unit
+(** Insert a horizontal rule between row groups. *)
+
+val render : t -> string
+(** Render with column widths fitted to contents. *)
+
+val fmt_pct : float -> string
+(** [fmt_pct 0.715] = ["71.5%"]. *)
+
+val fmt_f : ?digits:int -> float -> string
+(** Fixed-point float, default 2 digits. *)

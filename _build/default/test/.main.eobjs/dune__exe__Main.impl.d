@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_backend Test_core Test_corpus Test_endtoend Test_eval Test_gumtree Test_ir Test_nn Test_srclang Test_target Test_tdlang Test_util

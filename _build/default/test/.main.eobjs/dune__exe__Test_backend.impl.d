@@ -1,0 +1,1 @@
+test/test_backend.ml: Alcotest Lazy List Option Vega_backend Vega_corpus Vega_ir Vega_mc Vega_sim Vega_srclang Vega_target Vega_util

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Lazy List Option Printf QCheck QCheck_alcotest Vega Vega_corpus Vega_nn Vega_srclang Vega_target

@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Filename Lazy List Option Vega Vega_backend Vega_corpus Vega_eval Vega_srclang Vega_target Vega_tdlang

@@ -1,0 +1,1 @@
+test/test_endtoend.ml: Alcotest Buffer Lazy List Option Printf QCheck QCheck_alcotest Vega Vega_backend Vega_corpus Vega_eval Vega_ir Vega_sim Vega_target

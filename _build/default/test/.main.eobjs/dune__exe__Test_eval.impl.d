@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Lazy List Option Printf Vega Vega_corpus Vega_eval Vega_ir Vega_srclang Vega_target Vega_util

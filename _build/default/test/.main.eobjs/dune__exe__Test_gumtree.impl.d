@@ -1,0 +1,1 @@
+test/test_gumtree.ml: Alcotest Array Fun List QCheck QCheck_alcotest Vega_gumtree

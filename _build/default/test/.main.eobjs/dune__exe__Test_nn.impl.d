@@ -1,0 +1,1 @@
+test/test_nn.ml: Alcotest Array Filename Float List Sys Vega Vega_nn Vega_util

@@ -1,0 +1,1 @@
+test/test_srclang.ml: Alcotest List QCheck QCheck_alcotest Vega_srclang

@@ -1,0 +1,1 @@
+test/test_target.ml: Alcotest Fun List Option Vega_target

@@ -1,0 +1,1 @@
+test/test_tdlang.ml: Alcotest List Vega_tdlang

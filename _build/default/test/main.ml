@@ -1,0 +1,17 @@
+(* Test entry point: one alcotest run covering every library. *)
+let () =
+  Alcotest.run "vega"
+    [
+      ("util", Test_util.suite);
+      ("srclang", Test_srclang.suite);
+      ("tdlang", Test_tdlang.suite);
+      ("gumtree", Test_gumtree.suite);
+      ("target", Test_target.suite);
+      ("corpus", Test_corpus.suite);
+      ("ir", Test_ir.suite);
+      ("nn", Test_nn.suite);
+      ("core", Test_core.suite);
+      ("backend", Test_backend.suite);
+      ("eval", Test_eval.suite);
+      ("endtoend", Test_endtoend.suite);
+    ]

@@ -1,0 +1,173 @@
+(* Integration tests: MiniLLVM backend + simulators with reference hooks.
+   The full 17-target x 27-case x 2-level matrix runs in the bench; here
+   we cover representative targets and the feature-specific behaviors. *)
+
+module B = Vega_backend
+module C = Vega_corpus.Corpus
+module P = Vega_ir.Programs
+
+let corpus = lazy (C.build ())
+
+let conv_for name =
+  let corpus = Lazy.force corpus in
+  let p = Vega_target.Registry.find_exn name in
+  let sources =
+    List.filter_map
+      (fun spec ->
+        Option.map
+          (fun f -> (spec.Vega_corpus.Spec.fname, f))
+          (C.reference_inlined spec p))
+      C.all_specs
+  in
+  let hooks = B.Hooks.create corpus.C.vfs ~target:name ~sources in
+  B.Conv.make corpus.C.vfs hooks
+
+let compile_run conv case opt =
+  let out = B.Compiler.compile conv ~opt (P.modul_of case) in
+  (out, Vega_sim.Machine.run conv out.B.Compiler.emitted ~entry:case.P.entry ~args:case.P.args)
+
+let check_case conv (case : P.case) opt =
+  let _, r = compile_run conv case opt in
+  (match r.Vega_sim.Machine.status with
+  | Vega_sim.Machine.Finished _ -> ()
+  | Vega_sim.Machine.Trap m -> Alcotest.failf "%s trapped: %s" case.P.name m);
+  Alcotest.(check (list int)) (case.P.name ^ " output") (P.golden case)
+    r.Vega_sim.Machine.output
+
+let test_riscv_all_programs () =
+  let conv = conv_for "RISCV" in
+  List.iter
+    (fun c ->
+      check_case conv c B.Compiler.O0;
+      check_case conv c B.Compiler.O3)
+    (P.regression @ P.benchmarks)
+
+let test_big_endian_target () =
+  let conv = conv_for "Mips" in
+  List.iter (fun c -> check_case conv c B.Compiler.O3) P.regression
+
+let test_small_target () =
+  let conv = conv_for "AVR" in
+  check_case conv (Option.get (P.find "recursion_fib")) B.Compiler.O0;
+  check_case conv (Option.get (P.find "relax_stress")) B.Compiler.O0
+
+let test_o3_speedup () =
+  let conv = conv_for "RISCV" in
+  let c = Option.get (P.find "dotprod") in
+  let _, r0 = compile_run conv c B.Compiler.O0 in
+  let _, r3 = compile_run conv c B.Compiler.O3 in
+  Alcotest.(check bool) "O3 is faster" true
+    (r3.Vega_sim.Machine.cycles < r0.Vega_sim.Machine.cycles)
+
+let test_hwloop_applies () =
+  (* RI5CY converts counted loops; the loop body must retire without a
+     branch per iteration, beating RISCV's cycle count shape *)
+  let conv = conv_for "RI5CY" in
+  let c = Option.get (P.find "loop_sum") in
+  let out, r = compile_run conv c B.Compiler.O3 in
+  Alcotest.(check (list int)) "output" (P.golden c) r.Vega_sim.Machine.output;
+  let asm = out.B.Compiler.asm in
+  Alcotest.(check bool) "lp.setup emitted" true
+    (Vega_util.Strutil.contains_sub ~sub:"lp.setup" asm)
+
+let test_simd_applies () =
+  let conv = conv_for "RI5CY" in
+  let c = Option.get (P.find "vecadd") in
+  let out, r = compile_run conv c B.Compiler.O3 in
+  Alcotest.(check (list int)) "output" (P.golden c) r.Vega_sim.Machine.output;
+  Alcotest.(check bool) "pv.add.h emitted" true
+    (Vega_util.Strutil.contains_sub ~sub:"pv.add.h" out.B.Compiler.asm)
+
+let test_madd_combine () =
+  let conv = conv_for "RI5CY" in
+  let c = Option.get (P.find "mul_add_chain") in
+  let out, r = compile_run conv c B.Compiler.O3 in
+  Alcotest.(check (list int)) "output" (P.golden c) r.Vega_sim.Machine.output;
+  Alcotest.(check bool) "madd emitted" true
+    (Vega_util.Strutil.contains_sub ~sub:"madd" out.B.Compiler.asm)
+
+let test_relaxation_fires () =
+  let conv = conv_for "AVR" in
+  let c = Option.get (P.find "relax_stress") in
+  let out, r = compile_run conv c B.Compiler.O0 in
+  Alcotest.(check (list int)) "output" (P.golden c) r.Vega_sim.Machine.output;
+  Alcotest.(check bool) "relaxation labels present" true
+    (Vega_util.Strutil.contains_sub ~sub:"__relax" out.B.Compiler.asm)
+
+let test_asm_roundtrip () =
+  List.iter
+    (fun target ->
+      let conv = conv_for target in
+      let c = Option.get (P.find "globals_array") in
+      let out, _ = compile_run conv c B.Compiler.O3 in
+      match B.Asmparser.roundtrip_ok conv out.B.Compiler.emitted with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s roundtrip: %s" target m)
+    [ "RISCV"; "ARM"; "X86"; "Mips" ]
+
+let test_disasm () =
+  let conv = conv_for "RISCV" in
+  let c = Option.get (P.find "arith_basic") in
+  let out, _ = compile_run conv c B.Compiler.O0 in
+  (match B.Disasm.decode conv out.B.Compiler.emitted.B.Emitter.obj with
+  | Ok text ->
+      Alcotest.(check bool) "mentions addi" true
+        (Vega_util.Strutil.contains_sub ~sub:"addi" text)
+  | Error m -> Alcotest.failf "disasm: %s" m);
+  (* XCore has no disassembler (Sec. 4.1.4) *)
+  let xconv = conv_for "XCore" in
+  let out2, _ =
+    let out = B.Compiler.compile xconv ~opt:B.Compiler.O0 (P.modul_of c) in
+    (out, ())
+  in
+  match B.Disasm.decode xconv out2.B.Compiler.emitted.B.Emitter.obj with
+  | Error "no disassembler" -> ()
+  | Ok _ | Error _ -> Alcotest.fail "XCore must report no disassembler"
+
+let test_relocations_emitted () =
+  let conv = conv_for "RISCV" in
+  let c = Option.get (P.find "calls_simple") in
+  let out, _ = compile_run conv c B.Compiler.O0 in
+  let relocs = out.B.Compiler.emitted.B.Emitter.obj.Vega_mc.Mcinst.relocs in
+  Alcotest.(check bool) "call relocs present" true (List.length relocs >= 3);
+  Alcotest.(check bool) "print is relocated" true
+    (List.exists (fun (r : Vega_mc.Mcinst.reloc) -> r.r_sym = "print") relocs)
+
+let test_hook_error_propagates () =
+  let corpus = Lazy.force corpus in
+  let p = Vega_target.Registry.riscv in
+  let sources =
+    List.filter_map
+      (fun spec ->
+        Option.map
+          (fun f -> (spec.Vega_corpus.Spec.fname, f))
+          (C.reference_inlined spec p))
+      C.all_specs
+  in
+  let broken =
+    Vega_srclang.Parser.parse_function
+      "int selectOpcode(unsigned ISDOpc) { return -1; }"
+  in
+  let sources = ("selectOpcode", broken) :: List.remove_assoc "selectOpcode" sources in
+  let hooks = B.Hooks.create corpus.C.vfs ~target:"RISCV" ~sources in
+  let conv = B.Conv.make corpus.C.vfs hooks in
+  let c = Option.get (P.find "arith_basic") in
+  match B.Compiler.compile conv ~opt:B.Compiler.O0 (P.modul_of c) with
+  | exception B.Hooks.Hook_error ("selectOpcode", _) -> ()
+  | _ -> Alcotest.fail "expected Hook_error from broken selectOpcode"
+
+let suite =
+  [
+    Alcotest.test_case "riscv full program matrix" `Slow test_riscv_all_programs;
+    Alcotest.test_case "big-endian target" `Slow test_big_endian_target;
+    Alcotest.test_case "small embedded target" `Quick test_small_target;
+    Alcotest.test_case "-O3 speedup" `Quick test_o3_speedup;
+    Alcotest.test_case "hardware loops" `Quick test_hwloop_applies;
+    Alcotest.test_case "SIMD vectorization" `Quick test_simd_applies;
+    Alcotest.test_case "madd combining" `Quick test_madd_combine;
+    Alcotest.test_case "branch relaxation" `Quick test_relaxation_fires;
+    Alcotest.test_case "asm roundtrip" `Slow test_asm_roundtrip;
+    Alcotest.test_case "disassembler" `Quick test_disasm;
+    Alcotest.test_case "relocations" `Quick test_relocations_emitted;
+    Alcotest.test_case "hook errors propagate" `Quick test_hook_error_propagates;
+  ]

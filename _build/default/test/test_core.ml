@@ -1,0 +1,237 @@
+(* Tests for the VEGA core: pre-processing, templatization, feature
+   selection, confidence, feature representation. Uses a shared prepared
+   pipeline (built once). *)
+
+module V = Vega
+module C = Vega_corpus.Corpus
+
+let prep = lazy (V.Pipeline.prepare ())
+
+let bundle fname =
+  match V.Pipeline.bundle_for (Lazy.force prep) fname with
+  | Some b -> b
+  | None -> Alcotest.failf "no bundle %s" fname
+
+(* ---------------- pre-processing ---------------- *)
+
+let test_inline_helpers () =
+  let spec = Option.get (C.find_spec "getRelocType") in
+  match C.reference spec Vega_target.Registry.arm with
+  | Some (wrapper, [ helper ]) ->
+      let inlined = V.Preprocess.inline_helpers wrapper [ helper ] in
+      Alcotest.(check bool) "body replaced" true
+        (List.length inlined.Vega_srclang.Ast.body > 1)
+  | _ -> Alcotest.fail "expected ARM wrapper + helper"
+
+let test_normalize_ifchain () =
+  let f =
+    Vega_srclang.Parser.parse_function
+      {|int f(int k) {
+  if (k == 1) { return 10; } else if (k == 2) { return 20; } else { return 0; }
+}|}
+  in
+  let g = V.Preprocess.normalize_ifchains f in
+  match g.Vega_srclang.Ast.body with
+  | [ Vega_srclang.Ast.Switch (_, arms, default) ] ->
+      Alcotest.(check int) "two arms" 2 (List.length arms);
+      Alcotest.(check bool) "default" true (default <> [])
+  | _ -> Alcotest.fail "expected switch"
+
+let test_ifchain_behavior_preserved () =
+  let src =
+    {|int f(int k) {
+  if (k == 1) { return 10; } else if (k == 2) { return 20; } else { return 0; }
+}|}
+  in
+  let f = Vega_srclang.Parser.parse_function src in
+  let g = V.Preprocess.normalize_ifchains f in
+  let env = Vega_srclang.Interp.create_env () in
+  List.iter
+    (fun k ->
+      let r1 = Vega_srclang.Interp.call env f [ Vega_srclang.Interp.VInt k ] in
+      let r2 = Vega_srclang.Interp.call env g [ Vega_srclang.Interp.VInt k ] in
+      Alcotest.(check int)
+        (Printf.sprintf "same result for %d" k)
+        (Vega_srclang.Interp.to_int r1)
+        (Vega_srclang.Interp.to_int r2))
+    [ 1; 2; 3 ]
+
+let test_collapse () =
+  let mk kind tokens = { V.Preprocess.kind; tokens } in
+  let lines =
+    [
+      mk "simple" [ "unsigned"; "Kind"; "=" ];
+      mk "case" [ "case"; "A"; ":" ];
+      mk "simple" [ "return"; "X"; ";" ];
+      mk "case" [ "case"; "B"; ":" ];
+      mk "simple" [ "return"; "Y"; ";" ];
+      mk "case" [ "case"; "C"; ":" ];
+      mk "simple" [ "return"; "Z"; ";" ];
+      mk "close" [ "}" ];
+    ]
+  in
+  match V.Preprocess.collapse lines with
+  | [ V.Preprocess.Single _; V.Preprocess.Repeat insts; V.Preprocess.Single _ ] ->
+      Alcotest.(check int) "three instances" 3 (List.length insts);
+      Alcotest.(check int) "period two" 2 (List.length (List.hd insts))
+  | items -> Alcotest.failf "unexpected collapse (%d items)" (List.length items)
+
+let test_collapse_never_merges_distinct () =
+  let mk kind tokens = { V.Preprocess.kind; tokens } in
+  (* the paper's S1/S2: similar shapes but distinct statements *)
+  let s1 = mk "simple" [ "unsigned"; "Kind"; "="; "Fixup"; "."; "getTargetKind"; "("; ")"; ";" ] in
+  let s2 = mk "simple" [ "MCSymbolRefExpr"; "::"; "VariantKind"; "Modifier"; "="; "Target"; "."; "getAccessVariant"; "("; ")"; ";" ] in
+  match V.Preprocess.collapse [ s1; s2 ] with
+  | [ V.Preprocess.Single _; V.Preprocess.Single _ ] -> ()
+  | _ -> Alcotest.fail "S1/S2 must not collapse"
+
+let test_close_braces_never_collapse () =
+  let mk kind tokens = { V.Preprocess.kind; tokens } in
+  match V.Preprocess.collapse [ mk "close" [ "}" ]; mk "close" [ "}" ] ] with
+  | [ V.Preprocess.Single _; V.Preprocess.Single _ ] -> ()
+  | _ -> Alcotest.fail "closing braces collapsed"
+
+(* ---------------- templates ---------------- *)
+
+let test_stmt_template () =
+  let t =
+    V.Template.build_stmt_template "simple"
+      [
+        [ "return"; "ELF"; "::"; "R_ARM_X"; ";" ];
+        [ "return"; "ELF"; "::"; "R_MIPS_Y"; ";" ];
+      ]
+  in
+  Alcotest.(check int) "one slot" 1 t.V.Template.nslots;
+  Alcotest.(check (list string)) "tokens"
+    [ "return"; "ELF"; "::"; "<SV0>"; ";" ]
+    (V.Template.tokens_of_template t)
+
+let test_match_render_roundtrip () =
+  let t =
+    V.Template.build_stmt_template "case"
+      [ [ "case"; "ARM"; "::"; "fixup_a"; ":" ]; [ "case"; "Mips"; "::"; "fixup_b"; ":" ] ]
+  in
+  let inst = [ "case"; "RISCV"; "::"; "fixup_c"; ":" ] in
+  match V.Template.match_instance t inst with
+  | Some slots ->
+      Alcotest.(check (list string)) "rendered back" inst
+        (V.Template.render_instance t slots)
+  | None -> Alcotest.fail "instance did not match"
+
+let qcheck_template_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      map
+        (fun (a, b) -> ([ "op"; a; ","; b; ";" ], [ "op"; a ^ "x"; ","; b; ";" ]))
+        (pair (string_size ~gen:(char_range 'a' 'z') (return 4))
+           (string_size ~gen:(char_range 'a' 'z') (return 4))))
+  in
+  QCheck.Test.make ~name:"template matches its own variants" ~count:100
+    (QCheck.make gen)
+    (fun (v1, v2) ->
+      let t = V.Template.build_stmt_template "simple" [ v1; v2 ] in
+      V.Template.match_instance t v1 <> None
+      && V.Template.match_instance t v2 <> None)
+
+let test_getreloctype_template_shape () =
+  let b = bundle "getRelocType" in
+  let tpl = b.V.Pipeline.tpl in
+  Alcotest.(check int) "targets" 14 (List.length tpl.V.Template.targets);
+  Alcotest.(check bool) "has repeated fixup arms" true
+    (List.exists (fun (c : V.Template.column) -> c.repeated) tpl.V.Template.columns);
+  Alcotest.(check (list string)) "signature"
+    [ "unsigned"; "<SV0>"; "::"; "getRelocType"; "("; "MCValue"; "Target"; ",";
+      "MCFixup"; "Fixup"; ","; "bool"; "IsPCRel"; ")"; "{" ]
+    (V.Template.tokens_of_template tpl.V.Template.signature)
+
+(* ---------------- feature selection (the paper's Sec. 2 example) ------- *)
+
+let test_featsel_variantkind_presence () =
+  let b = bundle "getRelocType" in
+  let a = b.V.Pipeline.analysis in
+  let arm = Option.get (V.Featsel.view a "ARM") in
+  let mips = Option.get (V.Featsel.view a "Mips") in
+  Alcotest.(check (option bool)) "ARM VariantKind = T" (Some true)
+    (List.assoc_opt "VariantKind" arm.V.Featsel.independent);
+  Alcotest.(check (option bool)) "Mips VariantKind = F" (Some false)
+    (List.assoc_opt "VariantKind" mips.V.Featsel.independent)
+
+let test_featsel_props () =
+  let b = bundle "getRelocType" in
+  let names = V.Featsel.prop_names b.V.Pipeline.analysis in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool) (expected ^ " found") true (List.mem expected names))
+    [ "MCFixup"; "MCSymbolRefExpr"; "VariantKind"; "Name"; "MCFixupKind"; "OperandType" ]
+
+let test_featsel_new_target_candidates () =
+  let prep = Lazy.force prep in
+  let b = bundle "getRelocType" in
+  let view =
+    V.Featsel.view_for_new_target prep.V.Pipeline.ctx b.V.Pipeline.tpl
+      b.V.Pipeline.analysis "RISCV"
+  in
+  let fixups = List.map fst (V.Featsel.candidates_for view "MCFixupKind") in
+  Alcotest.(check bool) "riscv fixups enumerated" true
+    (List.mem "fixup_riscv_pcrel_hi20" fixups);
+  Alcotest.(check (list string)) "Name candidate" [ "RISCV" ]
+    (List.map fst (V.Featsel.candidates_for view "Name"))
+
+(* ---------------- confidence (Eq. 1) ---------------- *)
+
+let test_confidence_eq1 () =
+  Alcotest.(check (float 1e-9)) "absent is 0" 0.0
+    (V.Confidence.score ~n_tokens:5 ~n_common:5 ~slot_candidates:[] ~present:false);
+  Alcotest.(check (float 1e-9)) "all common present" 1.0
+    (V.Confidence.score ~n_tokens:5 ~n_common:5 ~slot_candidates:[] ~present:true);
+  (* |T| = 3, one slot with N = 66: 2/3 + 1/(3*66) *)
+  Alcotest.(check (float 1e-9)) "paper's S5 shape"
+    ((2.0 /. 3.0) +. (1.0 /. (3.0 *. 66.0)))
+    (V.Confidence.score ~n_tokens:3 ~n_common:2 ~slot_candidates:[ 66 ] ~present:true)
+
+(* ---------------- feature representation ---------------- *)
+
+let test_fv_output_encoding () =
+  let b = bundle "getRelocType" in
+  let fvs = V.Featrep.training_fvs b.V.Pipeline.analysis b.V.Pipeline.tpl ~max_inst_per_column:2 in
+  Alcotest.(check bool) "nonempty" true (fvs <> []);
+  (* every output begins with a confidence bucket token *)
+  List.iter
+    (fun (fv : V.Featrep.fv) ->
+      match fv.output with
+      | Some (first :: _) ->
+          if Vega_nn.Vocab.score_of_token first = None then
+            Alcotest.failf "output must start with a score token, got %s" first
+      | Some [] -> Alcotest.fail "empty output"
+      | None -> Alcotest.fail "training fv without output")
+    fvs
+
+let test_decode_output () =
+  let score, body =
+    V.Featrep.decode_output ~registers:[ "RISCV"; "fixup_riscv_jal" ] ~inst:0
+      [ "<cs_16>"; "case"; "<COPY_0>"; "::"; "<COPY_1>"; ":" ]
+  in
+  Alcotest.(check (option (float 1e-9))) "score" (Some 0.8) score;
+  Alcotest.(check (list string)) "body"
+    [ "case"; "RISCV"; "::"; "fixup_riscv_jal"; ":" ]
+    body
+
+let suite =
+  [
+    Alcotest.test_case "inline helpers" `Quick test_inline_helpers;
+    Alcotest.test_case "normalize if-chain" `Quick test_normalize_ifchain;
+    Alcotest.test_case "if-chain behavior preserved" `Quick test_ifchain_behavior_preserved;
+    Alcotest.test_case "collapse repeats" `Quick test_collapse;
+    Alcotest.test_case "collapse keeps distinct stmts" `Quick test_collapse_never_merges_distinct;
+    Alcotest.test_case "close braces never collapse" `Quick test_close_braces_never_collapse;
+    Alcotest.test_case "stmt template" `Quick test_stmt_template;
+    Alcotest.test_case "match/render roundtrip" `Quick test_match_render_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_template_roundtrip;
+    Alcotest.test_case "getRelocType template" `Quick test_getreloctype_template_shape;
+    Alcotest.test_case "VariantKind presence (Fig. 3)" `Quick test_featsel_variantkind_presence;
+    Alcotest.test_case "paper's properties found" `Quick test_featsel_props;
+    Alcotest.test_case "new-target candidates (Fig. 4)" `Quick test_featsel_new_target_candidates;
+    Alcotest.test_case "confidence Eq. 1" `Quick test_confidence_eq1;
+    Alcotest.test_case "fv output encoding" `Quick test_fv_output_encoding;
+    Alcotest.test_case "decode output" `Quick test_decode_output;
+  ]

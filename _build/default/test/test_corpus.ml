@@ -1,0 +1,142 @@
+(* Tests for the corpus: spec coverage, description-file rendering and
+   parse-back, reference-implementation behaviour. *)
+
+module C = Vega_corpus.Corpus
+module P = Vega_target.Profile
+module M = Vega_target.Module_id
+
+let corpus = lazy (C.build ())
+
+let test_spec_coverage () =
+  let by_module m =
+    List.length (List.filter (fun (s : Vega_corpus.Spec.t) -> s.module_ = m) C.all_specs)
+  in
+  Alcotest.(check bool) "74 specs" true (List.length C.all_specs >= 70);
+  List.iter
+    (fun m ->
+      Alcotest.(check bool)
+        (M.name m ^ " has specs")
+        true
+        (by_module m >= 5))
+    M.all
+
+let test_applies_axes () =
+  let spec name = Option.get (C.find_spec name) in
+  Alcotest.(check bool) "hwloop spec on RI5CY" true
+    ((spec "getHardwareLoopOpcode").applies Vega_target.Registry.ri5cy);
+  Alcotest.(check bool) "hwloop spec not on RISCV" false
+    ((spec "getHardwareLoopOpcode").applies Vega_target.Registry.riscv);
+  Alcotest.(check bool) "DIS absent on XCore" false
+    ((spec "getInstruction").applies Vega_target.Registry.xcore);
+  Alcotest.(check bool) "relaxation only on relaxing targets" false
+    ((spec "mayNeedRelaxation").applies Vega_target.Registry.mips)
+
+let test_description_files_parse () =
+  let corpus = Lazy.force corpus in
+  let vfs = corpus.C.vfs in
+  List.iter
+    (fun (p : P.t) ->
+      let files = Vega_tdlang.Vfs.files_under_dirs vfs (Vega_tdlang.Vfs.tgtdirs p.name) in
+      Alcotest.(check bool) (p.name ^ " has files") true (List.length files >= 5);
+      List.iter
+        (fun (path, content) ->
+          if Filename.check_suffix path ".td" then
+            match Vega_tdlang.Td_parser.parse content with
+            | _ -> ()
+            | exception Vega_tdlang.Td_parser.Error m ->
+                Alcotest.failf "%s: %s" path m
+          else if Filename.check_suffix path ".h" then
+            match Vega_tdlang.H_parser.parse content with
+            | _ -> ()
+            | exception Vega_tdlang.H_parser.Error m ->
+                Alcotest.failf "%s: %s" path m
+          else if Filename.check_suffix path ".def" then
+            match Vega_tdlang.Def_parser.parse content with
+            | _ -> ()
+            | exception Vega_tdlang.Def_parser.Error m ->
+                Alcotest.failf "%s: %s" path m)
+        files)
+    Vega_target.Registry.all
+
+let test_all_references_render_and_parse () =
+  (* every reference implementation pretty-prints and re-parses *)
+  List.iter
+    (fun (p : P.t) ->
+      List.iter
+        (fun spec ->
+          match C.reference_inlined spec p with
+          | None -> ()
+          | Some f ->
+              let text = Vega_srclang.Lines.to_source (Vega_srclang.Lines.of_func f) in
+              (match Vega_srclang.Parser.parse_function_opt text with
+              | Ok f2 ->
+                  if not (Vega_srclang.Ast.equal_func f f2) then
+                    Alcotest.failf "%s/%s roundtrip" p.name
+                      spec.Vega_corpus.Spec.fname
+              | Error m ->
+                  Alcotest.failf "%s/%s: %s" p.name spec.Vega_corpus.Spec.fname m))
+        C.all_specs)
+    Vega_target.Registry.all
+
+let test_reference_behaviour_getreloctype () =
+  (* the paper's Fig. 2 semantics, executed *)
+  let corpus = Lazy.force corpus in
+  let p = Vega_target.Registry.arm in
+  let hooks, _ = Vega_eval.Refbackend.backend_for corpus.C.vfs p in
+  let call kind pcrel variant =
+    Vega_backend.Hooks.call_int hooks "getRelocType"
+      [
+        Vega_backend.Hooks.mcvalue ~variant;
+        Vega_backend.Hooks.mcfixup ~kind;
+        Vega_backend.Hooks.vbool pcrel;
+      ]
+  in
+  let enum = Vega_backend.Hooks.enum_value hooks in
+  Alcotest.(check int) "movt pcrel"
+    (enum "ELF::R_ARM_MOVT_PREL")
+    (call (enum "ARM::fixup_arm_movt_hi16") true 0);
+  Alcotest.(check int) "movt abs"
+    (enum "ELF::R_ARM_MOVT_ABS")
+    (call (enum "ARM::fixup_arm_movt_hi16") false 0);
+  Alcotest.(check int) "GOT variant overrides"
+    (enum "ELF::R_ARM_GOT_BREL")
+    (call (enum "ARM::fixup_arm_abs32") false (enum "ARMMCExpr::VK_GOT"))
+
+let test_render_deterministic () =
+  let a = C.build () and b = C.build () in
+  let paths v = List.map fst (Vega_tdlang.Vfs.files_under v "lib/Target/RISCV") in
+  Alcotest.(check (list string)) "same paths" (paths a.C.vfs) (paths b.C.vfs);
+  Alcotest.(check (option string)) "same content"
+    (Vega_tdlang.Vfs.read a.C.vfs "lib/Target/RISCV/RISCVFixupKinds.h")
+    (Vega_tdlang.Vfs.read b.C.vfs "lib/Target/RISCV/RISCVFixupKinds.h")
+
+let test_ifchain_targets_normalize () =
+  (* Sparc renders getRelocType as if/else-if; normalization recovers the
+     same behaviour as the switch form *)
+  let spec = Option.get (C.find_spec "adjustFixupValue") in
+  let p = Vega_target.Registry.find_exn "Sparc" in
+  let f = Option.get (C.reference_inlined spec p) in
+  let has_switch =
+    List.exists
+      (fun (l : Vega_srclang.Lines.t) -> l.kind = Vega_srclang.Lines.Open_switch)
+      (Vega_srclang.Lines.of_func f)
+  in
+  Alcotest.(check bool) "sparc uses if-chains" false has_switch;
+  let g = Vega.Preprocess.normalize_ifchains f in
+  let has_switch_after =
+    List.exists
+      (fun (l : Vega_srclang.Lines.t) -> l.kind = Vega_srclang.Lines.Open_switch)
+      (Vega_srclang.Lines.of_func g)
+  in
+  Alcotest.(check bool) "normalized to switch" true has_switch_after
+
+let suite =
+  [
+    Alcotest.test_case "spec coverage" `Quick test_spec_coverage;
+    Alcotest.test_case "applies axes" `Quick test_applies_axes;
+    Alcotest.test_case "description files parse" `Quick test_description_files_parse;
+    Alcotest.test_case "references render+parse" `Quick test_all_references_render_and_parse;
+    Alcotest.test_case "getRelocType behaviour (Fig. 2)" `Quick test_reference_behaviour_getreloctype;
+    Alcotest.test_case "render deterministic" `Quick test_render_deterministic;
+    Alcotest.test_case "if-chain targets normalize" `Quick test_ifchain_targets_normalize;
+  ]

@@ -1,0 +1,77 @@
+(* Tests for VIR: parser round-trips, interpreter semantics, programs. *)
+
+module Ir = Vega_ir
+
+let test_parse_print_roundtrip () =
+  List.iter
+    (fun (c : Ir.Programs.case) ->
+      let m = Ir.Programs.modul_of c in
+      let m2 = Ir.Vir_parser.parse (Ir.Vir.modul_str m) in
+      Alcotest.(check bool) (c.name ^ " roundtrip") true (Ir.Vir.equal_modul m m2))
+    (Ir.Programs.regression @ Ir.Programs.benchmarks)
+
+let test_goldens () =
+  let check name expected =
+    let c = Option.get (Ir.Programs.find name) in
+    Alcotest.(check (list int)) name expected (Ir.Programs.golden c)
+  in
+  check "arith_basic" [ 25; 17; 84; 5; 1 ];
+  check "loop_sum" [ 55 ];
+  check "recursion_fib" [ 144 ];
+  check "calls_many_args" [ 45 ];
+  check "globals_array" [ 31 ];
+  check "vec_friendly" [ 272 ]
+
+let test_interp_errors () =
+  let run src =
+    Ir.Vir_interp.run (Ir.Vir_parser.parse src) ~entry:"main" ~args:[]
+  in
+  (match run "func @main() {\nentry:\n  %r0 = div 1, 0\n  ret 0\n}" with
+  | exception Ir.Vir_interp.Error _ -> ()
+  | _ -> Alcotest.fail "expected division error");
+  (match run "func @main() {\nentry:\n  br loop\nloop:\n  br loop\n}" with
+  | exception Ir.Vir_interp.Error _ -> ()
+  | _ -> Alcotest.fail "expected fuel exhaustion");
+  match run "func @main() {\nentry:\n  %r0 = call @nope()\n  ret 0\n}" with
+  | exception Ir.Vir_interp.Error _ -> ()
+  | _ -> Alcotest.fail "expected unknown function"
+
+let test_parser_errors () =
+  List.iter
+    (fun src ->
+      match Ir.Vir_parser.parse src with
+      | exception Ir.Vir_parser.Error _ -> ()
+      | _ -> Alcotest.failf "expected parse error for %s" src)
+    [
+      "func @f() {\nentry:\n  %r0 = bogus 1, 2\n  ret 0\n}";
+      "func @f() {\nentry:\n  ret 0";
+      "func @f() {\n  %r0 = mov 1\n  ret 0\n}" (* instr outside a block *);
+    ]
+
+let test_wrap_semantics () =
+  let src =
+    {|func @main() {
+entry:
+  %r0 = mov 2147483647
+  %r1 = add %r0, 1
+  print %r1
+  ret 0
+}|}
+  in
+  let out, _ = Ir.Vir_interp.run (Ir.Vir_parser.parse src) ~entry:"main" ~args:[] in
+  Alcotest.(check (list int)) "32-bit wraparound" [ -2147483648 ] out
+
+let test_max_reg () =
+  let c = Option.get (Ir.Programs.find "matmul") in
+  let f = Option.get (Ir.Vir.find_func (Ir.Programs.modul_of c) "main") in
+  Alcotest.(check bool) "max reg sane" true (Ir.Vir.max_reg f >= 30)
+
+let suite =
+  [
+    Alcotest.test_case "parse/print roundtrip" `Quick test_parse_print_roundtrip;
+    Alcotest.test_case "goldens" `Quick test_goldens;
+    Alcotest.test_case "interp errors" `Quick test_interp_errors;
+    Alcotest.test_case "parser errors" `Quick test_parser_errors;
+    Alcotest.test_case "wraparound" `Quick test_wrap_semantics;
+    Alcotest.test_case "max reg" `Quick test_max_reg;
+  ]

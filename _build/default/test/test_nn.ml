@@ -1,0 +1,191 @@
+(* Tests for the from-scratch neural substrate: numerical gradient checks,
+   optimizer behavior, vocabulary, and transformer overfitting. *)
+
+module T = Vega_nn.Tensor
+module Rng = Vega_util.Rng
+
+(* numerical gradient check of a scalar-valued computation w.r.t. one
+   parameter tensor *)
+let gradcheck ~build param =
+  let eps = 1e-4 in
+  Array.fill param.T.grad 0 (Array.length param.T.grad) 0.0;
+  T.with_tape (fun () ->
+      let loss = build () in
+      T.backward loss);
+  let analytic = Array.copy param.T.grad in
+  Array.fill param.T.grad 0 (Array.length param.T.grad) 0.0;
+  let n = Array.length param.T.data in
+  let max_err = ref 0.0 in
+  for i = 0 to min (n - 1) 7 do
+    let saved = param.T.data.(i) in
+    param.T.data.(i) <- saved +. eps;
+    let up = T.with_tape (fun () -> T.to_float (build ())) in
+    param.T.data.(i) <- saved -. eps;
+    let dn = T.with_tape (fun () -> T.to_float (build ())) in
+    param.T.data.(i) <- saved;
+    let numeric = (up -. dn) /. (2.0 *. eps) in
+    let err = Float.abs (numeric -. analytic.(i)) /. Float.max 1.0 (Float.abs numeric) in
+    if err > !max_err then max_err := err
+  done;
+  !max_err
+
+let test_grad_matmul () =
+  let rng = Rng.create 1 in
+  let a = T.param rng 3 4 and b = T.param rng 4 2 in
+  let targets = [| 0; 1; 0 |] in
+  let build () = T.cross_entropy ~logits:(T.matmul a b) ~targets in
+  Alcotest.(check bool) "matmul grad (a)" true (gradcheck ~build a < 1e-2);
+  Alcotest.(check bool) "matmul grad (b)" true (gradcheck ~build b < 1e-2)
+
+let test_grad_layernorm_gelu () =
+  let rng = Rng.create 2 in
+  let x = T.param rng 2 6 in
+  let gain = T.param rng 1 6 and bias = T.param rng 1 6 in
+  let w = T.param rng 6 3 in
+  let targets = [| 2; 0 |] in
+  let build () =
+    T.cross_entropy ~logits:(T.matmul (T.gelu (T.layernorm ~gain ~bias x)) w) ~targets
+  in
+  Alcotest.(check bool) "x grad" true (gradcheck ~build x < 1e-2);
+  Alcotest.(check bool) "gain grad" true (gradcheck ~build gain < 1e-2)
+
+let test_grad_softmax_attention_shape () =
+  let rng = Rng.create 3 in
+  let q = T.param rng 4 8 in
+  let at = Vega_nn.Layers.attention rng ~d_model:8 ~heads:2 in
+  let w = T.param rng 8 3 in
+  let targets = [| 0; 1; 2; 0 |] in
+  let build () =
+    let y = Vega_nn.Layers.attention_fwd at ~q_input:q ~kv_input:q ~mask:None in
+    T.cross_entropy ~logits:(T.matmul y w) ~targets
+  in
+  Alcotest.(check bool) "attention grad wrt input" true (gradcheck ~build q < 1e-2)
+
+let test_embed_and_positional () =
+  let rng = Rng.create 4 in
+  let table = T.param rng 10 6 in
+  let pos = T.param rng 8 6 in
+  let w = T.param rng 6 4 in
+  let targets = [| 1; 2; 3 |] in
+  let build () =
+    let x = T.embed ~table [| 1; 5; 9 |] in
+    let x = T.add_rows_positional x pos in
+    T.cross_entropy ~logits:(T.matmul x w) ~targets
+  in
+  Alcotest.(check bool) "embedding grads" true (gradcheck ~build table < 1e-2);
+  Alcotest.(check bool) "positional grads" true (gradcheck ~build pos < 1e-2)
+
+let test_adam_decreases_loss () =
+  let rng = Rng.create 5 in
+  let w = T.param rng 4 3 in
+  let x = T.create 5 4 (Array.init 20 (fun i -> float_of_int (i mod 7) /. 7.0)) in
+  let targets = [| 0; 1; 2; 0; 1 |] in
+  let opt = Vega_nn.Adam.create ~lr:0.05 [ w ] in
+  let loss () =
+    T.with_tape (fun () ->
+        let l = T.cross_entropy ~logits:(T.matmul x w) ~targets in
+        T.backward l;
+        T.to_float l)
+  in
+  let l0 = loss () in
+  Vega_nn.Adam.step opt;
+  for _ = 1 to 30 do
+    ignore (loss ());
+    Vega_nn.Adam.step opt
+  done;
+  let l1 = loss () in
+  Alcotest.(check bool) "loss decreased" true (l1 < l0 *. 0.8)
+
+let test_vocab () =
+  let v = Vega_nn.Vocab.build [ [ "alpha"; "beta" ]; [ "beta"; "gamma" ] ] in
+  Alcotest.(check (list string)) "roundtrip" [ "alpha"; "gamma" ]
+    (Vega_nn.Vocab.decode v (Vega_nn.Vocab.encode v [ "alpha"; "gamma" ]));
+  Alcotest.(check int) "unknown is unk" Vega_nn.Vocab.unk
+    (Vega_nn.Vocab.id v "never-seen");
+  Alcotest.(check string) "score token" "<cs_10>" (Vega_nn.Vocab.score_token 0.5);
+  Alcotest.(check (option (float 1e-9))) "score parse" (Some 1.0)
+    (Vega_nn.Vocab.score_of_token "<cs_20>");
+  Alcotest.(check (option int)) "copy parse" (Some 3)
+    (Vega_nn.Vocab.copy_of_token "<COPY_3>")
+
+let test_transformer_overfits () =
+  (* a model of this size must be able to memorize four sequences *)
+  let pairs =
+    [
+      ([ "<CLS>"; "a"; "b" ], [ "<cs_20>"; "x"; "y" ]);
+      ([ "<CLS>"; "a"; "c" ], [ "<cs_20>"; "x"; "z" ]);
+      ([ "<CLS>"; "d"; "b" ], [ "<cs_0>"; "w" ]);
+      ([ "<CLS>"; "d"; "c" ], [ "<cs_0>"; "y"; "y" ]);
+    ]
+  in
+  let cfg =
+    {
+      Vega.Codebe.tiny_train_config with
+      Vega.Codebe.epochs = 120;
+      lr = 4e-3;
+      batch_size = 4;
+    }
+  in
+  let m = Vega.Codebe.train cfg pairs in
+  Alcotest.(check (float 1e-9)) "exact match 1.0" 1.0 (Vega.Codebe.exact_match m pairs)
+
+
+let test_checkpoint_roundtrip () =
+  let rng = Rng.create 9 in
+  let a = T.param rng 3 4 and b = T.param rng 2 2 in
+  let path = Filename.temp_file "vega" ".ckpt" in
+  Vega_nn.Checkpoint.save ~path ~tokens:[ "alpha"; "beta" ] [ a; b ];
+  let a2 = T.zeros 3 4 and b2 = T.zeros 2 2 in
+  let tokens = Vega_nn.Checkpoint.load ~path [ a2; b2 ] in
+  Sys.remove path;
+  Alcotest.(check (list string)) "tokens" [ "alpha"; "beta" ] tokens;
+  Alcotest.(check (array (float 1e-12))) "a data" a.T.data a2.T.data;
+  Alcotest.(check (array (float 1e-12))) "b data" b.T.data b2.T.data
+
+let test_checkpoint_shape_mismatch () =
+  let rng = Rng.create 10 in
+  let a = T.param rng 3 4 in
+  let path = Filename.temp_file "vega" ".ckpt" in
+  Vega_nn.Checkpoint.save ~path [ a ];
+  let wrong = T.zeros 4 3 in
+  (match Vega_nn.Checkpoint.load ~path [ wrong ] with
+  | exception Vega_nn.Checkpoint.Format_error _ -> ()
+  | _ -> Alcotest.fail "expected shape mismatch");
+  Sys.remove path
+
+let test_gru_gradcheck () =
+  let cfg = { Vega_nn.Gru.d_model = 6; d_hidden = 8; max_len = 16; vocab_size = 12 } in
+  let g = Vega_nn.Gru.create ~seed:3 cfg in
+  let src = [| 7; 3; 5 |] and tgt = [| 8; 9 |] in
+  (* gradient check w.r.t. the embedding table *)
+  let emb = List.hd (Vega_nn.Gru.params g) in
+  let build () = Vega_nn.Gru.loss g ~src ~tgt in
+  Alcotest.(check bool) "gru grads" true (gradcheck ~build emb < 2e-2)
+
+let test_gru_overfits () =
+  let pairs =
+    [
+      ([ "<CLS>"; "a" ], [ "<cs_20>"; "x" ]);
+      ([ "<CLS>"; "b" ], [ "<cs_0>"; "y"; "z" ]);
+    ]
+  in
+  let cfg =
+    { Vega.Codebe.tiny_train_config with Vega.Codebe.epochs = 150; lr = 8e-3; batch_size = 2 }
+  in
+  let m = Vega.Codebe.train ~arch:Vega.Codebe.Rnn cfg pairs in
+  Alcotest.(check (float 1e-9)) "rnn exact match" 1.0 (Vega.Codebe.exact_match m pairs)
+
+let suite =
+  [
+    Alcotest.test_case "gradcheck matmul+ce" `Quick test_grad_matmul;
+    Alcotest.test_case "gradcheck layernorm+gelu" `Quick test_grad_layernorm_gelu;
+    Alcotest.test_case "gradcheck attention" `Quick test_grad_softmax_attention_shape;
+    Alcotest.test_case "gradcheck embeddings" `Quick test_embed_and_positional;
+    Alcotest.test_case "adam decreases loss" `Quick test_adam_decreases_loss;
+    Alcotest.test_case "vocab" `Quick test_vocab;
+    Alcotest.test_case "transformer overfits" `Slow test_transformer_overfits;
+    Alcotest.test_case "checkpoint roundtrip" `Quick test_checkpoint_roundtrip;
+    Alcotest.test_case "checkpoint mismatch" `Quick test_checkpoint_shape_mismatch;
+    Alcotest.test_case "gru gradcheck" `Quick test_gru_gradcheck;
+    Alcotest.test_case "gru overfits" `Slow test_gru_overfits;
+  ]

@@ -1,0 +1,213 @@
+(* Tests for the BackendC language: lexer, parser, printer, lines,
+   interpreter. *)
+
+module L = Vega_srclang
+module Ast = L.Ast
+
+let sample =
+  {|unsigned ARMELFObjectWriter::getRelocType(MCValue Target, MCFixup Fixup, bool IsPCRel) {
+  unsigned Kind = Fixup.getTargetKind();
+  if (IsPCRel) {
+    switch (Kind) {
+    case ARM::fixup_arm_movt_hi16:
+      return ELF::R_ARM_MOVT_PREL;
+    default:
+      llvm_unreachable("bad");
+    }
+  }
+  return ELF::R_ARM_ABS32;
+}|}
+
+let test_lexer () =
+  let toks = L.Lexer.tokenize "a += 0x1f << 2; // comment\nb::c" in
+  Alcotest.(check int) "token count" 9 (List.length toks);
+  (match toks with
+  | L.Token.Id "a" :: L.Token.PlusEq :: L.Token.Int_lit 31 :: _ -> ()
+  | _ -> Alcotest.fail "unexpected prefix");
+  Alcotest.(check string) "string lit roundtrip" "\"x\\ny\""
+    (L.Token.to_string (List.hd (L.Lexer.tokenize "\"x\\ny\"")))
+
+let test_lexer_errors () =
+  (match L.Lexer.tokenize "\"unterminated" with
+  | exception L.Lexer.Error _ -> ()
+  | _ -> Alcotest.fail "expected lexer error");
+  match L.Lexer.tokenize "`" with
+  | exception L.Lexer.Error _ -> ()
+  | _ -> Alcotest.fail "expected lexer error on backtick"
+
+let test_parse_roundtrip () =
+  let f = L.Parser.parse_function sample in
+  let text = L.Lines.to_source (L.Lines.of_func f) in
+  let f2 = L.Parser.parse_function text in
+  Alcotest.(check bool) "round trip" true (Ast.equal_func f f2)
+
+let test_parse_shapes () =
+  let f = L.Parser.parse_function sample in
+  Alcotest.(check (option string)) "class" (Some "ARMELFObjectWriter") f.Ast.cls;
+  Alcotest.(check string) "name" "getRelocType" f.Ast.name;
+  Alcotest.(check int) "params" 3 (List.length f.Ast.params)
+
+let test_parse_expr_prec () =
+  let e = L.Parser.parse_expr "1 + 2 * 3" in
+  Alcotest.(check bool) "mul binds tighter" true
+    (Ast.equal_expr e
+       Ast.(Binop (Add, Int 1, Binop (Mul, Int 2, Int 3))));
+  let e2 = L.Parser.parse_expr "a >> 2 & 255" in
+  Alcotest.(check bool) "shift before and" true
+    (Ast.equal_expr e2
+       Ast.(Binop (Band, Binop (Shr, Id "a", Int 2), Int 255)))
+
+let test_parse_errors () =
+  match L.Parser.parse_function_opt "unsigned f( {" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected parse error"
+
+let test_lines_kinds () =
+  let f = L.Parser.parse_function sample in
+  let kinds =
+    List.map (fun (l : L.Lines.t) -> L.Lines.kind_name l.kind) (L.Lines.of_func f)
+  in
+  Alcotest.(check (list string)) "kinds"
+    [
+      "fundef"; "simple"; "if"; "switch"; "case"; "simple"; "default";
+      "simple"; "close"; "close"; "simple"; "close";
+    ]
+    kinds
+
+(* random expression generator for the print/parse round-trip property *)
+let gen_expr =
+  let open QCheck.Gen in
+  let ident = oneofl [ "Kind"; "Value"; "Foo"; "bar_baz" ] in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then
+           oneof
+             [
+               map (fun i -> Ast.Int i) small_nat;
+               map (fun s -> Ast.Id s) ident;
+               map (fun s -> Ast.Scoped [ "T"; s ]) ident;
+               return (Ast.Bool true);
+             ]
+         else
+           oneof
+             [
+               map2
+                 (fun a b -> Ast.Binop (Ast.Add, a, b))
+                 (self (n / 2)) (self (n / 2));
+               map2
+                 (fun a b -> Ast.Binop (Ast.Shl, a, b))
+                 (self (n / 2)) (self (n / 2));
+               map2
+                 (fun a b -> Ast.Binop (Ast.Band, a, b))
+                 (self (n / 2)) (self (n / 2));
+               map (fun a -> Ast.Unop (Ast.Not, a)) (self (n - 1));
+               map2
+                 (fun r args -> Ast.Call ("f", [ r; args ]))
+                 (self (n / 2)) (self (n / 2));
+               map (fun a -> Ast.Method (Ast.Id "MO", "getImm", [ a ])) (self (n - 1));
+             ])
+
+let qcheck_expr_roundtrip =
+  QCheck.Test.make ~name:"expr print/parse round-trip" ~count:300
+    (QCheck.make ~print:L.Printer.expr gen_expr)
+    (fun e ->
+      let printed = L.Printer.expr e in
+      Ast.equal_expr e (L.Parser.parse_expr printed))
+
+let mk_env () =
+  let env = L.Interp.create_env () in
+  L.Interp.add_enum env "T::A" 1;
+  L.Interp.add_enum env "T::B" 2;
+  env
+
+let test_interp_switch_fallthrough () =
+  let f =
+    L.Parser.parse_function
+      {|int f(int x) {
+  int acc = 0;
+  switch (x) {
+  case T::A:
+    acc += 10;
+  case T::B:
+    acc += 100;
+    break;
+  default:
+    acc += 1000;
+  }
+  return acc;
+}|}
+  in
+  let run v =
+    match L.Interp.call (mk_env ()) f [ L.Interp.VInt v ] with
+    | L.Interp.VInt n -> n
+    | _ -> Alcotest.fail "expected int"
+  in
+  Alcotest.(check int) "fallthrough A" 110 (run 1);
+  Alcotest.(check int) "B only" 100 (run 2);
+  Alcotest.(check int) "default" 1000 (run 99)
+
+let test_interp_strings () =
+  let f =
+    L.Parser.parse_function
+      {|int f(StringRef s) {
+  if (!s.startswith("x")) { return -1; }
+  StringRef d = s.substr(1);
+  if (!d.isDigits()) { return -2; }
+  return d.getAsInteger();
+}|}
+  in
+  let run s =
+    match L.Interp.call (mk_env ()) f [ L.Interp.VStr s ] with
+    | L.Interp.VInt n -> n
+    | _ -> Alcotest.fail "expected int"
+  in
+  Alcotest.(check int) "x17" 17 (run "x17");
+  Alcotest.(check int) "bad prefix" (-1) (run "r17");
+  Alcotest.(check int) "not digits" (-2) (run "xab")
+
+let test_interp_fuel () =
+  let f = L.Parser.parse_function "int f() { while (true) { int x = 1; } return 0; }" in
+  match L.Interp.call ~fuel:1000 (mk_env ()) f [] with
+  | exception L.Interp.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "expected fuel exhaustion"
+
+let test_interp_unknown_name () =
+  let f = L.Parser.parse_function "int f() { return T::MISSING; }" in
+  match L.Interp.call (mk_env ()) f [] with
+  | exception L.Interp.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "expected unknown-name error"
+
+let test_interp_while_for () =
+  let f =
+    L.Parser.parse_function
+      {|int f(int n) {
+  int acc = 0;
+  for (int i = 0; i < n; i += 1) {
+    acc += i;
+  }
+  while (acc > 100) {
+    acc -= 100;
+  }
+  return acc;
+}|}
+  in
+  match L.Interp.call (mk_env ()) f [ L.Interp.VInt 20 ] with
+  | L.Interp.VInt 90 -> ()
+  | v -> Alcotest.failf "got %d" (L.Interp.to_int v)
+
+let suite =
+  [
+    Alcotest.test_case "lexer" `Quick test_lexer;
+    Alcotest.test_case "lexer errors" `Quick test_lexer_errors;
+    Alcotest.test_case "parse round-trip" `Quick test_parse_roundtrip;
+    Alcotest.test_case "parse shapes" `Quick test_parse_shapes;
+    Alcotest.test_case "expr precedence" `Quick test_parse_expr_prec;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "line kinds" `Quick test_lines_kinds;
+    QCheck_alcotest.to_alcotest qcheck_expr_roundtrip;
+    Alcotest.test_case "interp switch fallthrough" `Quick test_interp_switch_fallthrough;
+    Alcotest.test_case "interp strings" `Quick test_interp_strings;
+    Alcotest.test_case "interp fuel" `Quick test_interp_fuel;
+    Alcotest.test_case "interp unknown name" `Quick test_interp_unknown_name;
+    Alcotest.test_case "interp loops" `Quick test_interp_while_for;
+  ]

@@ -1,0 +1,114 @@
+(* Invariant tests over every registered target profile. *)
+
+module P = Vega_target.Profile
+module R = Vega_target.Registry
+
+let each_target f = List.iter (fun p -> f p) R.all
+
+let test_counts () =
+  Alcotest.(check int) "training targets" 14 (List.length R.training);
+  Alcotest.(check int) "held-out targets" 3 (List.length R.held_out);
+  Alcotest.(check (list string)) "held-out names" [ "RISCV"; "RI5CY"; "XCore" ]
+    (List.map (fun (p : P.t) -> p.name) R.held_out)
+
+let test_unique_opcodes () =
+  each_target (fun p ->
+      let opcodes = List.map (fun (i : P.insn) -> i.opcode) p.P.insns in
+      Alcotest.(check int)
+        (p.P.name ^ " opcodes unique")
+        (List.length opcodes)
+        (List.length (List.sort_uniq compare opcodes)))
+
+let test_registers_sane () =
+  each_target (fun p ->
+      let r = p.P.regs in
+      let in_range x = x >= 0 && x < r.P.reg_count in
+      Alcotest.(check bool) (p.P.name ^ " sp") true (in_range r.P.sp);
+      Alcotest.(check bool) (p.P.name ^ " ra") true (in_range r.P.ra);
+      Alcotest.(check bool) (p.P.name ^ " fp") true (in_range r.P.fp);
+      Alcotest.(check bool) (p.P.name ^ " args in range") true
+        (List.for_all in_range r.P.arg_regs);
+      Alcotest.(check bool) (p.P.name ^ " sp reserved") true
+        (List.mem r.P.sp r.P.reserved);
+      Alcotest.(check bool) (p.P.name ^ " ra reserved") true
+        (List.mem r.P.ra r.P.reserved);
+      Alcotest.(check bool) (p.P.name ^ " ret not reserved") true
+        (not (List.mem r.P.ret_reg r.P.reserved));
+      (* enough allocatable registers for the backend's scratch set *)
+      let allocatable =
+        List.filter
+          (fun x ->
+            (not (List.mem x r.P.reserved))
+            && (not (List.mem x r.P.arg_regs))
+            && x <> r.P.ret_reg
+            && match r.P.zero with Some z -> x <> z | None -> true)
+          (List.init r.P.reg_count Fun.id)
+      in
+      Alcotest.(check bool) (p.P.name ^ " >=3 allocatable") true
+        (List.length allocatable >= 3))
+
+let test_fixups_sane () =
+  each_target (fun p ->
+      let names = List.map (fun (f : P.fixup) -> f.fx_name) p.P.fixups in
+      Alcotest.(check int)
+        (p.P.name ^ " fixup names unique")
+        (List.length names)
+        (List.length (List.sort_uniq compare names));
+      List.iter
+        (fun (f : P.fixup) ->
+          Alcotest.(check bool) (f.fx_name ^ " bits sane") true
+            (f.P.fx_bits > 0 && f.P.fx_bits <= 64))
+        p.P.fixups)
+
+let test_relocs_numbered () =
+  each_target (fun p ->
+      let rs = P.all_relocs p in
+      Alcotest.(check bool) (p.P.name ^ " has relocs") true (List.length rs > 1);
+      List.iteri
+        (fun i (_, v) -> Alcotest.(check int) "sequential" i v)
+        rs)
+
+let test_mnemonic_form_unique () =
+  (* a mnemonic may be shared by at most one register form and one
+     immediate form (the AsmMatcher disambiguation contract) *)
+  let imm_form (i : P.insn) =
+    match i.op_class with
+    | P.Alui | P.Movi | P.Load | P.Store | P.LoopSetup -> true
+    | _ -> false
+  in
+  each_target (fun p ->
+      let keys = List.map (fun i -> (i.P.mnemonic, imm_form i)) p.P.insns in
+      Alcotest.(check int)
+        (p.P.name ^ " mnemonic/form unique")
+        (List.length keys)
+        (List.length (List.sort_uniq compare keys)))
+
+let test_held_out_features () =
+  let riscv = R.riscv and ri5cy = R.ri5cy and xcore = R.xcore in
+  Alcotest.(check bool) "RI5CY has hwloop" true ri5cy.P.features.P.has_hwloop;
+  Alcotest.(check bool) "RI5CY has simd" true ri5cy.P.features.P.has_simd;
+  Alcotest.(check bool) "RISCV no hwloop" false riscv.P.features.P.has_hwloop;
+  Alcotest.(check bool) "XCore has no disassembler" false
+    xcore.P.features.P.has_disassembler;
+  Alcotest.(check bool) "paper's S2 axis: ARM has variant kinds" true
+    R.arm.P.features.P.has_variant_kinds;
+  Alcotest.(check bool) "paper's S2 axis: MIPS does not" false
+    R.mips.P.features.P.has_variant_kinds
+
+let test_module_ids () =
+  Alcotest.(check int) "seven modules" 7 (List.length Vega_target.Module_id.all);
+  Alcotest.(check (option string)) "roundtrip" (Some "EMI")
+    (Option.map Vega_target.Module_id.name
+       (Vega_target.Module_id.of_name "EMI"))
+
+let suite =
+  [
+    Alcotest.test_case "counts" `Quick test_counts;
+    Alcotest.test_case "unique opcodes" `Quick test_unique_opcodes;
+    Alcotest.test_case "registers sane" `Quick test_registers_sane;
+    Alcotest.test_case "fixups sane" `Quick test_fixups_sane;
+    Alcotest.test_case "relocs numbered" `Quick test_relocs_numbered;
+    Alcotest.test_case "mnemonic forms unique" `Quick test_mnemonic_form_unique;
+    Alcotest.test_case "held-out features" `Quick test_held_out_features;
+    Alcotest.test_case "module ids" `Quick test_module_ids;
+  ]

@@ -1,0 +1,111 @@
+(* Tests for the target-description subsystem: parsers, vfs, catalog. *)
+
+module T = Vega_tdlang
+
+let test_vfs () =
+  let v = T.Vfs.create () in
+  T.Vfs.add v ~path:"a/b/c.td" "x";
+  T.Vfs.add v ~path:"a/d.h" "y";
+  Alcotest.(check int) "files under a" 2 (List.length (T.Vfs.files_under v "a"));
+  Alcotest.(check int) "file as root" 1 (List.length (T.Vfs.files_under v "a/d.h"));
+  Alcotest.(check (option string)) "read" (Some "x") (T.Vfs.read v "a/b/c.td")
+
+let test_td_parser () =
+  let src =
+    {|class Target {
+  string Name = "";
+  int IssueWidth = 1;
+}
+def ARM : Target {
+  let Name = "ARM";
+  let IssueWidth = 2;
+  let Regs = [1, 2, 3];
+}|}
+  in
+  let records = T.Td_parser.parse src in
+  Alcotest.(check int) "one record" 1 (List.length records);
+  let r = List.hd records in
+  Alcotest.(check string) "name" "ARM" r.T.Td_ast.rec_name;
+  Alcotest.(check bool) "field value" true
+    (List.assoc "Name" r.T.Td_ast.fields = T.Td_ast.Vstr "ARM");
+  Alcotest.(check (list string)) "class fields" [ "Name"; "IssueWidth" ]
+    (List.assoc "Target" (T.Td_parser.classes src))
+
+let test_h_parser () =
+  let src =
+    {|namespace ARM {
+enum Fixups {
+  fixup_a = FirstTargetFixupKind,
+  fixup_b,
+  fixup_c = 99
+};
+}
+class MCExprX {
+  enum VariantKind { VK_GOT = 1, VK_PLT };
+  unsigned method(int x);
+};
+extern unsigned GlobalVar;|}
+  in
+  let decls = T.H_parser.parse src in
+  Alcotest.(check int) "three decls" 3 (List.length decls);
+  match decls with
+  | [ T.Td_ast.Enum_top e; T.Td_ast.Class_decl (c, [ vk ]); T.Td_ast.Global_decl (_, g) ]
+    ->
+      Alcotest.(check string) "enum" "Fixups" e.T.Td_ast.enum_name;
+      Alcotest.(check int) "members" 3 (List.length e.T.Td_ast.members);
+      Alcotest.(check string) "class" "MCExprX" c;
+      Alcotest.(check string) "nested enum" "VariantKind" vk.T.Td_ast.enum_name;
+      Alcotest.(check string) "global" "GlobalVar" g
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_def_parser () =
+  let rs = T.Def_parser.parse "ELF_RELOC(R_X_NONE, 0)\nELF_RELOC(R_X_32, 2)\n" in
+  Alcotest.(check int) "two relocs" 2 (List.length rs);
+  Alcotest.(check int) "value" 2 (List.nth rs 1).T.Td_ast.reloc_value
+
+let mk_catalog () =
+  let v = T.Vfs.create () in
+  T.Vfs.add v ~path:"llvm/MC/MCFixup.h"
+    "namespace m { enum MCFixupKind { FK_NONE = 0, FirstTargetFixupKind = 64 }; }";
+  T.Vfs.add v ~path:"lib/Target/X/XFixupKinds.h"
+    "namespace X { enum Fixups { fixup_x_a = FirstTargetFixupKind, fixup_x_b }; }";
+  T.Vfs.add v ~path:"lib/Target/X/X.td"
+    "def X : Target {\n  let Name = \"X\";\n  let IssueWidth = 3;\n}";
+  T.Vfs.add v ~path:"llvm/BinaryFormat/ELFRelocs/X.def" "ELF_RELOC(R_X_NONE, 0)";
+  v
+
+let test_catalog_resolution () =
+  let v = mk_catalog () in
+  let llvm = T.Catalog.build v [ "llvm/MC" ] in
+  let cat = T.Catalog.build v [ "llvm/MC"; "lib/Target/X"; "llvm/BinaryFormat/ELFRelocs/X.def" ] in
+  Alcotest.(check (option int)) "sequential from ref" (Some 65)
+    (T.Catalog.member_value cat "X::fixup_x_b");
+  Alcotest.(check (option int)) "reloc" (Some 0)
+    (T.Catalog.member_value cat "ELF::R_X_NONE");
+  Alcotest.(check bool) "prop list has MCFixupKind" true
+    (T.Catalog.is_prop llvm "MCFixupKind");
+  (match T.Catalog.enum_of_member cat "fixup_x_a" with
+  | Some ("Fixups", _) -> ()
+  | _ -> Alcotest.fail "member lookup");
+  Alcotest.(check (list (pair string string))) "assignments of Name"
+    [ ("X", "lib/Target/X/X.td") ]
+    (T.Catalog.assignments_of cat "Name");
+  Alcotest.(check (list (pair string string))) "int field stringified"
+    [ ("3", "lib/Target/X/X.td") ]
+    (T.Catalog.assignments_of cat "IssueWidth")
+
+let test_catalog_word_index () =
+  let v = mk_catalog () in
+  let cat = T.Catalog.build v [ "lib/Target/X" ] in
+  Alcotest.(check bool) "word found" true (T.Catalog.find_word cat "fixup_x_a" <> []);
+  Alcotest.(check bool) "absent word" true (T.Catalog.find_word cat "nonexistent" = [])
+
+let suite =
+  [
+    Alcotest.test_case "vfs" `Quick test_vfs;
+    Alcotest.test_case "td parser" `Quick test_td_parser;
+    Alcotest.test_case "h parser" `Quick test_h_parser;
+    Alcotest.test_case "def parser" `Quick test_def_parser;
+    Alcotest.test_case "catalog resolution" `Quick test_catalog_resolution;
+    Alcotest.test_case "catalog word index" `Quick test_catalog_word_index;
+  ]
