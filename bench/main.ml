@@ -218,7 +218,35 @@ let section_table2 (s : setup) =
       T.add_row tab [ name; pct v; pct cs; pct d ])
     s.evals;
   print_string (T.render tab);
-  Printf.printf "(paper RISC-V: Err-V 3.9%%, Err-CS 11.6%%, Err-Def 23.9%%)\n"
+  Printf.printf "(paper RISC-V: Err-V 3.9%%, Err-CS 11.6%%, Err-Def 23.9%%)\n";
+  heading "Static analysis — pass@1 failures flagged before execution";
+  let tab =
+    T.create
+      ~headers:
+        [
+          "Target"; "Flagged"; "Parse"; "Symbol"; "Dataflow"; "Interface";
+          "FalseAlarm"; "ConfFlag/Clean"; "TaxAgree";
+        ]
+  in
+  List.iter
+    (fun (name, (te : E.Metrics.target_eval)) ->
+      let by_cls = E.Metrics.static_flag_by_class te.te_fns in
+      let cls c = pct (List.assoc c by_cls) in
+      let cf, cc = E.Metrics.confidence_by_flag te.te_fns in
+      T.add_row tab
+        [
+          name;
+          pct (E.Metrics.static_flag_rate te.te_fns);
+          cls Vega_analysis.Diagnostic.Parse;
+          cls Vega_analysis.Diagnostic.Symbol;
+          cls Vega_analysis.Diagnostic.Dataflow;
+          cls Vega_analysis.Diagnostic.Interface;
+          pct (E.Metrics.static_false_alarm_rate te.te_fns);
+          Printf.sprintf "%.2f/%.2f" cf cc;
+          pct (E.Metrics.taxonomy_agreement te.te_fns);
+        ])
+    s.evals;
+  print_string (T.render tab)
 
 let section_table3 (s : setup) =
   heading "Table 3 — Statements accurate vs needing manual correction";

@@ -3,6 +3,7 @@
      vega-cli stats
      vega-cli generate -t RISCV -f getRelocType [--model]
      vega-cli backend -t XCore [--model]      generate + pass@1 the backend
+     vega-cli lint -t RISCV [--generated]     static-analyze a backend
      vega-cli compile -t ARM -p fib -o O3 [--run]                          *)
 
 open Cmdliner
@@ -98,6 +99,76 @@ let backend_cmd =
        ~doc:"Generate a whole backend and run pass@1 on every function")
     Term.(const run $ target_arg $ model_flag)
 
+let lint_cmd =
+  let generated_flag =
+    Arg.(
+      value & flag
+      & info [ "generated" ]
+          ~doc:
+            "Lint the functions the pipeline generates for the target \
+             (retrieval decoder) instead of the reference backend.")
+  in
+  let run target generated =
+    let p =
+      match Vega_target.Registry.find target with
+      | Some p -> p
+      | None ->
+          Printf.eprintf "unknown target %s\n" target;
+          exit 1
+    in
+    let print_report (r : Vega_analysis.Lint.report) =
+      Printf.printf "target %s: %d function(s) linted, %d diagnostic(s)\n"
+        r.Vega_analysis.Lint.r_target
+        (List.length r.Vega_analysis.Lint.r_funcs)
+        (Vega_analysis.Lint.diag_count r);
+      List.iter
+        (fun (fr : Vega_analysis.Lint.func_report) ->
+          List.iter
+            (fun d ->
+              print_endline ("  " ^ Vega_analysis.Diagnostic.to_string d))
+            fr.Vega_analysis.Lint.fr_diags)
+        r.Vega_analysis.Lint.r_funcs;
+      exit (if Vega_analysis.Lint.error_count r > 0 then 1 else 0)
+    in
+    if not generated then begin
+      let corpus = Vega_corpus.Corpus.build () in
+      print_report
+        (Vega_analysis.Lint.lint_target corpus.Vega_corpus.Corpus.vfs p)
+    end
+    else begin
+      let t, decoder = mk_pipeline ~model:false in
+      let vfs = t.Vega.Pipeline.prep.Vega.Pipeline.corpus.Vega_corpus.Corpus.vfs in
+      let tab = Vega_analysis.Lint.symtab vfs p in
+      let funcs =
+        List.filter_map
+          (fun (b : Vega.Pipeline.bundle) ->
+            let spec = b.Vega.Pipeline.spec in
+            if not (spec.Vega_corpus.Spec.applies p) then None
+            else
+              let gf =
+                Vega.Generate.run t.Vega.Pipeline.prep.Vega.Pipeline.ctx
+                  b.Vega.Pipeline.tpl b.Vega.Pipeline.analysis
+                  b.Vega.Pipeline.hints ~target
+                  ~decoder
+              in
+              Some
+                {
+                  Vega_analysis.Lint.fr_fname = spec.Vega_corpus.Spec.fname;
+                  fr_diags =
+                    Vega_analysis.Lint.lint_generated tab b.Vega.Pipeline.tpl gf;
+                })
+          t.Vega.Pipeline.prep.Vega.Pipeline.bundles
+      in
+      print_report { Vega_analysis.Lint.r_target = target; r_funcs = funcs }
+    end
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static-analyze a backend (parse/shape, symbols, dataflow, \
+          interface conformance); non-zero exit on errors")
+    Term.(const run $ target_arg $ generated_flag)
+
 let compile_cmd =
   let prog_arg =
     Arg.(value & opt string "loop_sum" & info [ "p"; "program" ]
@@ -152,4 +223,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "vega-cli" ~doc)
-          [ stats_cmd; generate_cmd; backend_cmd; compile_cmd ]))
+          [ stats_cmd; generate_cmd; backend_cmd; lint_cmd; compile_cmd ]))

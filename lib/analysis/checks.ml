@@ -1,0 +1,370 @@
+(** Passes 2–4 of the analyzer: symbol resolution, dataflow lint and
+    MC-layer interface conformance, over a parsed BackendC function.
+
+    The walker mirrors {!Vega_srclang.Interp} closely enough that a
+    function flagged here would (on some input) also fail at hook runtime
+    — and a clean reference backend produces zero diagnostics. *)
+
+module Ast = Vega_srclang.Ast
+module Parser = Vega_srclang.Parser
+module D = Diagnostic
+
+type ctx = {
+  tab : Symtab.t;
+  fname : string;
+  marks : Parser.spans;
+  ret_type : string;
+  mutable diags : D.t list;
+}
+
+let report ctx ~rule ~cls ~severity ?span msg =
+  ctx.diags <- D.make ~rule ~cls ~severity ~fname:ctx.fname ?span msg :: ctx.diags
+
+let span_of ctx s = Parser.stmt_span ctx.marks s
+
+(* ------------------------------------------------------------------ *)
+(* Interface conformance: the MC-layer object API as implemented by
+   [Vega_backend.Hooks] / [Interp.str_method].                          *)
+
+(* (class, method) -> (arity, result class) *)
+let mc_api =
+  [
+    (("MCInst", "getOpcode"), (0, None));
+    (("MCInst", "getNumOperands"), (0, None));
+    (("MCInst", "getOperand"), (1, Some "MCOperand"));
+    (("MCOperand", "isReg"), (0, None));
+    (("MCOperand", "isImm"), (0, None));
+    (("MCOperand", "getReg"), (0, None));
+    (("MCOperand", "getImm"), (0, None));
+    (("MCFixup", "getKind"), (0, None));
+    (("MCFixup", "getTargetKind"), (0, None));
+    (("MCFixup", "getOffset"), (0, None));
+    (("MCValue", "getAccessVariant"), (0, None));
+    (("StringRef", "startswith"), (1, None));
+    (("StringRef", "endswith"), (1, None));
+    (("StringRef", "substr"), (1, Some "StringRef"));
+    (("StringRef", "size"), (0, None));
+    (("StringRef", "empty"), (0, None));
+    (("StringRef", "equals"), (1, None));
+    (("StringRef", "lower"), (0, Some "StringRef"));
+    (("StringRef", "upper"), (0, Some "StringRef"));
+    (("StringRef", "getAsInteger"), (0, None));
+    (("StringRef", "isDigits"), (0, None));
+  ]
+
+let mc_classes =
+  List.sort_uniq compare (List.map (fun ((c, _), _) -> c) mc_api)
+
+(** Strip qualifiers and reference/pointer sigils from a parameter or
+    declaration type spelling; returns the base class name. *)
+let base_class ty =
+  let ty =
+    String.concat " "
+      (List.filter
+         (fun w -> w <> "const" && w <> "unsigned")
+         (String.split_on_char ' ' ty))
+  in
+  let stop = ref (String.length ty) in
+  while !stop > 0 && (ty.[!stop - 1] = '*' || ty.[!stop - 1] = '&') do
+    decr stop
+  done;
+  String.sub ty 0 !stop
+
+(* ------------------------------------------------------------------ *)
+(* Dataflow state                                                      *)
+
+type var_state = {
+  mutable assigned : bool;  (** some assignment/initializer seen so far *)
+  cls : string option;  (** MC-layer class, when the type names one *)
+}
+
+type env = (string, var_state) Hashtbl.t
+
+(* Calls that never return; a statement-position call to one terminates
+   the path the way [return] does. *)
+let noreturn_call = function
+  | Ast.Expr (Ast.Call (("llvm_unreachable" | "report_fatal_error"), _)) -> true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Expression walk: uses, symbols, method conformance                   *)
+
+(* Result is the MC class of the expression's value when derivable. *)
+let rec check_expr ctx (env : env) ?near (e : Ast.expr) : string option =
+  let recurse x = ignore (check_expr ctx env ?near x) in
+  match e with
+  | Ast.Int _ | Ast.Str _ | Ast.Chr _ | Ast.Bool _ | Ast.Nullptr -> None
+  | Ast.Id name -> (
+      match Hashtbl.find_opt env name with
+      | Some vs ->
+          if not vs.assigned then
+            report ctx ~rule:"VA-D02" ~cls:D.Dataflow ~severity:D.Warning
+              ?span:near
+              (Printf.sprintf "local '%s' is read but never assigned" name);
+          vs.cls
+      | None ->
+          if
+            not
+              (Symtab.known_global ctx.tab name
+              || Symtab.known_func ctx.tab name)
+          then
+            report ctx ~rule:"VA-D01" ~cls:D.Dataflow ~severity:D.Error
+              ?span:near
+              (Printf.sprintf "use of undeclared identifier '%s'" name);
+          None)
+  | Ast.Scoped parts ->
+      if not (Symtab.resolve_scoped ctx.tab parts) then
+        report ctx ~rule:"VA-S01" ~cls:D.Symbol ~severity:D.Error ?span:near
+          (Printf.sprintf "unknown qualified name '%s'"
+             (String.concat "::" parts));
+      None
+  | Ast.Call (fname, args) ->
+      List.iter recurse args;
+      (match Symtab.func_arity ctx.tab fname with
+      | None ->
+          report ctx ~rule:"VA-S02" ~cls:D.Symbol ~severity:D.Error ?span:near
+            (Printf.sprintf "call to unknown function '%s'" fname)
+      | Some None -> ()
+      | Some (Some arity) ->
+          if List.length args <> arity then
+            report ctx ~rule:"VA-I03" ~cls:D.Interface ~severity:D.Error
+              ?span:near
+              (Printf.sprintf "'%s' expects %d argument%s, got %d" fname arity
+                 (if arity = 1 then "" else "s")
+                 (List.length args)));
+      None
+  | Ast.Method (recv, m, args) -> (
+      let rcls = check_expr ctx env ?near recv in
+      List.iter recurse args;
+      match rcls with
+      | None -> None
+      | Some c -> (
+          match List.assoc_opt (c, m) mc_api with
+          | None ->
+              report ctx ~rule:"VA-I01" ~cls:D.Interface ~severity:D.Error
+                ?span:near
+                (Printf.sprintf "class %s has no method '%s'" c m);
+              None
+          | Some (arity, result) ->
+              if List.length args <> arity then
+                report ctx ~rule:"VA-I02" ~cls:D.Interface ~severity:D.Error
+                  ?span:near
+                  (Printf.sprintf "%s.%s expects %d argument%s, got %d" c m
+                     arity
+                     (if arity = 1 then "" else "s")
+                     (List.length args));
+              result))
+  | Ast.Member (recv, f) -> (
+      match recv with
+      | Ast.Id base when not (Hashtbl.mem env base) ->
+          (* [A.f] on a non-local reads enum/global [A::f], as in the
+             interpreter *)
+          ignore (check_expr ctx env ?near (Ast.Scoped [ base; f ]));
+          None
+      | _ ->
+          recurse recv;
+          None)
+  | Ast.Index (recv, i) ->
+      recurse recv;
+      recurse i;
+      None
+  | Ast.Unop (_, a) ->
+      recurse a;
+      None
+  | Ast.Binop (_, a, b) ->
+      recurse a;
+      recurse b;
+      None
+  | Ast.Ternary (c, t, f) ->
+      recurse c;
+      let ct = check_expr ctx env ?near t and cf = check_expr ctx env ?near f in
+      if ct = cf then ct else None
+  | Ast.Cast (ty, a) ->
+      recurse a;
+      let b = base_class ty in
+      if List.mem b mc_classes then Some b else None
+
+(* ------------------------------------------------------------------ *)
+(* Statement walk                                                      *)
+
+(* Does executing this statement always leave the enclosing statement
+   list (return / break / continue / noreturn call)? Used for the
+   unreachable-code rule. *)
+let rec terminates (s : Ast.stmt) =
+  match s with
+  | Ast.Return _ | Ast.Break | Ast.Continue -> true
+  | Ast.If (_, t, e) -> terminates_list t && terminates_list e
+  | Ast.Switch (_, arms, default) ->
+      (* [break] inside the switch exits the switch, not the enclosing
+         list, so the switch only terminates the list when every path
+         through it returns *)
+      switch_returns arms default
+  | s when noreturn_call s -> true
+  | _ -> false
+
+and terminates_list body =
+  body <> [] && List.exists terminates body
+
+(* Does the function always return a value before falling off this
+   statement list? (conservative: loops are assumed skippable)          *)
+and always_returns (body : Ast.stmt list) =
+  match body with
+  | [] -> false
+  | s :: rest -> (
+      match s with
+      | Ast.Return _ -> true
+      | s when noreturn_call s -> true
+      | Ast.Break | Ast.Continue -> false
+      | Ast.If (_, t, e) ->
+          (always_returns t && always_returns e) || always_returns rest
+      | Ast.Switch (_, arms, default) ->
+          switch_returns arms default || always_returns rest
+      | _ -> always_returns rest)
+
+and switch_returns arms default =
+  (* a matched arm runs its body, falls through subsequent arms, then the
+     default body; an unmatched scrutinee runs only the default *)
+  arms <> []
+  && always_returns default
+  && List.for_all Fun.id
+       (let rec chains = function
+          | [] -> []
+          | (a : Ast.arm) :: rest ->
+              chain_returns (a.body :: List.map (fun (r : Ast.arm) -> r.Ast.body) rest)
+                default
+              :: chains rest
+        in
+        chains arms)
+
+and chain_returns bodies default =
+  (* concatenated execution of bodies then default; [break] escapes the
+     switch without returning *)
+  let rec go = function
+    | [] -> always_returns default
+    | body :: rest -> (
+        if always_returns body then true
+        else if List.exists breaks_out body then false
+        else go rest)
+  in
+  go bodies
+
+and breaks_out (s : Ast.stmt) =
+  match s with
+  | Ast.Break -> true
+  | Ast.If (_, t, e) -> List.exists breaks_out t || List.exists breaks_out e
+  | _ -> false
+
+let declare env name ~assigned ~cls =
+  Hashtbl.replace env name { assigned; cls }
+
+let rec check_stmts ctx env (body : Ast.stmt list) =
+  let terminated = ref false in
+  let reported = ref false in
+  List.iter
+    (fun s ->
+      if !terminated && not !reported then begin
+        reported := true;
+        report ctx ~rule:"VA-D03" ~cls:D.Dataflow ~severity:D.Warning
+          ?span:(span_of ctx s) "unreachable statement"
+      end;
+      check_stmt ctx env s;
+      if terminates s then terminated := true)
+    body
+
+and check_stmt ctx env (s : Ast.stmt) =
+  let near = span_of ctx s in
+  match s with
+  | Ast.Decl (ty, name, init) ->
+      Option.iter (fun e -> ignore (check_expr ctx env ?near e)) init;
+      let b = base_class ty in
+      declare env name ~assigned:(init <> None)
+        ~cls:(if List.mem b mc_classes then Some b else None)
+  | Ast.Assign (op, lhs, rhs) -> (
+      ignore (check_expr ctx env ?near rhs);
+      match lhs with
+      | Ast.Id name -> (
+          match (Hashtbl.find_opt env name, op) with
+          | Some vs, _ -> vs.assigned <- true
+          | None, Ast.Set ->
+              (* plain assignment introduces a local, as in the
+                 interpreter *)
+              declare env name ~assigned:true ~cls:None
+          | None, _ ->
+              if not (Symtab.known_global ctx.tab name) then
+                report ctx ~rule:"VA-D01" ~cls:D.Dataflow ~severity:D.Error
+                  ?span:near
+                  (Printf.sprintf "compound assignment to undeclared '%s'"
+                     name))
+      | _ -> ignore (check_expr ctx env ?near lhs))
+  | Ast.Expr e -> ignore (check_expr ctx env ?near e)
+  | Ast.Return e -> Option.iter (fun e -> ignore (check_expr ctx env ?near e)) e
+  | Ast.Break | Ast.Continue -> ()
+  | Ast.If (c, t, e) ->
+      ignore (check_expr ctx env ?near c);
+      check_stmts ctx env t;
+      check_stmts ctx env e
+  | Ast.While (c, body) ->
+      ignore (check_expr ctx env ?near c);
+      check_stmts ctx env body
+  | Ast.For (init, cond, step, body) ->
+      Option.iter (check_stmt ctx env) init;
+      Option.iter (fun c -> ignore (check_expr ctx env ?near c)) cond;
+      check_stmts ctx env body;
+      Option.iter (check_stmt ctx env) step
+  | Ast.Switch (scrut, arms, default) ->
+      ignore (check_expr ctx env ?near scrut);
+      List.iter
+        (fun (a : Ast.arm) ->
+          List.iter (fun l -> ignore (check_expr ctx env ?near l)) a.labels;
+          check_stmts ctx env a.body)
+        arms;
+      check_stmts ctx env default;
+      check_fallthrough ctx arms default
+
+and check_fallthrough ctx arms default =
+  (* last arm with a body that neither breaks nor returns, and nothing
+     after it to fall into *)
+  match (List.rev arms, default) with
+  | (last : Ast.arm) :: _, [] ->
+      if
+        last.body <> []
+        && (not (terminates_list last.body))
+        && not (List.exists breaks_out last.body)
+      then
+        report ctx ~rule:"VA-D05" ~cls:D.Dataflow ~severity:D.Warning
+          ?span:(match last.body with s :: _ -> span_of ctx s | [] -> None)
+          "final switch arm falls through to nothing"
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                          *)
+
+let check_function tab ?spec ?(marks = []) (f : Ast.func) =
+  let ctx =
+    { tab; fname = f.Ast.name; marks; ret_type = f.Ast.ret_type; diags = [] }
+  in
+  let env : env = Hashtbl.create 16 in
+  List.iter
+    (fun (p : Ast.param) ->
+      let b = base_class p.Ast.ptype in
+      declare env p.Ast.pname ~assigned:true
+        ~cls:(if List.mem b mc_classes then Some b else None))
+    f.Ast.params;
+  (* pass 4: hook signature against the interface spec *)
+  (match spec with
+  | Some (spec : Vega_corpus.Spec.t) ->
+      let want = List.length spec.Vega_corpus.Spec.params in
+      let got = List.length f.Ast.params in
+      if got <> want then
+        report ctx ~rule:"VA-I03" ~cls:D.Interface ~severity:D.Error
+          (Printf.sprintf "interface '%s' declares %d parameter%s, found %d"
+             spec.Vega_corpus.Spec.fname want
+             (if want = 1 then "" else "s")
+             got)
+  | None -> ());
+  check_stmts ctx env f.Ast.body;
+  if ctx.ret_type <> "void" && not (always_returns f.Ast.body) then
+    report ctx ~rule:"VA-D04" ~cls:D.Dataflow ~severity:D.Error
+      (Printf.sprintf "non-void function '%s' can fall off the end of its body"
+         f.Ast.name);
+  Diagnostic.sort (List.rev ctx.diags)

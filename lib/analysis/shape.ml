@@ -1,0 +1,102 @@
+(** Pass 1: parse / shape checking of generated statements.
+
+    Each {!Vega.Generate.gen_stmt} must (a) name a legal statement
+    position of the function template it was generated from, (b) lex and
+    — for simple statements — parse as BackendC, and (c) instantiate the
+    statement template of that position. The assembled function must
+    parse as a whole (otherwise the evaluation harness classifies it
+    Err-Def before ever running pass@1; the analyzer reports the same
+    defect statically). *)
+
+module D = Diagnostic
+module T = Vega.Template
+module G = Vega.Generate
+module Parser = Vega_srclang.Parser
+module Lines = Vega_srclang.Lines
+
+let span_for (s : G.gen_stmt) ~idx =
+  (* generated statements have no source yet; line = position in the
+     assembled function, column 1 *)
+  ignore s;
+  Vega_srclang.Span.make ~line:(idx + 1) ~col:1
+
+(* statement template addressed by a generated statement, when the
+   position is legal *)
+let position (tpl : T.t) (s : G.gen_stmt) =
+  let column =
+    if s.G.g_col = -1 then Some (T.signature_column tpl)
+    else List.nth_opt tpl.T.columns s.G.g_col
+  in
+  match column with
+  | None -> None
+  | Some c -> Option.map (fun _ -> c) (List.nth_opt c.T.unit s.G.g_line)
+
+let stmt_template (c : T.column) (s : G.gen_stmt) =
+  List.nth_opt c.T.unit (max 0 s.G.g_line)
+
+(* can this token line stand alone for Parser.parse_stmts? Structural
+   lines (["if (c) {"], ["}"], case labels) cannot; they are shape-checked
+   by the template match instead. *)
+let parse_checkable kind = kind = "simple"
+
+let check_stmt fname (tpl : T.t) idx (s : G.gen_stmt) =
+  let span = span_for s ~idx in
+  match position tpl s with
+  | None ->
+      [
+        D.make ~rule:"VA-P02" ~cls:D.Parse ~severity:D.Error ~fname ~span
+          (Printf.sprintf
+             "statement position (col %d, line %d) is outside the template"
+             s.G.g_col s.G.g_line);
+      ]
+  | Some column -> (
+      match stmt_template column s with
+      | None -> []
+      | Some st ->
+          let fit =
+            match T.match_instance st s.G.g_tokens with
+            | Some _ -> []
+            | None ->
+                [
+                  D.make ~rule:"VA-P02" ~cls:D.Parse ~severity:D.Error ~fname
+                    ~span
+                    (Printf.sprintf
+                       "statement does not instantiate its %s template"
+                       st.T.kind);
+                ]
+          in
+          let parses =
+            if s.G.g_col = -1 || not (parse_checkable st.T.kind) then []
+            else
+              let text = String.concat " " s.G.g_tokens in
+              match Parser.parse_stmts text with
+              | _ -> []
+              | exception Parser.Error m | exception Vega_srclang.Lexer.Error m
+                ->
+                  [
+                    D.make ~rule:"VA-P01" ~cls:D.Parse ~severity:D.Error ~fname
+                      ~span
+                      (Printf.sprintf "statement does not parse: %s" m);
+                  ]
+          in
+          fit @ parses)
+
+(** Shape-check every kept statement of a generated function and the
+    assembled source as a whole. Returns the diagnostics plus the parsed
+    function when the whole source is legal (for passes 2–4). *)
+let check (tpl : T.t) (gf : G.gen_func) =
+  let fname = gf.G.gf_fname in
+  let kept = G.kept_stmts gf in
+  let per_stmt = List.concat (List.mapi (check_stmt fname tpl) kept) in
+  let texts =
+    List.map (fun (s : G.gen_stmt) -> String.concat " " s.G.g_tokens) kept
+  in
+  match Parser.parse_function_spanned_opt (Lines.texts_to_source texts) with
+  | Ok sf -> (per_stmt, Some sf)
+  | Error m ->
+      ( per_stmt
+        @ [
+            D.make ~rule:"VA-P01" ~cls:D.Parse ~severity:D.Error ~fname
+              (Printf.sprintf "generated function does not parse: %s" m);
+          ],
+        None )

@@ -1,0 +1,67 @@
+(** Symbol tables for the analyzer, built from the target's description
+    files only (the paper's "from description files" contract): qualified
+    enum members, TableGen record fields visible as globals, and the
+    interface-function surface callable as free functions. *)
+
+module Catalog = Vega_tdlang.Catalog
+module Vfs = Vega_tdlang.Vfs
+
+type t = {
+  target : string;
+  catalog : Catalog.t;
+  globals : (string, unit) Hashtbl.t;
+      (** unqualified names visible to hook bodies: short enum members and
+          scalar record fields (mirrors {!Vega_backend.Hooks.build_env}) *)
+  funcs : (string, int option) Hashtbl.t;
+      (** free functions with arity; [None] = variadic builtin *)
+}
+
+let record_classes = [ "Target"; "SchedMachineModel"; "RegisterClass" ]
+
+let build vfs ~target =
+  let dirs = Vfs.llvmdirs @ Vfs.tgtdirs target in
+  let catalog = Catalog.build vfs dirs in
+  let globals = Hashtbl.create 256 in
+  List.iter
+    (fun (qual, _) ->
+      Hashtbl.replace globals qual ();
+      match String.rindex_opt qual ':' with
+      | Some i ->
+          Hashtbl.replace globals
+            (String.sub qual (i + 1) (String.length qual - i - 1))
+            ()
+      | None -> ())
+    (Catalog.resolved_members catalog);
+  List.iter
+    (fun (_, (r : Vega_tdlang.Td_ast.record)) ->
+      if List.mem r.rec_class record_classes then
+        List.iter
+          (fun (field, v) ->
+            match v with
+            | Vega_tdlang.Td_ast.Vint _ | Vega_tdlang.Td_ast.Vstr _ ->
+                Hashtbl.replace globals field ()
+            | Vega_tdlang.Td_ast.Vid _ | Vega_tdlang.Td_ast.Vlist _ -> ())
+          r.fields)
+    (Catalog.records catalog);
+  let funcs = Hashtbl.create 64 in
+  Hashtbl.replace funcs "llvm_unreachable" None;
+  Hashtbl.replace funcs "report_fatal_error" None;
+  (* sibling interface hooks are callable as free functions *)
+  List.iter
+    (fun (spec : Vega_corpus.Spec.t) ->
+      Hashtbl.replace funcs spec.Vega_corpus.Spec.fname
+        (Some (List.length spec.Vega_corpus.Spec.params)))
+    Vega_corpus.Corpus.all_specs;
+  { target; catalog; globals; funcs }
+
+(** Does [A::B::c] resolve against the description files? Mirrors the
+    interpreter: qualified enum members are the only [Scoped] values hook
+    bodies can read. *)
+let resolve_scoped t parts =
+  Catalog.member_value t.catalog (String.concat "::" parts) <> None
+
+let known_global t name =
+  Hashtbl.mem t.globals name || Catalog.is_prop t.catalog name
+
+let func_arity t fname = Hashtbl.find_opt t.funcs fname
+let known_func t fname = Hashtbl.mem t.funcs fname

@@ -6,6 +6,10 @@ type gen_stmt = {
   g_inst : int;
   g_score : float;
   g_tokens : string list;
+  g_shape_ok : bool;
+      (** the emitted tokens instantiate the statement template of this
+          slot — the static shape signal {!Vega_analysis} pass 1 and the
+          evaluation harness correlate with confidence *)
 }
 
 type gen_func = {
@@ -85,12 +89,18 @@ let run ctx (tpl : Template.t) analysis hints ~target ~decoder =
                 | Some fixed -> fixed
                 | None -> body)
         in
+        let shape_ok =
+          match Template.match_instance st body with
+          | Some slots -> slots_well_formed slots
+          | None -> false
+        in
         {
           g_col = fv.col;
           g_line = fv.line;
           g_inst = fv.inst;
           g_score = score;
           g_tokens = body;
+          g_shape_ok = shape_ok;
         })
       fvs
   in

@@ -14,6 +14,9 @@ type gen_stmt = {
   g_inst : int;
   g_score : float;
   g_tokens : string list;  (** decoded tokens, copy references resolved *)
+  g_shape_ok : bool;
+      (** tokens instantiate this slot's statement template (static
+          shape signal consumed by the analyzer and the metrics) *)
 }
 
 type gen_func = {

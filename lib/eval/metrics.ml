@@ -15,6 +15,9 @@ type fn_eval = {
   fe_err_v : bool;
   fe_err_cs : bool;
   fe_err_def : bool;
+  fe_diags : Vega_analysis.Diagnostic.t list;
+      (** static-analyzer findings on the generated function *)
+  fe_shape_bad : int;  (** kept statements failing the template shape check *)
 }
 
 type target_eval = {
@@ -86,8 +89,16 @@ let multi_source prep (spec : Vega_corpus.Spec.t) gen_lines =
       inter = []
 
 let eval_generated prep vfs (p : Vega_target.Profile.t) reference
-    (spec : Vega_corpus.Spec.t) (gf : Vega.Generate.gen_func) ~cases =
+    (spec : Vega_corpus.Spec.t) ~tab ~tpl (gf : Vega.Generate.gen_func) ~cases
+    =
   let kept = Vega.Generate.kept_stmts gf in
+  let diags = Vega_analysis.Lint.lint_generated tab tpl gf in
+  let shape_bad =
+    List.length
+      (List.filter
+         (fun (s : Vega.Generate.gen_stmt) -> not s.Vega.Generate.g_shape_ok)
+         kept)
+  in
   let gen_lines =
     List.map (fun (s : Vega.Generate.gen_stmt) -> s.Vega.Generate.g_tokens) kept
   in
@@ -144,12 +155,15 @@ let eval_generated prep vfs (p : Vega_target.Profile.t) reference
     fe_err_v = (not pass) && err_v;
     fe_err_cs = (not pass) && err_cs;
     fe_err_def = (not pass) && err_def;
+    fe_diags = diags;
+    fe_shape_bad = shape_bad;
   }
 
 let evaluate_target (t : Vega.Pipeline.t) ~decoder (p : Vega_target.Profile.t)
     ?(cases = Regression.default_cases) () =
   let vfs = t.Vega.Pipeline.prep.Vega.Pipeline.corpus.C.vfs in
   let reference = Regression.reference_artifacts vfs p ~cases () in
+  let tab = Vega_analysis.Lint.symtab vfs p in
   (* generation timing per module (Fig. 7) *)
   let module_times = Hashtbl.create 8 in
   let total_time = ref 0.0 in
@@ -171,7 +185,9 @@ let evaluate_target (t : Vega.Pipeline.t) ~decoder (p : Vega_target.Profile.t)
             (dt
             +. Option.value ~default:0.0
                  (Hashtbl.find_opt module_times spec.Vega_corpus.Spec.module_));
-          Some (eval_generated t.Vega.Pipeline.prep vfs p reference spec gf ~cases)
+          Some
+            (eval_generated t.Vega.Pipeline.prep vfs p reference spec ~tab
+               ~tpl:b.Vega.Pipeline.tpl gf ~cases)
         end)
       t.Vega.Pipeline.prep.Vega.Pipeline.bundles
   in
@@ -189,6 +205,7 @@ let evaluate_forkflow (prep : Vega.Pipeline.prepared) (p : Vega_target.Profile.t
     ?(cases = Regression.default_cases) () =
   let vfs = prep.Vega.Pipeline.corpus.C.vfs in
   let reference = Regression.reference_artifacts vfs p ~cases () in
+  let tab = Vega_analysis.Lint.symtab vfs p in
   let forked = Vega.Forkflow.fork_backend ~dst:p in
   let fns =
     List.filter_map
@@ -221,6 +238,8 @@ let evaluate_forkflow (prep : Vega.Pipeline.prepared) (p : Vega_target.Profile.t
               fe_err_v = false;
               fe_err_cs = false;
               fe_err_def = false;
+              fe_diags = Vega_analysis.Lint.lint_function tab ~spec f;
+              fe_shape_bad = 0;
             }
         end)
       forked
@@ -269,3 +288,58 @@ let conf1_share fns =
 
 let multi_source_share fns =
   ratio (List.length (List.filter (fun f -> f.fe_multi_source) fns)) (List.length fns)
+
+(* ------------------------------------------------------------------ *)
+(* Static-analysis correlation: how much of pass@1 failure the analyzer
+   predicts without running anything                                     *)
+
+let failures fns = List.filter (fun f -> not f.fe_pass) fns
+let flagged f = f.fe_diags <> []
+
+let static_flag_rate fns =
+  let fl = failures fns in
+  ratio (List.length (List.filter flagged fl)) (List.length fl)
+
+let static_flag_by_class fns =
+  let fl = failures fns in
+  List.map
+    (fun c ->
+      let hit f =
+        List.exists (fun (d : Vega_analysis.Diagnostic.t) -> d.cls = c) f.fe_diags
+      in
+      (c, ratio (List.length (List.filter hit fl)) (List.length fl)))
+    Vega_analysis.Diagnostic.[ Parse; Symbol; Dataflow; Interface ]
+
+let static_false_alarm_rate fns =
+  let ok = List.filter (fun f -> f.fe_pass) fns in
+  ratio (List.length (List.filter flagged ok)) (List.length ok)
+
+(** Mean confidence of statically-flagged vs clean functions; a working
+    confidence score should be lower on flagged ones. *)
+let confidence_by_flag fns =
+  let mean l =
+    match l with
+    | [] -> 0.0
+    | _ ->
+        List.fold_left (fun a f -> a +. f.fe_confidence) 0.0 l
+        /. float_of_int (List.length l)
+  in
+  let yes, no = List.partition flagged fns in
+  (mean yes, mean no)
+
+(** Among statically-flagged failures, share where some diagnostic's
+    Table 2 bucket agrees with the dynamically-assigned taxonomy. *)
+let taxonomy_agreement fns =
+  let fl = List.filter flagged (failures fns) in
+  let dynamic f =
+    (if f.fe_err_v then [ "Err-V" ] else [])
+    @ (if f.fe_err_cs then [ "Err-CS" ] else [])
+    @ if f.fe_err_def then [ "Err-Def" ] else []
+  in
+  let agrees f =
+    let dyn = dynamic f in
+    List.exists
+      (fun d -> List.mem (Vega_analysis.Diagnostic.taxonomy d) dyn)
+      f.fe_diags
+  in
+  ratio (List.length (List.filter agrees fl)) (List.length fl)

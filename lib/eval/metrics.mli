@@ -16,6 +16,9 @@ type fn_eval = {
   fe_err_v : bool;
   fe_err_cs : bool;
   fe_err_def : bool;
+  fe_diags : Vega_analysis.Diagnostic.t list;
+      (** static-analyzer findings on the generated function *)
+  fe_shape_bad : int;  (** kept statements failing the template shape check *)
 }
 
 type target_eval = {
@@ -56,3 +59,22 @@ val conf1_share : fn_eval list -> float
 (** Among accurate functions, share with confidence > 0.99 (Fig. 8). *)
 
 val multi_source_share : fn_eval list -> float
+
+(** {1 Static-analysis correlation} *)
+
+val static_flag_rate : fn_eval list -> float
+(** Fraction of pass@1 failures that carry at least one static
+    diagnostic. *)
+
+val static_flag_by_class : fn_eval list -> (Vega_analysis.Diagnostic.cls * float) list
+(** {!static_flag_rate} broken out per analyzer pass. *)
+
+val static_false_alarm_rate : fn_eval list -> float
+(** Fraction of pass@1 successes that the analyzer flags anyway. *)
+
+val confidence_by_flag : fn_eval list -> float * float
+(** (mean confidence of flagged functions, mean of clean ones). *)
+
+val taxonomy_agreement : fn_eval list -> float
+(** Among flagged failures, share where a static diagnostic's Table 2
+    bucket matches the dynamic classification. *)

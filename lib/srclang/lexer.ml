@@ -22,18 +22,27 @@ let is_id_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
 let is_id_char c = is_id_start c || (c >= '0' && c <= '9')
 let is_digit c = c >= '0' && c <= '9'
 
-let tokenize src =
+let tokenize_spanned src =
   let n = String.length src in
-  let pos = ref 0 and line = ref 1 in
+  let pos = ref 0 and line = ref 1 and bol = ref 0 in
   let toks = ref [] in
-  let fail msg = raise (Error (Printf.sprintf "line %d: %s" !line msg)) in
+  let col_of p = p - !bol + 1 in
+  let fail msg =
+    raise
+      (Error (Printf.sprintf "line %d, col %d: %s" !line (col_of !pos) msg))
+  in
   let peek k = if !pos + k < n then Some src.[!pos + k] else None in
-  let emit t = toks := t :: !toks in
+  (* set at the top of each token; every [emit] in the branch below tags
+     the token with the position of its first character *)
+  let tok_span = ref Span.dummy in
+  let emit t = toks := (t, !tok_span) :: !toks in
   while !pos < n do
     let c = src.[!pos] in
+    tok_span := Span.make ~line:!line ~col:(col_of !pos);
     if c = '\n' then begin
       incr line;
-      incr pos
+      incr pos;
+      bol := !pos
     end
     else if c = ' ' || c = '\t' || c = '\r' then incr pos
     else if c = '/' && peek 1 = Some '/' then begin
@@ -45,7 +54,10 @@ let tokenize src =
       pos := !pos + 2;
       let closed = ref false in
       while (not !closed) && !pos < n do
-        if src.[!pos] = '\n' then incr line;
+        if src.[!pos] = '\n' then begin
+          incr line;
+          bol := !pos + 1
+        end;
         if src.[!pos] = '*' && peek 1 = Some '/' then begin
           closed := true;
           pos := !pos + 2
@@ -201,3 +213,5 @@ let tokenize src =
     end
   done;
   List.rev !toks
+
+let tokenize src = List.map fst (tokenize_spanned src)

@@ -4,8 +4,13 @@
     paper's pre-processing step that strips non-functional elements. *)
 
 exception Error of string
-(** Raised on malformed input, with a message carrying line context. *)
+(** Raised on malformed input, with a message carrying ["line L, col C"]
+    context. *)
 
 val tokenize : string -> Token.t list
 (** Tokenize a full source string. The result never contains [Token.Eof];
     callers append it as a sentinel if they need one. *)
+
+val tokenize_spanned : string -> (Token.t * Span.t) list
+(** Like {!tokenize}, tagging every token with the 1-based line/column of
+    its first character. *)

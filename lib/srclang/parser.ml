@@ -1,6 +1,18 @@
 exception Error of string
 
-type state = { toks : Token.t array; mutable pos : int }
+type state = {
+  toks : Token.t array;
+  spans : Span.t array;  (** parallel to [toks] *)
+  mutable pos : int;
+  mutable marks : (Ast.stmt * Span.t) list;
+      (** span of the first token of every parsed statement, looked up by
+          physical identity (see {!stmt_span}) *)
+}
+
+let cur_span st =
+  let n = Array.length st.spans in
+  if n = 0 then Span.dummy
+  else st.spans.(min st.pos (n - 1))
 
 let fail st msg =
   let around =
@@ -8,7 +20,11 @@ let fail st msg =
     let slice = Array.sub st.toks lo (hi - lo) in
     String.concat " " (Array.to_list (Array.map Token.to_string slice))
   in
-  raise (Error (Printf.sprintf "%s (near: %s)" msg around))
+  let sp = cur_span st in
+  let where =
+    if Span.is_dummy sp then "" else Printf.sprintf "line %d, col %d: " sp.Span.line sp.Span.col
+  in
+  raise (Error (Printf.sprintf "%s%s (near: %s)" where msg around))
 
 let peek st = if st.pos < Array.length st.toks then st.toks.(st.pos) else Token.Eof
 let advance st = st.pos <- st.pos + 1
@@ -265,6 +281,12 @@ let assign_op_of_token = function
   | _ -> None
 
 let rec parse_stmt st : Ast.stmt =
+  let sp = cur_span st in
+  let s = parse_stmt_unmarked st in
+  st.marks <- (s, sp) :: st.marks;
+  s
+
+and parse_stmt_unmarked st : Ast.stmt =
   match peek st with
   | Token.KwReturn ->
       advance st;
@@ -381,6 +403,12 @@ and parse_simple_stmt st =
   s
 
 and parse_simple_no_semi st =
+  let sp = cur_span st in
+  let s = parse_simple_no_semi_unmarked st in
+  st.marks <- (s, sp) :: st.marks;
+  s
+
+and parse_simple_no_semi_unmarked st =
   if is_type_start st then begin
     let ty = parse_type st in
     let name = ident st in
@@ -431,8 +459,13 @@ let parse_function_state st =
   { Ast.ret_type; cls; name; params; body }
 
 let make_state src =
-  let toks = Lexer.tokenize src in
-  { toks = Array.of_list toks; pos = 0 }
+  let spanned = Lexer.tokenize_spanned src in
+  {
+    toks = Array.of_list (List.map fst spanned);
+    spans = Array.of_list (List.map snd spanned);
+    pos = 0;
+    marks = [];
+  }
 
 let finish st v =
   if st.pos <> Array.length st.toks then fail st "trailing tokens" else v
@@ -444,6 +477,24 @@ let parse_function src =
 let parse_function_opt src =
   match parse_function src with
   | f -> Ok f
+  | exception Error msg -> Result.Error msg
+  | exception Lexer.Error msg -> Result.Error msg
+
+(* -------------------- spanned parsing (analyzer) -------------------- *)
+
+type spans = (Ast.stmt * Span.t) list
+type spanned = { sp_fn : Ast.func; sp_marks : spans }
+
+let stmt_span marks s = List.assq_opt s marks
+
+let parse_function_spanned src =
+  let st = make_state src in
+  let fn = finish st (parse_function_state st) in
+  { sp_fn = fn; sp_marks = st.marks }
+
+let parse_function_spanned_opt src =
+  match parse_function_spanned src with
+  | sf -> Ok sf
   | exception Error msg -> Result.Error msg
   | exception Lexer.Error msg -> Result.Error msg
 

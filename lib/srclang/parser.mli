@@ -13,6 +13,22 @@ val parse_function : string -> Ast.func
 val parse_function_opt : string -> (Ast.func, string) result
 (** Like {!parse_function} but capturing lex/parse failures. *)
 
+type spans = (Ast.stmt * Span.t) list
+(** Span of the first token of each parsed statement, keyed by physical
+    identity of the statement value. *)
+
+type spanned = { sp_fn : Ast.func; sp_marks : spans }
+
+val parse_function_spanned : string -> spanned
+(** Like {!parse_function}, also recording statement spans. *)
+
+val parse_function_spanned_opt : string -> (spanned, string) result
+
+val stmt_span : spans -> Ast.stmt -> Span.t option
+(** Span recorded for this statement value. Constant constructors
+    ([break;]/[continue;]) share one representation, so their lookup
+    returns the span of the first such statement parsed. *)
+
 val parse_expr : string -> Ast.expr
 (** Parse a standalone expression (used by tests). @raise Error. *)
 

@@ -1,0 +1,170 @@
+(** Profile builder: construct a complete target profile (standard
+    instruction set, scheduling model, feature record) from a compact
+    description — a spelling map plus fixups and registers. This is the
+    paper's headline entry point for new processors: describe the
+    target, render its description files, generate its backend (see
+    examples/custom_target.ml). *)
+
+module P = Profile
+
+let fx kind ~name ~bits ~offset ~shift ~pcrel ~rp ~ra =
+  {
+    P.fx_name = name;
+    fx_kind = kind;
+    fx_bits = bits;
+    fx_offset = offset;
+    fx_shift = shift;
+    fx_pcrel = pcrel;
+    fx_reloc_pcrel = rp;
+    fx_reloc_abs = ra;
+  }
+
+let mk_regs ~prefix ~count ~sp ~ra ~fp ?zero ~args ~ret ~callee_saved ?reserved
+    () =
+  (* sp/ra/fp and the hardwired zero are never allocatable, even when a
+     target reserves additional registers (gp/tp/assembler temps) *)
+  let always =
+    [ sp; ra; fp ] @ match zero with Some z -> [ z ] | None -> []
+  in
+  let reserved =
+    List.sort_uniq compare
+      (always @ match reserved with Some r -> r | None -> [])
+  in
+  {
+    P.reg_count = count;
+    reg_prefix = prefix;
+    sp;
+    ra;
+    fp;
+    zero;
+    ret_reg = ret;
+    arg_regs = args;
+    callee_saved;
+    reserved;
+  }
+
+let mk_sched ?(issue_width = 1) ?(load_latency = 2) ?(mul_latency = 3)
+    ?(div_latency = 12) ?(branch_latency = 1) ?(post_ra = false)
+    ?(fuse_cmp_branch = false) () =
+  {
+    P.issue_width;
+    load_latency;
+    mul_latency;
+    div_latency;
+    branch_latency;
+    post_ra;
+    fuse_cmp_branch;
+  }
+
+let mk_features ?(has_hwloop = false) ?(has_simd = false)
+    ?(has_disassembler = true) ?(has_variant_kinds = false)
+    ?(has_madd = false) ?(has_relaxation = false) ?(dense_imm = false) () =
+  {
+    P.has_hwloop;
+    has_simd;
+    has_disassembler;
+    has_variant_kinds;
+    has_madd;
+    has_relaxation;
+    dense_imm;
+  }
+
+(** Mnemonic overrides, keyed by canonical instruction name:
+    "add".."slt", "addi".."slti", "mov", "li", "mul", "div", "load",
+    "store", "beq".."bge", "jmp", "call", "ret", "nop", "madd",
+    "vadd", "vmul", "lpsetup", "lpend". *)
+let spell_map (l : (string * string) list) = l
+
+let alu_key = function
+  | P.Add -> "add"
+  | P.Sub -> "sub"
+  | P.And -> "and"
+  | P.Or -> "or"
+  | P.Xor -> "xor"
+  | P.Shl -> "shl"
+  | P.Shr -> "shr"
+  | P.Slt -> "slt"
+
+let make ~name ?td_name ~endian ?(word_bits = 32) ?(imm_marker = "")
+    ~comment_char ~fixups ~regs ?(spell = []) ?(sched = mk_sched ())
+    ?(features = mk_features ()) ?(variant_kinds = []) ?(opcode_base = 1) () =
+  let td_name = Option.value ~default:name td_name in
+  let sp key default = Option.value ~default (List.assoc_opt key spell) in
+  let mk op_class ?alu ?cond ?(latency = 1) ?(micro_ops = 1) mnemonic =
+    { P.opcode = 0; mnemonic; op_class; alu; cond; latency; micro_ops }
+  in
+  let alus =
+    List.map
+      (fun a -> mk P.Alu ~alu:a (sp (alu_key a) (alu_key a)))
+      [ P.Add; P.Sub; P.And; P.Or; P.Xor; P.Shl; P.Shr; P.Slt ]
+  in
+  (* immediate forms exist only for the subset the canonical enum names *)
+  let aluis =
+    List.map
+      (fun a ->
+        let base = sp (alu_key a) (alu_key a) in
+        mk P.Alui ~alu:a (sp (alu_key a ^ "i") (base ^ "i")))
+      [ P.Add; P.And; P.Or; P.Shl; P.Shr; P.Slt ]
+  in
+  let branches =
+    List.map
+      (fun (c, key) -> mk P.Branch ~cond:c ~latency:sched.P.branch_latency
+          (sp key key))
+      [ (P.Ceq, "beq"); (P.Cne, "bne"); (P.Clt, "blt"); (P.Cge, "bge") ]
+  in
+  let core =
+    alus @ aluis
+    @ [
+        mk P.Mov (sp "mov" "mov");
+        mk P.Movi (sp "li" "li");
+        mk P.Mul ~latency:sched.P.mul_latency (sp "mul" "mul");
+        mk P.Div ~latency:sched.P.div_latency (sp "div" "div");
+        mk P.Load ~latency:sched.P.load_latency (sp "load" "ld");
+        mk P.Store (sp "store" "st");
+      ]
+    @ branches
+    @ [
+        mk P.Jump (sp "jmp" "jmp");
+        mk P.CallOp ~micro_ops:2 (sp "call" "call");
+        mk P.Ret (sp "ret" "ret");
+        mk P.Nop (sp "nop" "nop");
+      ]
+  in
+  let optional =
+    (if features.P.has_madd then
+       [ mk P.Madd ~latency:sched.P.mul_latency (sp "madd" "madd") ]
+     else [])
+    @ (if features.P.has_simd then
+         [
+           mk P.Vadd (sp "vadd" "vadd");
+           mk P.Vmul ~latency:sched.P.mul_latency (sp "vmul" "vmul");
+         ]
+       else [])
+    @
+    if features.P.has_hwloop then
+      [ mk P.LoopSetup (sp "lpsetup" "lp.setup"); mk P.LoopEnd (sp "lpend" "lp.end") ]
+    else []
+  in
+  let insns =
+    List.mapi
+      (fun i insn -> { insn with P.opcode = opcode_base + i })
+      (core @ optional)
+  in
+  let features =
+    { features with P.has_variant_kinds = variant_kinds <> [] }
+  in
+  Profile.validate
+    {
+      P.name;
+      td_name;
+      endian;
+      word_bits;
+      imm_marker;
+      comment_char;
+      regs;
+      sched;
+      features;
+      insns;
+      fixups;
+      variant_kinds;
+    }

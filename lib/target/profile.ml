@@ -1,0 +1,195 @@
+(** A target processor profile: everything the corpus needs to render a
+    target's description files (.td/.h/.def) and the reference
+    implementations of its interface functions.
+
+    Profiles are deliberately *not* visible to the generation pipeline —
+    feature selection and code generation only ever read the rendered
+    description files back through {!Vega_tdlang}, preserving the
+    paper's "from description files only" contract. The profile is the
+    ground truth that both the description files and the reference
+    backend are projected from. *)
+
+type endian = Little | Big
+
+(** ALU operations with register-register (and, for a subset,
+    register-immediate) forms. *)
+type alu = Add | Sub | And | Or | Xor | Shl | Shr | Slt
+
+(** Conditional-branch comparison kinds. *)
+type cond = Ceq | Cne | Clt | Cge
+
+(** Semantic class of a machine instruction. The canonical per-class
+    enum names (ADDrr, LIi, ...) live in {!Vega_corpus.Spec}. *)
+type op_class =
+  | Alu
+  | Alui
+  | Mov
+  | Movi
+  | Mul
+  | Div
+  | Load
+  | Store
+  | Branch
+  | Jump
+  | CallOp
+  | Ret
+  | Nop
+  | Madd
+  | Vadd
+  | Vmul
+  | LoopSetup
+  | LoopEnd
+
+type insn = {
+  opcode : int;  (** unique per target, < 256 (encoded in bits 24..31) *)
+  mnemonic : string;  (** target-flavoured assembly spelling *)
+  op_class : op_class;
+  alu : alu option;  (** Some for Alu/Alui classes *)
+  cond : cond option;  (** Some for Branch class *)
+  latency : int;
+  micro_ops : int;
+}
+
+(** Fixup categories; the MiniLLVM emitter asks for one fixup per
+    category via the get*Fixup hooks. *)
+type fixup_kind =
+  | Fk_branch
+  | Fk_jump
+  | Fk_call
+  | Fk_hi
+  | Fk_lo
+  | Fk_abs_word
+  | Fk_got
+  | Fk_plt
+  | Fk_tls
+
+type fixup = {
+  fx_name : string;  (** target enum member, e.g. fixup_arm_movt_hi16 *)
+  fx_kind : fixup_kind;
+  fx_bits : int;  (** significant bits patched into the instruction *)
+  fx_offset : int;  (** bit offset of the patched field *)
+  fx_shift : int;  (** right-shift applied to the value first *)
+  fx_pcrel : bool;
+  fx_reloc_pcrel : string;  (** ELF reloc emitted when PC-relative *)
+  fx_reloc_abs : string;  (** ELF reloc emitted when absolute *)
+}
+
+(** Relocation specifier exposed through the target's MCExpr subclass
+    (the paper's S2 axis: only some targets have these). *)
+type variant_kind = { vk_name : string; vk_reloc : string }
+
+type regs = {
+  reg_count : int;  (** <= 64; register fields are 6 bits wide *)
+  reg_prefix : string;
+  sp : int;
+  ra : int;
+  fp : int;
+  zero : int option;  (** hardwired zero register, when the ISA has one *)
+  ret_reg : int;
+  arg_regs : int list;
+  callee_saved : int list;
+  reserved : int list;
+}
+
+type sched = {
+  issue_width : int;
+  load_latency : int;
+  mul_latency : int;
+  div_latency : int;
+  branch_latency : int;
+  post_ra : bool;
+  fuse_cmp_branch : bool;
+}
+
+type features = {
+  has_hwloop : bool;
+  has_simd : bool;
+  has_disassembler : bool;
+  has_variant_kinds : bool;
+  has_madd : bool;
+  has_relaxation : bool;
+  dense_imm : bool;  (** 12-bit ALU immediates instead of 16-bit *)
+}
+
+type t = {
+  name : string;
+  td_name : string;
+  endian : endian;
+  word_bits : int;
+  imm_marker : string;  (** immediate sigil in assembly, "" for none *)
+  comment_char : string;
+  regs : regs;
+  sched : sched;
+  features : features;
+  insns : insn list;
+  fixups : fixup list;
+  variant_kinds : variant_kind list;
+}
+
+(* ---------------------------------------------------------------- *)
+(* Lookups                                                           *)
+
+let find_insn p cls = List.find_opt (fun i -> i.op_class = cls) p.insns
+
+let alu_insn p op =
+  List.find_opt (fun i -> i.op_class = Alu && i.alu = Some op) p.insns
+
+let alui_insn p op =
+  List.find_opt (fun i -> i.op_class = Alui && i.alu = Some op) p.insns
+
+let fixup_by_kind p k = List.find_opt (fun f -> f.fx_kind = k) p.fixups
+
+(** All ELF relocation names the target can emit, numbered sequentially
+    from 0 in first-appearance order. R_<TD>_NONE comes first: it is the
+    default arm of every getRelocType. *)
+let all_relocs p =
+  let none = "R_" ^ String.uppercase_ascii p.td_name ^ "_NONE" in
+  let names =
+    none
+    :: List.concat_map (fun f -> [ f.fx_reloc_pcrel; f.fx_reloc_abs ]) p.fixups
+    @ List.map (fun vk -> vk.vk_reloc) p.variant_kinds
+  in
+  let seen = Hashtbl.create 16 in
+  let uniq =
+    List.filter
+      (fun n ->
+        if Hashtbl.mem seen n then false
+        else begin
+          Hashtbl.add seen n ();
+          true
+        end)
+      names
+  in
+  List.mapi (fun i n -> (n, i)) uniq
+
+(* ---------------------------------------------------------------- *)
+(* Construction-time validation (fail fast on malformed profiles)    *)
+
+let validate p =
+  let fail fmt = Printf.ksprintf invalid_arg fmt in
+  let dup l = List.length l <> List.length (List.sort_uniq compare l) in
+  if p.regs.reg_count > 64 then
+    fail "%s: reg_count %d > 64 (6-bit register fields)" p.name
+      p.regs.reg_count;
+  List.iter
+    (fun i ->
+      if i.opcode < 0 || i.opcode > 255 then
+        fail "%s: opcode %d of %s out of range" p.name i.opcode i.mnemonic)
+    p.insns;
+  if dup (List.map (fun i -> i.opcode) p.insns) then
+    fail "%s: duplicate opcodes" p.name;
+  let imm_form i =
+    match i.op_class with
+    | Alui | Movi | Load | Store | LoopSetup -> true
+    | _ -> false
+  in
+  if dup (List.map (fun i -> (i.mnemonic, imm_form i)) p.insns) then
+    fail "%s: duplicate (mnemonic, form) pair" p.name;
+  if dup (List.map (fun f -> f.fx_name) p.fixups) then
+    fail "%s: duplicate fixup names" p.name;
+  List.iter
+    (fun f ->
+      if f.fx_bits <= 0 || f.fx_bits > 64 then
+        fail "%s: fixup %s has %d bits" p.name f.fx_name f.fx_bits)
+    p.fixups;
+  p

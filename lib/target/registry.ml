@@ -1,0 +1,695 @@
+(** The 17 target processors of the evaluation (paper Fig. 6): 14
+    training targets whose backends and description files form the
+    corpus, and 3 held-out targets (RISCV, RI5CY, XCore) that exist for
+    the pipeline only as description files. *)
+
+module P = Profile
+module D = Defs
+
+(* ---------------------------------------------------------------- *)
+(* Training targets                                                  *)
+
+let arm =
+  D.make ~name:"ARM" ~endian:P.Little ~comment_char:"@" ~imm_marker:"#"
+    ~opcode_base:10
+    ~fixups:
+      [
+        D.fx P.Fk_branch ~name:"fixup_arm_condbranch" ~bits:24 ~offset:0
+          ~shift:2 ~pcrel:true ~rp:"R_ARM_JUMP24" ~ra:"R_ARM_JUMP24";
+        D.fx P.Fk_jump ~name:"fixup_arm_uncondbranch" ~bits:24 ~offset:0
+          ~shift:2 ~pcrel:true ~rp:"R_ARM_JUMP24" ~ra:"R_ARM_JUMP24";
+        D.fx P.Fk_call ~name:"fixup_arm_uncondbl" ~bits:24 ~offset:0 ~shift:2
+          ~pcrel:true ~rp:"R_ARM_CALL" ~ra:"R_ARM_CALL";
+        D.fx P.Fk_hi ~name:"fixup_arm_movt_hi16" ~bits:16 ~offset:16 ~shift:16
+          ~pcrel:false ~rp:"R_ARM_MOVT_PREL" ~ra:"R_ARM_MOVT_ABS";
+        D.fx P.Fk_lo ~name:"fixup_arm_movw_lo16" ~bits:16 ~offset:0 ~shift:0
+          ~pcrel:false ~rp:"R_ARM_MOVW_PREL_NC" ~ra:"R_ARM_MOVW_ABS_NC";
+        D.fx P.Fk_abs_word ~name:"fixup_arm_abs32" ~bits:32 ~offset:0 ~shift:0
+          ~pcrel:false ~rp:"R_ARM_REL32" ~ra:"R_ARM_ABS32";
+        D.fx P.Fk_got ~name:"fixup_arm_got_prel" ~bits:32 ~offset:0 ~shift:0
+          ~pcrel:false ~rp:"R_ARM_GOT_PREL" ~ra:"R_ARM_GOT_PREL";
+      ]
+    ~variant_kinds:
+      [
+        { P.vk_name = "VK_GOT"; vk_reloc = "R_ARM_GOT_BREL" };
+        { P.vk_name = "VK_PLT"; vk_reloc = "R_ARM_PLT32" };
+        { P.vk_name = "VK_TLSGD"; vk_reloc = "R_ARM_TLS_GD32" };
+      ]
+    ~regs:
+      (D.mk_regs ~prefix:"r" ~count:16 ~sp:13 ~ra:14 ~fp:11 ~args:[ 0; 1; 2; 3 ]
+         ~ret:0
+         ~callee_saved:[ 4; 5; 6; 7; 8; 9; 10 ]
+         ~reserved:[ 11; 13; 14; 15 ] ())
+    ~spell:
+      (D.spell_map
+         [
+           ("or", "orr"); ("xor", "eor"); ("shl", "lsl"); ("shr", "lsr");
+           ("li", "movw"); ("load", "ldr"); ("store", "str"); ("jmp", "b");
+           ("call", "bl"); ("ret", "bx"); ("div", "sdiv");
+         ])
+    ~sched:
+      (D.mk_sched ~issue_width:2 ~load_latency:2 ~mul_latency:3
+         ~div_latency:12 ~post_ra:true ~fuse_cmp_branch:true ())
+    ~features:(D.mk_features ~dense_imm:true ())
+    ()
+
+let x86 =
+  D.make ~name:"X86" ~endian:P.Little ~comment_char:";" ~imm_marker:"$"
+    ~opcode_base:40
+    ~fixups:
+      [
+        D.fx P.Fk_branch ~name:"reloc_branch8_pcrel" ~bits:8 ~offset:0 ~shift:0
+          ~pcrel:true ~rp:"R_386_PC8" ~ra:"R_386_PC8";
+        D.fx P.Fk_jump ~name:"reloc_branch32_pcrel" ~bits:32 ~offset:0 ~shift:0
+          ~pcrel:true ~rp:"R_386_PC32" ~ra:"R_386_PC32";
+        D.fx P.Fk_call ~name:"reloc_call32_pcrel" ~bits:32 ~offset:0 ~shift:0
+          ~pcrel:true ~rp:"R_386_PLT32" ~ra:"R_386_32";
+        D.fx P.Fk_abs_word ~name:"reloc_abs_4byte" ~bits:32 ~offset:0 ~shift:0
+          ~pcrel:false ~rp:"R_386_PC32" ~ra:"R_386_32";
+        D.fx P.Fk_got ~name:"reloc_got32" ~bits:32 ~offset:0 ~shift:0
+          ~pcrel:false ~rp:"R_386_GOT32" ~ra:"R_386_GOT32";
+        D.fx P.Fk_plt ~name:"reloc_plt32" ~bits:32 ~offset:0 ~shift:0
+          ~pcrel:true ~rp:"R_386_PLT32" ~ra:"R_386_PLT32";
+      ]
+    ~variant_kinds:
+      [
+        { P.vk_name = "VK_GOT"; vk_reloc = "R_386_GOT32" };
+        { P.vk_name = "VK_PLT"; vk_reloc = "R_386_PLT32" };
+        { P.vk_name = "VK_TLSGD"; vk_reloc = "R_386_TLS_GD" };
+      ]
+    ~regs:
+      (D.mk_regs ~prefix:"r" ~count:16 ~sp:4 ~ra:15 ~fp:5 ~args:[ 7; 6; 3; 2 ]
+         ~ret:0
+         ~callee_saved:[ 12; 13; 14 ]
+         ~reserved:[ 4; 5; 15 ] ())
+    ~spell:
+      (D.spell_map
+         [
+           ("shl", "sal"); ("shr", "sar"); ("slt", "setl"); ("li", "movq");
+           ("load", "lods"); ("store", "stos"); ("beq", "je"); ("bne", "jne");
+           ("blt", "jl"); ("bge", "jge"); ("mul", "imul"); ("div", "idiv");
+         ])
+    ~sched:
+      (D.mk_sched ~issue_width:4 ~load_latency:3 ~mul_latency:3
+         ~div_latency:20 ~post_ra:true ~fuse_cmp_branch:true ())
+    ~features:(D.mk_features ())
+    ()
+
+let mips =
+  D.make ~name:"Mips" ~endian:P.Big ~comment_char:"#" ~opcode_base:70
+    ~fixups:
+      [
+        D.fx P.Fk_branch ~name:"fixup_Mips_PC16" ~bits:16 ~offset:0 ~shift:2
+          ~pcrel:true ~rp:"R_MIPS_PC16" ~ra:"R_MIPS_PC16";
+        D.fx P.Fk_jump ~name:"fixup_Mips_26" ~bits:26 ~offset:0 ~shift:2
+          ~pcrel:true ~rp:"R_MIPS_26" ~ra:"R_MIPS_26";
+        D.fx P.Fk_call ~name:"fixup_Mips_CALL16" ~bits:16 ~offset:0 ~shift:2
+          ~pcrel:true ~rp:"R_MIPS_CALL16" ~ra:"R_MIPS_CALL16";
+        D.fx P.Fk_hi ~name:"fixup_Mips_HI16" ~bits:16 ~offset:0 ~shift:16
+          ~pcrel:false ~rp:"R_MIPS_HI16" ~ra:"R_MIPS_HI16";
+        D.fx P.Fk_lo ~name:"fixup_Mips_LO16" ~bits:16 ~offset:0 ~shift:0
+          ~pcrel:false ~rp:"R_MIPS_LO16" ~ra:"R_MIPS_LO16";
+        D.fx P.Fk_abs_word ~name:"fixup_Mips_32" ~bits:32 ~offset:0 ~shift:0
+          ~pcrel:false ~rp:"R_MIPS_REL32" ~ra:"R_MIPS_32";
+      ]
+    ~regs:
+      (D.mk_regs ~prefix:"$" ~count:32 ~sp:29 ~ra:31 ~fp:30 ~zero:0
+         ~args:[ 4; 5; 6; 7 ] ~ret:2
+         ~callee_saved:[ 16; 17; 18; 19; 20; 21; 22; 23 ]
+         ~reserved:[ 26; 27; 28; 29; 30; 31 ] ())
+    ~spell:
+      (D.spell_map
+         [
+           ("add", "addu"); ("sub", "subu"); ("shl", "sllv"); ("shr", "srlv");
+           ("addi", "addiu"); ("shli", "sll"); ("shri", "srl");
+           ("mov", "move"); ("load", "lw"); ("store", "sw"); ("jmp", "j");
+           ("call", "jal"); ("ret", "jr");
+         ])
+    ~sched:(D.mk_sched ~load_latency:2 ~mul_latency:4 ~div_latency:16 ())
+    ~features:(D.mk_features ())
+    ()
+
+let sparc =
+  D.make ~name:"Sparc" ~endian:P.Big ~comment_char:"!" ~opcode_base:100
+    ~fixups:
+      [
+        D.fx P.Fk_branch ~name:"fixup_sparc_br22" ~bits:22 ~offset:0 ~shift:2
+          ~pcrel:true ~rp:"R_SPARC_WDISP22" ~ra:"R_SPARC_WDISP22";
+        D.fx P.Fk_jump ~name:"fixup_sparc_br19" ~bits:19 ~offset:0 ~shift:2
+          ~pcrel:true ~rp:"R_SPARC_WDISP19" ~ra:"R_SPARC_WDISP19";
+        D.fx P.Fk_call ~name:"fixup_sparc_call30" ~bits:30 ~offset:0 ~shift:2
+          ~pcrel:true ~rp:"R_SPARC_WDISP30" ~ra:"R_SPARC_WDISP30";
+        D.fx P.Fk_hi ~name:"fixup_sparc_hi22" ~bits:22 ~offset:10 ~shift:10
+          ~pcrel:false ~rp:"R_SPARC_HI22" ~ra:"R_SPARC_HI22";
+        D.fx P.Fk_lo ~name:"fixup_sparc_lo10" ~bits:10 ~offset:0 ~shift:0
+          ~pcrel:false ~rp:"R_SPARC_LO10" ~ra:"R_SPARC_LO10";
+        D.fx P.Fk_abs_word ~name:"fixup_sparc_32" ~bits:32 ~offset:0 ~shift:0
+          ~pcrel:false ~rp:"R_SPARC_DISP32" ~ra:"R_SPARC_32";
+      ]
+    ~regs:
+      (D.mk_regs ~prefix:"%" ~count:32 ~sp:14 ~ra:15 ~fp:30 ~zero:0
+         ~args:[ 8; 9; 10; 11; 12; 13 ] ~ret:8
+         ~callee_saved:[ 16; 17; 18; 19; 20; 21; 22; 23 ]
+         ~reserved:[ 14; 15; 30; 31 ] ())
+    ~spell:
+      (D.spell_map
+         [
+           ("shl", "sll"); ("shr", "srl"); ("li", "set"); ("load", "ld");
+           ("store", "st"); ("beq", "be"); ("jmp", "ba"); ("ret", "retl");
+           ("mul", "smul"); ("div", "sdiv");
+         ])
+    ~sched:(D.mk_sched ~load_latency:2 ~mul_latency:4 ~div_latency:18 ())
+    ~features:(D.mk_features ())
+    ()
+
+let msp430 =
+  D.make ~name:"MSP430" ~endian:P.Little ~comment_char:";" ~imm_marker:"#"
+    ~word_bits:16 ~opcode_base:130
+    ~fixups:
+      [
+        D.fx P.Fk_branch ~name:"fixup_msp430_rel10" ~bits:10 ~offset:0
+          ~shift:1 ~pcrel:true ~rp:"R_MSP430_10_PCREL" ~ra:"R_MSP430_10_PCREL";
+        D.fx P.Fk_jump ~name:"fixup_msp430_rel16" ~bits:16 ~offset:0 ~shift:1
+          ~pcrel:true ~rp:"R_MSP430_16_PCREL" ~ra:"R_MSP430_16_PCREL";
+        D.fx P.Fk_call ~name:"fixup_msp430_16_byte" ~bits:16 ~offset:0
+          ~shift:0 ~pcrel:true ~rp:"R_MSP430_16_PCREL_BYTE"
+          ~ra:"R_MSP430_16_BYTE";
+        D.fx P.Fk_hi ~name:"fixup_msp430_hi16" ~bits:16 ~offset:0 ~shift:16
+          ~pcrel:false ~rp:"R_MSP430_HI16" ~ra:"R_MSP430_HI16";
+        D.fx P.Fk_lo ~name:"fixup_msp430_lo16" ~bits:16 ~offset:0 ~shift:0
+          ~pcrel:false ~rp:"R_MSP430_LO16" ~ra:"R_MSP430_LO16";
+        D.fx P.Fk_abs_word ~name:"fixup_msp430_32" ~bits:32 ~offset:0 ~shift:0
+          ~pcrel:false ~rp:"R_MSP430_32" ~ra:"R_MSP430_32";
+      ]
+    ~regs:
+      (D.mk_regs ~prefix:"r" ~count:16 ~sp:1 ~ra:0 ~fp:4
+         ~args:[ 12; 13; 14; 15 ] ~ret:15
+         ~callee_saved:[ 5; 6; 7; 8 ]
+         ~reserved:[ 0; 1; 2; 3; 4 ] ())
+    ~spell:
+      (D.spell_map
+         [
+           ("add", "add.w"); ("sub", "sub.w"); ("and", "and.w");
+           ("or", "bis.w"); ("xor", "xor.w"); ("shl", "rla.w");
+           ("shr", "rra.w"); ("slt", "cmp.w"); ("mov", "mov.w");
+           ("li", "mov.i"); ("load", "ld.w"); ("store", "st.w");
+           ("beq", "jeq"); ("bne", "jne"); ("blt", "jl"); ("bge", "jge");
+           ("jmp", "br"); ("ret", "reti");
+         ])
+    ~sched:
+      (D.mk_sched ~load_latency:2 ~mul_latency:8 ~div_latency:24
+         ~branch_latency:2 ())
+    ~features:(D.mk_features ~has_relaxation:true ())
+    ()
+
+let m68k =
+  D.make ~name:"M68k" ~endian:P.Big ~comment_char:"|" ~imm_marker:"#"
+    ~opcode_base:160
+    ~fixups:
+      [
+        D.fx P.Fk_branch ~name:"fixup_m68k_pc8" ~bits:8 ~offset:0 ~shift:0
+          ~pcrel:true ~rp:"R_68K_PC8" ~ra:"R_68K_PC8";
+        D.fx P.Fk_jump ~name:"fixup_m68k_pc16" ~bits:16 ~offset:0 ~shift:0
+          ~pcrel:true ~rp:"R_68K_PC16" ~ra:"R_68K_PC16";
+        D.fx P.Fk_call ~name:"fixup_m68k_pc32" ~bits:32 ~offset:0 ~shift:0
+          ~pcrel:true ~rp:"R_68K_PC32" ~ra:"R_68K_PC32";
+        D.fx P.Fk_abs_word ~name:"fixup_m68k_32" ~bits:32 ~offset:0 ~shift:0
+          ~pcrel:false ~rp:"R_68K_PC32" ~ra:"R_68K_32";
+      ]
+    ~regs:
+      (D.mk_regs ~prefix:"d" ~count:16 ~sp:15 ~ra:13 ~fp:14
+         ~args:[ 0; 1; 2; 3 ] ~ret:0
+         ~callee_saved:[ 4; 5; 6; 7 ]
+         ~reserved:[ 13; 14; 15 ] ())
+    ~spell:
+      (D.spell_map
+         [
+           ("add", "add.l"); ("sub", "sub.l"); ("and", "and.l");
+           ("or", "or.l"); ("xor", "eor.l"); ("shl", "lsl.l");
+           ("shr", "lsr.l"); ("slt", "slt.l"); ("mov", "move.l");
+           ("li", "moveq"); ("mul", "muls"); ("div", "divs");
+           ("load", "ld.l"); ("store", "st.l"); ("jmp", "bra");
+           ("call", "bsr"); ("ret", "rts");
+         ])
+    ~sched:
+      (D.mk_sched ~load_latency:3 ~mul_latency:6 ~div_latency:30
+         ~branch_latency:2 ())
+    ~features:(D.mk_features ~has_relaxation:true ~has_disassembler:false ())
+    ()
+
+let avr =
+  D.make ~name:"AVR" ~endian:P.Little ~comment_char:";" ~word_bits:16
+    ~opcode_base:190
+    ~fixups:
+      [
+        D.fx P.Fk_branch ~name:"fixup_avr_7_pcrel" ~bits:7 ~offset:0 ~shift:1
+          ~pcrel:true ~rp:"R_AVR_7_PCREL" ~ra:"R_AVR_7_PCREL";
+        D.fx P.Fk_jump ~name:"fixup_avr_13_pcrel" ~bits:13 ~offset:0 ~shift:1
+          ~pcrel:true ~rp:"R_AVR_13_PCREL" ~ra:"R_AVR_13_PCREL";
+        D.fx P.Fk_call ~name:"fixup_avr_call" ~bits:22 ~offset:0 ~shift:1
+          ~pcrel:true ~rp:"R_AVR_CALL" ~ra:"R_AVR_CALL";
+        D.fx P.Fk_hi ~name:"fixup_avr_hi8_ldi" ~bits:8 ~offset:0 ~shift:8
+          ~pcrel:false ~rp:"R_AVR_HI8_LDI" ~ra:"R_AVR_HI8_LDI";
+        D.fx P.Fk_lo ~name:"fixup_avr_lo8_ldi" ~bits:8 ~offset:0 ~shift:0
+          ~pcrel:false ~rp:"R_AVR_LO8_LDI" ~ra:"R_AVR_LO8_LDI";
+        D.fx P.Fk_abs_word ~name:"fixup_avr_32" ~bits:32 ~offset:0 ~shift:0
+          ~pcrel:false ~rp:"R_AVR_32" ~ra:"R_AVR_32";
+      ]
+    ~regs:
+      (D.mk_regs ~prefix:"r" ~count:32 ~sp:29 ~ra:30 ~fp:28 ~zero:1
+         ~args:[ 22; 23; 24; 25 ] ~ret:24
+         ~callee_saved:[ 2; 3; 4; 5; 6; 7 ]
+         ~reserved:[ 28; 29; 30; 31 ] ())
+    ~spell:
+      (D.spell_map
+         [
+           ("xor", "eor"); ("shl", "lsl"); ("shr", "lsr"); ("slt", "cp");
+           ("li", "ldi"); ("load", "ld"); ("store", "st"); ("beq", "breq");
+           ("bne", "brne"); ("blt", "brlt"); ("bge", "brge");
+           ("jmp", "rjmp"); ("call", "rcall");
+         ])
+    ~sched:(D.mk_sched ~load_latency:2 ~mul_latency:2 ~div_latency:40 ())
+    ~features:(D.mk_features ~has_relaxation:true ~dense_imm:true ())
+    ()
+
+let hexagon =
+  D.make ~name:"Hexagon" ~endian:P.Little ~comment_char:"//" ~imm_marker:"#"
+    ~opcode_base:16
+    ~fixups:
+      [
+        D.fx P.Fk_branch ~name:"fixup_hex_b15_pcrel" ~bits:15 ~offset:0
+          ~shift:2 ~pcrel:true ~rp:"R_HEX_B15_PCREL" ~ra:"R_HEX_B15_PCREL";
+        D.fx P.Fk_jump ~name:"fixup_hex_b22_pcrel" ~bits:22 ~offset:0 ~shift:2
+          ~pcrel:true ~rp:"R_HEX_B22_PCREL" ~ra:"R_HEX_B22_PCREL";
+        D.fx P.Fk_call ~name:"fixup_hex_plt_b22_pcrel" ~bits:22 ~offset:0
+          ~shift:2 ~pcrel:true ~rp:"R_HEX_PLT_B22_PCREL"
+          ~ra:"R_HEX_PLT_B22_PCREL";
+        D.fx P.Fk_hi ~name:"fixup_hex_hi16" ~bits:16 ~offset:0 ~shift:16
+          ~pcrel:false ~rp:"R_HEX_HI16" ~ra:"R_HEX_HI16";
+        D.fx P.Fk_lo ~name:"fixup_hex_lo16" ~bits:16 ~offset:0 ~shift:0
+          ~pcrel:false ~rp:"R_HEX_LO16" ~ra:"R_HEX_LO16";
+        D.fx P.Fk_abs_word ~name:"fixup_hex_32" ~bits:32 ~offset:0 ~shift:0
+          ~pcrel:false ~rp:"R_HEX_32_PCREL" ~ra:"R_HEX_32";
+      ]
+    ~regs:
+      (D.mk_regs ~prefix:"r" ~count:32 ~sp:29 ~ra:31 ~fp:30
+         ~args:[ 0; 1; 2; 3; 4; 5 ] ~ret:0
+         ~callee_saved:[ 16; 17; 18; 19; 20; 21; 22; 23 ]
+         ~reserved:[ 28; 29; 30; 31 ] ())
+    ~spell:
+      (D.spell_map
+         [
+           ("shl", "asl"); ("shr", "asr"); ("slt", "cmplt"); ("mov", "tfr");
+           ("li", "tfri"); ("load", "memw"); ("store", "mems");
+           ("jmp", "jump"); ("ret", "dealloc_ret"); ("lpsetup", "loop0");
+           ("lpend", "endloop0");
+         ])
+    ~sched:
+      (D.mk_sched ~issue_width:4 ~load_latency:2 ~mul_latency:3
+         ~div_latency:12 ~post_ra:true ~fuse_cmp_branch:true ())
+    ~features:(D.mk_features ~has_hwloop:true ~has_madd:true ())
+    ()
+
+let powerpc =
+  D.make ~name:"PowerPC" ~td_name:"PPC" ~endian:P.Big ~comment_char:"#"
+    ~opcode_base:46
+    ~fixups:
+      [
+        D.fx P.Fk_branch ~name:"fixup_ppc_brcond14" ~bits:14 ~offset:0
+          ~shift:2 ~pcrel:true ~rp:"R_PPC_REL14" ~ra:"R_PPC_ADDR14";
+        D.fx P.Fk_jump ~name:"fixup_ppc_br24" ~bits:24 ~offset:0 ~shift:2
+          ~pcrel:true ~rp:"R_PPC_REL24" ~ra:"R_PPC_ADDR24";
+        D.fx P.Fk_call ~name:"fixup_ppc_br24_notoc" ~bits:24 ~offset:0
+          ~shift:2 ~pcrel:true ~rp:"R_PPC_REL24_NOTOC" ~ra:"R_PPC_ADDR24";
+        D.fx P.Fk_hi ~name:"fixup_ppc_ha16" ~bits:16 ~offset:0 ~shift:16
+          ~pcrel:false ~rp:"R_PPC_ADDR16_HA" ~ra:"R_PPC_ADDR16_HA";
+        D.fx P.Fk_lo ~name:"fixup_ppc_lo16" ~bits:16 ~offset:0 ~shift:0
+          ~pcrel:false ~rp:"R_PPC_ADDR16_LO" ~ra:"R_PPC_ADDR16_LO";
+        D.fx P.Fk_abs_word ~name:"fixup_ppc_word32" ~bits:32 ~offset:0
+          ~shift:0 ~pcrel:false ~rp:"R_PPC_REL32" ~ra:"R_PPC_ADDR32";
+        D.fx P.Fk_got ~name:"fixup_ppc_got16" ~bits:16 ~offset:0 ~shift:0
+          ~pcrel:false ~rp:"R_PPC_GOT16" ~ra:"R_PPC_GOT16";
+      ]
+    ~variant_kinds:
+      [
+        { P.vk_name = "VK_GOT"; vk_reloc = "R_PPC_GOT16" };
+        { P.vk_name = "VK_PLT"; vk_reloc = "R_PPC_PLTREL24" };
+      ]
+    ~regs:
+      (D.mk_regs ~prefix:"r" ~count:32 ~sp:1 ~ra:30 ~fp:31
+         ~args:[ 3; 4; 5; 6; 7; 8 ] ~ret:3
+         ~callee_saved:[ 14; 15; 16; 17; 18; 19; 20; 21; 22; 23; 24; 25 ]
+         ~reserved:[ 0; 1; 30; 31 ] ())
+    ~spell:
+      (D.spell_map
+         [
+           ("sub", "subf"); ("shl", "slw"); ("shr", "srw"); ("slt", "cmplw");
+           ("mov", "mr"); ("mul", "mullw"); ("div", "divw"); ("load", "lwz");
+           ("store", "stw"); ("jmp", "b"); ("call", "bl"); ("ret", "blr");
+           ("madd", "maddld"); ("vadd", "vadduwm"); ("vmul", "vmuluwm");
+           ("lpsetup", "mtctr"); ("lpend", "bdnz");
+         ])
+    ~sched:
+      (D.mk_sched ~issue_width:3 ~load_latency:2 ~mul_latency:3
+         ~div_latency:14 ~post_ra:true ())
+    ~features:
+      (D.mk_features ~has_hwloop:true ~has_simd:true ~has_madd:true ())
+    ()
+
+let aarch64 =
+  D.make ~name:"AArch64" ~endian:P.Little ~comment_char:"//" ~imm_marker:"#"
+    ~word_bits:64 ~opcode_base:76
+    ~fixups:
+      [
+        D.fx P.Fk_branch ~name:"fixup_aarch64_pcrel_branch19" ~bits:19
+          ~offset:0 ~shift:2 ~pcrel:true ~rp:"R_AARCH64_CONDBR19"
+          ~ra:"R_AARCH64_CONDBR19";
+        D.fx P.Fk_jump ~name:"fixup_aarch64_pcrel_branch26" ~bits:26 ~offset:0
+          ~shift:2 ~pcrel:true ~rp:"R_AARCH64_JUMP26" ~ra:"R_AARCH64_JUMP26";
+        D.fx P.Fk_call ~name:"fixup_aarch64_pcrel_call26" ~bits:26 ~offset:0
+          ~shift:2 ~pcrel:true ~rp:"R_AARCH64_CALL26" ~ra:"R_AARCH64_CALL26";
+        D.fx P.Fk_hi ~name:"fixup_aarch64_adr_hi21" ~bits:21 ~offset:0
+          ~shift:12 ~pcrel:false ~rp:"R_AARCH64_ADR_PREL_PG_HI21"
+          ~ra:"R_AARCH64_ADR_PREL_PG_HI21";
+        D.fx P.Fk_lo ~name:"fixup_aarch64_add_lo12" ~bits:12 ~offset:0
+          ~shift:0 ~pcrel:false ~rp:"R_AARCH64_ADD_ABS_LO12_NC"
+          ~ra:"R_AARCH64_ADD_ABS_LO12_NC";
+        D.fx P.Fk_abs_word ~name:"fixup_aarch64_abs32" ~bits:32 ~offset:0
+          ~shift:0 ~pcrel:false ~rp:"R_AARCH64_PREL32" ~ra:"R_AARCH64_ABS32";
+        D.fx P.Fk_got ~name:"fixup_aarch64_got_ld_prel19" ~bits:19 ~offset:0
+          ~shift:2 ~pcrel:true ~rp:"R_AARCH64_GOT_LD_PREL19"
+          ~ra:"R_AARCH64_GOT_LD_PREL19";
+      ]
+    ~variant_kinds:
+      [
+        { P.vk_name = "VK_GOT"; vk_reloc = "R_AARCH64_GOT_LD_PREL19" };
+        { P.vk_name = "VK_TLSGD"; vk_reloc = "R_AARCH64_TLSGD_ADR_PREL21" };
+      ]
+    ~regs:
+      (D.mk_regs ~prefix:"x" ~count:32 ~sp:31 ~ra:30 ~fp:29
+         ~args:[ 0; 1; 2; 3; 4; 5; 6; 7 ] ~ret:0
+         ~callee_saved:[ 19; 20; 21; 22; 23; 24; 25; 26; 27; 28 ]
+         ~reserved:[ 18; 29; 30; 31 ] ())
+    ~spell:
+      (D.spell_map
+         [
+           ("or", "orr"); ("xor", "eor"); ("shl", "lsl"); ("shr", "lsr");
+           ("slt", "cset"); ("li", "movz"); ("div", "sdiv"); ("load", "ldr");
+           ("store", "str"); ("beq", "b.eq"); ("bne", "b.ne");
+           ("blt", "b.lt"); ("bge", "b.ge"); ("jmp", "b"); ("call", "bl");
+           ("madd", "madd"); ("vadd", "add.4h"); ("vmul", "mul.4h");
+         ])
+    ~sched:
+      (D.mk_sched ~issue_width:3 ~load_latency:2 ~mul_latency:3
+         ~div_latency:12 ~post_ra:true ~fuse_cmp_branch:true ())
+    ~features:(D.mk_features ~has_simd:true ~has_madd:true ~dense_imm:true ())
+    ()
+
+let lanai =
+  D.make ~name:"Lanai" ~endian:P.Big ~comment_char:"!" ~opcode_base:106
+    ~fixups:
+      [
+        D.fx P.Fk_branch ~name:"fixup_lanai_21" ~bits:21 ~offset:0 ~shift:2
+          ~pcrel:true ~rp:"R_LANAI_21" ~ra:"R_LANAI_21";
+        D.fx P.Fk_jump ~name:"fixup_lanai_25" ~bits:25 ~offset:0 ~shift:2
+          ~pcrel:true ~rp:"R_LANAI_25" ~ra:"R_LANAI_25";
+        D.fx P.Fk_call ~name:"fixup_lanai_call25" ~bits:25 ~offset:0 ~shift:2
+          ~pcrel:true ~rp:"R_LANAI_25" ~ra:"R_LANAI_25";
+        D.fx P.Fk_hi ~name:"fixup_lanai_hi16" ~bits:16 ~offset:0 ~shift:16
+          ~pcrel:false ~rp:"R_LANAI_HI16" ~ra:"R_LANAI_HI16";
+        D.fx P.Fk_lo ~name:"fixup_lanai_lo16" ~bits:16 ~offset:0 ~shift:0
+          ~pcrel:false ~rp:"R_LANAI_LO16" ~ra:"R_LANAI_LO16";
+        D.fx P.Fk_abs_word ~name:"fixup_lanai_32" ~bits:32 ~offset:0 ~shift:0
+          ~pcrel:false ~rp:"R_LANAI_32" ~ra:"R_LANAI_32";
+      ]
+    ~regs:
+      (D.mk_regs ~prefix:"r" ~count:32 ~sp:4 ~ra:15 ~fp:5 ~zero:0
+         ~args:[ 6; 7; 8; 9 ] ~ret:8
+         ~callee_saved:[ 16; 17; 18; 19; 20; 21; 22; 23 ]
+         ~reserved:[ 1; 2; 3; 4; 5; 15 ] ())
+    ~spell:
+      (D.spell_map
+         [
+           ("li", "movi"); ("load", "ld"); ("store", "st"); ("jmp", "bt");
+           ("call", "bl"); ("ret", "rt");
+         ])
+    ~sched:
+      (D.mk_sched ~load_latency:2 ~mul_latency:4 ~div_latency:16
+         ~branch_latency:2 ())
+    ~features:(D.mk_features ())
+    ()
+
+let ve =
+  D.make ~name:"VE" ~endian:P.Little ~comment_char:"#" ~word_bits:64
+    ~opcode_base:136
+    ~fixups:
+      [
+        D.fx P.Fk_branch ~name:"fixup_ve_srel32" ~bits:32 ~offset:0 ~shift:0
+          ~pcrel:true ~rp:"R_VE_SREL32" ~ra:"R_VE_SREL32";
+        D.fx P.Fk_jump ~name:"fixup_ve_pc_lo32" ~bits:32 ~offset:0 ~shift:0
+          ~pcrel:true ~rp:"R_VE_PC_LO32" ~ra:"R_VE_PC_LO32";
+        D.fx P.Fk_call ~name:"fixup_ve_call32" ~bits:32 ~offset:0 ~shift:0
+          ~pcrel:true ~rp:"R_VE_SREL32" ~ra:"R_VE_REFLONG";
+        D.fx P.Fk_hi ~name:"fixup_ve_hi32" ~bits:32 ~offset:0 ~shift:32
+          ~pcrel:false ~rp:"R_VE_HI32" ~ra:"R_VE_HI32";
+        D.fx P.Fk_lo ~name:"fixup_ve_lo32" ~bits:32 ~offset:0 ~shift:0
+          ~pcrel:false ~rp:"R_VE_LO32" ~ra:"R_VE_LO32";
+        D.fx P.Fk_abs_word ~name:"fixup_ve_reflong" ~bits:32 ~offset:0
+          ~shift:0 ~pcrel:false ~rp:"R_VE_PC_LO32" ~ra:"R_VE_REFLONG";
+      ]
+    ~regs:
+      (D.mk_regs ~prefix:"s" ~count:64 ~sp:11 ~ra:10 ~fp:9
+         ~args:[ 0; 1; 2; 3; 4; 5; 6; 7 ] ~ret:0
+         ~callee_saved:[ 18; 19; 20; 21; 22; 23; 24; 25; 26; 27; 28; 29; 30; 31; 32; 33 ]
+         ~reserved:[ 8; 9; 10; 11; 14; 15 ] ())
+    ~spell:
+      (D.spell_map
+         [
+           ("add", "adds"); ("sub", "subs"); ("shl", "sll"); ("shr", "srl");
+           ("slt", "slts"); ("mov", "mv"); ("li", "lea"); ("mul", "muls");
+           ("div", "divs"); ("load", "ldl"); ("store", "stl");
+           ("beq", "breq"); ("bne", "brne"); ("blt", "brlt");
+           ("bge", "brge"); ("jmp", "br"); ("call", "bsic"); ("ret", "b.l.t");
+           ("vadd", "vadds"); ("vmul", "vmuls");
+         ])
+    ~sched:
+      (D.mk_sched ~issue_width:2 ~load_latency:3 ~mul_latency:4
+         ~div_latency:20 ())
+    ~features:(D.mk_features ~has_simd:true ())
+    ()
+
+let csky =
+  D.make ~name:"CSKY" ~endian:P.Little ~comment_char:"#" ~opcode_base:166
+    ~fixups:
+      [
+        D.fx P.Fk_branch ~name:"fixup_csky_pcrel_imm16_scale2" ~bits:16
+          ~offset:0 ~shift:1 ~pcrel:true ~rp:"R_CKCORE_PCREL_IMM16BY2"
+          ~ra:"R_CKCORE_PCREL_IMM16BY2";
+        D.fx P.Fk_jump ~name:"fixup_csky_pcrel_imm26_scale2" ~bits:26
+          ~offset:0 ~shift:1 ~pcrel:true ~rp:"R_CKCORE_PCREL_IMM26BY2"
+          ~ra:"R_CKCORE_PCREL_IMM26BY2";
+        D.fx P.Fk_call ~name:"fixup_csky_pcrel_imm18_scale2" ~bits:18
+          ~offset:0 ~shift:1 ~pcrel:true ~rp:"R_CKCORE_PCREL_IMM18BY2"
+          ~ra:"R_CKCORE_PCREL_IMM18BY2";
+        D.fx P.Fk_hi ~name:"fixup_csky_addr_hi16" ~bits:16 ~offset:0
+          ~shift:16 ~pcrel:false ~rp:"R_CKCORE_ADDR_HI16"
+          ~ra:"R_CKCORE_ADDR_HI16";
+        D.fx P.Fk_lo ~name:"fixup_csky_addr_lo16" ~bits:16 ~offset:0 ~shift:0
+          ~pcrel:false ~rp:"R_CKCORE_ADDR_LO16" ~ra:"R_CKCORE_ADDR_LO16";
+        D.fx P.Fk_abs_word ~name:"fixup_csky_addr32" ~bits:32 ~offset:0
+          ~shift:0 ~pcrel:false ~rp:"R_CKCORE_PCREL32" ~ra:"R_CKCORE_ADDR32";
+      ]
+    ~regs:
+      (D.mk_regs ~prefix:"r" ~count:32 ~sp:14 ~ra:15 ~fp:8
+         ~args:[ 0; 1; 2; 3 ] ~ret:0
+         ~callee_saved:[ 4; 5; 6; 7; 9; 10; 11 ]
+         ~reserved:[ 8; 14; 15; 31 ] ())
+    ~spell:
+      (D.spell_map
+         [
+           ("add", "addu"); ("sub", "subu"); ("shl", "lsl"); ("shr", "lsr");
+           ("slt", "cmplt"); ("li", "movi"); ("mul", "mult");
+           ("div", "divs"); ("load", "ld.w"); ("store", "st.w");
+           ("jmp", "jbr"); ("call", "jbsr"); ("ret", "rts");
+         ])
+    ~sched:(D.mk_sched ~load_latency:2 ~mul_latency:3 ~div_latency:16 ())
+    ~features:(D.mk_features ~dense_imm:true ())
+    ()
+
+let loongarch =
+  D.make ~name:"LoongArch" ~endian:P.Little ~comment_char:"#" ~opcode_base:196
+    ~fixups:
+      [
+        D.fx P.Fk_branch ~name:"fixup_loongarch_b16" ~bits:16 ~offset:0
+          ~shift:2 ~pcrel:true ~rp:"R_LARCH_B16" ~ra:"R_LARCH_B16";
+        D.fx P.Fk_jump ~name:"fixup_loongarch_b26" ~bits:26 ~offset:0 ~shift:2
+          ~pcrel:true ~rp:"R_LARCH_B26" ~ra:"R_LARCH_B26";
+        D.fx P.Fk_call ~name:"fixup_loongarch_call36" ~bits:36 ~offset:0
+          ~shift:2 ~pcrel:true ~rp:"R_LARCH_CALL36" ~ra:"R_LARCH_CALL36";
+        D.fx P.Fk_hi ~name:"fixup_loongarch_abs_hi20" ~bits:20 ~offset:0
+          ~shift:12 ~pcrel:false ~rp:"R_LARCH_ABS_HI20" ~ra:"R_LARCH_ABS_HI20";
+        D.fx P.Fk_lo ~name:"fixup_loongarch_abs_lo12" ~bits:12 ~offset:0
+          ~shift:0 ~pcrel:false ~rp:"R_LARCH_ABS_LO12" ~ra:"R_LARCH_ABS_LO12";
+        D.fx P.Fk_abs_word ~name:"fixup_loongarch_32" ~bits:32 ~offset:0
+          ~shift:0 ~pcrel:false ~rp:"R_LARCH_32_PCREL" ~ra:"R_LARCH_32";
+      ]
+    ~variant_kinds:
+      [
+        { P.vk_name = "VK_GOT"; vk_reloc = "R_LARCH_GOT_PC_HI20" };
+        { P.vk_name = "VK_PLT"; vk_reloc = "R_LARCH_B26_PLT" };
+      ]
+    ~regs:
+      (D.mk_regs ~prefix:"$r" ~count:32 ~sp:3 ~ra:1 ~fp:22 ~zero:0
+         ~args:[ 4; 5; 6; 7; 8; 9; 10; 11 ] ~ret:4
+         ~callee_saved:[ 23; 24; 25; 26; 27; 28; 29; 30; 31 ]
+         ~reserved:[ 1; 2; 3; 21; 22 ] ())
+    ~spell:
+      (D.spell_map
+         [
+           ("add", "add.w"); ("sub", "sub.w"); ("shl", "sll.w");
+           ("shr", "srl.w"); ("addi", "addi.w"); ("shli", "slli.w");
+           ("shri", "srli.w"); ("mov", "move"); ("li", "li.w");
+           ("mul", "mul.w"); ("div", "div.w"); ("load", "ld.w");
+           ("store", "st.w"); ("jmp", "b"); ("call", "bl"); ("ret", "jirl");
+         ])
+    ~sched:
+      (D.mk_sched ~issue_width:2 ~load_latency:2 ~mul_latency:3
+         ~div_latency:10 ())
+    ~features:(D.mk_features ~dense_imm:true ())
+    ()
+
+(* ---------------------------------------------------------------- *)
+(* Held-out targets (Sec. 4.1: GPP, ULP and IoT design points)       *)
+
+let riscv =
+  D.make ~name:"RISCV" ~endian:P.Little ~comment_char:"#" ~opcode_base:20
+    ~fixups:
+      [
+        D.fx P.Fk_branch ~name:"fixup_riscv_branch" ~bits:12 ~offset:0
+          ~shift:1 ~pcrel:true ~rp:"R_RISCV_BRANCH" ~ra:"R_RISCV_BRANCH";
+        D.fx P.Fk_jump ~name:"fixup_riscv_jal" ~bits:20 ~offset:0 ~shift:1
+          ~pcrel:true ~rp:"R_RISCV_JAL" ~ra:"R_RISCV_JAL";
+        D.fx P.Fk_call ~name:"fixup_riscv_call" ~bits:32 ~offset:0 ~shift:0
+          ~pcrel:true ~rp:"R_RISCV_CALL" ~ra:"R_RISCV_CALL";
+        D.fx P.Fk_hi ~name:"fixup_riscv_pcrel_hi20" ~bits:20 ~offset:12
+          ~shift:12 ~pcrel:false ~rp:"R_RISCV_PCREL_HI20" ~ra:"R_RISCV_HI20";
+        D.fx P.Fk_lo ~name:"fixup_riscv_lo12_i" ~bits:12 ~offset:0 ~shift:0
+          ~pcrel:false ~rp:"R_RISCV_PCREL_LO12_I" ~ra:"R_RISCV_LO12_I";
+        D.fx P.Fk_abs_word ~name:"fixup_riscv_32" ~bits:32 ~offset:0 ~shift:0
+          ~pcrel:false ~rp:"R_RISCV_32_PCREL" ~ra:"R_RISCV_32";
+        D.fx P.Fk_got ~name:"fixup_riscv_got_hi20" ~bits:20 ~offset:12
+          ~shift:12 ~pcrel:true ~rp:"R_RISCV_GOT_HI20" ~ra:"R_RISCV_GOT_HI20";
+      ]
+    ~variant_kinds:
+      [
+        { P.vk_name = "VK_GOT"; vk_reloc = "R_RISCV_GOT_HI20" };
+        { P.vk_name = "VK_PLT"; vk_reloc = "R_RISCV_CALL_PLT" };
+        { P.vk_name = "VK_TLS_GD"; vk_reloc = "R_RISCV_TLS_GD_HI20" };
+      ]
+    ~regs:
+      (D.mk_regs ~prefix:"x" ~count:32 ~sp:2 ~ra:1 ~fp:8 ~zero:0
+         ~args:[ 10; 11; 12; 13; 14; 15; 16; 17 ] ~ret:10
+         ~callee_saved:[ 8; 9; 18; 19; 20; 21; 22; 23; 24; 25; 26; 27 ]
+         ~reserved:[ 1; 2; 3; 4 ] ())
+    ~spell:
+      (D.spell_map
+         [
+           ("shl", "sll"); ("shr", "srl"); ("mov", "mv"); ("load", "lw");
+           ("store", "sw"); ("jmp", "j"); ("call", "jal");
+         ])
+    ~sched:
+      (D.mk_sched ~issue_width:2 ~load_latency:2 ~mul_latency:3
+         ~div_latency:16 ~post_ra:true ())
+    ~features:(D.mk_features ~dense_imm:true ())
+    ()
+
+let ri5cy =
+  D.make ~name:"RI5CY" ~endian:P.Little ~comment_char:"#" ~opcode_base:50
+    ~fixups:
+      [
+        D.fx P.Fk_branch ~name:"fixup_ri5cy_branch" ~bits:12 ~offset:0
+          ~shift:1 ~pcrel:true ~rp:"R_RI5CY_BRANCH" ~ra:"R_RI5CY_BRANCH";
+        D.fx P.Fk_jump ~name:"fixup_ri5cy_jal" ~bits:20 ~offset:0 ~shift:1
+          ~pcrel:true ~rp:"R_RI5CY_JAL" ~ra:"R_RI5CY_JAL";
+        D.fx P.Fk_call ~name:"fixup_ri5cy_call" ~bits:32 ~offset:0 ~shift:0
+          ~pcrel:true ~rp:"R_RI5CY_CALL" ~ra:"R_RI5CY_CALL";
+        D.fx P.Fk_hi ~name:"fixup_ri5cy_hi20" ~bits:20 ~offset:12 ~shift:12
+          ~pcrel:false ~rp:"R_RI5CY_PCREL_HI20" ~ra:"R_RI5CY_HI20";
+        D.fx P.Fk_lo ~name:"fixup_ri5cy_lo12_i" ~bits:12 ~offset:0 ~shift:0
+          ~pcrel:false ~rp:"R_RI5CY_PCREL_LO12_I" ~ra:"R_RI5CY_LO12_I";
+        D.fx P.Fk_abs_word ~name:"fixup_ri5cy_32" ~bits:32 ~offset:0 ~shift:0
+          ~pcrel:false ~rp:"R_RI5CY_32_PCREL" ~ra:"R_RI5CY_32";
+      ]
+    ~variant_kinds:
+      [
+        { P.vk_name = "VK_GOT"; vk_reloc = "R_RI5CY_GOT_HI20" };
+        { P.vk_name = "VK_PLT"; vk_reloc = "R_RI5CY_CALL_PLT" };
+      ]
+    ~regs:
+      (D.mk_regs ~prefix:"x" ~count:32 ~sp:2 ~ra:1 ~fp:8 ~zero:0
+         ~args:[ 10; 11; 12; 13; 14; 15; 16; 17 ] ~ret:10
+         ~callee_saved:[ 8; 9; 18; 19; 20; 21; 22; 23; 24; 25; 26; 27 ]
+         ~reserved:[ 1; 2; 3; 4 ] ())
+    ~spell:
+      (D.spell_map
+         [
+           ("shl", "sll"); ("shr", "srl"); ("mov", "mv"); ("load", "lw");
+           ("store", "sw"); ("jmp", "j"); ("call", "jal");
+           ("vadd", "pv.add.h"); ("vmul", "pv.mul.h"); ("madd", "p.madd");
+         ])
+    ~sched:(D.mk_sched ~load_latency:1 ~mul_latency:1 ~div_latency:8 ())
+    ~features:
+      (D.mk_features ~has_hwloop:true ~has_simd:true ~has_madd:true
+         ~dense_imm:true ())
+    ()
+
+let xcore =
+  D.make ~name:"XCore" ~endian:P.Little ~comment_char:"#" ~opcode_base:80
+    ~fixups:
+      [
+        D.fx P.Fk_branch ~name:"fixup_xcore_pcrel10" ~bits:10 ~offset:0
+          ~shift:1 ~pcrel:true ~rp:"R_XCORE_PCREL10" ~ra:"R_XCORE_PCREL10";
+        D.fx P.Fk_jump ~name:"fixup_xcore_pcrel20" ~bits:20 ~offset:0 ~shift:1
+          ~pcrel:true ~rp:"R_XCORE_PCREL20" ~ra:"R_XCORE_PCREL20";
+        D.fx P.Fk_call ~name:"fixup_xcore_call20" ~bits:20 ~offset:0 ~shift:1
+          ~pcrel:true ~rp:"R_XCORE_CALL20" ~ra:"R_XCORE_CALL20";
+        D.fx P.Fk_hi ~name:"fixup_xcore_hi16" ~bits:16 ~offset:0 ~shift:16
+          ~pcrel:false ~rp:"R_XCORE_HI16" ~ra:"R_XCORE_HI16";
+        D.fx P.Fk_lo ~name:"fixup_xcore_lo16" ~bits:16 ~offset:0 ~shift:0
+          ~pcrel:false ~rp:"R_XCORE_LO16" ~ra:"R_XCORE_LO16";
+        D.fx P.Fk_abs_word ~name:"fixup_xcore_32" ~bits:32 ~offset:0 ~shift:0
+          ~pcrel:false ~rp:"R_XCORE_REL32" ~ra:"R_XCORE_ABS32";
+      ]
+    ~regs:
+      (D.mk_regs ~prefix:"r" ~count:16 ~sp:14 ~ra:15 ~fp:10
+         ~args:[ 0; 1; 2; 3 ] ~ret:0
+         ~callee_saved:[ 4; 5; 6; 7; 8; 9 ]
+         ~reserved:[ 10; 13; 14; 15 ] ())
+    ~spell:
+      (D.spell_map
+         [
+           ("slt", "lss"); ("li", "ldc"); ("load", "ldw"); ("store", "stw");
+           ("jmp", "bu"); ("call", "bl"); ("ret", "retsp");
+         ])
+    ~sched:
+      (D.mk_sched ~load_latency:3 ~mul_latency:5 ~div_latency:25
+         ~branch_latency:2 ())
+    ~features:(D.mk_features ~has_disassembler:false ())
+    ()
+
+(* ---------------------------------------------------------------- *)
+
+let training =
+  [
+    arm; x86; mips; sparc; msp430; m68k; avr; hexagon; powerpc; aarch64;
+    lanai; ve; csky; loongarch;
+  ]
+
+let held_out = [ riscv; ri5cy; xcore ]
+let all = training @ held_out
+let find name = List.find_opt (fun (p : P.t) -> p.name = name) all
+
+let find_exn name =
+  match find name with
+  | Some p -> p
+  | None -> invalid_arg ("Registry.find_exn: unknown target " ^ name)

@@ -12,6 +12,7 @@ let () =
       ("nn", Test_nn.suite);
       ("core", Test_core.suite);
       ("backend", Test_backend.suite);
+      ("analysis", Test_analysis.suite);
       ("eval", Test_eval.suite);
       ("endtoend", Test_endtoend.suite);
     ]

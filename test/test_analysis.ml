@@ -1,0 +1,273 @@
+(* Tests for the static analyzer: reference backends come back clean,
+   seeded defects are caught by the intended rule, diagnostics carry
+   line/column spans, and the shape pass sees generated functions. *)
+
+module A = Vega_analysis
+module D = A.Diagnostic
+module C = Vega_corpus.Corpus
+module V = Vega
+module L = Vega_srclang
+
+let corpus = lazy (C.build ())
+let riscv = Vega_target.Registry.riscv
+let tab = lazy (A.Lint.symtab (Lazy.force corpus).C.vfs riscv)
+
+(* Every reference implementation of every registered target lints
+   clean: the analyzer's false-positive bar on the corpus is zero. *)
+let test_references_clean () =
+  let vfs = (Lazy.force corpus).C.vfs in
+  List.iter
+    (fun (p : Vega_target.Profile.t) ->
+      let r = A.Lint.lint_target vfs p in
+      if A.Lint.diag_count r > 0 then
+        Alcotest.failf "%s reference backend not clean:\n%s" p.name
+          (String.concat "\n"
+             (List.map D.to_string (A.Lint.report_diags r))))
+    Vega_target.Registry.all
+
+let lint src =
+  A.Lint.lint_source (Lazy.force tab) ~fname:"test" src
+
+let rules ds = List.map (fun (d : D.t) -> d.D.rule) ds
+
+let check_rule name rule src =
+  let ds = lint src in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s reports %s (got: %s)" name rule
+       (String.concat ", " (rules ds)))
+    true
+    (List.mem rule (rules ds))
+
+(* A correct function produces no diagnostics... *)
+let test_clean_function () =
+  let ds =
+    lint
+      {|unsigned getRelocType(MCValue Target, MCFixup Fixup, bool IsPCRel) {
+  unsigned Kind = Fixup.getTargetKind();
+  switch (Kind) {
+  case RISCV::fixup_riscv_branch:
+    return ELF::R_RISCV_BRANCH;
+  default:
+    llvm_unreachable("invalid fixup kind!");
+  }
+}|}
+  in
+  Alcotest.(check (list string)) "no diagnostics" [] (rules ds)
+
+(* ...and each seeded defect is caught by the intended rule. *)
+let test_unknown_scoped () =
+  check_rule "unknown fixup member" "VA-S01"
+    "unsigned f() { return RISCV::fixup_riscv_bogus; }"
+
+let test_unknown_scope () =
+  check_rule "unknown enum scope" "VA-S01"
+    "unsigned f() { return WRONG::fixup_riscv_branch; }"
+
+let test_unknown_function () =
+  check_rule "unknown free function" "VA-S02"
+    "unsigned f() { return frobnicate(1); }"
+
+let test_use_before_decl () =
+  check_rule "use before declaration" "VA-D01"
+    "unsigned f() { return Kind; }"
+
+let test_uninitialized_read () =
+  check_rule "declared but never assigned" "VA-D02"
+    {|unsigned f() {
+  unsigned Kind;
+  return Kind;
+}|}
+
+let test_unreachable () =
+  check_rule "code after return" "VA-D03"
+    {|unsigned f() {
+  return 1;
+  unsigned Kind = 2;
+}|}
+
+let test_missing_return () =
+  check_rule "dropped return" "VA-D04"
+    {|unsigned f(unsigned Kind) {
+  if (Kind) {
+    return 1;
+  }
+}|}
+
+let test_silent_fallthrough () =
+  check_rule "final arm falls through to nothing" "VA-D05"
+    {|unsigned f(unsigned Kind) {
+  unsigned r = 0;
+  switch (Kind) {
+  case RISCV::fixup_riscv_branch:
+    r = 1;
+  }
+  return r;
+}|}
+
+let test_unknown_method () =
+  check_rule "method no MC class provides" "VA-I01"
+    "unsigned f(MCFixup Fixup) { return Fixup.getFlavour(); }"
+
+let test_method_arity () =
+  check_rule "known method, wrong arity" "VA-I02"
+    "unsigned f(MCFixup Fixup) { return Fixup.getTargetKind(1); }"
+
+let test_hook_signature () =
+  let spec = Option.get (C.find_spec "getRelocType") in
+  let ds =
+    A.Lint.lint_source (Lazy.force tab) ~spec ~fname:"getRelocType"
+      "unsigned getRelocType(unsigned Kind) { return Kind; }"
+  in
+  Alcotest.(check bool) "parameter count vs interface spec" true
+    (List.mem "VA-I03" (rules ds))
+
+(* A switch whose every path returns must not trip VA-D03/VA-D04, and a
+   [break] out of one must (the subtlety that distinguishes exiting the
+   switch from exiting the function). *)
+let test_switch_termination () =
+  let all_paths_return =
+    {|unsigned f(unsigned Kind) {
+  switch (Kind) {
+  case RISCV::fixup_riscv_branch:
+    return 1;
+  default:
+    return 0;
+  }
+}|}
+  in
+  Alcotest.(check (list string)) "exhaustive switch returns" []
+    (rules (lint all_paths_return));
+  check_rule "break escapes without returning" "VA-D04"
+    {|unsigned f(unsigned Kind) {
+  switch (Kind) {
+  case RISCV::fixup_riscv_branch:
+    break;
+  default:
+    return 0;
+  }
+}|}
+
+(* Diagnostics carry 1-based line/column spans pointing at the offending
+   statement, and to_string renders rule ID plus Table 2 bucket. *)
+let test_spans_and_rendering () =
+  let ds =
+    lint
+      {|unsigned f() {
+  unsigned Kind = 1;
+  return RISCV::fixup_riscv_bogus;
+}|}
+  in
+  match ds with
+  | [ d ] ->
+      Alcotest.(check string) "rule" "VA-S01" d.D.rule;
+      (match d.D.span with
+      | Some sp ->
+          Alcotest.(check int) "line" 3 sp.L.Span.line;
+          Alcotest.(check int) "col" 3 sp.L.Span.col
+      | None -> Alcotest.fail "expected a span");
+      Alcotest.(check bool) "renders rule and taxonomy" true
+        (Vega_util.Strutil.contains_sub ~sub:"[VA-S01/Err-V]"
+           (D.to_string d))
+  | ds -> Alcotest.failf "expected one diagnostic, got %d" (List.length ds)
+
+let test_taxonomy () =
+  Alcotest.(check string) "symbol -> Err-V" "Err-V"
+    (D.taxonomy
+       (D.make ~rule:"VA-S01" ~cls:D.Symbol ~severity:D.Error ~fname:"f" ""));
+  Alcotest.(check string) "dataflow -> Err-CS" "Err-CS"
+    (D.taxonomy
+       (D.make ~rule:"VA-D01" ~cls:D.Dataflow ~severity:D.Error ~fname:"f" ""));
+  Alcotest.(check string) "interface -> Err-Def" "Err-Def"
+    (D.taxonomy
+       (D.make ~rule:"VA-I01" ~cls:D.Interface ~severity:D.Error ~fname:"f" ""))
+
+(* Unparsable input is one VA-P01 with the parser's line/col message. *)
+let test_parse_diag () =
+  let ds = lint "unsigned f( {" in
+  match ds with
+  | [ d ] ->
+      Alcotest.(check string) "rule" "VA-P01" d.D.rule;
+      Alcotest.(check bool) "message carries position" true
+        (Vega_util.Strutil.contains_sub ~sub:"line " d.D.msg)
+  | _ -> Alcotest.fail "expected exactly one parse diagnostic"
+
+(* ---- the shape pass over pipeline-generated functions ---- *)
+
+let pipeline =
+  lazy
+    (let prep = V.Pipeline.prepare ~corpus:(Lazy.force corpus) () in
+     let cfg =
+       {
+         V.Pipeline.test_config with
+         train_cfg = { V.Codebe.tiny_train_config with epochs = 0 };
+       }
+     in
+     V.Pipeline.train cfg prep)
+
+let generated fname =
+  let t = Lazy.force pipeline in
+  let b =
+    List.find
+      (fun (b : V.Pipeline.bundle) ->
+        b.V.Pipeline.spec.Vega_corpus.Spec.fname = fname)
+      t.V.Pipeline.prep.V.Pipeline.bundles
+  in
+  let gf =
+    Option.get
+      (V.Pipeline.generate_function t ~target:"RISCV"
+         ~decoder:(V.Pipeline.retrieval_decoder t) ~fname)
+  in
+  (b.V.Pipeline.tpl, gf)
+
+let test_generated_lints_clean () =
+  let tpl, gf = generated "getRelocType" in
+  let ds = A.Lint.lint_generated (Lazy.force tab) tpl gf in
+  let errors = List.filter D.is_error ds in
+  Alcotest.(check (list string))
+    "retrieval-generated getRelocType has no static errors" []
+    (rules errors)
+
+let test_shape_flags_mangled_stmt () =
+  let tpl, gf = generated "getRelocType" in
+  (* corrupt one kept statement into an unparsable token soup *)
+  let mangled =
+    {
+      gf with
+      V.Generate.gf_stmts =
+        List.map
+          (fun (s : V.Generate.gen_stmt) ->
+            if s.g_score >= V.Confidence.threshold && s.g_col >= 0 then
+              { s with g_tokens = [ "return"; "{"; "::" ]; g_shape_ok = false }
+            else s)
+          gf.V.Generate.gf_stmts;
+    }
+  in
+  let ds = A.Lint.lint_generated (Lazy.force tab) tpl mangled in
+  Alcotest.(check bool)
+    (Printf.sprintf "mangled statements trip the parse/shape pass (got: %s)"
+       (String.concat ", " (rules ds)))
+    true
+    (List.exists (fun r -> r = "VA-P01" || r = "VA-P02") (rules ds))
+
+let suite =
+  [
+    Alcotest.test_case "references clean" `Slow test_references_clean;
+    Alcotest.test_case "clean function" `Quick test_clean_function;
+    Alcotest.test_case "VA-S01 unknown member" `Quick test_unknown_scoped;
+    Alcotest.test_case "VA-S01 unknown scope" `Quick test_unknown_scope;
+    Alcotest.test_case "VA-S02 unknown function" `Quick test_unknown_function;
+    Alcotest.test_case "VA-D01 use before decl" `Quick test_use_before_decl;
+    Alcotest.test_case "VA-D02 uninitialized" `Quick test_uninitialized_read;
+    Alcotest.test_case "VA-D03 unreachable" `Quick test_unreachable;
+    Alcotest.test_case "VA-D04 missing return" `Quick test_missing_return;
+    Alcotest.test_case "VA-D05 fallthrough" `Quick test_silent_fallthrough;
+    Alcotest.test_case "VA-I01 unknown method" `Quick test_unknown_method;
+    Alcotest.test_case "VA-I02 method arity" `Quick test_method_arity;
+    Alcotest.test_case "VA-I03 hook signature" `Quick test_hook_signature;
+    Alcotest.test_case "switch termination" `Quick test_switch_termination;
+    Alcotest.test_case "spans and rendering" `Quick test_spans_and_rendering;
+    Alcotest.test_case "taxonomy buckets" `Quick test_taxonomy;
+    Alcotest.test_case "VA-P01 parse" `Quick test_parse_diag;
+    Alcotest.test_case "generated lints clean" `Quick test_generated_lints_clean;
+    Alcotest.test_case "shape catches mangling" `Quick test_shape_flags_mangled_stmt;
+  ]

@@ -189,6 +189,43 @@ let test_confidence_eq1 () =
     ((2.0 /. 3.0) +. (1.0 /. (3.0 *. 66.0)))
     (V.Confidence.score ~n_tokens:3 ~n_common:2 ~slot_candidates:[ 66 ] ~present:true)
 
+let test_confidence_edge_cases () =
+  (* an empty template (0 tokens) carries no evidence either way: a
+     present statement scores 1.0, an absent one 0.0 *)
+  Alcotest.(check (float 1e-9)) "empty template, present" 1.0
+    (V.Confidence.score ~n_tokens:0 ~n_common:0 ~slot_candidates:[] ~present:true);
+  Alcotest.(check (float 1e-9)) "empty template, absent" 0.0
+    (V.Confidence.score ~n_tokens:0 ~n_common:0 ~slot_candidates:[] ~present:false);
+  let st : V.Template.stmt_template =
+    { kind = "simple"; items = []; nslots = 0 }
+  in
+  Alcotest.(check (float 1e-9)) "statement_score of empty template" 1.0
+    (V.Confidence.statement_score st ~present:true);
+  (* fully common statement: |T_com|/|T| = 1 regardless of |T| *)
+  Alcotest.(check (float 1e-9)) "all-common statement" 1.0
+    (V.Confidence.score ~n_tokens:7 ~n_common:7 ~slot_candidates:[] ~present:true);
+  (* absent always wins over everything else in Eq. (1) *)
+  Alcotest.(check (float 1e-9)) "absent all-common statement" 0.0
+    (V.Confidence.score ~n_tokens:7 ~n_common:7 ~slot_candidates:[] ~present:false);
+  (* a slot with a huge candidate set contributes almost nothing:
+     |T| = 4, |T_com| = 3, N(SV) = 10000 -> 3/4 + 1/(4*10000) *)
+  Alcotest.(check (float 1e-12)) "large N(SV) slot"
+    ((3.0 /. 4.0) +. (1.0 /. (4.0 *. 10000.0)))
+    (V.Confidence.score ~n_tokens:4 ~n_common:3 ~slot_candidates:[ 10000 ]
+       ~present:true);
+  (* N(SV) = 0 is clamped to 1 (an unresolved property, not division by
+     zero): |T| = 2, |T_com| = 1 -> 1/2 + 1/(2*1) = 1.0 *)
+  Alcotest.(check (float 1e-9)) "zero candidates clamps to 1" 1.0
+    (V.Confidence.score ~n_tokens:2 ~n_common:1 ~slot_candidates:[ 0 ] ~present:true);
+  (* many generous slots can push the sum past 1; the score saturates *)
+  Alcotest.(check (float 1e-9)) "score is capped at 1" 1.0
+    (V.Confidence.score ~n_tokens:2 ~n_common:1 ~slot_candidates:[ 1; 1; 1 ]
+       ~present:true);
+  (* threshold sanity: the paper's reviewing cut sits strictly between
+     an absent and a fully-common statement *)
+  Alcotest.(check bool) "threshold strictly between 0 and 1" true
+    (V.Confidence.threshold > 0.0 && V.Confidence.threshold < 1.0)
+
 (* ---------------- feature representation ---------------- *)
 
 let test_fv_output_encoding () =
@@ -232,6 +269,7 @@ let suite =
     Alcotest.test_case "paper's properties found" `Quick test_featsel_props;
     Alcotest.test_case "new-target candidates (Fig. 4)" `Quick test_featsel_new_target_candidates;
     Alcotest.test_case "confidence Eq. 1" `Quick test_confidence_eq1;
+    Alcotest.test_case "confidence edge cases" `Quick test_confidence_edge_cases;
     Alcotest.test_case "fv output encoding" `Quick test_fv_output_encoding;
     Alcotest.test_case "decode output" `Quick test_decode_output;
   ]

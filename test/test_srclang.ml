@@ -35,6 +35,41 @@ let test_lexer_errors () =
   | exception L.Lexer.Error _ -> ()
   | _ -> Alcotest.fail "expected lexer error on backtick"
 
+let test_lexer_error_position () =
+  (* malformed input on line 2, column 7: the message names both *)
+  match L.Lexer.tokenize "a = 1;\nb = c `" with
+  | exception L.Lexer.Error m ->
+      Alcotest.(check bool)
+        (Printf.sprintf "message carries line and col: %S" m)
+        true
+        (Vega_util.Strutil.contains_sub ~sub:"line 2" m
+        && Vega_util.Strutil.contains_sub ~sub:"col 7" m)
+  | _ -> Alcotest.fail "expected lexer error"
+
+let test_lexer_spans () =
+  let spanned = L.Lexer.tokenize_spanned "a = 1;\n  foo(b);" in
+  let span_of tok =
+    snd (List.find (fun (t, _) -> t = tok) spanned)
+  in
+  Alcotest.(check int) "first token line" 1 (span_of (L.Token.Id "a")).L.Span.line;
+  Alcotest.(check int) "first token col" 1 (span_of (L.Token.Id "a")).L.Span.col;
+  let foo = span_of (L.Token.Id "foo") in
+  Alcotest.(check int) "indented token line" 2 foo.L.Span.line;
+  Alcotest.(check int) "indented token col" 3 foo.L.Span.col;
+  (* dropping the spans is exactly [tokenize] *)
+  Alcotest.(check int) "consistent with tokenize"
+    (List.length (L.Lexer.tokenize "a = 1;\n  foo(b);"))
+    (List.length spanned)
+
+let test_parser_error_position () =
+  match L.Parser.parse_function_opt "unsigned f() {\n  return 1 +;\n}" with
+  | Error m ->
+      Alcotest.(check bool)
+        (Printf.sprintf "parse error carries line: %S" m)
+        true
+        (Vega_util.Strutil.contains_sub ~sub:"line 2" m)
+  | Ok _ -> Alcotest.fail "expected parse error"
+
 let test_parse_roundtrip () =
   let f = L.Parser.parse_function sample in
   let text = L.Lines.to_source (L.Lines.of_func f) in
@@ -199,6 +234,9 @@ let suite =
   [
     Alcotest.test_case "lexer" `Quick test_lexer;
     Alcotest.test_case "lexer errors" `Quick test_lexer_errors;
+    Alcotest.test_case "lexer error position" `Quick test_lexer_error_position;
+    Alcotest.test_case "lexer spans" `Quick test_lexer_spans;
+    Alcotest.test_case "parser error position" `Quick test_parser_error_position;
     Alcotest.test_case "parse round-trip" `Quick test_parse_roundtrip;
     Alcotest.test_case "parse shapes" `Quick test_parse_shapes;
     Alcotest.test_case "expr precedence" `Quick test_parse_expr_prec;
