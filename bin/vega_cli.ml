@@ -4,6 +4,7 @@
      vega-cli generate -t RISCV -f getRelocType [--model]
      vega-cli backend -t XCore [--model]      generate + pass@1 the backend
      vega-cli lint -t RISCV [--generated]     static-analyze a backend
+     vega-cli faultcheck [-t T] [--seed N]    fault-injection matrix
      vega-cli compile -t ARM -p fib -o O3 [--run]                          *)
 
 open Cmdliner
@@ -169,6 +170,365 @@ let lint_cmd =
           interface conformance); non-zero exit on errors")
     Term.(const run $ target_arg $ generated_flag)
 
+(* ------------------------------------------------------------------ *)
+(* faultcheck: deterministic fault-injection matrix with invariant
+   checks. Exit 1 on any violation. *)
+
+module R = Vega_robust
+
+let faultcheck_cmd =
+  let seed_arg =
+    Arg.(value & opt int 13 & info [ "seed" ] ~doc:"Injection seed.")
+  in
+  let run target seed =
+    let p =
+      match Vega_target.Registry.find target with
+      | Some p -> p
+      | None ->
+          Printf.eprintf "unknown target %s\n" target;
+          exit 1
+    in
+    let violations = ref 0 in
+    let violation fmt =
+      Printf.ksprintf
+        (fun s ->
+          incr violations;
+          Printf.printf "  VIOLATION: %s\n%!" s)
+        fmt
+    in
+    let check name cond = if not cond then violation "%s" name in
+    Printf.printf "faultcheck: target %s, seed %d\n%!" target seed;
+    let clean_report = R.Report.create () in
+    let prep = Vega.Pipeline.prepare ~report:clean_report () in
+    let cfg =
+      {
+        Vega.Pipeline.default_config with
+        train_cfg = { Vega.Codebe.tiny_train_config with epochs = 0 };
+      }
+    in
+    let t = Vega.Pipeline.train cfg prep in
+    let decoder = Vega.Pipeline.retrieval_decoder t in
+    check "clean corpus prepares without faults" (R.Report.total clean_report = 0);
+
+    (* ---- baseline: no injection -> no faults, no degradation, and the
+       report plumbing itself must not change the generated output ---- *)
+    Printf.printf "- baseline (no injection)\n%!";
+    let base_report = R.Report.create () in
+    let baseline =
+      Vega.Pipeline.generate_backend ~report:base_report t ~target ~decoder
+    in
+    check "baseline: no faults" (R.Report.total base_report = 0);
+    check "baseline: no degraded statements"
+      (R.Report.degraded_count base_report = 0);
+    check "baseline: every statement on the primary rung"
+      (List.for_all
+         (fun (gf : Vega.Generate.gen_func) ->
+           List.for_all
+             (fun (s : Vega.Generate.gen_stmt) ->
+               s.Vega.Generate.g_level = R.Degrade.Primary)
+             gf.Vega.Generate.gf_stmts)
+         baseline);
+    let plain = Vega.Pipeline.generate_backend t ~target ~decoder in
+    check "baseline: identical to the plain decoder path"
+      (List.map Vega.Generate.source_of_all plain
+      = List.map Vega.Generate.source_of_all baseline);
+    let key (gf : Vega.Generate.gen_func) (s : Vega.Generate.gen_stmt) =
+      ( gf.Vega.Generate.gf_fname,
+        s.Vega.Generate.g_col,
+        s.Vega.Generate.g_line,
+        s.Vega.Generate.g_inst )
+    in
+    let base_stmts = Hashtbl.create 512 in
+    List.iter
+      (fun (gf : Vega.Generate.gen_func) ->
+        List.iter
+          (fun (s : Vega.Generate.gen_stmt) ->
+            Hashtbl.replace base_stmts (key gf s)
+              (s.Vega.Generate.g_score, s.Vega.Generate.g_tokens))
+          gf.Vega.Generate.gf_stmts)
+      baseline;
+    (* shared structural invariants over an injected generation run *)
+    let check_degraded_run name report (gfs : Vega.Generate.gen_func list) =
+      check (name ^ ": backend function count unchanged")
+        (List.length gfs = List.length baseline);
+      List.iter
+        (fun (gf : Vega.Generate.gen_func) ->
+          List.iter
+            (fun (s : Vega.Generate.gen_stmt) ->
+              let score = s.Vega.Generate.g_score in
+              let level = s.Vega.Generate.g_level in
+              if not (Float.is_finite score && score >= 0.0 && score <= 1.0)
+              then violation "%s: non-finite or out-of-range score" name;
+              if score > R.Degrade.cap level +. 1e-9 then
+                violation "%s: score %.3f above the %s cap" name score
+                  (R.Degrade.name level))
+            gf.Vega.Generate.gf_stmts)
+        gfs;
+      check (name ^ ": degradations recorded for every sub-primary statement")
+        (R.Report.degraded_count report
+        = List.fold_left
+            (fun acc (gf : Vega.Generate.gen_func) ->
+              acc
+              + List.length
+                  (List.filter
+                     (fun (s : Vega.Generate.gen_stmt) ->
+                       s.Vega.Generate.g_level <> R.Degrade.Primary)
+                     gf.Vega.Generate.gf_stmts))
+            0 gfs)
+    in
+    (* decoder-class scenarios additionally compare per-statement against
+       the baseline: only injected statements may change, and confidence
+       is monotonically non-increasing under degradation *)
+    let check_against_baseline name (gfs : Vega.Generate.gen_func list) =
+      List.iter
+        (fun (gf : Vega.Generate.gen_func) ->
+          List.iter
+            (fun (s : Vega.Generate.gen_stmt) ->
+              match Hashtbl.find_opt base_stmts (key gf s) with
+              | None -> violation "%s: statement absent from baseline" name
+              | Some (bscore, btokens) ->
+                  if s.Vega.Generate.g_score > bscore +. 1e-9 then
+                    violation
+                      "%s: %s confidence rose under injection (%.3f > %.3f)"
+                      name gf.Vega.Generate.gf_fname s.Vega.Generate.g_score
+                      bscore;
+                  if
+                    s.Vega.Generate.g_level = R.Degrade.Primary
+                    && (s.Vega.Generate.g_tokens <> btokens
+                       || s.Vega.Generate.g_score <> bscore)
+                  then
+                    violation "%s: un-injected statement changed" name)
+            gf.Vega.Generate.gf_stmts)
+        gfs
+    in
+    let decoder_scenario name kind ~every ~fallback ~expect_levels =
+      Printf.printf "- %s\n%!" name;
+      let inj = R.Inject.create ~seed ~every kind in
+      let report = R.Report.create () in
+      let wrapped fv = R.Inject.wrap_decoder inj decoder fv in
+      match
+        R.Stage.protect ~stage:name (fun () ->
+            Vega.Pipeline.generate_backend ?fallback ~report t ~target
+              ~decoder:wrapped)
+      with
+      | Error f ->
+          violation "%s: backend generation aborted (%s)" name
+            (R.Fault.to_string f)
+      | Ok gfs ->
+          check (name ^ ": at least one fault injected")
+            (R.Inject.injected inj > 0);
+          check (name ^ ": every injected fault observed in the report")
+            (R.Report.total report = R.Inject.injected inj);
+          check_degraded_run name report gfs;
+          check_against_baseline name gfs;
+          List.iter
+            (fun lv ->
+              check
+                (Printf.sprintf "%s: reaches the %s rung" name
+                   (R.Degrade.name lv))
+                (List.exists
+                   (fun (gf : Vega.Generate.gen_func) ->
+                     List.exists
+                       (fun (s : Vega.Generate.gen_stmt) ->
+                         s.Vega.Generate.g_level = lv)
+                       gf.Vega.Generate.gf_stmts)
+                   gfs))
+            expect_levels;
+          Printf.printf "    injected %d, %s\n%!" (R.Inject.injected inj)
+            (R.Report.summary report)
+    in
+    decoder_scenario "decoder-raise" R.Inject.Decoder_raise ~every:1
+      ~fallback:(Some decoder) ~expect_levels:[ R.Degrade.Retrieval_fallback ];
+    decoder_scenario "decoder-raise-retry" R.Inject.Decoder_raise ~every:2
+      ~fallback:(Some decoder) ~expect_levels:[ R.Degrade.Retry ];
+    decoder_scenario "decoder-nan" R.Inject.Decoder_nan ~every:3
+      ~fallback:(Some decoder) ~expect_levels:[];
+    decoder_scenario "decoder-garbage" R.Inject.Decoder_garbage ~every:3
+      ~fallback:(Some decoder) ~expect_levels:[];
+    (* no fallback decoder: the ladder must bottom out in template-default
+       renders (sub-threshold by construction) or flagged omissions *)
+    (let name = "decoder-raise-no-fallback" in
+     Printf.printf "- %s\n%!" name;
+     let inj = R.Inject.create ~seed ~every:1 R.Inject.Decoder_raise in
+     let report = R.Report.create () in
+     let wrapped fv = R.Inject.wrap_decoder inj decoder fv in
+     match
+       R.Stage.protect ~stage:name (fun () ->
+           Vega.Pipeline.generate_backend ~report t ~target ~decoder:wrapped)
+     with
+     | Error f ->
+         violation "%s: backend generation aborted (%s)" name
+           (R.Fault.to_string f)
+     | Ok gfs ->
+         check_degraded_run name report gfs;
+         List.iter
+           (fun (gf : Vega.Generate.gen_func) ->
+             List.iter
+               (fun (s : Vega.Generate.gen_stmt) ->
+                 match s.Vega.Generate.g_level with
+                 | R.Degrade.Template_default | R.Degrade.Omitted -> ()
+                 | lv ->
+                     violation "%s: unexpected %s statement" name
+                       (R.Degrade.name lv))
+               gf.Vega.Generate.gf_stmts)
+           gfs;
+         check (name ^ ": no statement passes the accept threshold")
+           (List.for_all
+              (fun gf -> Vega.Generate.kept_stmts gf = [])
+              gfs);
+         Printf.printf "    injected %d, %s\n%!" (R.Inject.injected inj)
+           (R.Report.summary report));
+
+    (* ---- corpus corruption: prepare must drop only the mangled impls,
+       record each one, and generation must still cover every group ---- *)
+    (let name = "corpus-corruption" in
+     Printf.printf "- %s\n%!" name;
+     let inj = R.Inject.create ~seed ~every:5 R.Inject.Corpus_mangle in
+     let corpus = R.Inject.corrupt_corpus inj (Vega_corpus.Corpus.build ()) in
+     let report = R.Report.create () in
+     match
+       R.Stage.protect ~stage:name (fun () ->
+           let prep2 = Vega.Pipeline.prepare ~report ~corpus () in
+           let t2 = Vega.Pipeline.train cfg prep2 in
+           Vega.Pipeline.generate_backend ~report t2 ~target
+             ~decoder:(Vega.Pipeline.retrieval_decoder t2))
+     with
+     | Error f ->
+         violation "%s: pipeline aborted (%s)" name (R.Fault.to_string f)
+     | Ok gfs ->
+         check (name ^ ": at least one group corrupted")
+           (R.Inject.injected inj > 0);
+         check (name ^ ": every corrupted impl observed in the report")
+           (R.Report.count_class report R.Fault.Ccorpus = R.Inject.injected inj);
+         check_degraded_run name report gfs;
+         Printf.printf "    injected %d, %s\n%!" (R.Inject.injected inj)
+           (R.Report.summary report));
+
+    (* ---- description-file corruption: scan detects every corrupted
+       file; the pipeline runs through on the damaged VFS ---- *)
+    (let name = "descfile-corruption" in
+     Printf.printf "- %s\n%!" name;
+     let inj = R.Inject.create ~seed ~every:2 R.Inject.Descfile_garbage in
+     let corpus = Vega_corpus.Corpus.build () in
+     let corrupted =
+       R.Inject.corrupt_descfiles inj corpus.Vega_corpus.Corpus.vfs ~target
+     in
+     let report = R.Report.create () in
+     let scanned =
+       R.Inject.scan_vfs ~report corpus.Vega_corpus.Corpus.vfs ~target
+     in
+     check (name ^ ": at least one file corrupted") (corrupted <> []);
+     check (name ^ ": scan detects every corrupted file")
+       (List.length scanned = List.length corrupted
+       && R.Report.count_class report R.Fault.Cdescfile = List.length corrupted);
+     match
+       R.Stage.protect ~stage:name (fun () ->
+           let prep3 = Vega.Pipeline.prepare ~report ~corpus () in
+           let t3 = Vega.Pipeline.train cfg prep3 in
+           Vega.Pipeline.generate_backend ~report t3 ~target
+             ~decoder:(Vega.Pipeline.retrieval_decoder t3))
+     with
+     | Error f ->
+         violation "%s: pipeline aborted (%s)" name (R.Fault.to_string f)
+     | Ok gfs ->
+         check (name ^ ": backend function count unchanged")
+           (List.length gfs = List.length baseline);
+         List.iter
+           (fun (gf : Vega.Generate.gen_func) ->
+             List.iter
+               (fun (s : Vega.Generate.gen_stmt) ->
+                 if
+                   not
+                     (Float.is_finite s.Vega.Generate.g_score
+                     && s.Vega.Generate.g_score >= 0.0
+                     && s.Vega.Generate.g_score <= 1.0)
+                 then violation "%s: out-of-range score" name)
+               gf.Vega.Generate.gf_stmts)
+           gfs;
+         Printf.printf "    corrupted %d file(s), %s\n%!"
+           (List.length corrupted) (R.Report.summary report));
+
+    (* ---- interpreter fuel: the dedicated exception classifies as a
+       timeout fault, never as a generic stage failure ---- *)
+    (let name = "interp-fuel" in
+     Printf.printf "- %s\n%!" name;
+     let report = R.Report.create () in
+     let f =
+       Vega_srclang.Parser.parse_function
+         "int spin() { while (true) { int x = 1; } return 0; }"
+     in
+     let env = Vega_srclang.Interp.create_env () in
+     (match
+        R.Stage.protect ~report ~stage:name (fun () ->
+            Vega_srclang.Interp.call ~fuel:256 env f [])
+      with
+     | Error (R.Fault.Interp_fuel_exhausted { fuel = 256 }) -> ()
+     | Error f ->
+         violation "%s: misclassified as %s" name (R.Fault.to_string f)
+     | Ok _ -> violation "%s: expected fuel exhaustion" name);
+     check (name ^ ": observed in the report")
+       (R.Report.count_class report R.Fault.Cinterp_fuel = 1);
+     Printf.printf "    %s\n%!" (R.Report.summary report));
+
+    (* ---- simulator fuel + trap: dedicated Timeout status, and traps
+       keep their own class ---- *)
+    (let name = "sim-fuel" in
+     Printf.printf "- %s\n%!" name;
+     let report = R.Report.create () in
+     let vfs = prep.Vega.Pipeline.corpus.Vega_corpus.Corpus.vfs in
+     let _, conv = Vega_eval.Refbackend.backend_for vfs p in
+     let case =
+       match Vega_ir.Programs.find "loop_sum" with
+       | Some c -> c
+       | None -> failwith "loop_sum regression case missing"
+     in
+     let out =
+       Vega_backend.Compiler.compile conv ~opt:Vega_backend.Compiler.O0
+         (Vega_ir.Programs.modul_of case)
+     in
+     let r =
+       Vega_sim.Machine.run ~fuel:16 conv out.Vega_backend.Compiler.emitted
+         ~entry:case.Vega_ir.Programs.entry ~args:case.Vega_ir.Programs.args
+     in
+     (match r.Vega_sim.Machine.status with
+     | Vega_sim.Machine.Timeout f ->
+         R.Report.record report ~stage:name
+           (R.Fault.Sim_fuel_exhausted { fuel = f })
+     | Vega_sim.Machine.Finished _ ->
+         violation "%s: expected a timeout, simulation finished" name
+     | Vega_sim.Machine.Trap m ->
+         violation "%s: fuel exhaustion misclassified as trap (%s)" name m);
+     check (name ^ ": observed in the report")
+       (R.Report.count_class report R.Fault.Csim_fuel = 1);
+     let r2 =
+       Vega_sim.Machine.run conv out.Vega_backend.Compiler.emitted
+         ~entry:"__no_such_entry__" ~args:[]
+     in
+     (match r2.Vega_sim.Machine.status with
+     | Vega_sim.Machine.Trap m ->
+         R.Report.record report ~stage:"sim-trap" (R.Fault.Sim_trap { message = m })
+     | _ -> violation "sim-trap: expected a trap on an unknown entry point");
+     check "sim-trap: observed in the report"
+       (R.Report.count_class report R.Fault.Csim_trap = 1);
+     Printf.printf "    %s\n%!" (R.Report.summary report));
+
+    if !violations = 0 then begin
+      Printf.printf "faultcheck: OK — full injection matrix, zero violations\n";
+      exit 0
+    end
+    else begin
+      Printf.printf "faultcheck: %d invariant violation(s)\n" !violations;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "faultcheck"
+       ~doc:
+         "Run the deterministic fault-injection matrix (decoder, corpus, \
+          description files, interpreter and simulator fuel) against one \
+          target; non-zero exit on any invariant violation")
+    Term.(const run $ target_arg $ seed_arg)
+
 let compile_cmd =
   let prog_arg =
     Arg.(value & opt string "loop_sum" & info [ "p"; "program" ]
@@ -223,4 +583,11 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "vega-cli" ~doc)
-          [ stats_cmd; generate_cmd; backend_cmd; lint_cmd; compile_cmd ]))
+          [
+            stats_cmd;
+            generate_cmd;
+            backend_cmd;
+            lint_cmd;
+            faultcheck_cmd;
+            compile_cmd;
+          ]))

@@ -57,7 +57,9 @@ let () =
   | Vega_sim.Machine.Finished ret ->
       Printf.printf "\n== simulation: finished (ret %s) ==\n"
         (match ret with Some v -> string_of_int v | None -> "-")
-  | Vega_sim.Machine.Trap m -> Printf.printf "\n== simulation: TRAP %s ==\n" m);
+  | Vega_sim.Machine.Trap m -> Printf.printf "\n== simulation: TRAP %s ==\n" m
+  | Vega_sim.Machine.Timeout f ->
+      Printf.printf "\n== simulation: TIMEOUT (fuel %d) ==\n" f);
   Printf.printf "output:  [%s]\n"
     (String.concat "; " (List.map string_of_int r.Vega_sim.Machine.output));
   Printf.printf "golden:  [%s]\n"

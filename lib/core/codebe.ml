@@ -145,6 +145,16 @@ let exact_match t pairs =
       float_of_int hits /. float_of_int (List.length pairs)
 
 let mean_token_prob probs =
-  let n = Array.length probs in
-  if n = 0 then 1.0
-  else Array.fold_left ( +. ) 0.0 probs /. float_of_int n
+  (* NaN/infinite entries are dropped rather than averaged: a single
+     poisoned probability must not poison the statement confidence *)
+  let sum = ref 0.0 and n = ref 0 in
+  Array.iter
+    (fun p ->
+      if Float.is_finite p then begin
+        sum := !sum +. p;
+        incr n
+      end)
+    probs;
+  if Array.length probs = 0 then 1.0
+  else if !n = 0 then 0.0
+  else Float.max 0.0 (Float.min 1.0 (!sum /. float_of_int !n))

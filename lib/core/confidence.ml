@@ -1,5 +1,10 @@
 let threshold = 0.5
 
+let sanitize s =
+  if Float.is_nan s then 0.0
+  else if s = Float.infinity then 1.0
+  else Float.max 0.0 (Float.min 1.0 s)
+
 let score ~n_tokens ~n_common ~slot_candidates ~present =
   if not present then 0.0
   else if n_tokens = 0 then 1.0
@@ -11,7 +16,7 @@ let score ~n_tokens ~n_common ~slot_candidates ~present =
         (fun acc n -> acc +. (1.0 /. (t *. float_of_int (max 1 n))))
         0.0 slot_candidates
     in
-    Float.min 1.0 (common +. var)
+    sanitize (common +. var)
   end
 
 let counts (st : Template.stmt_template) =

@@ -11,6 +11,10 @@
 val threshold : float
 (** The accept threshold (0.5, Sec. 3.3). *)
 
+val sanitize : float -> float
+(** Clamp a confidence to [0, 1], neutralizing NaN (to 0) and infinities
+    — scores must stay reviewable even when an input is poisoned. *)
+
 val score :
   n_tokens:int -> n_common:int -> slot_candidates:int list -> present:bool -> float
 

@@ -1,3 +1,8 @@
+module Fault = Vega_robust.Fault
+module Degrade = Vega_robust.Degrade
+module Stage = Vega_robust.Stage
+module Report = Vega_robust.Report
+
 type decoder = Featrep.fv -> string list * float array
 
 type gen_stmt = {
@@ -10,6 +15,9 @@ type gen_stmt = {
       (** the emitted tokens instantiate the statement template of this
           slot — the static shape signal {!Vega_analysis} pass 1 and the
           evaluation harness correlate with confidence *)
+  g_level : Degrade.level;
+      (** provenance: which rung of the degradation ladder produced the
+          statement ([Primary] on the happy path) *)
 }
 
 type gen_func = {
@@ -20,88 +28,161 @@ type gen_func = {
   gf_stmts : gen_stmt list;
 }
 
-let run ctx (tpl : Template.t) analysis hints ~target ~decoder =
+let omitted_stmt (fv : Featrep.fv) =
+  {
+    g_col = fv.Featrep.col;
+    g_line = fv.Featrep.line;
+    g_inst = fv.Featrep.inst;
+    g_score = 0.0;
+    g_tokens = [];
+    g_shape_ok = false;
+    g_level = Degrade.Omitted;
+  }
+
+let run ?fallback ?report ctx (tpl : Template.t) analysis hints ~target ~decoder =
   let view = Featsel.view_for_new_target ctx tpl analysis target in
   let fvs = Featrep.generation_fvs analysis tpl hints view in
+  let fname = tpl.Template.fname in
+  (* One decode attempt at a given rung. Stage isolation converts any
+     escaping exception into a recorded fault; non-finite probabilities
+     are a fault of their own (they would poison the confidence). *)
+  let attempt level d (fv : Featrep.fv) =
+    match
+      Stage.protect ?report ~stage:(Degrade.name level) (fun () ->
+          let out_tokens, probs = d fv in
+          if not (Array.for_all Float.is_finite probs) then
+            raise
+              (Fault.Fault
+                 (Fault.Nan_score
+                    {
+                      fname;
+                      detail =
+                        Printf.sprintf
+                          "non-finite token probability (col %d line %d inst %d)"
+                          fv.Featrep.col fv.Featrep.line fv.Featrep.inst;
+                    }));
+          (out_tokens, probs))
+    with
+    | Ok (out_tokens, probs) -> Some (level, out_tokens, probs)
+    | Error _ -> None
+  in
+  let gen_one ((fv : Featrep.fv), (iv : Resolve.inst_values)) =
+    let column0 =
+      if fv.col = -1 then Template.signature_column tpl
+      else Fault.nth ~what:(fname ^ ".columns") tpl.Template.columns fv.col
+    in
+    let st0 = Fault.nth ~what:(fname ^ ".unit") column0.Template.unit fv.line in
+    (* the degradation ladder: primary decode, one retry, retrieval
+       fallback, then a deterministic template-default render, finally
+       omission with a flag *)
+    let ladder =
+      match attempt Degrade.Primary decoder fv with
+      | Some a -> Some a
+      | None -> (
+          match attempt Degrade.Retry decoder fv with
+          | Some a -> Some a
+          | None -> (
+              match fallback with
+              | Some fb -> attempt Degrade.Retrieval_fallback fb fv
+              | None -> None))
+    in
+    let level, score_opt, body, probs =
+      match ladder with
+      | Some (level, out_tokens, probs) ->
+          let score_opt, body =
+            Featrep.decode_output ~registers:fv.registers ~inst:fv.inst out_tokens
+          in
+          (level, score_opt, body, probs)
+      | None -> (
+          match
+            Featrep.render_line analysis column0 ~col:fv.col ~line:fv.line iv st0
+          with
+          | Some rendered -> (Degrade.Template_default, None, rendered, [||])
+          | None -> (Degrade.Omitted, None, [], [||]))
+    in
+    (* the paper's Eq. (1): has(S_k) estimated from the independent
+       properties, N(SV) from the target's candidate sets; the model's
+       own score token only ever lowers it *)
+    let has =
+      fv.col = -1 || Resolve.presence_estimate analysis tpl column0 view
+    in
+    let eq1 =
+      Confidence.statement_score
+        ~slot_candidates:
+          (Confidence.slot_candidate_counts analysis view ~col:fv.col
+             ~line:fv.line st0)
+        st0 ~present:has
+    in
+    let model_score =
+      match score_opt with Some s -> s | None -> Codebe.mean_token_prob probs
+    in
+    let score = if has then Confidence.sanitize eq1 else 0.0 in
+    let score =
+      (* a model that is confident a present statement is absent still
+         flags it for review (Err-CS channel) *)
+      if has && model_score < 0.25 then Float.min score 0.45 else score
+    in
+    (* each rung caps the confidence: degraded statements can only ever
+       score lower than their primary-path counterparts *)
+    let score = Float.min score (Degrade.cap level) in
+    (* template-guided repair: a kept statement that does not fit its
+       own statement template is re-rendered from the resolved values
+       (the generator owns the template, Sec. 3.4) *)
+    let column = column0 in
+    let st = st0 in
+    let slots_well_formed slots =
+      (* every slot's word count must agree with its pattern arity *)
+      List.for_all2
+        (fun toks si ->
+          match Featsel.pattern analysis ~col:fv.col ~line:fv.line ~slot:si with
+          | Some pat -> List.length toks = List.length pat
+          | None -> true)
+        slots
+        (List.init st.Template.nslots Fun.id)
+    in
+    let body =
+      if score < Confidence.threshold then body
+      else
+        match Template.match_instance st body with
+        | Some slots when slots_well_formed slots -> body
+        | Some _ | None -> (
+            match
+              Featrep.render_line analysis column ~col:fv.col ~line:fv.line iv st
+            with
+            | Some fixed -> fixed
+            | None -> body)
+    in
+    let shape_ok =
+      match Template.match_instance st body with
+      | Some slots -> slots_well_formed slots
+      | None -> false
+    in
+    {
+      g_col = fv.col;
+      g_line = fv.line;
+      g_inst = fv.inst;
+      g_score = score;
+      g_tokens = body;
+      g_shape_ok = shape_ok;
+      g_level = level;
+    }
+  in
   let stmts =
     List.map
-      (fun ((fv : Featrep.fv), (iv : Resolve.inst_values)) ->
-        let out_tokens, probs = decoder fv in
-        let score_opt, body =
-          Featrep.decode_output ~registers:fv.registers ~inst:fv.inst out_tokens
+      (fun ((fv, _) as pair) ->
+        let stmt =
+          (* a statement can never abort the function: any fault left at
+             this point degrades it to an omitted, zero-confidence slot *)
+          match Stage.protect ?report ~stage:"generate" (fun () -> gen_one pair) with
+          | Ok s -> s
+          | Error _ -> omitted_stmt fv
         in
-        let column0 =
-          if fv.col = -1 then Template.signature_column tpl
-          else List.nth tpl.Template.columns fv.col
-        in
-        let st0 = List.nth column0.Template.unit fv.line in
-        (* the paper's Eq. (1): has(S_k) estimated from the independent
-           properties, N(SV) from the target's candidate sets; the model's
-           own score token only ever lowers it *)
-        let has =
-          fv.col = -1 || Resolve.presence_estimate analysis tpl column0 view
-        in
-        let eq1 =
-          Confidence.statement_score
-            ~slot_candidates:
-              (Confidence.slot_candidate_counts analysis view ~col:fv.col
-                 ~line:fv.line st0)
-            st0 ~present:has
-        in
-        let model_score =
-          match score_opt with
-          | Some s -> s
-          | None -> Codebe.mean_token_prob probs
-        in
-        let score = if has then Float.min 1.0 (Float.max eq1 0.0) else 0.0 in
-        let score =
-          (* a model that is confident a present statement is absent still
-             flags it for review (Err-CS channel) *)
-          if has && model_score < 0.25 then Float.min score 0.45 else score
-        in
-        (* template-guided repair: a kept statement that does not fit its
-           own statement template is re-rendered from the resolved values
-           (the generator owns the template, Sec. 3.4) *)
-        let column = column0 in
-        let st = st0 in
-        let slots_well_formed slots =
-          (* every slot's word count must agree with its pattern arity *)
-          List.for_all2
-            (fun toks si ->
-              match
-                Featsel.pattern analysis ~col:fv.col ~line:fv.line ~slot:si
-              with
-              | Some pat -> List.length toks = List.length pat
-              | None -> true)
-            slots
-            (List.init st.Template.nslots Fun.id)
-        in
-        let body =
-          if score < Confidence.threshold then body
-          else
-            match Template.match_instance st body with
-            | Some slots when slots_well_formed slots -> body
-            | Some _ | None -> (
-                match
-                  Featrep.render_line analysis column ~col:fv.col ~line:fv.line
-                    iv st
-                with
-                | Some fixed -> fixed
-                | None -> body)
-        in
-        let shape_ok =
-          match Template.match_instance st body with
-          | Some slots -> slots_well_formed slots
-          | None -> false
-        in
-        {
-          g_col = fv.col;
-          g_line = fv.line;
-          g_inst = fv.inst;
-          g_score = score;
-          g_tokens = body;
-          g_shape_ok = shape_ok;
-        })
+        Option.iter
+          (fun r ->
+            Report.record_degradation r ~fname ~col:stmt.g_col ~line:stmt.g_line
+              ~inst:stmt.g_inst stmt.g_level)
+          report;
+        stmt)
       fvs
   in
   let confidence = match stmts with [] -> 0.0 | s :: _ -> s.g_score in

@@ -17,6 +17,10 @@ type gen_stmt = {
   g_shape_ok : bool;
       (** tokens instantiate this slot's statement template (static
           shape signal consumed by the analyzer and the metrics) *)
+  g_level : Vega_robust.Degrade.level;
+      (** provenance: the degradation-ladder rung that produced the
+          statement; anything below [Primary] had its confidence capped
+          by {!Vega_robust.Degrade.cap} *)
 }
 
 type gen_func = {
@@ -28,6 +32,8 @@ type gen_func = {
 }
 
 val run :
+  ?fallback:decoder ->
+  ?report:Vega_robust.Report.t ->
   Featsel.context ->
   Template.t ->
   Featsel.t ->
@@ -35,6 +41,10 @@ val run :
   target:string ->
   decoder:decoder ->
   gen_func
+(** A failing statement never aborts the function: generation walks the
+    degradation ladder (retry once, [fallback] decoder, template-default
+    render, omit-with-flag), capping confidence per rung and recording
+    faults and degradations in [report] when given. *)
 
 val kept_stmts : gen_func -> gen_stmt list
 (** Statements at or above the 0.5 confidence threshold (what pass@1

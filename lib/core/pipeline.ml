@@ -13,6 +13,7 @@ type prepared = {
   corpus : Corpus.t;
   ctx : Featsel.context;
   bundles : bundle list;
+  prep_report : Vega_robust.Report.t;
 }
 
 type t = {
@@ -61,29 +62,69 @@ let impl_items (impl : Corpus.impl) =
   in
   lines
 
-let template_of_group (g : Corpus.group) =
-  let per_target =
-    List.map
-      (fun (impl : Corpus.impl) ->
-        let items = impl_items impl in
-        (* split off the function-definition line *)
-        match items with
-        | Preprocess.Single ({ Preprocess.kind = "fundef"; _ } as sig_line) :: rest
-          ->
-            (impl.Corpus.target, sig_line, rest)
-        | _ ->
-            (* should not happen: every function flattens to fundef first *)
-            ( impl.Corpus.target,
-              { Preprocess.kind = "fundef"; tokens = [] },
-              items ))
-      g.Corpus.impls
+(* Per-implementation structural validation: an impl survives only when
+   its target is registered and its flattened body leads with the
+   function-definition line. Anything else is corpus corruption —
+   recorded, and the impl dropped rather than aborting the run. *)
+let validated_impls report fname (impls : Corpus.impl list) =
+  let fail detail =
+    Vega_robust.Report.record report ~stage:"prepare"
+      (Vega_robust.Fault.Corpus_corruption { group = fname; detail });
+    None
   in
-  let impls = List.map (fun (t, _, items) -> (t, items)) per_target in
-  let signature_lines = List.map (fun (t, s, _) -> (t, s)) per_target in
-  Template.build ~fname:g.Corpus.spec.Vega_corpus.Spec.fname
-    ~module_:g.Corpus.spec.Vega_corpus.Spec.module_ impls ~signature_lines
+  List.filter_map
+    (fun (impl : Corpus.impl) ->
+      let tgt = impl.Corpus.target in
+      if Vega_target.Registry.find tgt = None then
+        fail (Printf.sprintf "implementation for unregistered target %s" tgt)
+      else
+        match
+          Vega_robust.Stage.protect ~report ~stage:"prepare" (fun () ->
+              impl_items impl)
+        with
+        | Error _ -> None
+        | Ok
+            (Preprocess.Single ({ Preprocess.kind = "fundef"; _ } as sig_line)
+            :: rest) ->
+            Some (tgt, sig_line, rest)
+        | Ok _ ->
+            fail
+              (Printf.sprintf
+                 "%s implementation does not start with a function-definition \
+                  line"
+                 tgt))
+    impls
 
-let prepare ?corpus () =
+let bundle_of_group report ctx (g : Corpus.group) =
+  let fname = g.Corpus.spec.Vega_corpus.Spec.fname in
+  match validated_impls report fname g.Corpus.impls with
+  | [] ->
+      if g.Corpus.impls <> [] then
+        Vega_robust.Report.record report ~stage:"prepare"
+          (Vega_robust.Fault.Corpus_corruption
+             { group = fname; detail = "no valid implementation left" });
+      None
+  | per_target -> (
+      match
+        Vega_robust.Stage.protect ~report ~stage:"prepare" (fun () ->
+            let impls = List.map (fun (t, _, items) -> (t, items)) per_target in
+            let signature_lines = List.map (fun (t, s, _) -> (t, s)) per_target in
+            let tpl =
+              Template.build ~fname
+                ~module_:g.Corpus.spec.Vega_corpus.Spec.module_ impls
+                ~signature_lines
+            in
+            let analysis = Featsel.analyze ctx tpl in
+            let hints = Resolve.collect_hints analysis tpl in
+            { spec = g.Corpus.spec; tpl; analysis; hints })
+      with
+      | Ok b -> Some b
+      | Error _ -> None)
+
+let prepare ?report ?corpus () =
+  let report =
+    match report with Some r -> r | None -> Vega_robust.Report.create ()
+  in
   let corpus = match corpus with Some c -> c | None -> Corpus.build () in
   let training_targets =
     List.map (fun (p : Vega_target.Profile.t) -> p.name) Vega_target.Registry.training
@@ -98,17 +139,11 @@ let prepare ?corpus () =
   let bundles =
     List.filter_map
       (fun (g : Corpus.group) ->
-        if g.Corpus.impls = [] then None
-        else begin
-          let tpl = template_of_group g in
-          let analysis = Featsel.analyze ctx tpl in
-          let hints = Resolve.collect_hints analysis tpl in
-          Some { spec = g.Corpus.spec; tpl; analysis; hints }
-        end)
+        if g.Corpus.impls = [] then None else bundle_of_group report ctx g)
       corpus.Corpus.groups
   in
   Log.info (fun m -> m "prepared %d function templates" (List.length bundles));
-  { corpus; ctx; bundles }
+  { corpus; ctx; bundles; prep_report = report }
 
 let bundle_for prep fname =
   List.find_opt (fun b -> b.spec.Vega_corpus.Spec.fname = fname) prep.bundles
@@ -176,12 +211,16 @@ let verification_exact_match t =
 let model_decoder t (fv : Featrep.fv) = Codebe.infer t.codebe fv.input
 let retrieval_decoder t = Retrieval.decode t.retrieval
 
-let generate_backend t ~target ~decoder =
+let generate_backend ?fallback ?report t ~target ~decoder =
   List.map
-    (fun b -> Generate.run t.prep.ctx b.tpl b.analysis b.hints ~target ~decoder)
+    (fun b ->
+      Generate.run ?fallback ?report t.prep.ctx b.tpl b.analysis b.hints ~target
+        ~decoder)
     t.prep.bundles
 
-let generate_function t ~target ~decoder ~fname =
+let generate_function ?fallback ?report t ~target ~decoder ~fname =
   Option.map
-    (fun b -> Generate.run t.prep.ctx b.tpl b.analysis b.hints ~target ~decoder)
+    (fun b ->
+      Generate.run ?fallback ?report t.prep.ctx b.tpl b.analysis b.hints ~target
+        ~decoder)
     (bundle_for t.prep fname)

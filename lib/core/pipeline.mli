@@ -19,6 +19,9 @@ type prepared = {
   corpus : Vega_corpus.Corpus.t;
   ctx : Featsel.context;
   bundles : bundle list;
+  prep_report : Vega_robust.Report.t;
+      (** corpus-corruption and stage faults observed while preparing;
+          empty on a healthy corpus *)
 }
 
 type t = {
@@ -41,9 +44,14 @@ val default_config : config
 val test_config : config
 (** Tiny settings for unit/integration tests. *)
 
-val prepare : ?corpus:Vega_corpus.Corpus.t -> unit -> prepared
+val prepare :
+  ?report:Vega_robust.Report.t -> ?corpus:Vega_corpus.Corpus.t -> unit -> prepared
 (** Stage 1 (Code-Feature Mapping) over the training targets; held-out
-    target catalogs are registered for later generation. *)
+    target catalogs are registered for later generation. Corrupted
+    implementations (unregistered target, missing leading
+    function-definition line, pre-processing crash) are recorded in
+    [report] and dropped per-impl — a group is skipped only when no valid
+    implementation remains; the run itself never aborts. *)
 
 val bundle_for : prepared -> string -> bundle option
 (** Lookup by interface-function name. *)
@@ -59,9 +67,15 @@ val model_decoder : t -> Generate.decoder
 val retrieval_decoder : t -> Generate.decoder
 
 val generate_backend :
+  ?fallback:Generate.decoder ->
+  ?report:Vega_robust.Report.t ->
   t -> target:string -> decoder:Generate.decoder -> Generate.gen_func list
-(** Stage 3: generate every interface function for a new target. *)
+(** Stage 3: generate every interface function for a new target.
+    [fallback] and [report] thread through to {!Generate.run}'s
+    degradation ladder. *)
 
 val generate_function :
+  ?fallback:Generate.decoder ->
+  ?report:Vega_robust.Report.t ->
   t -> target:string -> decoder:Generate.decoder -> fname:string ->
   Generate.gen_func option

@@ -18,6 +18,9 @@ type fn_eval = {
   fe_diags : Vega_analysis.Diagnostic.t list;
       (** static-analyzer findings on the generated function *)
   fe_shape_bad : int;  (** kept statements failing the template shape check *)
+  fe_degraded : int;
+  fe_omitted : int;
+  fe_timeout : bool;
 }
 
 type target_eval = {
@@ -25,6 +28,8 @@ type target_eval = {
   te_fns : fn_eval list;
   te_gen_seconds : float;
   te_module_seconds : (M.t * float) list;
+  te_faults : (Vega_robust.Fault.cls * int) list;
+  te_degraded : (Vega_robust.Degrade.level * int) list;
 }
 
 let canon_lines (f : Vega_srclang.Ast.func) =
@@ -157,10 +162,27 @@ let eval_generated prep vfs (p : Vega_target.Profile.t) reference
     fe_err_def = (not pass) && err_def;
     fe_diags = diags;
     fe_shape_bad = shape_bad;
+    fe_degraded =
+      List.length
+        (List.filter
+           (fun (s : Vega.Generate.gen_stmt) ->
+             s.Vega.Generate.g_level <> Vega_robust.Degrade.Primary)
+           gf.Vega.Generate.gf_stmts);
+    fe_omitted =
+      List.length
+        (List.filter
+           (fun (s : Vega.Generate.gen_stmt) ->
+             s.Vega.Generate.g_level = Vega_robust.Degrade.Omitted)
+           gf.Vega.Generate.gf_stmts);
+    fe_timeout =
+      (match pass_result with Ok () -> false | Error f -> Regression.is_timeout f);
   }
 
-let evaluate_target (t : Vega.Pipeline.t) ~decoder (p : Vega_target.Profile.t)
-    ?(cases = Regression.default_cases) () =
+let evaluate_target ?fallback ?report (t : Vega.Pipeline.t) ~decoder
+    (p : Vega_target.Profile.t) ?(cases = Regression.default_cases) () =
+  let report =
+    match report with Some r -> r | None -> Vega_robust.Report.create ()
+  in
   let vfs = t.Vega.Pipeline.prep.Vega.Pipeline.corpus.C.vfs in
   let reference = Regression.reference_artifacts vfs p ~cases () in
   let tab = Vega_analysis.Lint.symtab vfs p in
@@ -175,7 +197,8 @@ let evaluate_target (t : Vega.Pipeline.t) ~decoder (p : Vega_target.Profile.t)
         else begin
           let gf, dt =
             Vega_util.Timer.time (fun () ->
-                Vega.Generate.run t.Vega.Pipeline.prep.Vega.Pipeline.ctx
+                Vega.Generate.run ?fallback ~report
+                  t.Vega.Pipeline.prep.Vega.Pipeline.ctx
                   b.Vega.Pipeline.tpl b.Vega.Pipeline.analysis
                   b.Vega.Pipeline.hints ~target:p.Vega_target.Profile.name
                   ~decoder)
@@ -199,6 +222,8 @@ let evaluate_target (t : Vega.Pipeline.t) ~decoder (p : Vega_target.Profile.t)
       List.filter_map
         (fun m -> Option.map (fun s -> (m, s)) (Hashtbl.find_opt module_times m))
         M.all;
+    te_faults = Vega_robust.Report.by_class report;
+    te_degraded = Vega_robust.Report.by_level report;
   }
 
 let evaluate_forkflow (prep : Vega.Pipeline.prepared) (p : Vega_target.Profile.t)
@@ -240,6 +265,12 @@ let evaluate_forkflow (prep : Vega.Pipeline.prepared) (p : Vega_target.Profile.t
               fe_err_def = false;
               fe_diags = Vega_analysis.Lint.lint_function tab ~spec f;
               fe_shape_bad = 0;
+              fe_degraded = 0;
+              fe_omitted = 0;
+              fe_timeout =
+                (match pass_result with
+                | Ok () -> false
+                | Error fl -> Regression.is_timeout fl);
             }
         end)
       forked
@@ -249,6 +280,8 @@ let evaluate_forkflow (prep : Vega.Pipeline.prepared) (p : Vega_target.Profile.t
     te_fns = fns;
     te_gen_seconds = 0.0;
     te_module_seconds = [];
+    te_faults = [];
+    te_degraded = [];
   }
 
 (* ------------------------------------------------------------------ *)
@@ -288,6 +321,13 @@ let conf1_share fns =
 
 let multi_source_share fns =
   ratio (List.length (List.filter (fun f -> f.fe_multi_source) fns)) (List.length fns)
+
+(* ------------------------------------------------------------------ *)
+(* Robustness counters                                                  *)
+
+let degraded_stmts fns = List.fold_left (fun a f -> a + f.fe_degraded) 0 fns
+let omitted_stmts fns = List.fold_left (fun a f -> a + f.fe_omitted) 0 fns
+let timeout_count fns = List.length (List.filter (fun f -> f.fe_timeout) fns)
 
 (* ------------------------------------------------------------------ *)
 (* Static-analysis correlation: how much of pass@1 failure the analyzer

@@ -19,6 +19,11 @@ type fn_eval = {
   fe_diags : Vega_analysis.Diagnostic.t list;
       (** static-analyzer findings on the generated function *)
   fe_shape_bad : int;  (** kept statements failing the template shape check *)
+  fe_degraded : int;
+      (** statements produced below the primary degradation rung *)
+  fe_omitted : int;  (** statements omitted-with-flag *)
+  fe_timeout : bool;
+      (** pass@1 failed on fuel exhaustion rather than wrong code *)
 }
 
 type target_eval = {
@@ -26,9 +31,15 @@ type target_eval = {
   te_fns : fn_eval list;
   te_gen_seconds : float;  (** wall-clock of the generation stage (Fig. 7) *)
   te_module_seconds : (Vega_target.Module_id.t * float) list;
+  te_faults : (Vega_robust.Fault.cls * int) list;
+      (** faults observed while generating, by class (non-zero only) *)
+  te_degraded : (Vega_robust.Degrade.level * int) list;
+      (** degraded statements by ladder rung (non-zero only) *)
 }
 
 val evaluate_target :
+  ?fallback:Vega.Generate.decoder ->
+  ?report:Vega_robust.Report.t ->
   Vega.Pipeline.t ->
   decoder:Vega.Generate.decoder ->
   Vega_target.Profile.t ->
@@ -36,7 +47,9 @@ val evaluate_target :
   unit ->
   target_eval
 (** Generate the whole backend for a held-out target and pass@1-check
-    every function. *)
+    every function. Generation runs under the degradation ladder;
+    observed faults and degradations land in [report] (a fresh one when
+    omitted) and in the [te_faults]/[te_degraded] counters. *)
 
 val evaluate_forkflow :
   Vega.Pipeline.prepared ->
@@ -59,6 +72,13 @@ val conf1_share : fn_eval list -> float
 (** Among accurate functions, share with confidence > 0.99 (Fig. 8). *)
 
 val multi_source_share : fn_eval list -> float
+
+(** {1 Robustness counters} *)
+
+val degraded_stmts : fn_eval list -> int
+val omitted_stmts : fn_eval list -> int
+val timeout_count : fn_eval list -> int
+(** Functions whose pass@1 failure was a fuel timeout. *)
 
 (** {1 Static-analysis correlation} *)
 

@@ -38,7 +38,7 @@ let speedup conv (c : P.case) =
     let r = Vega_sim.Machine.run conv out.B.Compiler.emitted ~entry:c.P.entry ~args:c.P.args in
     match r.Vega_sim.Machine.status with
     | Vega_sim.Machine.Finished _ -> Some (max 1 r.Vega_sim.Machine.cycles)
-    | Vega_sim.Machine.Trap _ -> None
+    | Vega_sim.Machine.Trap _ | Vega_sim.Machine.Timeout _ -> None
   in
   match (cycles B.Compiler.O0, cycles B.Compiler.O3) with
   | Some c0, Some c3 -> Some (float_of_int c0 /. float_of_int c3)
@@ -82,7 +82,7 @@ let robustness vfs (p : Vega_target.Profile.t) ~vega_sources () =
               in
               match r.Vega_sim.Machine.status with
               | Vega_sim.Machine.Finished _ -> r.Vega_sim.Machine.output = P.golden c
-              | Vega_sim.Machine.Trap _ -> false)
+              | Vega_sim.Machine.Trap _ | Vega_sim.Machine.Timeout _ -> false)
           | exception _ -> false)
         [ B.Compiler.O0; B.Compiler.O3 ])
     (P.regression @ P.benchmarks)

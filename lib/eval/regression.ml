@@ -16,6 +16,9 @@ type case_artifacts = {
 
 type failure = { f_case : string; f_reason : string }
 
+let is_timeout f =
+  String.length f.f_reason >= 7 && String.sub f.f_reason 0 7 = "timeout"
+
 let default_cases = P.regression
 
 let opt_name = function B.Compiler.O0 -> "O0" | B.Compiler.O3 -> "O3"
@@ -26,6 +29,8 @@ let compile_case conv (c : P.case) ~opt =
       let r = Vega_sim.Machine.run conv out.B.Compiler.emitted ~entry:c.P.entry ~args:c.P.args in
       match r.Vega_sim.Machine.status with
       | Vega_sim.Machine.Trap m -> Error (Printf.sprintf "trap: %s" m)
+      | Vega_sim.Machine.Timeout f ->
+          Error (Printf.sprintf "timeout: simulator fuel (%d) exhausted" f)
       | Vega_sim.Machine.Finished _ -> (
           match B.Asmparser.roundtrip_ok conv out.B.Compiler.emitted with
           | Error m -> Error (Printf.sprintf "assembler round-trip: %s" m)
@@ -53,6 +58,8 @@ let compile_case conv (c : P.case) ~opt =
                     })))
   | exception B.Hooks.Hook_error (h, m) -> Error (Printf.sprintf "hook %s: %s" h m)
   | exception Vega_srclang.Interp.Runtime_error m -> Error (Printf.sprintf "interp: %s" m)
+  | exception Vega_srclang.Interp.Fuel_exhausted f ->
+      Error (Printf.sprintf "timeout: interpreter fuel (%d) exhausted" f)
   | exception Invalid_argument m -> Error (Printf.sprintf "internal: %s" m)
 
 let artifacts_for vfs (p : Vega_target.Profile.t) ~sources ~cases =
@@ -76,9 +83,21 @@ let artifacts_for vfs (p : Vega_target.Profile.t) ~sources ~cases =
           | Some f -> Error f
           | None -> Ok (List.rev !out))
       | exception B.Hooks.Hook_error (h, m) ->
-          Error { f_case = "<conv>"; f_reason = Printf.sprintf "hook %s: %s" h m })
+          Error { f_case = "<conv>"; f_reason = Printf.sprintf "hook %s: %s" h m }
+      | exception Vega_srclang.Interp.Fuel_exhausted f ->
+          Error
+            {
+              f_case = "<conv>";
+              f_reason = Printf.sprintf "timeout: interpreter fuel (%d) exhausted" f;
+            })
   | exception B.Hooks.Hook_error (h, m) ->
       Error { f_case = "<hooks>"; f_reason = Printf.sprintf "hook %s: %s" h m }
+  | exception Vega_srclang.Interp.Fuel_exhausted f ->
+      Error
+        {
+          f_case = "<hooks>";
+          f_reason = Printf.sprintf "timeout: interpreter fuel (%d) exhausted" f;
+        }
 
 let reference_artifacts vfs p ?(cases = default_cases) () =
   match artifacts_for vfs p ~sources:(Refbackend.sources_for p) ~cases with

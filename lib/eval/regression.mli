@@ -29,6 +29,10 @@ type failure = {
   f_reason : string;
 }
 
+val is_timeout : failure -> bool
+(** The failure is a fuel exhaustion (interpreter or simulator), not a
+    wrong-code error. *)
+
 val default_cases : Vega_ir.Programs.case list
 (** The pass@1 regression set (all of [Programs.regression]). *)
 

@@ -1,0 +1,27 @@
+type level = Primary | Retry | Retrieval_fallback | Template_default | Omitted
+
+let all = [ Primary; Retry; Retrieval_fallback; Template_default; Omitted ]
+
+let rank = function
+  | Primary -> 0
+  | Retry -> 1
+  | Retrieval_fallback -> 2
+  | Template_default -> 3
+  | Omitted -> 4
+
+(* Confidence caps per rung. Template_default sits below the 0.5 accept
+   threshold on purpose: a statement the decoder could not produce must
+   land in the Err-CS review channel, never silently pass. *)
+let cap = function
+  | Primary -> 1.0
+  | Retry -> 0.95
+  | Retrieval_fallback -> 0.75
+  | Template_default -> 0.45
+  | Omitted -> 0.0
+
+let name = function
+  | Primary -> "primary"
+  | Retry -> "retry"
+  | Retrieval_fallback -> "retrieval-fallback"
+  | Template_default -> "template-default"
+  | Omitted -> "omitted"

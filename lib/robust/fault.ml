@@ -1,0 +1,82 @@
+type t =
+  | Decoder_failure of { fname : string; stage : string; message : string }
+  | Nan_score of { fname : string; detail : string }
+  | Corpus_corruption of { group : string; detail : string }
+  | Descfile_corruption of { path : string; detail : string }
+  | Interp_fuel_exhausted of { fuel : int }
+  | Sim_fuel_exhausted of { fuel : int }
+  | Sim_trap of { message : string }
+  | Bounds_error of { what : string; index : int; length : int }
+  | Stage_failure of { stage : string; message : string }
+
+exception Fault of t
+
+type cls =
+  | Cdecoder
+  | Cscore
+  | Ccorpus
+  | Cdescfile
+  | Cinterp_fuel
+  | Csim_fuel
+  | Csim_trap
+  | Cbounds
+  | Cstage
+
+let all_classes =
+  [
+    Cdecoder;
+    Cscore;
+    Ccorpus;
+    Cdescfile;
+    Cinterp_fuel;
+    Csim_fuel;
+    Csim_trap;
+    Cbounds;
+    Cstage;
+  ]
+
+let cls_of = function
+  | Decoder_failure _ -> Cdecoder
+  | Nan_score _ -> Cscore
+  | Corpus_corruption _ -> Ccorpus
+  | Descfile_corruption _ -> Cdescfile
+  | Interp_fuel_exhausted _ -> Cinterp_fuel
+  | Sim_fuel_exhausted _ -> Csim_fuel
+  | Sim_trap _ -> Csim_trap
+  | Bounds_error _ -> Cbounds
+  | Stage_failure _ -> Cstage
+
+let cls_name = function
+  | Cdecoder -> "decoder-failure"
+  | Cscore -> "nan-score"
+  | Ccorpus -> "corpus-corruption"
+  | Cdescfile -> "descfile-corruption"
+  | Cinterp_fuel -> "interp-fuel"
+  | Csim_fuel -> "sim-fuel"
+  | Csim_trap -> "sim-trap"
+  | Cbounds -> "bounds"
+  | Cstage -> "stage-failure"
+
+let to_string = function
+  | Decoder_failure { fname; stage; message } ->
+      Printf.sprintf "decoder-failure[%s/%s]: %s" fname stage message
+  | Nan_score { fname; detail } -> Printf.sprintf "nan-score[%s]: %s" fname detail
+  | Corpus_corruption { group; detail } ->
+      Printf.sprintf "corpus-corruption[%s]: %s" group detail
+  | Descfile_corruption { path; detail } ->
+      Printf.sprintf "descfile-corruption[%s]: %s" path detail
+  | Interp_fuel_exhausted { fuel } ->
+      Printf.sprintf "interp-fuel: exhausted budget of %d steps" fuel
+  | Sim_fuel_exhausted { fuel } ->
+      Printf.sprintf "sim-fuel: exhausted budget of %d retired instructions" fuel
+  | Sim_trap { message } -> Printf.sprintf "sim-trap: %s" message
+  | Bounds_error { what; index; length } ->
+      Printf.sprintf "bounds[%s]: index %d outside 0..%d" what index (length - 1)
+  | Stage_failure { stage; message } ->
+      Printf.sprintf "stage-failure[%s]: %s" stage message
+
+let nth ~what l i =
+  let length = List.length l in
+  if i < 0 || i >= length then
+    raise (Fault (Bounds_error { what; index = i; length }))
+  else List.nth l i

@@ -1,0 +1,51 @@
+(** Structured fault taxonomy for the generation pipeline.
+
+    Every failure mode the pipeline tolerates has a typed representation
+    here: decoder exceptions, NaN/garbage token probabilities, corrupted
+    corpus groups and description files, interpreter/simulator fuel
+    exhaustion, simulator traps, and out-of-bounds template lookups.
+    Stages report faults instead of crashing; the degradation ladder in
+    [Generate] turns them into lower-confidence statements. *)
+
+type t =
+  | Decoder_failure of { fname : string; stage : string; message : string }
+      (** the decoder raised while producing tokens for [fname] *)
+  | Nan_score of { fname : string; detail : string }
+      (** a token probability came back NaN or infinite *)
+  | Corpus_corruption of { group : string; detail : string }
+      (** a reference implementation failed structural validation *)
+  | Descfile_corruption of { path : string; detail : string }
+      (** a target description file holds non-textual garbage *)
+  | Interp_fuel_exhausted of { fuel : int }
+      (** the BackendC interpreter spent its whole step budget *)
+  | Sim_fuel_exhausted of { fuel : int }
+      (** the ISA simulator spent its retired-instruction budget *)
+  | Sim_trap of { message : string }  (** the ISA simulator trapped *)
+  | Bounds_error of { what : string; index : int; length : int }
+      (** an index fell outside a template structure *)
+  | Stage_failure of { stage : string; message : string }
+      (** any other exception escaping an isolated stage *)
+
+exception Fault of t
+(** The one exception robust stages raise and {!Stage.protect} catches. *)
+
+(** Coarse class of a fault, for counting and injection matrices. *)
+type cls =
+  | Cdecoder
+  | Cscore
+  | Ccorpus
+  | Cdescfile
+  | Cinterp_fuel
+  | Csim_fuel
+  | Csim_trap
+  | Cbounds
+  | Cstage
+
+val all_classes : cls list
+val cls_of : t -> cls
+val cls_name : cls -> string
+val to_string : t -> string
+
+val nth : what:string -> 'a list -> int -> 'a
+(** Bounds-checked [List.nth]: raises [Fault (Bounds_error _)] naming
+    [what] instead of [Failure "nth"] / [Invalid_argument]. *)

@@ -1,0 +1,103 @@
+module Vfs = Vega_tdlang.Vfs
+module Corpus = Vega_corpus.Corpus
+
+type kind =
+  | Decoder_raise
+  | Decoder_nan
+  | Decoder_garbage
+  | Corpus_mangle
+  | Descfile_garbage
+
+type plan = { seed : int; kind : kind; every : int }
+
+type t = { plan : plan; mutable opportunities : int; mutable injected : int }
+
+let create ?(every = 1) ~seed kind =
+  { plan = { seed; kind; every = max 1 every }; opportunities = 0; injected = 0 }
+
+let injected t = t.injected
+let opportunities t = t.opportunities
+
+(* Deterministic firing: the [every]-th opportunity, phase-shifted by the
+   seed so different seeds hit different statements. No wall clock, no
+   global state — a plan replays identically. *)
+let fire t =
+  let n = t.opportunities in
+  t.opportunities <- n + 1;
+  let hit = (n + t.plan.seed) mod t.plan.every = 0 in
+  if hit then t.injected <- t.injected + 1;
+  hit
+
+let wrap_decoder t decode fv =
+  let inject =
+    match t.plan.kind with
+    | Decoder_raise | Decoder_nan | Decoder_garbage -> fire t
+    | Corpus_mangle | Descfile_garbage -> false
+  in
+  if not inject then decode fv
+  else
+    match t.plan.kind with
+    | Decoder_raise ->
+        raise
+          (Fault.Fault
+             (Fault.Decoder_failure
+                {
+                  fname = "<injected>";
+                  stage = "decoder";
+                  message = "injected decoder failure";
+                }))
+    | Decoder_nan ->
+        let toks, probs = decode fv in
+        (toks, Array.make (max 1 (Array.length probs)) Float.nan)
+    | Decoder_garbage ->
+        let toks, probs = decode fv in
+        (toks, Array.make (max 1 (Array.length probs)) Float.neg_infinity)
+    | Corpus_mangle | Descfile_garbage -> assert false
+
+let corrupt_corpus t (corpus : Corpus.t) =
+  let groups =
+    List.map
+      (fun (g : Corpus.group) ->
+        match g.Corpus.impls with
+        (* only groups with >= 2 implementations: the group must survive
+           with the remaining ones, losing coverage, not existence *)
+        | (impl : Corpus.impl) :: (_ :: _ as rest) when fire t ->
+            {
+              g with
+              Corpus.impls =
+                { impl with Corpus.target = Printf.sprintf "__corrupt%d__" t.plan.seed }
+                :: rest;
+            }
+        | _ -> g)
+      corpus.Corpus.groups
+  in
+  { corpus with Corpus.groups }
+
+let garbage = "\000\031corrupted\255\254\000 GARBAGE \000\127\000"
+
+let corrupt_descfiles t vfs ~target =
+  List.filter_map
+    (fun (path, _) ->
+      if fire t then begin
+        Vfs.add vfs ~path garbage;
+        Some path
+      end
+      else None)
+    (Vfs.files_under_dirs vfs (Vfs.tgtdirs target))
+
+let looks_corrupted contents =
+  String.exists (fun c -> c = '\000' || c = '\255') contents
+
+let scan_vfs ?report vfs ~target =
+  List.filter_map
+    (fun (path, contents) ->
+      if looks_corrupted contents then begin
+        let fault =
+          Fault.Descfile_corruption
+            { path; detail = "binary garbage in description file" }
+        in
+        Option.iter (fun r -> Report.record r ~stage:"vfs-scan" fault) report;
+        Some fault
+      end
+      else None)
+    (Vfs.files_under_dirs vfs (Vfs.tgtdirs target))

@@ -1,0 +1,49 @@
+(** Deterministic, seeded fault injection.
+
+    An injector carries a plan (seed, fault kind, firing period) and two
+    counters: opportunities seen and faults actually injected. Firing is a
+    pure function of the plan and the opportunity index, so a run replays
+    bit-identically under the same seed — the invariant "every injected
+    fault appears in the run report" is checkable by comparing
+    {!injected} against the report. *)
+
+type kind =
+  | Decoder_raise  (** decoder raises a typed fault *)
+  | Decoder_nan  (** decoder returns NaN token probabilities *)
+  | Decoder_garbage  (** decoder returns infinite token probabilities *)
+  | Corpus_mangle  (** a reference impl's target renamed to garbage *)
+  | Descfile_garbage  (** description files overwritten with binary junk *)
+
+type t
+
+val create : ?every:int -> seed:int -> kind -> t
+(** Fire on every [every]-th opportunity (default 1 = always),
+    phase-shifted by [seed]. *)
+
+val injected : t -> int
+val opportunities : t -> int
+
+val fire : t -> bool
+(** Count one opportunity; [true] when this one is selected for
+    injection. *)
+
+val wrap_decoder : t -> ('a -> string list * float array) -> 'a -> string list * float array
+(** Wrap any decoder-shaped function with the planned decoder fault;
+    non-decoder kinds pass through untouched. *)
+
+val corrupt_corpus : t -> Vega_corpus.Corpus.t -> Vega_corpus.Corpus.t
+(** Rename the first implementation's target of each selected multi-impl
+    group to an unregistered name. Structural corruption the [prepare]
+    validation must catch; single-impl groups are left alone so groups
+    lose coverage, not existence. *)
+
+val corrupt_descfiles : t -> Vega_tdlang.Vfs.t -> target:string -> string list
+(** Overwrite selected description files of [target] with binary garbage
+    in place; returns the corrupted paths. *)
+
+val looks_corrupted : string -> bool
+(** Heuristic used by {!scan_vfs}: NUL or 0xFF bytes in file contents. *)
+
+val scan_vfs : ?report:Report.t -> Vega_tdlang.Vfs.t -> target:string -> Fault.t list
+(** Scan [target]'s description files, returning (and recording) one
+    [Descfile_corruption] per corrupted file. *)

@@ -1,0 +1,71 @@
+type event = { ev_stage : string; ev_fault : Fault.t }
+
+type degradation = {
+  d_fname : string;
+  d_col : int;
+  d_line : int;
+  d_inst : int;
+  d_level : Degrade.level;
+}
+
+type t = {
+  mutable events : event list;  (* newest first *)
+  mutable degradations : degradation list;
+}
+
+let create () = { events = []; degradations = [] }
+
+let record r ~stage fault =
+  r.events <- { ev_stage = stage; ev_fault = fault } :: r.events
+
+let record_degradation r ~fname ~col ~line ~inst level =
+  if level <> Degrade.Primary then
+    r.degradations <-
+      { d_fname = fname; d_col = col; d_line = line; d_inst = inst; d_level = level }
+      :: r.degradations
+
+let events r = List.rev r.events
+let faults r = List.rev_map (fun e -> e.ev_fault) r.events
+let total r = List.length r.events
+
+let count_class r c =
+  List.length (List.filter (fun e -> Fault.cls_of e.ev_fault = c) r.events)
+
+let by_class r =
+  List.filter_map
+    (fun c ->
+      match count_class r c with 0 -> None | n -> Some (c, n))
+    Fault.all_classes
+
+let degradations r = List.rev r.degradations
+let degraded_count r = List.length r.degradations
+
+let count_level r l =
+  List.length (List.filter (fun d -> d.d_level = l) r.degradations)
+
+let by_level r =
+  List.filter_map
+    (fun l ->
+      match count_level r l with 0 -> None | n -> Some (l, n))
+    Degrade.all
+
+let summary r =
+  let fault_part =
+    match by_class r with
+    | [] -> "no faults"
+    | counts ->
+        String.concat ", "
+          (List.map
+             (fun (c, n) -> Printf.sprintf "%s:%d" (Fault.cls_name c) n)
+             counts)
+  in
+  let degr_part =
+    match by_level r with
+    | [] -> "no degraded statements"
+    | counts ->
+        String.concat ", "
+          (List.map
+             (fun (l, n) -> Printf.sprintf "%s:%d" (Degrade.name l) n)
+             counts)
+  in
+  Printf.sprintf "faults: %s; degradation: %s" fault_part degr_part

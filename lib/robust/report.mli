@@ -1,0 +1,39 @@
+(** Run report: every fault a run observed and every statement that was
+    generated at a degraded rung. The fault-injection invariants check
+    against this record — each injected fault must appear here. *)
+
+type event = { ev_stage : string; ev_fault : Fault.t }
+
+type degradation = {
+  d_fname : string;
+  d_col : int;
+  d_line : int;
+  d_inst : int;
+  d_level : Degrade.level;
+}
+
+type t
+
+val create : unit -> t
+
+val record : t -> stage:string -> Fault.t -> unit
+
+val record_degradation :
+  t -> fname:string -> col:int -> line:int -> inst:int -> Degrade.level -> unit
+(** No-op for {!Degrade.Primary}. *)
+
+val events : t -> event list
+(** In observation order. *)
+
+val faults : t -> Fault.t list
+val total : t -> int
+val count_class : t -> Fault.cls -> int
+val by_class : t -> (Fault.cls * int) list
+(** Only classes with a non-zero count. *)
+
+val degradations : t -> degradation list
+val degraded_count : t -> int
+val count_level : t -> Degrade.level -> int
+val by_level : t -> (Degrade.level * int) list
+
+val summary : t -> string

@@ -1,0 +1,15 @@
+let classify ~stage = function
+  | Fault.Fault f -> f
+  | Vega_srclang.Interp.Fuel_exhausted fuel -> Fault.Interp_fuel_exhausted { fuel }
+  | Vega_srclang.Interp.Runtime_error m ->
+      Fault.Stage_failure { stage; message = "interp: " ^ m }
+  | exn -> Fault.Stage_failure { stage; message = Printexc.to_string exn }
+
+let protect ?report ~stage f =
+  match f () with
+  | v -> Ok v
+  | exception ((Stack_overflow | Out_of_memory) as fatal) -> raise fatal
+  | exception exn ->
+      let fault = classify ~stage exn in
+      Option.iter (fun r -> Report.record r ~stage fault) report;
+      Error fault

@@ -1,0 +1,10 @@
+(** Result-based stage isolation: run a pipeline stage, convert any
+    escaping exception into a typed {!Fault.t}, optionally recording it. *)
+
+val classify : stage:string -> exn -> Fault.t
+(** [Fault] payloads pass through; [Interp.Fuel_exhausted] maps to
+    [Interp_fuel_exhausted]; anything else becomes [Stage_failure]. *)
+
+val protect : ?report:Report.t -> stage:string -> (unit -> 'a) -> ('a, Fault.t) result
+(** Runs [f ()], catching everything except [Stack_overflow] and
+    [Out_of_memory]. The fault is recorded in [report] when given. *)

@@ -1,11 +1,12 @@
 module I = Vega_mc.Mcinst
 module B = Vega_backend
 
-type status = Finished of int option | Trap of string
+type status = Finished of int option | Trap of string | Timeout of int
 
 type result = { output : int list; cycles : int; retired : int; status : status }
 
 exception Trap_exc of string
+exception Fuel_exc of int
 
 let trap fmt = Printf.ksprintf (fun s -> raise (Trap_exc s)) fmt
 
@@ -109,13 +110,15 @@ let run ?(fuel = 4_000_000) ?(mem_words = 65_536) (conv : B.Conv.t)
   let call_stack = ref [] in
   let loop_stack = ref [] in
   let retired = ref 0 in
-  let pc = ref (label_idx entry) in
   let finished = ref None and running = ref true in
   let ret_val () = Some (rd conv.B.Conv.ret_reg) in
   let status =
     try
+      (* inside the handler: an unknown entry label must surface as a
+         Trap status, not as an escaping exception *)
+      let pc = ref (label_idx entry) in
       while !running do
-        if !retired >= fuel then trap "fuel exhausted";
+        if !retired >= fuel then raise (Fuel_exc fuel);
         if !pc < 0 || !pc >= n then trap "pc out of range";
         let inst = insts.(!pc) in
         incr retired;
@@ -253,6 +256,8 @@ let run ?(fuel = 4_000_000) ?(mem_words = 65_536) (conv : B.Conv.t)
       Finished !finished
     with
     | Trap_exc msg -> Trap msg
+    | Fuel_exc f -> Timeout f
+    | Vega_srclang.Interp.Fuel_exhausted f -> Timeout f
     | B.Hooks.Hook_error (h, msg) -> Trap (Printf.sprintf "hook %s: %s" h msg)
   in
   { output = List.rev !output; cycles = !cycle; retired = !retired; status }

@@ -7,7 +7,13 @@
     back-edge for free and SIMD ops retiring whole 4-word lanes — which is
     what gives -O3 its Fig. 10 shape. *)
 
-type status = Finished of int option | Trap of string
+type status =
+  | Finished of int option
+  | Trap of string
+  | Timeout of int
+      (** the retired-instruction fuel budget (the payload) ran out, or a
+          hook exhausted its interpreter fuel — distinct from [Trap] so
+          harnesses classify timeouts apart from wrong-code errors *)
 
 type result = {
   output : int list;  (** print stream; must match the VIR golden run *)

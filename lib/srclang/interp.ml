@@ -77,11 +77,18 @@ exception Return_exc of value
 exception Break_exc
 exception Continue_exc
 
-type frame = { env : env; locals : (string, value) Hashtbl.t; mutable fuel : int }
+exception Fuel_exhausted of int
+
+type frame = {
+  env : env;
+  locals : (string, value) Hashtbl.t;
+  budget : int;
+  mutable fuel : int;
+}
 
 let burn fr =
   fr.fuel <- fr.fuel - 1;
-  if fr.fuel <= 0 then err "fuel exhausted (non-terminating function?)"
+  if fr.fuel <= 0 then raise (Fuel_exhausted fr.budget)
 
 let value_eq a b =
   match (a, b) with
@@ -329,7 +336,7 @@ let call ?(fuel = 100_000) env (f : Ast.func) args =
   if nparams <> nargs then
     err "%s expects %d arguments, got %d" f.name nparams nargs;
   List.iter2 (fun { Ast.pname; _ } v -> Hashtbl.replace locals pname v) f.params args;
-  let fr = { env; locals; fuel } in
+  let fr = { env; locals; budget = fuel; fuel } in
   match exec_list fr f.body with
   | () -> VUnit
   | exception Return_exc v -> v

@@ -24,8 +24,13 @@ and obj = {
 }
 
 exception Runtime_error of string
-(** Unknown identifier, bad operand types, fuel exhaustion, or an
+(** Unknown identifier, bad operand types, or an
     [llvm_unreachable]/[report_fatal_error] reached at run time. *)
+
+exception Fuel_exhausted of int
+(** The evaluation spent its whole step budget (the payload); distinct
+    from {!Runtime_error} so harnesses classify timeouts apart from
+    wrong-code failures. *)
 
 type env
 
@@ -44,7 +49,8 @@ val lookup_enum : env -> string -> int option
 val call : ?fuel:int -> env -> Ast.func -> value list -> value
 (** Invoke a function with positional arguments (bound to its parameters).
     Default fuel: 100_000 evaluation steps.
-    @raise Runtime_error on any dynamic failure. *)
+    @raise Runtime_error on any dynamic failure.
+    @raise Fuel_exhausted when the step budget runs out. *)
 
 val truthy : value -> bool
 (** C truthiness; raises on objects/strings. *)

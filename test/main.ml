@@ -13,6 +13,7 @@ let () =
       ("core", Test_core.suite);
       ("backend", Test_backend.suite);
       ("analysis", Test_analysis.suite);
+      ("robust", Test_robust.suite);
       ("eval", Test_eval.suite);
       ("endtoend", Test_endtoend.suite);
     ]

@@ -30,7 +30,9 @@ let check_case conv (case : P.case) opt =
   let _, r = compile_run conv case opt in
   (match r.Vega_sim.Machine.status with
   | Vega_sim.Machine.Finished _ -> ()
-  | Vega_sim.Machine.Trap m -> Alcotest.failf "%s trapped: %s" case.P.name m);
+  | Vega_sim.Machine.Trap m -> Alcotest.failf "%s trapped: %s" case.P.name m
+  | Vega_sim.Machine.Timeout f ->
+      Alcotest.failf "%s timed out (fuel %d)" case.P.name f);
   Alcotest.(check (list int)) (case.P.name ^ " output") (P.golden case)
     r.Vega_sim.Machine.output
 

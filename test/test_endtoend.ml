@@ -68,6 +68,7 @@ let run_case conv source opt =
   let r = Vega_sim.Machine.run conv out.B.Compiler.emitted ~entry:"main" ~args:[] in
   match r.Vega_sim.Machine.status with
   | Vega_sim.Machine.Trap msg -> Error msg
+  | Vega_sim.Machine.Timeout f -> Error (Printf.sprintf "timeout (fuel %d)" f)
   | Vega_sim.Machine.Finished _ ->
       if r.Vega_sim.Machine.output = golden then Ok () else Error "output mismatch"
 

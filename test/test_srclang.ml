@@ -202,9 +202,19 @@ let test_interp_strings () =
 
 let test_interp_fuel () =
   let f = L.Parser.parse_function "int f() { while (true) { int x = 1; } return 0; }" in
-  match L.Interp.call ~fuel:1000 (mk_env ()) f [] with
+  (match L.Interp.call ~fuel:1000 (mk_env ()) f [] with
+  | exception L.Interp.Fuel_exhausted budget ->
+      Alcotest.(check int) "budget carried" 1000 budget
+  | exception L.Interp.Runtime_error m ->
+      Alcotest.failf "fuel exhaustion must not be a Runtime_error (%s)" m
+  | _ -> Alcotest.fail "expected fuel exhaustion");
+  (* a genuine dynamic error still raises Runtime_error, not the timeout *)
+  let g = L.Parser.parse_function "int g() { return unknown_name; }" in
+  match L.Interp.call ~fuel:1000 (mk_env ()) g [] with
   | exception L.Interp.Runtime_error _ -> ()
-  | _ -> Alcotest.fail "expected fuel exhaustion"
+  | exception L.Interp.Fuel_exhausted _ ->
+      Alcotest.fail "dynamic error misclassified as fuel exhaustion"
+  | _ -> Alcotest.fail "expected unknown-name error"
 
 let test_interp_unknown_name () =
   let f = L.Parser.parse_function "int f() { return T::MISSING; }" in
