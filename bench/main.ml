@@ -392,6 +392,67 @@ let section_faults (s : setup) =
     "(clean-run columns must be zero; under injection every fault is\n\
     \ observed and absorbed by a ladder rung — the run never aborts)\n"
 
+let section_killresume (s : setup) =
+  heading "Crash-safe run loop — kill/resume determinism (write-ahead journal)";
+  let module R = Vega_robust in
+  let target = "RISCV" in
+  let decoder = V.Pipeline.retrieval_decoder s.pipeline in
+  let root =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "vega_bench_killresume_%d" (Unix.getpid ()))
+  in
+  let render gfs =
+    String.concat "\n"
+      (List.map
+         (fun (gf : V.Generate.gen_func) ->
+           Printf.sprintf "%s %h %d" gf.V.Generate.gf_fname
+             gf.V.Generate.gf_confidence
+             (List.length gf.V.Generate.gf_stmts))
+         gfs)
+  in
+  let run ?kill_at ?resume dir =
+    V.Pipeline.generate_backend_durable ?kill_at ?resume
+      ~run_dir:(Filename.concat root dir) s.pipeline ~target ~decoder
+  in
+  match run "ref" with
+  | Error e -> Printf.printf "reference durable run failed: %s\n" e
+  | Ok refo ->
+      let expect = render refo.V.Pipeline.d_funcs in
+      let total = refo.V.Pipeline.d_records in
+      let tab =
+        T.create
+          ~headers:
+            [ "KillAt"; "Records"; "Resumed"; "Regen"; "Torn"; "Identical" ]
+      in
+      List.iter
+        (fun k ->
+          let dir = Printf.sprintf "kill%d" k in
+          (match run ~kill_at:k dir with
+          | exception R.Journal.Killed _ ->
+              if k > 1 then
+                R.Journal.tear
+                  ~path:
+                    (V.Pipeline.journal_path (Filename.concat root dir))
+          | Ok _ | Error _ -> ());
+          match run ~resume:true dir with
+          | Error e -> Printf.printf "resume at %d failed: %s\n" k e
+          | Ok o ->
+              T.add_row tab
+                [
+                  string_of_int k;
+                  string_of_int total;
+                  string_of_int o.V.Pipeline.d_resumed;
+                  string_of_int o.V.Pipeline.d_generated;
+                  (if o.V.Pipeline.d_torn then "yes" else "no");
+                  (if render o.V.Pipeline.d_funcs = expect then "yes"
+                   else "NO");
+                ])
+        (List.sort_uniq compare [ 1; total / 4; total / 2; total - 1 ]);
+      print_string (T.render tab);
+      Printf.printf
+        "(each row: a run hard-killed after KillAt journal records, its final\n\
+        \ record torn mid-write, then resumed — output must be bit-identical)\n"
+
 let section_split_ablation (s : setup) ~quick =
   heading "Split ablation (Sec. 4.1.2) — function-group vs backend split";
   if quick then
@@ -572,6 +633,7 @@ let () =
   if want "fig10" then section_fig10 s;
   if want "robustness" then section_robustness s;
   if want "faults" then section_faults s;
+  if want "killresume" then section_killresume s;
   if want "model_ablation" then section_model_ablation s;
   if want "rnn_ablation" then section_rnn_ablation s ~quick;
   if want "split_ablation" then section_split_ablation s ~quick;

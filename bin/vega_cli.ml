@@ -2,12 +2,45 @@
 
      vega-cli stats
      vega-cli generate -t RISCV -f getRelocType [--model]
+     vega-cli generate -t RISCV --run-dir d   durable whole-backend run
+     vega-cli generate -t RISCV --resume d    resume an interrupted run
      vega-cli backend -t XCore [--model]      generate + pass@1 the backend
-     vega-cli lint -t RISCV [--generated]     static-analyze a backend
-     vega-cli faultcheck [-t T] [--seed N]    fault-injection matrix
+     vega-cli lint -t RISCV [--generated] [--json]
+     vega-cli faultcheck [-t T] [--seed N] [--json]   fault-injection matrix
+     vega-cli faultcheck --kill-at K --run-dir d      kill-and-resume check
      vega-cli compile -t ARM -p fib -o O3 [--run]                          *)
 
 open Cmdliner
+
+(* Minimal JSON-lines emission (no JSON library in the toolchain): every
+   record is one object on one line, strings escaped by hand. *)
+let json_str s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let json_obj fields =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "%s:%s" (json_str k) v) fields)
+  ^ "}"
+
+let json_flag =
+  let doc = "Emit machine-readable output: one JSON record per line." in
+  Arg.(value & flag & info [ "json" ] ~doc)
 
 let mk_pipeline ~model =
   let prep = Vega.Pipeline.prepare () in
@@ -56,19 +89,80 @@ let generate_cmd =
     Arg.(value & opt string "getRelocType" & info [ "f"; "function" ]
            ~doc:"Interface function to generate.")
   in
-  let run target fname model =
+  let run_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "run-dir" ]
+          ~doc:
+            "Generate the whole backend durably: write-ahead journal and \
+             checkpoints under $(docv). Refuses a directory holding a \
+             previous run's journal." ~docv:"DIR")
+  in
+  let resume_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ]
+          ~doc:
+            "Resume the interrupted durable run in $(docv): replay its \
+             journal, restore completed functions, regenerate the rest."
+          ~docv:"DIR")
+  in
+  let run target fname model run_dir resume_dir =
     let t, decoder = mk_pipeline ~model in
-    match Vega.Pipeline.generate_function t ~target ~decoder ~fname with
-    | Some gf ->
-        Printf.printf "// confidence %.2f\n%s\n" gf.Vega.Generate.gf_confidence
-          (Vega.Generate.source_of gf)
-    | None ->
-        Printf.eprintf "no function template named %s\n" fname;
-        exit 1
+    match (run_dir, resume_dir) with
+    | None, None -> (
+        match Vega.Pipeline.generate_function t ~target ~decoder ~fname with
+        | Some gf ->
+            Printf.printf "// confidence %.2f\n%s\n"
+              gf.Vega.Generate.gf_confidence
+              (Vega.Generate.source_of gf)
+        | None ->
+            Printf.eprintf "no function template named %s\n" fname;
+            exit 1)
+    | _ -> (
+        let resume = resume_dir <> None in
+        let dir =
+          match resume_dir with Some d -> d | None -> Option.get run_dir
+        in
+        let sup = Vega_robust.Supervisor.create Vega_robust.Supervisor.default_config in
+        let report = Vega_robust.Report.create () in
+        match
+          Vega.Pipeline.generate_backend_durable ~report ~sup ~resume
+            ~run_dir:dir t ~target ~decoder
+        with
+        | Error e ->
+            Printf.eprintf "durable run: %s\n" e;
+            exit 1
+        | Ok o ->
+            List.iter
+              (fun (gf : Vega.Generate.gen_func) ->
+                Printf.printf "  %-28s conf %.2f  %d stmt(s)\n"
+                  gf.Vega.Generate.gf_fname gf.Vega.Generate.gf_confidence
+                  (List.length gf.Vega.Generate.gf_stmts))
+              o.Vega.Pipeline.d_funcs;
+            Printf.printf
+              "durable run %s: %d function(s) — %d resumed from journal, %d \
+               generated; %d record(s) appended%s%s\n"
+              dir
+              (List.length o.Vega.Pipeline.d_funcs)
+              o.Vega.Pipeline.d_resumed o.Vega.Pipeline.d_generated
+              o.Vega.Pipeline.d_records
+              (if o.Vega.Pipeline.d_torn then "; torn tail recovered" else "")
+              (if Vega_robust.Report.total report > 0 then
+                 "; " ^ Vega_robust.Report.summary report
+               else ""))
   in
   Cmd.v
-    (Cmd.info "generate" ~doc:"Generate one interface function for a target")
-    Term.(const run $ target_arg $ fname_arg $ model_flag)
+    (Cmd.info "generate"
+       ~doc:
+         "Generate one interface function for a target, or (with \
+          $(b,--run-dir)/$(b,--resume)) the whole backend under a crash-safe \
+          write-ahead journal")
+    Term.(
+      const run $ target_arg $ fname_arg $ model_flag $ run_dir_arg
+      $ resume_arg)
 
 let backend_cmd =
   let run target model =
@@ -109,7 +203,7 @@ let lint_cmd =
             "Lint the functions the pipeline generates for the target \
              (retrieval decoder) instead of the reference backend.")
   in
-  let run target generated =
+  let run target generated json =
     let p =
       match Vega_target.Registry.find target with
       | Some p -> p
@@ -118,17 +212,57 @@ let lint_cmd =
           exit 1
     in
     let print_report (r : Vega_analysis.Lint.report) =
-      Printf.printf "target %s: %d function(s) linted, %d diagnostic(s)\n"
-        r.Vega_analysis.Lint.r_target
-        (List.length r.Vega_analysis.Lint.r_funcs)
-        (Vega_analysis.Lint.diag_count r);
-      List.iter
-        (fun (fr : Vega_analysis.Lint.func_report) ->
-          List.iter
-            (fun d ->
-              print_endline ("  " ^ Vega_analysis.Diagnostic.to_string d))
-            fr.Vega_analysis.Lint.fr_diags)
-        r.Vega_analysis.Lint.r_funcs;
+      if json then begin
+        List.iter
+          (fun (fr : Vega_analysis.Lint.func_report) ->
+            List.iter
+              (fun (d : Vega_analysis.Diagnostic.t) ->
+                print_endline
+                  (json_obj
+                     ([
+                        ("rule", json_str d.Vega_analysis.Diagnostic.rule);
+                        ( "cls",
+                          json_str (Vega_analysis.Diagnostic.cls_name d.cls) );
+                        ( "severity",
+                          json_str
+                            (Vega_analysis.Diagnostic.severity_name d.severity)
+                        );
+                        ("fname", json_str d.fname);
+                      ]
+                     @ (match d.span with
+                       | Some sp ->
+                           [
+                             ("line", string_of_int sp.Vega_srclang.Span.line);
+                             ("col", string_of_int sp.Vega_srclang.Span.col);
+                           ]
+                       | None -> [])
+                     @ [ ("msg", json_str d.msg) ])))
+              fr.Vega_analysis.Lint.fr_diags)
+          r.Vega_analysis.Lint.r_funcs;
+        print_endline
+          (json_obj
+             [
+               ("event", json_str "summary");
+               ("target", json_str r.Vega_analysis.Lint.r_target);
+               ( "functions",
+                 string_of_int (List.length r.Vega_analysis.Lint.r_funcs) );
+               ("diagnostics", string_of_int (Vega_analysis.Lint.diag_count r));
+               ("errors", string_of_int (Vega_analysis.Lint.error_count r));
+             ])
+      end
+      else begin
+        Printf.printf "target %s: %d function(s) linted, %d diagnostic(s)\n"
+          r.Vega_analysis.Lint.r_target
+          (List.length r.Vega_analysis.Lint.r_funcs)
+          (Vega_analysis.Lint.diag_count r);
+        List.iter
+          (fun (fr : Vega_analysis.Lint.func_report) ->
+            List.iter
+              (fun d ->
+                print_endline ("  " ^ Vega_analysis.Diagnostic.to_string d))
+              fr.Vega_analysis.Lint.fr_diags)
+          r.Vega_analysis.Lint.r_funcs
+      end;
       exit (if Vega_analysis.Lint.error_count r > 0 then 1 else 0)
     in
     if not generated then begin
@@ -168,7 +302,7 @@ let lint_cmd =
        ~doc:
          "Static-analyze a backend (parse/shape, symbols, dataflow, \
           interface conformance); non-zero exit on errors")
-    Term.(const run $ target_arg $ generated_flag)
+    Term.(const run $ target_arg $ generated_flag $ json_flag)
 
 (* ------------------------------------------------------------------ *)
 (* faultcheck: deterministic fault-injection matrix with invariant
@@ -180,7 +314,25 @@ let faultcheck_cmd =
   let seed_arg =
     Arg.(value & opt int 13 & info [ "seed" ] ~doc:"Injection seed.")
   in
-  let run target seed =
+  let kill_at_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "kill-at" ]
+          ~doc:
+            "Run only the kill-and-resume determinism check: simulate a hard \
+             crash after $(docv) journal records, then resume and assert the \
+             output is bit-identical to an uninterrupted run. 0 sweeps the \
+             offsets {1, mid, last}." ~docv:"K")
+  in
+  let run_dir_arg =
+    Arg.(
+      value
+      & opt string "_vega_faultcheck"
+      & info [ "run-dir" ]
+          ~doc:"Directory for the kill-and-resume run journals." ~docv:"DIR")
+  in
+  let run target seed json kill_at run_dir =
     let p =
       match Vega_target.Registry.find target with
       | Some p -> p
@@ -189,15 +341,33 @@ let faultcheck_cmd =
           exit 1
     in
     let violations = ref 0 in
+    let jline fields = print_endline (json_obj fields) in
     let violation fmt =
       Printf.ksprintf
         (fun s ->
           incr violations;
-          Printf.printf "  VIOLATION: %s\n%!" s)
+          if json then
+            jline
+              [ ("event", json_str "violation"); ("message", json_str s) ]
+          else Printf.printf "  VIOLATION: %s\n%!" s)
         fmt
     in
     let check name cond = if not cond then violation "%s" name in
-    Printf.printf "faultcheck: target %s, seed %d\n%!" target seed;
+    let scenario name =
+      if json then
+        jline [ ("event", json_str "scenario"); ("name", json_str name) ]
+      else Printf.printf "- %s\n%!" name
+    in
+    let info fmt =
+      Printf.ksprintf
+        (fun s ->
+          if json then
+            jline [ ("event", json_str "info"); ("message", json_str s) ]
+          else Printf.printf "    %s\n%!" s)
+        fmt
+    in
+    if not json then
+      Printf.printf "faultcheck: target %s, seed %d\n%!" target seed;
     let clean_report = R.Report.create () in
     let prep = Vega.Pipeline.prepare ~report:clean_report () in
     let cfg =
@@ -210,9 +380,13 @@ let faultcheck_cmd =
     let decoder = Vega.Pipeline.retrieval_decoder t in
     check "clean corpus prepares without faults" (R.Report.total clean_report = 0);
 
+    (* --kill-at narrows the run to the kill-and-resume determinism
+       check; without it the whole injection matrix runs first *)
+    if kill_at = None then begin
+
     (* ---- baseline: no injection -> no faults, no degradation, and the
        report plumbing itself must not change the generated output ---- *)
-    Printf.printf "- baseline (no injection)\n%!";
+    scenario "baseline (no injection)";
     let base_report = R.Report.create () in
     let baseline =
       Vega.Pipeline.generate_backend ~report:base_report t ~target ~decoder
@@ -302,7 +476,7 @@ let faultcheck_cmd =
         gfs
     in
     let decoder_scenario name kind ~every ~fallback ~expect_levels =
-      Printf.printf "- %s\n%!" name;
+      scenario name;
       let inj = R.Inject.create ~seed ~every kind in
       let report = R.Report.create () in
       let wrapped fv = R.Inject.wrap_decoder inj decoder fv in
@@ -334,7 +508,7 @@ let faultcheck_cmd =
                        gf.Vega.Generate.gf_stmts)
                    gfs))
             expect_levels;
-          Printf.printf "    injected %d, %s\n%!" (R.Inject.injected inj)
+          info "injected %d, %s" (R.Inject.injected inj)
             (R.Report.summary report)
     in
     decoder_scenario "decoder-raise" R.Inject.Decoder_raise ~every:1
@@ -348,7 +522,7 @@ let faultcheck_cmd =
     (* no fallback decoder: the ladder must bottom out in template-default
        renders (sub-threshold by construction) or flagged omissions *)
     (let name = "decoder-raise-no-fallback" in
-     Printf.printf "- %s\n%!" name;
+     scenario name;
      let inj = R.Inject.create ~seed ~every:1 R.Inject.Decoder_raise in
      let report = R.Report.create () in
      let wrapped fv = R.Inject.wrap_decoder inj decoder fv in
@@ -376,13 +550,13 @@ let faultcheck_cmd =
            (List.for_all
               (fun gf -> Vega.Generate.kept_stmts gf = [])
               gfs);
-         Printf.printf "    injected %d, %s\n%!" (R.Inject.injected inj)
+         info "injected %d, %s" (R.Inject.injected inj)
            (R.Report.summary report));
 
     (* ---- corpus corruption: prepare must drop only the mangled impls,
        record each one, and generation must still cover every group ---- *)
     (let name = "corpus-corruption" in
-     Printf.printf "- %s\n%!" name;
+     scenario name;
      let inj = R.Inject.create ~seed ~every:5 R.Inject.Corpus_mangle in
      let corpus = R.Inject.corrupt_corpus inj (Vega_corpus.Corpus.build ()) in
      let report = R.Report.create () in
@@ -401,13 +575,13 @@ let faultcheck_cmd =
          check (name ^ ": every corrupted impl observed in the report")
            (R.Report.count_class report R.Fault.Ccorpus = R.Inject.injected inj);
          check_degraded_run name report gfs;
-         Printf.printf "    injected %d, %s\n%!" (R.Inject.injected inj)
+         info "injected %d, %s" (R.Inject.injected inj)
            (R.Report.summary report));
 
     (* ---- description-file corruption: scan detects every corrupted
        file; the pipeline runs through on the damaged VFS ---- *)
     (let name = "descfile-corruption" in
-     Printf.printf "- %s\n%!" name;
+     scenario name;
      let inj = R.Inject.create ~seed ~every:2 R.Inject.Descfile_garbage in
      let corpus = Vega_corpus.Corpus.build () in
      let corrupted =
@@ -445,13 +619,13 @@ let faultcheck_cmd =
                  then violation "%s: out-of-range score" name)
                gf.Vega.Generate.gf_stmts)
            gfs;
-         Printf.printf "    corrupted %d file(s), %s\n%!"
+         info "corrupted %d file(s), %s"
            (List.length corrupted) (R.Report.summary report));
 
     (* ---- interpreter fuel: the dedicated exception classifies as a
        timeout fault, never as a generic stage failure ---- *)
     (let name = "interp-fuel" in
-     Printf.printf "- %s\n%!" name;
+     scenario name;
      let report = R.Report.create () in
      let f =
        Vega_srclang.Parser.parse_function
@@ -468,12 +642,12 @@ let faultcheck_cmd =
      | Ok _ -> violation "%s: expected fuel exhaustion" name);
      check (name ^ ": observed in the report")
        (R.Report.count_class report R.Fault.Cinterp_fuel = 1);
-     Printf.printf "    %s\n%!" (R.Report.summary report));
+     info "%s" (R.Report.summary report));
 
     (* ---- simulator fuel + trap: dedicated Timeout status, and traps
        keep their own class ---- *)
     (let name = "sim-fuel" in
-     Printf.printf "- %s\n%!" name;
+     scenario name;
      let report = R.Report.create () in
      let vfs = prep.Vega.Pipeline.corpus.Vega_corpus.Corpus.vfs in
      let _, conv = Vega_eval.Refbackend.backend_for vfs p in
@@ -510,14 +684,215 @@ let faultcheck_cmd =
      | _ -> violation "sim-trap: expected a trap on an unknown entry point");
      check "sim-trap: observed in the report"
        (R.Report.count_class report R.Fault.Csim_trap = 1);
-     Printf.printf "    %s\n%!" (R.Report.summary report));
+     info "%s" (R.Report.summary report));
 
+    (* ---- circuit breaker under a permanently failing decoder: the run
+       must complete in bounded time with the breaker open, every
+       statement landing on a fallback rung of the ladder ---- *)
+    (let name = "breaker-permafail" in
+     scenario name;
+     let scfg =
+       {
+         R.Supervisor.default_config with
+         R.Supervisor.breaker_threshold = 3;
+         breaker_cooldown = 4;
+         max_retries = 1;
+         backoff_base_s = 0.001;
+         backoff_max_s = 0.004;
+         func_deadline_s = 300.0;
+       }
+     in
+     let slept = ref 0.0 in
+     let sup = R.Supervisor.create ~sleep:(fun d -> slept := !slept +. d) scfg in
+     let calls = ref 0 in
+     let permafail _fv =
+       incr calls;
+       raise
+         (R.Fault.Fault
+            (R.Fault.Decoder_failure
+               {
+                 fname = "*";
+                 stage = "primary";
+                 message = "permanently failing decoder";
+               }))
+     in
+     let report = R.Report.create () in
+     match
+       R.Stage.protect ~stage:name (fun () ->
+           Vega.Pipeline.generate_backend ~fallback:decoder ~report ~sup t
+             ~target ~decoder:permafail)
+     with
+     | Error f ->
+         violation "%s: backend generation aborted (%s)" name
+           (R.Fault.to_string f)
+     | Ok gfs ->
+         let st = R.Supervisor.stats sup in
+         check (name ^ ": breaker opened")
+           (st.R.Supervisor.sup_breaker_opened > 0);
+         check (name ^ ": open breaker short-circuits decode calls")
+           (st.R.Supervisor.sup_breaker_skips > 0);
+         let stmts =
+           List.concat_map
+             (fun (gf : Vega.Generate.gen_func) -> gf.Vega.Generate.gf_stmts)
+             gfs
+         in
+         check (name ^ ": backend function count unchanged")
+           (List.length gfs = List.length baseline);
+         check (name ^ ": every statement lands on a fallback rung")
+           (List.for_all
+              (fun (s : Vega.Generate.gen_stmt) ->
+                match s.Vega.Generate.g_level with
+                | R.Degrade.Retrieval_fallback | R.Degrade.Template_default
+                | R.Degrade.Omitted ->
+                    true
+                | _ -> false)
+              stmts);
+         check (name ^ ": no score above the retrieval-fallback cap")
+           (List.for_all
+              (fun (s : Vega.Generate.gen_stmt) ->
+                s.Vega.Generate.g_score
+                <= R.Degrade.cap R.Degrade.Retrieval_fallback +. 1e-9)
+              stmts);
+         (* bounded wall clock: the open breaker skips decode attempts
+            outright, and every backoff sleep is capped *)
+         let ladder_attempts = 2 * List.length stmts in
+         check (name ^ ": decode attempts bounded below ladder attempts")
+           (!calls < ladder_attempts);
+         check (name ^ ": accumulated backoff bounded")
+           (!slept
+           <= (float_of_int st.R.Supervisor.sup_retried *. scfg.R.Supervisor.backoff_max_s)
+              +. 1e-9);
+         info
+           "breaker: opened %d time(s), %d skip(s), %d retry(s), %d of %d \
+            decode attempts made, %.3fs backoff"
+           st.R.Supervisor.sup_breaker_opened st.R.Supervisor.sup_breaker_skips
+           st.R.Supervisor.sup_retried !calls ladder_attempts !slept)
+    end;
+
+    (* ---- kill-and-resume determinism: crash after K durable records,
+       tear the tail mid-record, resume, and require output bit-identical
+       to an uninterrupted run ---- *)
+    (let name = "kill-resume" in
+     scenario name;
+     let render (gfs : Vega.Generate.gen_func list) =
+       String.concat "\n"
+         (List.map
+            (fun (gf : Vega.Generate.gen_func) ->
+              Printf.sprintf "%s %h [%s]" gf.Vega.Generate.gf_fname
+                gf.Vega.Generate.gf_confidence
+                (String.concat ";"
+                   (List.map
+                      (fun (s : Vega.Generate.gen_stmt) ->
+                        Printf.sprintf "%d,%d,%d,%h,%b,%s,%s"
+                          s.Vega.Generate.g_col s.Vega.Generate.g_line
+                          s.Vega.Generate.g_inst s.Vega.Generate.g_score
+                          s.Vega.Generate.g_shape_ok
+                          (R.Degrade.name s.Vega.Generate.g_level)
+                          (String.concat " " s.Vega.Generate.g_tokens))
+                      gf.Vega.Generate.gf_stmts)))
+            gfs)
+     in
+     let rmf f = if Sys.file_exists f then Sys.remove f in
+     let clear dir =
+       rmf (Vega.Pipeline.journal_path dir);
+       rmf (Vega.Pipeline.journal_path dir ^ ".tmp");
+       rmf (Vega.Pipeline.checkpoint_path dir);
+       rmf (Vega.Pipeline.checkpoint_path dir ^ ".tmp")
+     in
+     let ref_dir = Filename.concat run_dir "ref" in
+     clear ref_dir;
+     match
+       Vega.Pipeline.generate_backend_durable ~run_dir:ref_dir t ~target
+         ~decoder
+     with
+     | Error e -> violation "%s: reference run failed (%s)" name e
+     | Ok refo ->
+         let expect = render refo.Vega.Pipeline.d_funcs in
+         let total = refo.Vega.Pipeline.d_records in
+         info "reference run: %d journal record(s)" total;
+         let offsets =
+           match kill_at with
+           | Some k when k > 0 -> [ k ]
+           | _ ->
+               List.filter
+                 (fun k -> k >= 1)
+                 (List.sort_uniq compare [ 1; (total + 1) / 2; total - 1 ])
+         in
+         List.iter
+           (fun k ->
+             let dir = Filename.concat run_dir (Printf.sprintf "kill%d" k) in
+             clear dir;
+             match
+               Vega.Pipeline.generate_backend_durable ~kill_at:k ~run_dir:dir
+                 t ~target ~decoder
+             with
+             | exception R.Journal.Killed n ->
+                 check
+                   (Printf.sprintf "%s: crash lands on the armed record \
+                                    (kill-at %d)" name k)
+                   (n = k);
+                 (* tear the last durable record mid-write — except the
+                    lone header, without which there is nothing to resume *)
+                 if k > 1 then
+                   R.Journal.tear ~path:(Vega.Pipeline.journal_path dir);
+                 (match
+                    Vega.Pipeline.generate_backend_durable ~resume:true
+                      ~run_dir:dir t ~target ~decoder
+                  with
+                 | Error e ->
+                     violation "%s: resume after kill-at %d failed (%s)" name
+                       k e
+                 | Ok o ->
+                     if k > 1 then
+                       check
+                         (Printf.sprintf
+                            "%s: torn record recovered (kill-at %d)" name k)
+                         o.Vega.Pipeline.d_torn;
+                     check
+                       (Printf.sprintf
+                          "%s: resume covers every function (kill-at %d)"
+                          name k)
+                       (List.length o.Vega.Pipeline.d_funcs
+                       = List.length refo.Vega.Pipeline.d_funcs);
+                     if render o.Vega.Pipeline.d_funcs <> expect then
+                       violation
+                         "%s: resumed output differs from the uninterrupted \
+                          run (kill-at %d)"
+                         name k
+                     else
+                       info
+                         "kill-at %d: bit-identical after resume (%d \
+                          resumed, %d regenerated)"
+                         k o.Vega.Pipeline.d_resumed
+                         o.Vega.Pipeline.d_generated)
+             | Ok o ->
+                 check
+                   (Printf.sprintf
+                      "%s: kill-at %d beyond the run end completes" name k)
+                   (o.Vega.Pipeline.d_records < k);
+                 if render o.Vega.Pipeline.d_funcs <> expect then
+                   violation "%s: un-killed run differs (kill-at %d)" name k
+             | Error e ->
+                 violation "%s: killed run setup failed (kill-at %d: %s)"
+                   name k e)
+           offsets);
+
+    if json then
+      print_endline
+        (json_obj
+           [
+             ("event", json_str "summary");
+             ("violations", string_of_int !violations);
+             ("ok", if !violations = 0 then "true" else "false");
+           ]);
     if !violations = 0 then begin
-      Printf.printf "faultcheck: OK — full injection matrix, zero violations\n";
+      if not json then
+        Printf.printf "faultcheck: OK — zero invariant violations\n";
       exit 0
     end
     else begin
-      Printf.printf "faultcheck: %d invariant violation(s)\n" !violations;
+      if not json then
+        Printf.printf "faultcheck: %d invariant violation(s)\n" !violations;
       exit 1
     end
   in
@@ -525,9 +900,12 @@ let faultcheck_cmd =
     (Cmd.info "faultcheck"
        ~doc:
          "Run the deterministic fault-injection matrix (decoder, corpus, \
-          description files, interpreter and simulator fuel) against one \
-          target; non-zero exit on any invariant violation")
-    Term.(const run $ target_arg $ seed_arg)
+          description files, interpreter and simulator fuel, circuit \
+          breaker, kill-and-resume) against one target; non-zero exit on \
+          any invariant violation")
+    Term.(
+      const run $ target_arg $ seed_arg $ json_flag $ kill_at_arg
+      $ run_dir_arg)
 
 let compile_cmd =
   let prog_arg =

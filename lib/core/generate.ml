@@ -39,10 +39,21 @@ let omitted_stmt (fv : Featrep.fv) =
     g_level = Degrade.Omitted;
   }
 
-let run ?fallback ?report ctx (tpl : Template.t) analysis hints ~target ~decoder =
+let run ?fallback ?report ?sup ?on_stmt ctx (tpl : Template.t) analysis hints
+    ~target ~decoder =
   let view = Featsel.view_for_new_target ctx tpl analysis target in
   let fvs = Featrep.generation_fvs analysis tpl hints view in
   let fname = tpl.Template.fname in
+  (* under supervision the model decoder runs guarded: per-function
+     deadline, bounded backoff on retryable faults, and the circuit
+     breaker; a deadline or open breaker surfaces as a Fault that the
+     ladder turns into a fallback-rung statement *)
+  let decoder =
+    match sup with
+    | None -> decoder
+    | Some s -> fun fv -> Vega_robust.Supervisor.guard s (fun () -> decoder fv)
+  in
+  Option.iter (fun s -> Vega_robust.Supervisor.start_function s fname) sup;
   (* One decode attempt at a given rung. Stage isolation converts any
      escaping exception into a recorded fault; non-finite probabilities
      are a fault of their own (they would poison the confidence). *)
@@ -182,9 +193,13 @@ let run ?fallback ?report ctx (tpl : Template.t) analysis hints ~target ~decoder
             Report.record_degradation r ~fname ~col:stmt.g_col ~line:stmt.g_line
               ~inst:stmt.g_inst stmt.g_level)
           report;
+        (* journaling hook: runs outside stage isolation so a simulated
+           crash (Journal.Killed) aborts the run like a real one *)
+        Option.iter (fun f -> f stmt) on_stmt;
         stmt)
       fvs
   in
+  Option.iter Vega_robust.Supervisor.end_function sup;
   let confidence = match stmts with [] -> 0.0 | s :: _ -> s.g_score in
   {
     gf_fname = tpl.Template.fname;

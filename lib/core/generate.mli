@@ -34,6 +34,8 @@ type gen_func = {
 val run :
   ?fallback:decoder ->
   ?report:Vega_robust.Report.t ->
+  ?sup:Vega_robust.Supervisor.t ->
+  ?on_stmt:(gen_stmt -> unit) ->
   Featsel.context ->
   Template.t ->
   Featsel.t ->
@@ -44,7 +46,15 @@ val run :
 (** A failing statement never aborts the function: generation walks the
     degradation ladder (retry once, [fallback] decoder, template-default
     render, omit-with-flag), capping confidence per rung and recording
-    faults and degradations in [report] when given. *)
+    faults and degradations in [report] when given.
+
+    With [sup], the function is bracketed by
+    {!Vega_robust.Supervisor.start_function}/[end_function] and the
+    primary decoder runs under {!Vega_robust.Supervisor.guard}
+    (deadline, backoff retries, circuit breaker); supervision faults
+    degrade statements through the same ladder instead of aborting.
+    [on_stmt] fires once per produced statement, outside stage
+    isolation, in stream order — the write-ahead-journal hook. *)
 
 val kept_stmts : gen_func -> gen_stmt list
 (** Statements at or above the 0.5 confidence threshold (what pass@1

@@ -211,16 +211,219 @@ let verification_exact_match t =
 let model_decoder t (fv : Featrep.fv) = Codebe.infer t.codebe fv.input
 let retrieval_decoder t = Retrieval.decode t.retrieval
 
-let generate_backend ?fallback ?report t ~target ~decoder =
+let generate_backend ?fallback ?report ?sup t ~target ~decoder =
   List.map
     (fun b ->
-      Generate.run ?fallback ?report t.prep.ctx b.tpl b.analysis b.hints ~target
-        ~decoder)
+      Generate.run ?fallback ?report ?sup t.prep.ctx b.tpl b.analysis b.hints
+        ~target ~decoder)
     t.prep.bundles
 
-let generate_function ?fallback ?report t ~target ~decoder ~fname =
+let generate_function ?fallback ?report ?sup t ~target ~decoder ~fname =
   Option.map
     (fun b ->
-      Generate.run ?fallback ?report t.prep.ctx b.tpl b.analysis b.hints ~target
-        ~decoder)
+      Generate.run ?fallback ?report ?sup t.prep.ctx b.tpl b.analysis b.hints
+        ~target ~decoder)
     (bundle_for t.prep fname)
+
+(* ------------------------------------------------------------------ *)
+(* Crash-safe durable generation: write-ahead journal + checkpoints     *)
+
+module J = Vega_robust.Journal
+module Ckpt = Vega_robust.Checkpoint
+
+let fingerprint t ~target =
+  (* ties a run directory to one prepared pipeline + target: same
+     function set, same template shapes *)
+  Vega_robust.Wire.checksum
+    (String.concat "\n"
+       (target
+       :: List.map
+            (fun b ->
+              Printf.sprintf "%s/%d" b.spec.Vega_corpus.Spec.fname
+                (List.length b.tpl.Template.columns))
+            t.prep.bundles))
+
+type durable_outcome = {
+  d_funcs : Generate.gen_func list;
+  d_resumed : int;
+  d_generated : int;
+  d_records : int;
+  d_torn : bool;
+}
+
+let journal_path run_dir = Filename.concat run_dir "journal.log"
+let checkpoint_path run_dir = Filename.concat run_dir "checkpoint.ckpt"
+
+let rec mkdir_p dir =
+  if dir <> "" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let stmt_of_gen fname (s : Generate.gen_stmt) =
+  {
+    J.j_fname = fname;
+    j_col = s.Generate.g_col;
+    j_line = s.Generate.g_line;
+    j_inst = s.Generate.g_inst;
+    j_score = s.Generate.g_score;
+    j_tokens = s.Generate.g_tokens;
+    j_shape_ok = s.Generate.g_shape_ok;
+    j_level = s.Generate.g_level;
+  }
+
+let gen_of_stmt (s : J.stmt) =
+  {
+    Generate.g_col = s.J.j_col;
+    g_line = s.J.j_line;
+    g_inst = s.J.j_inst;
+    g_score = s.J.j_score;
+    g_tokens = s.J.j_tokens;
+    g_shape_ok = s.J.j_shape_ok;
+    g_level = s.J.j_level;
+  }
+
+let completed_of_gen fname (gf : Generate.gen_func) =
+  {
+    J.c_fname = fname;
+    c_confidence = gf.Generate.gf_confidence;
+    c_stmts = List.map (stmt_of_gen fname) gf.Generate.gf_stmts;
+  }
+
+let func_of_completed b target (c : J.completed) =
+  {
+    Generate.gf_fname = c.J.c_fname;
+    gf_module = b.tpl.Template.module_;
+    gf_target = target;
+    gf_confidence = c.J.c_confidence;
+    gf_stmts = List.map gen_of_stmt c.J.c_stmts;
+  }
+
+(* Cross-check the snapshot against journal replay; the journal wins.
+   Any disagreement or corruption is recorded and the snapshot ignored. *)
+let check_snapshot report ~cpath ~fp completed =
+  let reject message =
+    Vega_robust.Report.record report ~stage:"checkpoint"
+      (Vega_robust.Fault.Stage_failure { stage = "checkpoint"; message })
+  in
+  match Ckpt.load ~path:cpath with
+  | Ok c when c.Ckpt.c_fingerprint <> fp ->
+      reject "snapshot fingerprint mismatch; using journal replay"
+  | Ok c ->
+      let in_journal (f : J.completed) =
+        List.exists (fun (g : J.completed) -> g = f) completed
+      in
+      if not (List.for_all in_journal c.Ckpt.c_funcs) then
+        reject "snapshot disagrees with journal replay; using journal replay"
+  | Error e ->
+      if Sys.file_exists cpath then
+        reject (Printf.sprintf "corrupt snapshot (%s); using journal replay" e)
+
+let generate_backend_durable ?fallback ?report ?sup ?(resume = false) ?kill_at
+    ?(checkpoint_every = 4) ~run_dir t ~target ~decoder =
+  let report =
+    match report with Some r -> r | None -> Vega_robust.Report.create ()
+  in
+  mkdir_p run_dir;
+  let jpath = journal_path run_dir and cpath = checkpoint_path run_dir in
+  let fp = fingerprint t ~target in
+  let setup =
+    if resume then begin
+      let rc = J.read ~path:jpath in
+      match J.replay rc.J.r_records with
+      | Some (J.Header h), completed
+        when h.version = J.version && h.target = target && h.fingerprint = fp
+        ->
+          (* compact the torn tail away so fresh appends extend the
+             recovered prefix, not a half-written record *)
+          if rc.J.r_torn then J.rewrite ~path:jpath rc.J.r_records;
+          check_snapshot report ~cpath ~fp completed;
+          Ok (J.open_append ?kill_at ~path:jpath (), completed, rc.J.r_torn)
+      | Some (J.Header _), _ ->
+          Error
+            "journal belongs to a different run (target or pipeline \
+             fingerprint mismatch)"
+      | _ -> Error "journal has no valid header; nothing to resume"
+    end
+    else if Sys.file_exists jpath then
+      Error
+        (Printf.sprintf "%s already exists; resume the run instead of starting \
+                         a new one"
+           jpath)
+    else
+      Ok
+        ( J.create ?kill_at ~path:jpath
+            (J.Header { version = J.version; target; fingerprint = fp }),
+          [],
+          false )
+  in
+  match setup with
+  | Error _ as e -> e
+  | Ok (w, completed, torn) ->
+      let done_tbl = Hashtbl.create 64 in
+      List.iter
+        (fun (c : J.completed) -> Hashtbl.replace done_tbl c.J.c_fname c)
+        completed;
+      (* faults are journaled ahead like statements *)
+      let cancel =
+        Vega_robust.Report.subscribe report
+          (fun (ev : Vega_robust.Report.event) ->
+            J.append w
+              (J.Fault_ev
+                 {
+                   stage = ev.Vega_robust.Report.ev_stage;
+                   fault = ev.Vega_robust.Report.ev_fault;
+                   backtrace = ev.Vega_robust.Report.ev_backtrace;
+                 }))
+      in
+      let resumed = ref 0 and generated = ref 0 in
+      let finished = ref (List.rev completed) in
+      let funcs =
+        Fun.protect
+          ~finally:(fun () ->
+            cancel ();
+            J.close w)
+          (fun () ->
+            List.map
+              (fun b ->
+                let fname = b.spec.Vega_corpus.Spec.fname in
+                match Hashtbl.find_opt done_tbl fname with
+                | Some c ->
+                    incr resumed;
+                    func_of_completed b target c
+                | None ->
+                    J.append w (J.Func_begin fname);
+                    let gf =
+                      Generate.run ?fallback ~report ?sup
+                        ~on_stmt:(fun s ->
+                          J.append w (J.Stmt (stmt_of_gen fname s)))
+                        t.prep.ctx b.tpl b.analysis b.hints ~target ~decoder
+                    in
+                    J.append w
+                      (J.Func_end
+                         {
+                           fname;
+                           confidence = gf.Generate.gf_confidence;
+                           n_stmts = List.length gf.Generate.gf_stmts;
+                         });
+                    incr generated;
+                    finished := completed_of_gen fname gf :: !finished;
+                    if !generated mod checkpoint_every = 0 then
+                      Ckpt.save ~path:cpath
+                        {
+                          Ckpt.c_version = Ckpt.version;
+                          c_target = target;
+                          c_fingerprint = fp;
+                          c_funcs = List.rev !finished;
+                        };
+                    gf)
+              t.prep.bundles)
+      in
+      Ok
+        {
+          d_funcs = funcs;
+          d_resumed = !resumed;
+          d_generated = !generated;
+          d_records = J.written w;
+          d_torn = torn;
+        }

@@ -69,13 +69,65 @@ val retrieval_decoder : t -> Generate.decoder
 val generate_backend :
   ?fallback:Generate.decoder ->
   ?report:Vega_robust.Report.t ->
+  ?sup:Vega_robust.Supervisor.t ->
   t -> target:string -> decoder:Generate.decoder -> Generate.gen_func list
 (** Stage 3: generate every interface function for a new target.
-    [fallback] and [report] thread through to {!Generate.run}'s
-    degradation ladder. *)
+    [fallback], [report] and [sup] (deadlines, backoff, circuit breaker)
+    thread through to {!Generate.run}'s degradation ladder. *)
 
 val generate_function :
   ?fallback:Generate.decoder ->
   ?report:Vega_robust.Report.t ->
+  ?sup:Vega_robust.Supervisor.t ->
   t -> target:string -> decoder:Generate.decoder -> fname:string ->
   Generate.gen_func option
+
+(** {1 Crash-safe durable generation}
+
+    A durable run write-ahead-journals every statement before acting on
+    it and snapshots completed functions periodically; after a crash it
+    resumes from the journal and produces output bit-identical to an
+    uninterrupted run. Journal replay — not the snapshot — is the source
+    of truth. *)
+
+val fingerprint : t -> target:string -> string
+(** Checksum over the target name and the prepared function set; stored
+    in the journal header so resume refuses a mismatched run dir. *)
+
+type durable_outcome = {
+  d_funcs : Generate.gen_func list;  (** bundle order, like
+      {!generate_backend} *)
+  d_resumed : int;  (** functions restored from the journal *)
+  d_generated : int;  (** functions generated (or regenerated) this run *)
+  d_records : int;  (** journal records appended this run *)
+  d_torn : bool;  (** a torn trailing record was recovered on resume *)
+}
+
+val journal_path : string -> string
+val checkpoint_path : string -> string
+(** Layout of a run directory. *)
+
+val generate_backend_durable :
+  ?fallback:Generate.decoder ->
+  ?report:Vega_robust.Report.t ->
+  ?sup:Vega_robust.Supervisor.t ->
+  ?resume:bool ->
+  ?kill_at:int ->
+  ?checkpoint_every:int ->
+  run_dir:string ->
+  t -> target:string -> decoder:Generate.decoder ->
+  (durable_outcome, string) result
+(** Whole-backend generation under the write-ahead journal in
+    [run_dir]. Fresh runs refuse an existing journal; [resume:true]
+    replays it (recovering a torn tail and compacting it away, and
+    cross-checking the checkpoint snapshot against replay — a corrupt or
+    disagreeing snapshot is recorded as a fault and ignored), restores
+    completed functions, and regenerates only the rest. Functions whose
+    statement trail was cut mid-write regenerate from scratch, so the
+    final output is bit-identical to an uninterrupted run.
+
+    [kill_at] arms the simulated hard crash ({!Vega_robust.Journal.Killed}
+    escapes after that many durable records — the [faultcheck] harness).
+    [Error] explains why the run directory cannot be used; faults during
+    generation never produce [Error] — they degrade statements through
+    the ladder as usual and are journaled ahead like everything else. *)

@@ -30,6 +30,9 @@ type target_eval = {
   te_module_seconds : (M.t * float) list;
   te_faults : (Vega_robust.Fault.cls * int) list;
   te_degraded : (Vega_robust.Degrade.level * int) list;
+  te_resumed : int;
+  te_retried : int;
+  te_breaker_open : int;
 }
 
 let canon_lines (f : Vega_srclang.Ast.func) =
@@ -178,7 +181,7 @@ let eval_generated prep vfs (p : Vega_target.Profile.t) reference
       (match pass_result with Ok () -> false | Error f -> Regression.is_timeout f);
   }
 
-let evaluate_target ?fallback ?report (t : Vega.Pipeline.t) ~decoder
+let evaluate_target ?fallback ?report ?sup (t : Vega.Pipeline.t) ~decoder
     (p : Vega_target.Profile.t) ?(cases = Regression.default_cases) () =
   let report =
     match report with Some r -> r | None -> Vega_robust.Report.create ()
@@ -197,7 +200,7 @@ let evaluate_target ?fallback ?report (t : Vega.Pipeline.t) ~decoder
         else begin
           let gf, dt =
             Vega_util.Timer.time (fun () ->
-                Vega.Generate.run ?fallback ~report
+                Vega.Generate.run ?fallback ~report ?sup
                   t.Vega.Pipeline.prep.Vega.Pipeline.ctx
                   b.Vega.Pipeline.tpl b.Vega.Pipeline.analysis
                   b.Vega.Pipeline.hints ~target:p.Vega_target.Profile.name
@@ -224,6 +227,15 @@ let evaluate_target ?fallback ?report (t : Vega.Pipeline.t) ~decoder
         M.all;
     te_faults = Vega_robust.Report.by_class report;
     te_degraded = Vega_robust.Report.by_level report;
+    te_resumed = 0;
+    te_retried =
+      (match sup with
+      | Some s -> (Vega_robust.Supervisor.stats s).sup_retried
+      | None -> 0);
+    te_breaker_open =
+      (match sup with
+      | Some s -> (Vega_robust.Supervisor.stats s).sup_breaker_skips
+      | None -> 0);
   }
 
 let evaluate_forkflow (prep : Vega.Pipeline.prepared) (p : Vega_target.Profile.t)
@@ -282,6 +294,9 @@ let evaluate_forkflow (prep : Vega.Pipeline.prepared) (p : Vega_target.Profile.t
     te_module_seconds = [];
     te_faults = [];
     te_degraded = [];
+    te_resumed = 0;
+    te_retried = 0;
+    te_breaker_open = 0;
   }
 
 (* ------------------------------------------------------------------ *)

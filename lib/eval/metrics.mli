@@ -35,11 +35,18 @@ type target_eval = {
       (** faults observed while generating, by class (non-zero only) *)
   te_degraded : (Vega_robust.Degrade.level * int) list;
       (** degraded statements by ladder rung (non-zero only) *)
+  te_resumed : int;
+      (** functions restored from a write-ahead journal rather than
+          generated (always 0 outside durable runs) *)
+  te_retried : int;  (** supervisor backoff retries of the decoder *)
+  te_breaker_open : int;
+      (** decoder calls short-circuited by an open circuit breaker *)
 }
 
 val evaluate_target :
   ?fallback:Vega.Generate.decoder ->
   ?report:Vega_robust.Report.t ->
+  ?sup:Vega_robust.Supervisor.t ->
   Vega.Pipeline.t ->
   decoder:Vega.Generate.decoder ->
   Vega_target.Profile.t ->
@@ -47,9 +54,11 @@ val evaluate_target :
   unit ->
   target_eval
 (** Generate the whole backend for a held-out target and pass@1-check
-    every function. Generation runs under the degradation ladder;
-    observed faults and degradations land in [report] (a fresh one when
-    omitted) and in the [te_faults]/[te_degraded] counters. *)
+    every function. Generation runs under the degradation ladder —
+    supervised (deadlines, backoff, circuit breaker) when [sup] is
+    given; observed faults and degradations land in [report] (a fresh
+    one when omitted) and in the [te_faults]/[te_degraded]/[te_retried]/
+    [te_breaker_open] counters. *)
 
 val evaluate_forkflow :
   Vega.Pipeline.prepared ->

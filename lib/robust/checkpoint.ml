@@ -1,0 +1,124 @@
+type t = {
+  c_version : int;
+  c_target : string;
+  c_fingerprint : string;
+  c_funcs : Journal.completed list;
+}
+
+let version = 1
+
+(* File layout: a "ckpt" header line; per function a "func" line followed
+   by its statement records (journal encoding); a trailer line holding
+   the checksum of every preceding line — all lines individually
+   checksummed by the wire format on top. *)
+
+let lines_of c =
+  let header =
+    Wire.encode_line
+      [
+        "ckpt";
+        string_of_int c.c_version;
+        c.c_target;
+        c.c_fingerprint;
+        string_of_int (List.length c.c_funcs);
+      ]
+  in
+  let func_lines (f : Journal.completed) =
+    Wire.encode_line
+      [
+        "func";
+        f.Journal.c_fname;
+        Wire.float_to_field f.Journal.c_confidence;
+        string_of_int (List.length f.Journal.c_stmts);
+      ]
+    :: List.map (fun s -> Journal.encode (Journal.Stmt s)) f.Journal.c_stmts
+  in
+  let body = header :: List.concat_map func_lines c.c_funcs in
+  let trailer =
+    Wire.encode_line [ "trailer"; Wire.checksum (String.concat "\n" body) ]
+  in
+  body @ [ trailer ]
+
+let save ~path c =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  List.iter (fun l -> output_string oc (l ^ "\n")) (lines_of c);
+  close_out oc;
+  Sys.rename tmp path
+
+let load ~path =
+  if not (Sys.file_exists path) then Error "no checkpoint file"
+  else begin
+    let ic = open_in_bin path in
+    let contents = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let lines =
+      List.filter (fun l -> l <> "") (String.split_on_char '\n' contents)
+    in
+    let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+    (* split off and verify the trailer first: it seals the whole file *)
+    match List.rev lines with
+    | [] -> Error "empty checkpoint"
+    | trailer :: rev_body -> (
+        let body = List.rev rev_body in
+        match Wire.decode_line trailer with
+        | Some [ "trailer"; sum ]
+          when String.equal sum (Wire.checksum (String.concat "\n" body)) -> (
+            let decoded = List.map Wire.decode_line body in
+            match decoded with
+            | Some [ "ckpt"; ver; target; fingerprint; nfuncs ] :: rest -> (
+                match (Wire.int_of_field ver, Wire.int_of_field nfuncs) with
+                | Some ver, _ when ver <> version ->
+                    err "checkpoint version %d, expected %d" ver version
+                | Some ver, Some nfuncs -> (
+                    let rec funcs acc lines =
+                      match lines with
+                      | [] -> Ok (List.rev acc)
+                      | Some [ "func"; fname; conf; n ] :: rest -> (
+                          match
+                            (Wire.float_of_field conf, Wire.int_of_field n)
+                          with
+                          | Some confidence, Some n -> (
+                              let rec stmts acc_s k lines =
+                                if k = 0 then Ok (List.rev acc_s, lines)
+                                else
+                                  match lines with
+                                  | Some fields :: rest -> (
+                                      match
+                                        Journal.decode
+                                          (Wire.encode_line fields)
+                                      with
+                                      | Some (Journal.Stmt s)
+                                        when s.Journal.j_fname = fname ->
+                                          stmts (s :: acc_s) (k - 1) rest
+                                      | _ ->
+                                          Error "corrupt statement record")
+                                  | _ -> Error "truncated statement trail"
+                              in
+                              match stmts [] n rest with
+                              | Ok (c_stmts, rest) ->
+                                  funcs
+                                    ({
+                                       Journal.c_fname = fname;
+                                       c_confidence = confidence;
+                                       c_stmts;
+                                     }
+                                    :: acc)
+                                    rest
+                              | Error e -> Error e)
+                          | _ -> Error "corrupt function record")
+                      | _ -> Error "corrupt checkpoint body"
+                    in
+                    match funcs [] rest with
+                    | Ok c_funcs when List.length c_funcs = nfuncs ->
+                        Ok { c_version = ver; c_target = target;
+                             c_fingerprint = fingerprint; c_funcs }
+                    | Ok fs ->
+                        err "function count mismatch: header says %d, found %d"
+                          nfuncs (List.length fs)
+                    | Error e -> Error e)
+                | _ -> Error "corrupt checkpoint header")
+            | _ -> Error "missing checkpoint header")
+        | Some [ "trailer"; _ ] -> Error "trailer checksum mismatch"
+        | _ -> Error "missing or corrupt trailer")
+  end

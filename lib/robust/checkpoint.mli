@@ -1,0 +1,25 @@
+(** Periodic snapshot of a durable run's completed-function state.
+
+    A checkpoint is a convenience copy of what the {!Journal} already
+    proves: the set of completed functions with their statements. It has
+    a versioned, checksummed header and a whole-file checksum trailer;
+    {!load} validates everything and returns [Error] on any mismatch, so
+    a corrupt snapshot makes resume fall back to journal replay instead
+    of crashing. Snapshots are written via atomic tmp-file+rename — a
+    crash mid-save leaves the previous snapshot intact. *)
+
+type t = {
+  c_version : int;
+  c_target : string;
+  c_fingerprint : string;  (** must match the journal header's *)
+  c_funcs : Journal.completed list;
+}
+
+val version : int
+
+val save : path:string -> t -> unit
+(** Atomic: tmp file + rename. *)
+
+val load : path:string -> (t, string) result
+(** [Error] on a missing file, version skew, a corrupt line, a count
+    mismatch, or a trailer checksum failure — never an exception. *)

@@ -25,3 +25,5 @@ let name = function
   | Retrieval_fallback -> "retrieval-fallback"
   | Template_default -> "template-default"
   | Omitted -> "omitted"
+
+let of_name s = List.find_opt (fun l -> name l = s) all

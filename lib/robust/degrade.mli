@@ -21,3 +21,6 @@ val cap : level -> float
     channel. *)
 
 val name : level -> string
+
+val of_name : string -> level option
+(** Inverse of {!name}, for journal and report deserialization. *)

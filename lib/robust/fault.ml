@@ -8,6 +8,8 @@ type t =
   | Sim_trap of { message : string }
   | Bounds_error of { what : string; index : int; length : int }
   | Stage_failure of { stage : string; message : string }
+  | Deadline_exceeded of { fname : string; budget_ms : int }
+  | Breaker_open of { fname : string; failures : int }
 
 exception Fault of t
 
@@ -21,6 +23,8 @@ type cls =
   | Csim_trap
   | Cbounds
   | Cstage
+  | Cdeadline
+  | Cbreaker
 
 let all_classes =
   [
@@ -33,6 +37,8 @@ let all_classes =
     Csim_trap;
     Cbounds;
     Cstage;
+    Cdeadline;
+    Cbreaker;
   ]
 
 let cls_of = function
@@ -45,6 +51,8 @@ let cls_of = function
   | Sim_trap _ -> Csim_trap
   | Bounds_error _ -> Cbounds
   | Stage_failure _ -> Cstage
+  | Deadline_exceeded _ -> Cdeadline
+  | Breaker_open _ -> Cbreaker
 
 let cls_name = function
   | Cdecoder -> "decoder-failure"
@@ -56,6 +64,8 @@ let cls_name = function
   | Csim_trap -> "sim-trap"
   | Cbounds -> "bounds"
   | Cstage -> "stage-failure"
+  | Cdeadline -> "deadline"
+  | Cbreaker -> "breaker-open"
 
 let to_string = function
   | Decoder_failure { fname; stage; message } ->
@@ -74,6 +84,61 @@ let to_string = function
       Printf.sprintf "bounds[%s]: index %d outside 0..%d" what index (length - 1)
   | Stage_failure { stage; message } ->
       Printf.sprintf "stage-failure[%s]: %s" stage message
+  | Deadline_exceeded { fname; budget_ms } ->
+      Printf.sprintf "deadline[%s]: %d ms function budget exhausted" fname
+        budget_ms
+  | Breaker_open { fname; failures } ->
+      Printf.sprintf
+        "breaker-open[%s]: decoder circuit open after %d consecutive failures"
+        fname failures
+
+(* Wire representation: constructor tag followed by its payload fields,
+   consumed by the journal and the report serializer. *)
+let to_fields = function
+  | Decoder_failure { fname; stage; message } ->
+      [ "decoder-failure"; fname; stage; message ]
+  | Nan_score { fname; detail } -> [ "nan-score"; fname; detail ]
+  | Corpus_corruption { group; detail } -> [ "corpus-corruption"; group; detail ]
+  | Descfile_corruption { path; detail } ->
+      [ "descfile-corruption"; path; detail ]
+  | Interp_fuel_exhausted { fuel } -> [ "interp-fuel"; string_of_int fuel ]
+  | Sim_fuel_exhausted { fuel } -> [ "sim-fuel"; string_of_int fuel ]
+  | Sim_trap { message } -> [ "sim-trap"; message ]
+  | Bounds_error { what; index; length } ->
+      [ "bounds"; what; string_of_int index; string_of_int length ]
+  | Stage_failure { stage; message } -> [ "stage-failure"; stage; message ]
+  | Deadline_exceeded { fname; budget_ms } ->
+      [ "deadline"; fname; string_of_int budget_ms ]
+  | Breaker_open { fname; failures } ->
+      [ "breaker-open"; fname; string_of_int failures ]
+
+let of_fields = function
+  | [ "decoder-failure"; fname; stage; message ] ->
+      Some (Decoder_failure { fname; stage; message })
+  | [ "nan-score"; fname; detail ] -> Some (Nan_score { fname; detail })
+  | [ "corpus-corruption"; group; detail ] ->
+      Some (Corpus_corruption { group; detail })
+  | [ "descfile-corruption"; path; detail ] ->
+      Some (Descfile_corruption { path; detail })
+  | [ "interp-fuel"; fuel ] ->
+      Option.map (fun fuel -> Interp_fuel_exhausted { fuel }) (int_of_string_opt fuel)
+  | [ "sim-fuel"; fuel ] ->
+      Option.map (fun fuel -> Sim_fuel_exhausted { fuel }) (int_of_string_opt fuel)
+  | [ "sim-trap"; message ] -> Some (Sim_trap { message })
+  | [ "bounds"; what; index; length ] -> (
+      match (int_of_string_opt index, int_of_string_opt length) with
+      | Some index, Some length -> Some (Bounds_error { what; index; length })
+      | _ -> None)
+  | [ "stage-failure"; stage; message ] -> Some (Stage_failure { stage; message })
+  | [ "deadline"; fname; budget ] ->
+      Option.map
+        (fun budget_ms -> Deadline_exceeded { fname; budget_ms })
+        (int_of_string_opt budget)
+  | [ "breaker-open"; fname; failures ] ->
+      Option.map
+        (fun failures -> Breaker_open { fname; failures })
+        (int_of_string_opt failures)
+  | _ -> None
 
 let nth ~what l i =
   let length = List.length l in

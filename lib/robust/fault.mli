@@ -25,6 +25,11 @@ type t =
       (** an index fell outside a template structure *)
   | Stage_failure of { stage : string; message : string }
       (** any other exception escaping an isolated stage *)
+  | Deadline_exceeded of { fname : string; budget_ms : int }
+      (** the supervisor's per-function wall-clock budget ran out *)
+  | Breaker_open of { fname : string; failures : int }
+      (** the decoder circuit breaker is open: the decode was skipped so
+          the ladder can route straight to a fallback rung *)
 
 exception Fault of t
 (** The one exception robust stages raise and {!Stage.protect} catches. *)
@@ -40,11 +45,20 @@ type cls =
   | Csim_trap
   | Cbounds
   | Cstage
+  | Cdeadline
+  | Cbreaker
 
 val all_classes : cls list
 val cls_of : t -> cls
 val cls_name : cls -> string
 val to_string : t -> string
+
+val to_fields : t -> string list
+(** Wire representation (constructor tag + payload fields) used by the
+    {!Journal} and {!Report} serializers. *)
+
+val of_fields : string list -> t option
+(** Inverse of {!to_fields}; [None] on an unknown tag or bad payload. *)
 
 val nth : what:string -> 'a list -> int -> 'a
 (** Bounds-checked [List.nth]: raises [Fault (Bounds_error _)] naming

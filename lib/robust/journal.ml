@@ -1,0 +1,237 @@
+type stmt = {
+  j_fname : string;
+  j_col : int;
+  j_line : int;
+  j_inst : int;
+  j_score : float;
+  j_tokens : string list;
+  j_shape_ok : bool;
+  j_level : Degrade.level;
+}
+
+type record =
+  | Header of { version : int; target : string; fingerprint : string }
+  | Func_begin of string
+  | Stmt of stmt
+  | Func_end of { fname : string; confidence : float; n_stmts : int }
+  | Fault_ev of { stage : string; fault : Fault.t; backtrace : string }
+
+let version = 1
+
+let encode = function
+  | Header { version; target; fingerprint } ->
+      Wire.encode_line [ "header"; string_of_int version; target; fingerprint ]
+  | Func_begin fname -> Wire.encode_line [ "begin"; fname ]
+  | Stmt s ->
+      Wire.encode_line
+        ("stmt" :: s.j_fname :: string_of_int s.j_col :: string_of_int s.j_line
+        :: string_of_int s.j_inst
+        :: Wire.float_to_field s.j_score
+        :: Wire.bool_to_field s.j_shape_ok
+        :: Degrade.name s.j_level :: s.j_tokens)
+  | Func_end { fname; confidence; n_stmts } ->
+      Wire.encode_line
+        [ "end"; fname; Wire.float_to_field confidence; string_of_int n_stmts ]
+  | Fault_ev { stage; fault; backtrace } ->
+      Wire.encode_line ("fault" :: stage :: backtrace :: Fault.to_fields fault)
+
+let decode line =
+  match Wire.decode_line line with
+  | None -> None
+  | Some fields -> (
+      match fields with
+      | [ "header"; version; target; fingerprint ] ->
+          Option.map
+            (fun version -> Header { version; target; fingerprint })
+            (Wire.int_of_field version)
+      | [ "begin"; fname ] -> Some (Func_begin fname)
+      | "stmt" :: fname :: col :: line :: inst :: score :: shape_ok :: level
+        :: tokens -> (
+          match
+            ( Wire.int_of_field col,
+              Wire.int_of_field line,
+              Wire.int_of_field inst,
+              Wire.float_of_field score,
+              Wire.bool_of_field shape_ok,
+              Degrade.of_name level )
+          with
+          | Some j_col, Some j_line, Some j_inst, Some j_score, Some j_shape_ok,
+            Some j_level ->
+              Some
+                (Stmt
+                   {
+                     j_fname = fname;
+                     j_col;
+                     j_line;
+                     j_inst;
+                     j_score;
+                     j_tokens = tokens;
+                     j_shape_ok;
+                     j_level;
+                   })
+          | _ -> None)
+      | [ "end"; fname; confidence; n_stmts ] -> (
+          match (Wire.float_of_field confidence, Wire.int_of_field n_stmts) with
+          | Some confidence, Some n_stmts ->
+              Some (Func_end { fname; confidence; n_stmts })
+          | _ -> None)
+      | "fault" :: stage :: backtrace :: fault_fields ->
+          Option.map
+            (fun fault -> Fault_ev { stage; fault; backtrace })
+            (Fault.of_fields fault_fields)
+      | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                              *)
+
+type writer = {
+  oc : out_channel;
+  kill_at : int option;
+  mutable count : int;
+  mutable killed : bool;
+}
+
+exception Killed of int
+
+let wrote w =
+  w.count <- w.count + 1;
+  match w.kill_at with
+  | Some k when w.count >= k ->
+      (* the interrupted record is durable — flush happened before this
+         point — but the run never gets to act on it *)
+      w.killed <- true;
+      close_out_noerr w.oc;
+      raise (Killed w.count)
+  | _ -> ()
+
+let create ?kill_at ~path header =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc (encode header ^ "\n");
+  close_out oc;
+  Sys.rename tmp path;
+  let oc = open_out_gen [ Open_append; Open_wronly; Open_binary ] 0o644 path in
+  let w = { oc; kill_at; count = 0; killed = false } in
+  wrote w;
+  w
+
+let open_append ?kill_at ~path () =
+  (* a valid final record may have lost only its newline to a crash;
+     re-frame before appending so it is not fused with the next one *)
+  let needs_nl =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let r =
+      if n = 0 then false
+      else begin
+        seek_in ic (n - 1);
+        input_char ic <> '\n'
+      end
+    in
+    close_in ic;
+    r
+  in
+  let oc = open_out_gen [ Open_append; Open_wronly; Open_binary ] 0o644 path in
+  if needs_nl then output_string oc "\n";
+  { oc; kill_at; count = 0; killed = false }
+
+let append w record =
+  (* a killed writer stays dead: any append attempted while the crash
+     unwinds re-raises instead of touching the closed channel *)
+  if w.killed then raise (Killed w.count);
+  output_string w.oc (encode record ^ "\n");
+  flush w.oc;
+  wrote w
+
+let written w = w.count
+let close w = close_out_noerr w.oc
+
+(* ------------------------------------------------------------------ *)
+(* Reading and recovery                                                 *)
+
+type recovery = { r_records : record list; r_torn : bool }
+
+let read ~path =
+  if not (Sys.file_exists path) then { r_records = []; r_torn = false }
+  else begin
+    let ic = open_in_bin path in
+    let contents = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let lines = String.split_on_char '\n' contents in
+    let rec prefix acc = function
+      | [] -> (List.rev acc, false)
+      | "" :: rest -> prefix acc rest
+      | line :: rest -> (
+          match decode line with
+          | Some r -> prefix (r :: acc) rest
+          | None -> (List.rev acc, true))
+    in
+    let records, torn = prefix [] lines in
+    { r_records = records; r_torn = torn }
+  end
+
+let rewrite ~path records =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  List.iter (fun r -> output_string oc (encode r ^ "\n")) records;
+  close_out oc;
+  Sys.rename tmp path
+
+let tear ~path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let contents = really_input_string ic n in
+  close_in ic;
+  let stripped =
+    if n > 0 && contents.[n - 1] = '\n' then String.sub contents 0 (n - 1)
+    else contents
+  in
+  let start =
+    match String.rindex_opt stripped '\n' with Some i -> i + 1 | None -> 0
+  in
+  let keep = start + ((String.length stripped - start + 1) / 2) in
+  let oc = open_out_bin path in
+  output_string oc (String.sub stripped 0 keep);
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Replay                                                               *)
+
+type completed = {
+  c_fname : string;
+  c_confidence : float;
+  c_stmts : stmt list;
+}
+
+let replay records =
+  let header =
+    match records with (Header _ as h) :: _ -> Some h | _ -> None
+  in
+  let pending : (string, stmt list) Hashtbl.t = Hashtbl.create 64 in
+  let completed = ref [] in
+  List.iter
+    (fun r ->
+      match r with
+      | Header _ | Fault_ev _ -> ()
+      | Func_begin fname -> Hashtbl.replace pending fname []
+      | Stmt s ->
+          Hashtbl.replace pending s.j_fname
+            (s
+            :: Option.value ~default:[] (Hashtbl.find_opt pending s.j_fname))
+      | Func_end { fname; confidence; n_stmts } -> (
+          match Hashtbl.find_opt pending fname with
+          | Some stmts when List.length stmts = n_stmts ->
+              completed :=
+                {
+                  c_fname = fname;
+                  c_confidence = confidence;
+                  c_stmts = List.rev stmts;
+                }
+                :: !completed;
+              Hashtbl.remove pending fname
+          | Some _ | None ->
+              (* a seal that disagrees with its trail: drop the function,
+                 resume regenerates it *)
+              Hashtbl.remove pending fname))
+    records;
+  (header, List.rev !completed)

@@ -1,4 +1,4 @@
-type event = { ev_stage : string; ev_fault : Fault.t }
+type event = { ev_stage : string; ev_fault : Fault.t; ev_backtrace : string }
 
 type degradation = {
   d_fname : string;
@@ -11,12 +11,22 @@ type degradation = {
 type t = {
   mutable events : event list;  (* newest first *)
   mutable degradations : degradation list;
+  mutable subscribers : (int * (event -> unit)) list;
+  mutable next_sub : int;
 }
 
-let create () = { events = []; degradations = [] }
+let create () = { events = []; degradations = []; subscribers = []; next_sub = 0 }
 
-let record r ~stage fault =
-  r.events <- { ev_stage = stage; ev_fault = fault } :: r.events
+let record ?(backtrace = "") r ~stage fault =
+  let ev = { ev_stage = stage; ev_fault = fault; ev_backtrace = backtrace } in
+  r.events <- ev :: r.events;
+  List.iter (fun (_, f) -> f ev) r.subscribers
+
+let subscribe r f =
+  let id = r.next_sub in
+  r.next_sub <- id + 1;
+  r.subscribers <- (id, f) :: r.subscribers;
+  fun () -> r.subscribers <- List.filter (fun (i, _) -> i <> id) r.subscribers
 
 let record_degradation r ~fname ~col ~line ~inst level =
   if level <> Degrade.Primary then
@@ -69,3 +79,67 @@ let summary r =
              counts)
   in
   Printf.sprintf "faults: %s; degradation: %s" fault_part degr_part
+
+(* ------------------------------------------------------------------ *)
+(* Serialization: checksummed wire lines, one per event/degradation, in
+   observation order. Subscribers are runtime-only and not persisted.   *)
+
+let serialize r =
+  let ev_line e =
+    Wire.encode_line
+      ("event" :: e.ev_stage :: e.ev_backtrace :: Fault.to_fields e.ev_fault)
+  in
+  let degr_line d =
+    Wire.encode_line
+      [
+        "degr";
+        d.d_fname;
+        string_of_int d.d_col;
+        string_of_int d.d_line;
+        string_of_int d.d_inst;
+        Degrade.name d.d_level;
+      ]
+  in
+  String.concat "\n"
+    (List.map ev_line (events r) @ List.map degr_line (degradations r))
+  ^ "\n"
+
+let parse s =
+  let r = create () in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' s)
+  in
+  let rec go = function
+    | [] -> Ok r
+    | line :: rest -> (
+        match Wire.decode_line line with
+        | None -> Error (Printf.sprintf "corrupt report line: %S" line)
+        | Some ("event" :: stage :: backtrace :: fault_fields) -> (
+            match Fault.of_fields fault_fields with
+            | Some fault ->
+                record ~backtrace r ~stage fault;
+                go rest
+            | None -> Error (Printf.sprintf "unknown fault record: %S" line))
+        | Some [ "degr"; fname; col; line_; inst; level ] -> (
+            match
+              ( int_of_string_opt col,
+                int_of_string_opt line_,
+                int_of_string_opt inst,
+                Degrade.of_name level )
+            with
+            | Some col, Some line_, Some inst, Some level ->
+                record_degradation r ~fname ~col ~line:line_ ~inst level;
+                go rest
+            | _ -> Error (Printf.sprintf "bad degradation record: %S" line))
+        | Some _ -> Error (Printf.sprintf "unknown report record: %S" line))
+  in
+  go lines
+
+let equal a b =
+  List.equal
+    (fun x y ->
+      x.ev_stage = y.ev_stage && x.ev_fault = y.ev_fault
+      && x.ev_backtrace = y.ev_backtrace)
+    (events a) (events b)
+  && List.equal (fun (x : degradation) y -> x = y) (degradations a)
+       (degradations b)

@@ -1,8 +1,17 @@
 (** Run report: every fault a run observed and every statement that was
     generated at a degraded rung. The fault-injection invariants check
-    against this record — each injected fault must appear here. *)
+    against this record — each injected fault must appear here.
 
-type event = { ev_stage : string; ev_fault : Fault.t }
+    Reports serialize to the checksummed wire format (and back) so a
+    durable run can persist its fault history next to the journal. *)
+
+type event = {
+  ev_stage : string;
+  ev_fault : Fault.t;
+  ev_backtrace : string;
+      (** raw backtrace captured where the original exception was
+          wrapped into the fault; [""] when backtraces are off *)
+}
 
 type degradation = {
   d_fname : string;
@@ -16,7 +25,12 @@ type t
 
 val create : unit -> t
 
-val record : t -> stage:string -> Fault.t -> unit
+val record : ?backtrace:string -> t -> stage:string -> Fault.t -> unit
+
+val subscribe : t -> (event -> unit) -> unit -> unit
+(** [subscribe r f] calls [f] on every subsequently recorded event (the
+    journal uses this to write fault records ahead). Returns a canceller;
+    call it before the sink goes away. *)
 
 val record_degradation :
   t -> fname:string -> col:int -> line:int -> inst:int -> Degrade.level -> unit
@@ -37,3 +51,13 @@ val count_level : t -> Degrade.level -> int
 val by_level : t -> (Degrade.level * int) list
 
 val summary : t -> string
+
+val serialize : t -> string
+(** Checksummed wire lines, one per event/degradation, in observation
+    order. Subscribers are runtime-only state and are not persisted. *)
+
+val parse : string -> (t, string) result
+(** Inverse of {!serialize}; [Error] names the first corrupt line. *)
+
+val equal : t -> t -> bool
+(** Event and degradation lists are equal (order-sensitive). *)

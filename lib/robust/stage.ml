@@ -8,8 +8,16 @@ let classify ~stage = function
 let protect ?report ~stage f =
   match f () with
   | v -> Ok v
-  | exception ((Stack_overflow | Out_of_memory) as fatal) -> raise fatal
+  | exception ((Stack_overflow | Out_of_memory | Journal.Killed _) as fatal) ->
+      (* keep the origin frame on the fatal path too *)
+      Printexc.raise_with_backtrace fatal (Printexc.get_raw_backtrace ())
   | exception exn ->
+      (* capture the raw backtrace before any further allocation can
+         clobber it: fault records must carry the origin of the wrapped
+         exception, not this wrapper frame *)
+      let backtrace =
+        Printexc.raw_backtrace_to_string (Printexc.get_raw_backtrace ())
+      in
       let fault = classify ~stage exn in
-      Option.iter (fun r -> Report.record r ~stage fault) report;
+      Option.iter (fun r -> Report.record ~backtrace r ~stage fault) report;
       Error fault

@@ -6,5 +6,10 @@ val classify : stage:string -> exn -> Fault.t
     [Interp_fuel_exhausted]; anything else becomes [Stage_failure]. *)
 
 val protect : ?report:Report.t -> stage:string -> (unit -> 'a) -> ('a, Fault.t) result
-(** Runs [f ()], catching everything except [Stack_overflow] and
-    [Out_of_memory]. The fault is recorded in [report] when given. *)
+(** Runs [f ()], catching everything except [Stack_overflow],
+    [Out_of_memory] and {!Journal.Killed} (which are re-raised with
+    their original backtrace — a simulated crash must be as unstoppable
+    as a real one).
+    The fault is recorded in [report] when given, carrying the raw
+    backtrace captured at the raise site so journal/fault records name
+    the origin rather than this wrapper frame. *)

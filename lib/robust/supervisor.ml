@@ -1,0 +1,154 @@
+type config = {
+  breaker_threshold : int;
+  breaker_cooldown : int;
+  max_retries : int;
+  backoff_base_s : float;
+  backoff_max_s : float;
+  func_deadline_s : float;
+  jitter_seed : int;
+}
+
+let default_config =
+  {
+    breaker_threshold = 5;
+    breaker_cooldown = 25;
+    max_retries = 2;
+    backoff_base_s = 0.05;
+    backoff_max_s = 1.0;
+    func_deadline_s = 30.0;
+    jitter_seed = 0x5eed;
+  }
+
+type breaker = Closed of int | Open of int | Half_open
+
+type stats = {
+  mutable sup_functions : int;
+  mutable sup_retried : int;
+  mutable sup_breaker_opened : int;
+  mutable sup_breaker_skips : int;
+  mutable sup_deadline_hits : int;
+}
+
+type t = {
+  cfg : config;
+  now : unit -> float;
+  sleep : float -> unit;
+  rng : Vega_util.Rng.t;
+  st : stats;
+  mutable fname : string;
+  mutable deadline : float option;
+  mutable breaker : breaker;
+}
+
+let monotonic_now () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+
+let create ?(now = monotonic_now) ?(sleep = Unix.sleepf) cfg =
+  {
+    cfg;
+    now;
+    sleep;
+    rng = Vega_util.Rng.create cfg.jitter_seed;
+    st =
+      {
+        sup_functions = 0;
+        sup_retried = 0;
+        sup_breaker_opened = 0;
+        sup_breaker_skips = 0;
+        sup_deadline_hits = 0;
+      };
+    fname = "";
+    deadline = None;
+    breaker = Closed 0;
+  }
+
+let config t = t.cfg
+let stats t = t.st
+let breaker_state t = t.breaker
+
+let start_function t fname =
+  t.fname <- fname;
+  t.deadline <- Some (t.now () +. t.cfg.func_deadline_s);
+  t.st.sup_functions <- t.st.sup_functions + 1
+
+let end_function t =
+  t.fname <- "";
+  t.deadline <- None
+
+let backoff_delay t attempt =
+  let raw = t.cfg.backoff_base_s *. (2.0 ** float_of_int attempt) in
+  let capped = Float.min t.cfg.backoff_max_s raw in
+  let jitter = 0.75 +. Vega_util.Rng.float t.rng 0.5 in
+  Float.min t.cfg.backoff_max_s (capped *. jitter)
+
+let check_deadline t =
+  match t.deadline with
+  | Some d when t.now () >= d ->
+      t.st.sup_deadline_hits <- t.st.sup_deadline_hits + 1;
+      raise
+        (Fault.Fault
+           (Fault.Deadline_exceeded
+              {
+                fname = t.fname;
+                budget_ms = int_of_float (t.cfg.func_deadline_s *. 1000.0);
+              }))
+  | _ -> ()
+
+(* Faults worth a backoff-and-retry: transient decoder trouble. Corrupt
+   inputs, exhausted budgets, and traps fail the same way every time. *)
+let retryable fault =
+  match Fault.cls_of fault with
+  | Fault.Cdecoder | Fault.Cscore | Fault.Cstage -> true
+  | _ -> false
+
+(* Faults the breaker counts: the decoder itself misbehaving. *)
+let decoder_family fault =
+  match Fault.cls_of fault with
+  | Fault.Cdecoder | Fault.Cscore -> true
+  | _ -> false
+
+let open_breaker t =
+  t.breaker <- Open t.cfg.breaker_cooldown;
+  t.st.sup_breaker_opened <- t.st.sup_breaker_opened + 1
+
+let note_failure t fault =
+  match t.breaker with
+  | Half_open -> open_breaker t
+  | Closed k when decoder_family fault ->
+      if k + 1 >= t.cfg.breaker_threshold then open_breaker t
+      else t.breaker <- Closed (k + 1)
+  | Closed _ -> t.breaker <- Closed 0
+  | Open _ -> ()
+
+let guard t f =
+  check_deadline t;
+  (match t.breaker with
+  | Open n when n > 1 ->
+      t.breaker <- Open (n - 1);
+      t.st.sup_breaker_skips <- t.st.sup_breaker_skips + 1;
+      raise
+        (Fault.Fault
+           (Fault.Breaker_open
+              { fname = t.fname; failures = t.cfg.breaker_threshold }))
+  | Open _ -> t.breaker <- Half_open
+  | Closed _ | Half_open -> ());
+  let half_open = t.breaker = Half_open in
+  let rec attempt n =
+    check_deadline t;
+    match f () with
+    | v ->
+        t.breaker <- Closed 0;
+        v
+    | exception Fault.Fault fault ->
+        note_failure t fault;
+        let may_retry =
+          (not half_open) && retryable fault && n < t.cfg.max_retries
+          && match t.breaker with Open _ -> false | _ -> true
+        in
+        if may_retry then begin
+          t.sleep (backoff_delay t n);
+          t.st.sup_retried <- t.st.sup_retried + 1;
+          attempt (n + 1)
+        end
+        else raise (Fault.Fault fault)
+  in
+  attempt 0

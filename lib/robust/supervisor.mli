@@ -1,0 +1,71 @@
+(** Supervised run loop: per-function deadlines, bounded exponential
+    backoff with deterministic seeded jitter, and a circuit breaker on
+    the decoder.
+
+    The supervisor does not call the pipeline; the pipeline calls {e it}.
+    [generate_backend ~sup] brackets every function with
+    {!start_function}/{!end_function} and wraps the decoder in {!guard},
+    which enforces the wall-clock budget (monotonic clock — immune to
+    system-time jumps), retries retryable faults with backoff, and —
+    after [breaker_threshold] consecutive decoder-family faults — opens
+    the breaker so further decode attempts are skipped outright and the
+    degradation ladder routes straight to its fallback rungs. *)
+
+type config = {
+  breaker_threshold : int;
+      (** consecutive decoder-family faults that open the breaker *)
+  breaker_cooldown : int;
+      (** guarded calls short-circuited while open before a half-open
+          probe is allowed; counted in calls, not seconds, so tests are
+          deterministic *)
+  max_retries : int;  (** extra attempts per guarded call *)
+  backoff_base_s : float;
+  backoff_max_s : float;
+  func_deadline_s : float;  (** per-function wall-clock budget *)
+  jitter_seed : int;
+}
+
+val default_config : config
+
+type breaker =
+  | Closed of int  (** consecutive decoder-family faults so far *)
+  | Open of int  (** guarded calls left before a half-open probe *)
+  | Half_open  (** next guarded call is a single probe *)
+
+type stats = {
+  mutable sup_functions : int;
+  mutable sup_retried : int;  (** backoff retries performed *)
+  mutable sup_breaker_opened : int;  (** transitions into [Open] *)
+  mutable sup_breaker_skips : int;  (** calls short-circuited while open *)
+  mutable sup_deadline_hits : int;
+}
+
+type t
+
+val create : ?now:(unit -> float) -> ?sleep:(float -> unit) -> config -> t
+(** [now] defaults to the monotonic clock (seconds); [sleep] to
+    [Unix.sleepf]. Both are injectable so tests run on a virtual
+    clock. *)
+
+val config : t -> config
+val stats : t -> stats
+val breaker_state : t -> breaker
+
+val start_function : t -> string -> unit
+(** Arm the deadline: the named function's budget starts now. *)
+
+val end_function : t -> unit
+(** Disarm the deadline. *)
+
+val backoff_delay : t -> int -> float
+(** [backoff_delay t attempt] is [min backoff_max_s (base * 2^attempt)]
+    scaled by a jitter factor in [0.75, 1.25) drawn from the seeded
+    generator — deterministic across runs with equal seeds. *)
+
+val guard : t -> (unit -> 'a) -> 'a
+(** Run a decoder call under supervision. Raises
+    [Fault (Deadline_exceeded _)] when the armed budget is spent,
+    [Fault (Breaker_open _)] when the breaker is open (the call is
+    never made), and otherwise retries retryable faults up to
+    [max_retries] times with backoff before re-raising. A success in
+    half-open state closes the breaker; a failure re-opens it. *)

@@ -1,0 +1,54 @@
+let checksum s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  Printf.sprintf "%016Lx" !h
+
+(* String.escaped maps tabs and newlines to backslash escapes, so escaped
+   fields can be tab-joined and newline-framed without ambiguity. *)
+let escape_field = String.escaped
+
+let unescape_field s =
+  match Scanf.unescaped s with v -> Some v | exception _ -> None
+
+let encode_line fields =
+  let payload = String.concat "\t" (List.map escape_field fields) in
+  checksum payload ^ " " ^ payload
+
+let decode_line line =
+  match String.index_opt line ' ' with
+  | None -> None
+  | Some i ->
+      let sum = String.sub line 0 i in
+      let payload = String.sub line (i + 1) (String.length line - i - 1) in
+      if not (String.equal sum (checksum payload)) then None
+      else if String.length payload = 0 then
+        (* split_on_char would yield [""]; an empty payload is the empty
+           record (a lone empty field encodes identically and is folded
+           into it) *)
+        Some []
+      else
+        let fields = String.split_on_char '\t' payload in
+        let rec unescape_all acc = function
+          | [] -> Some (List.rev acc)
+          | f :: rest -> (
+              match unescape_field f with
+              | Some v -> unescape_all (v :: acc) rest
+              | None -> None)
+        in
+        unescape_all [] fields
+
+let float_to_field f = Printf.sprintf "%h" f
+
+let float_of_field s =
+  match float_of_string_opt s with
+  | Some f -> Some f
+  | None -> if s = "nan" then Some Float.nan else None
+
+let bool_to_field b = if b then "1" else "0"
+
+let bool_of_field = function "1" -> Some true | "0" -> Some false | _ -> None
+
+let int_of_field = int_of_string_opt

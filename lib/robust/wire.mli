@@ -1,0 +1,31 @@
+(** Line-oriented wire format shared by the durability layer.
+
+    A record is a list of string fields; each field is escaped (OCaml
+    lexical conventions, so tabs and newlines cannot leak), fields are
+    tab-joined into a payload, and every line carries a leading FNV-1a
+    checksum of its payload. A reader can therefore detect a torn or
+    bit-flipped record without any framing beyond newlines — the property
+    the {!Journal} recovery path relies on. *)
+
+val checksum : string -> string
+(** 64-bit FNV-1a of the bytes, as 16 lowercase hex digits. *)
+
+val encode_line : string list -> string
+(** [encode_line fields] is ["<checksum> <payload>"] without a trailing
+    newline. Fields may contain any bytes. *)
+
+val decode_line : string -> string list option
+(** Inverse of {!encode_line}: [None] when the checksum does not match
+    the payload or any field fails to unescape — i.e. the line is torn
+    or corrupt, never an exception. The empty record and a lone empty
+    field encode identically; both decode as [Some []]. *)
+
+val float_to_field : float -> string
+(** Hexadecimal float literal: round-trips bit-exactly through
+    {!float_of_field}. *)
+
+val float_of_field : string -> float option
+
+val bool_to_field : bool -> string
+val bool_of_field : string -> bool option
+val int_of_field : string -> int option

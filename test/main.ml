@@ -14,6 +14,7 @@ let () =
       ("backend", Test_backend.suite);
       ("analysis", Test_analysis.suite);
       ("robust", Test_robust.suite);
+      ("durable", Test_durable.suite);
       ("eval", Test_eval.suite);
       ("endtoend", Test_endtoend.suite);
     ]

@@ -18,6 +18,8 @@ let sample_faults =
     R.Fault.Sim_trap { message = "bad register" };
     R.Fault.Bounds_error { what = "w"; index = 3; length = 2 };
     R.Fault.Stage_failure { stage = "s"; message = "m" };
+    R.Fault.Deadline_exceeded { fname = "f"; budget_ms = 30_000 };
+    R.Fault.Breaker_open { fname = "f"; failures = 5 };
   ]
 
 (* ---------------- taxonomy ---------------- *)
@@ -105,6 +107,74 @@ let test_stage_protect () =
   | Error (R.Fault.Stage_failure _) -> ()
   | _ -> Alcotest.fail "expected Stage_failure");
   Alcotest.(check int) "failure recorded" 1 (R.Report.total r)
+
+let test_stage_backtrace () =
+  (* the fault record must carry the backtrace of the original raise
+     site, not of the protect wrapper *)
+  let was = Printexc.backtrace_status () in
+  Printexc.record_backtrace true;
+  Fun.protect
+    ~finally:(fun () -> Printexc.record_backtrace was)
+    (fun () ->
+      let r = R.Report.create () in
+      let deep () = failwith "deep failure" in
+      (match R.Stage.protect ~report:r ~stage:"bt" (fun () -> deep ()) with
+      | Error (R.Fault.Stage_failure _) -> ()
+      | _ -> Alcotest.fail "expected Stage_failure");
+      match R.Report.events r with
+      | [ ev ] ->
+          Alcotest.(check bool) "backtrace captured" true
+            (String.length ev.R.Report.ev_backtrace > 0)
+      | evs -> Alcotest.failf "expected one event, got %d" (List.length evs))
+
+let test_report_roundtrip () =
+  (* serialize -> parse -> equal, across every fault class and a
+     degradation at every rung *)
+  let r = R.Report.create () in
+  List.iteri
+    (fun i fault ->
+      let backtrace = if i mod 2 = 0 then "" else Printf.sprintf "frame %d" i in
+      R.Report.record ~backtrace r ~stage:(Printf.sprintf "stage%d" i) fault)
+    sample_faults;
+  List.iteri
+    (fun i level ->
+      R.Report.record_degradation r ~fname:(Printf.sprintf "f%d" i) ~col:i
+        ~line:(i * 2) ~inst:(-1) level)
+    R.Degrade.all;
+  match R.Report.parse (R.Report.serialize r) with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok r' ->
+      Alcotest.(check bool) "round-trip preserves the report" true
+        (R.Report.equal r r');
+      Alcotest.(check int) "every fault back" (R.Report.total r)
+        (R.Report.total r');
+      Alcotest.(check int) "every degradation back" (R.Report.degraded_count r)
+        (R.Report.degraded_count r');
+      (* a corrupt line is named, not swallowed *)
+      (match R.Report.parse (R.Report.serialize r ^ "garbage line\n") with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "corrupt serialization accepted");
+      (* the empty report round-trips too *)
+      (match R.Report.parse (R.Report.serialize (R.Report.create ())) with
+      | Ok e -> Alcotest.(check int) "empty stays empty" 0 (R.Report.total e)
+      | Error e -> Alcotest.failf "empty report parse failed: %s" e)
+
+let qcheck_ladder_caps =
+  (* caps are strictly decreasing down the ladder, and the template rung
+     sits below the 0.5 accept threshold *)
+  let pair =
+    QCheck.Gen.(
+      map2
+        (fun a b -> (List.nth R.Degrade.all a, List.nth R.Degrade.all b))
+        (int_range 0 (List.length R.Degrade.all - 1))
+        (int_range 0 (List.length R.Degrade.all - 1)))
+  in
+  QCheck.Test.make ~name:"ladder caps strictly decrease" ~count:200
+    (QCheck.make pair)
+    (fun (l1, l2) ->
+      R.Degrade.cap R.Degrade.Template_default < 0.5
+      && (R.Degrade.rank l1 >= R.Degrade.rank l2
+         || R.Degrade.cap l1 > R.Degrade.cap l2))
 
 let test_bounds_nth () =
   Alcotest.(check int) "in range" 20 (R.Fault.nth ~what:"xs" [ 10; 20; 30 ] 1);
@@ -326,6 +396,9 @@ let suite =
     Alcotest.test_case "run report" `Quick test_report;
     Alcotest.test_case "stage classify" `Quick test_stage_classify;
     Alcotest.test_case "stage protect" `Quick test_stage_protect;
+    Alcotest.test_case "stage backtrace capture" `Quick test_stage_backtrace;
+    Alcotest.test_case "report round-trip" `Quick test_report_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_ladder_caps;
     Alcotest.test_case "bounds-checked nth" `Quick test_bounds_nth;
     Alcotest.test_case "mean_token_prob nan" `Quick test_mean_token_prob_nan;
     Alcotest.test_case "confidence sanitize" `Quick test_confidence_sanitize;
