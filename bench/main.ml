@@ -6,7 +6,10 @@
    Usage:
      bench/main.exe            full run (trains CodeBE; ~15-30 min)
      bench/main.exe --quick    retrieval decoder, no training (~2 min)
-     bench/main.exe fig8       one section only (after shared setup)  *)
+     bench/main.exe fig8       one section only (setup is built lazily,
+                               so e.g. `decode` runs in seconds)
+     bench/main.exe --json-out FILE   also write the measured numbers as
+                               one JSON object (CI artifact)  *)
 
 module V = Vega
 module E = Vega_eval
@@ -19,6 +22,21 @@ let f2 = T.fmt_f ~digits:2
 let heading title =
   Printf.printf "\n============================================================\n%s\n============================================================\n"
     title
+
+(* machine-readable metrics, written as one JSON object by --json-out *)
+let json_metrics : (string * string) list ref = ref []
+let metric k v = json_metrics := (k, v) :: !json_metrics
+let metric_f k v = metric k (Printf.sprintf "%.6g" v)
+
+let write_json_metrics path =
+  let oc = open_out path in
+  output_string oc
+    ("{"
+    ^ String.concat ","
+        (List.rev_map (fun (k, v) -> Printf.sprintf "%S:%s" k v) !json_metrics)
+    ^ "}\n");
+  close_out oc;
+  Printf.printf "metrics written to %s\n" path
 
 (* ------------------------------------------------------------------ *)
 (* Shared setup                                                        *)
@@ -524,6 +542,130 @@ let section_rnn_ablation (s : setup) ~quick =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Decode and parallel-generation throughput                           *)
+
+let section_decode () =
+  heading "Decode throughput — incremental KV cache vs full re-decode";
+  let module NN = Vega_nn.Transformer in
+  let cfg =
+    {
+      NN.d_model = 32;
+      heads = 4;
+      d_ff = 64;
+      n_layers = 2;
+      max_len = 96;
+      vocab_size = 64;
+    }
+  in
+  let m = NN.create ~seed:7 cfg in
+  let src = Array.init 24 (fun i -> (i * 5 + 1) mod cfg.NN.vocab_size) in
+  let memory = NN.encode m src in
+  let steps = cfg.NN.max_len in
+  let ids = Array.init steps (fun k -> (k * 7 + 3) mod cfg.NN.vocab_size) in
+  (* a forced [steps]-long decode (no EOS stop), the worst case the
+     engine sees: the uncached path re-runs the whole prefix per token *)
+  let run_cached () =
+    let c = NN.new_cache m ~memory in
+    Array.iter (fun id -> ignore (NN.decode_step c id)) ids
+  in
+  let run_uncached () =
+    for k = 1 to steps do
+      ignore (NN.decode_logits m ~memory (Array.sub ids 0 k))
+    done
+  in
+  (* bit-identity cross-check before timing anything *)
+  let identical =
+    let c = NN.new_cache m ~memory in
+    Array.for_all Fun.id
+      (Array.init steps (fun k ->
+           let row = NN.decode_step c ids.(k) in
+           let logits = NN.decode_logits m ~memory (Array.sub ids 0 (k + 1)) in
+           let lt = Vega_nn.Tensor.get logits in
+           Array.for_all Fun.id
+             (Array.init cfg.NN.vocab_size (fun j ->
+                  Int64.bits_of_float row.(j)
+                  = Int64.bits_of_float (lt k j)))))
+  in
+  run_cached ();
+  run_uncached ();
+  let rounds = 5 in
+  let cached_s =
+    Vega_util.Timer.time_s (fun () ->
+        for _ = 1 to rounds do
+          run_cached ()
+        done)
+  in
+  let uncached_s =
+    Vega_util.Timer.time_s (fun () ->
+        for _ = 1 to rounds do
+          run_uncached ()
+        done)
+  in
+  let toks t = float_of_int (rounds * steps) /. t in
+  let speedup = uncached_s /. cached_s in
+  let tab = T.create ~headers:[ "Path"; "tokens/s"; "Speedup" ] in
+  T.add_row tab [ "full re-decode"; f2 (toks uncached_s); "1.00x" ];
+  T.add_row tab [ "KV cache"; f2 (toks cached_s); f2 speedup ^ "x" ];
+  print_string (T.render tab);
+  Printf.printf
+    "logits bit-identical across all %d steps: %s\n\
+     (acceptance floor: >= 3x at max_len-deep prefixes)\n"
+    steps
+    (if identical then "yes" else "NO");
+  metric_f "decode_cached_tokens_per_s" (toks cached_s);
+  metric_f "decode_uncached_tokens_per_s" (toks uncached_s);
+  metric_f "decode_speedup" speedup;
+  metric "decode_bit_identical" (if identical then "true" else "false")
+
+let section_parallel (s : setup) =
+  heading "Parallel backend generation — wall clock vs domain count";
+  let t = s.pipeline in
+  (* the deterministic retrieval decoder: parallel speedup must come
+     from the pool, not from decoder variance *)
+  let decoder = V.Pipeline.retrieval_decoder t in
+  let target = "RISCV" in
+  let render gfs =
+    String.concat "\n"
+      (List.map
+         (fun (gf : V.Generate.gen_func) ->
+           Printf.sprintf "%s %Lx %s" gf.V.Generate.gf_fname
+             (Int64.bits_of_float gf.V.Generate.gf_confidence)
+             (V.Generate.source_of_all gf))
+         gfs)
+  in
+  let base = render (V.Pipeline.generate_backend t ~target ~decoder) in
+  let tab = T.create ~headers:[ "Domains"; "Wall (s)"; "Speedup"; "Identical" ] in
+  let t1 = ref 1.0 in
+  List.iter
+    (fun domains ->
+      let gfs, secs =
+        Vega_util.Timer.time (fun () ->
+            V.Pipeline.generate_backend ~domains t ~target ~decoder)
+      in
+      if domains = 1 then t1 := secs;
+      let same = render gfs = base in
+      T.add_row tab
+        [
+          string_of_int domains;
+          f2 secs;
+          f2 (!t1 /. secs) ^ "x";
+          (if same then "yes" else "NO");
+        ];
+      metric_f (Printf.sprintf "parallel_wall_s_domains_%d" domains) secs;
+      metric
+        (Printf.sprintf "parallel_identical_domains_%d" domains)
+        (if same then "true" else "false"))
+    [ 1; 2; 4 ];
+  print_string (T.render tab);
+  let cores = Domain.recommended_domain_count () in
+  metric "parallel_host_cores" (string_of_int cores);
+  Printf.printf
+    "(every row must be bit-identical to the sequential run; speedup is\n\
+    \ bounded by the host's core count — this host reports %d — and by\n\
+    \ the per-function work distribution)\n"
+    cores
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 
 let microbench (s : setup) =
@@ -615,27 +757,43 @@ let microbench (s : setup) =
 let () =
   let args = Array.to_list Sys.argv in
   let quick = List.mem "--quick" args in
+  let json_out, args =
+    let rec extract = function
+      | "--json-out" :: f :: rest -> (Some f, rest)
+      | a :: rest ->
+          let jo, r = extract rest in
+          (jo, a :: r)
+      | [] -> (None, [])
+    in
+    extract (List.tl args)
+  in
   let sections =
-    List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) (List.tl args)
+    List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args
   in
   let want name = sections = [] || List.mem name sections in
   Printf.printf "VEGA reproduction benchmark harness (%s mode)\n%!"
     (if quick then "quick/retrieval" else "full/CodeBE");
-  let s = build_setup ~quick () in
-  if want "corpus" then section_corpus s;
+  (* setup (prepare + train + evaluate) is expensive; sections that do
+     not touch the pipeline — e.g. `decode` — must not pay for it *)
+  let setup = lazy (build_setup ~quick ()) in
+  let s () = Lazy.force setup in
+  if want "corpus" then section_corpus (s ());
   if want "fig6" then section_fig6 ();
-  if want "fig7" then section_fig7 s;
-  if want "fig8" then section_fig8 s;
-  if want "fig9" then section_fig9 s;
-  if want "table2" then section_table2 s;
-  if want "table3" then section_table3 s;
-  if want "table4" then section_table4 s;
-  if want "fig10" then section_fig10 s;
-  if want "robustness" then section_robustness s;
-  if want "faults" then section_faults s;
-  if want "killresume" then section_killresume s;
-  if want "model_ablation" then section_model_ablation s;
-  if want "rnn_ablation" then section_rnn_ablation s ~quick;
-  if want "split_ablation" then section_split_ablation s ~quick;
-  if want "micro" then microbench s;
+  if want "fig7" then section_fig7 (s ());
+  if want "fig8" then section_fig8 (s ());
+  if want "fig9" then section_fig9 (s ());
+  if want "table2" then section_table2 (s ());
+  if want "table3" then section_table3 (s ());
+  if want "table4" then section_table4 (s ());
+  if want "fig10" then section_fig10 (s ());
+  if want "robustness" then section_robustness (s ());
+  if want "faults" then section_faults (s ());
+  if want "killresume" then section_killresume (s ());
+  if want "decode" then section_decode ();
+  if want "parallel" then section_parallel (s ());
+  if want "model_ablation" then section_model_ablation (s ());
+  if want "rnn_ablation" then section_rnn_ablation (s ()) ~quick;
+  if want "split_ablation" then section_split_ablation (s ()) ~quick;
+  if want "micro" then microbench (s ());
+  Option.iter write_json_metrics json_out;
   print_newline ()

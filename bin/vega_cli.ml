@@ -4,10 +4,12 @@
      vega-cli generate -t RISCV -f getRelocType [--model]
      vega-cli generate -t RISCV --run-dir d   durable whole-backend run
      vega-cli generate -t RISCV --resume d    resume an interrupted run
+     vega-cli generate ... --domains N        fan functions over N domains
      vega-cli backend -t XCore [--model]      generate + pass@1 the backend
      vega-cli lint -t RISCV [--generated] [--json]
      vega-cli faultcheck [-t T] [--seed N] [--json]   fault-injection matrix
-     vega-cli faultcheck --kill-at K --run-dir d      kill-and-resume check
+     vega-cli faultcheck --kill-at K --run-dir d [--domains N]
+                                              kill-and-resume check
      vega-cli compile -t ARM -p fib -o O3 [--run]                          *)
 
 open Cmdliner
@@ -68,6 +70,13 @@ let model_flag =
              fast retrieval decoder." in
   Arg.(value & flag & info [ "model" ] ~doc)
 
+let domains_arg =
+  let doc =
+    "Fan backend generation over $(docv) domains (a fixed-size pool; output \
+     is bit-identical to the sequential run). Default 1."
+  in
+  Arg.(value & opt int 1 & info [ "domains" ] ~doc ~docv:"N")
+
 let stats_cmd =
   let run () =
     let corpus = Vega_corpus.Corpus.build () in
@@ -109,7 +118,7 @@ let generate_cmd =
              journal, restore completed functions, regenerate the rest."
           ~docv:"DIR")
   in
-  let run target fname model run_dir resume_dir =
+  let run target fname model run_dir resume_dir domains =
     let t, decoder = mk_pipeline ~model in
     match (run_dir, resume_dir) with
     | None, None -> (
@@ -129,7 +138,7 @@ let generate_cmd =
         let sup = Vega_robust.Supervisor.create Vega_robust.Supervisor.default_config in
         let report = Vega_robust.Report.create () in
         match
-          Vega.Pipeline.generate_backend_durable ~report ~sup ~resume
+          Vega.Pipeline.generate_backend_durable ~report ~sup ~resume ~domains
             ~run_dir:dir t ~target ~decoder
         with
         | Error e ->
@@ -162,7 +171,7 @@ let generate_cmd =
           write-ahead journal")
     Term.(
       const run $ target_arg $ fname_arg $ model_flag $ run_dir_arg
-      $ resume_arg)
+      $ resume_arg $ domains_arg)
 
 let backend_cmd =
   let run target model =
@@ -332,7 +341,7 @@ let faultcheck_cmd =
       & info [ "run-dir" ]
           ~doc:"Directory for the kill-and-resume run journals." ~docv:"DIR")
   in
-  let run target seed json kill_at run_dir =
+  let run target seed json kill_at run_dir domains =
     let p =
       match Vega_target.Registry.find target with
       | Some p -> p
@@ -406,6 +415,26 @@ let faultcheck_cmd =
     check "baseline: identical to the plain decoder path"
       (List.map Vega.Generate.source_of_all plain
       = List.map Vega.Generate.source_of_all baseline);
+
+    (* ---- parallel determinism: fanning the functions over a domain
+       pool must not change a single bit of the output ---- *)
+    if domains > 1 then begin
+      scenario (Printf.sprintf "parallel determinism (%d domains)" domains);
+      let par = Vega.Pipeline.generate_backend ~domains t ~target ~decoder in
+      check
+        (Printf.sprintf "parallel: %d-domain run identical to sequential"
+           domains)
+        (List.map Vega.Generate.source_of_all par
+         = List.map Vega.Generate.source_of_all plain
+        && List.map
+             (fun (gf : Vega.Generate.gen_func) ->
+               Int64.bits_of_float gf.Vega.Generate.gf_confidence)
+             par
+           = List.map
+               (fun (gf : Vega.Generate.gen_func) ->
+                 Int64.bits_of_float gf.Vega.Generate.gf_confidence)
+               plain)
+    end;
     let key (gf : Vega.Generate.gen_func) (s : Vega.Generate.gen_stmt) =
       ( gf.Vega.Generate.gf_fname,
         s.Vega.Generate.g_col,
@@ -823,8 +852,8 @@ let faultcheck_cmd =
              let dir = Filename.concat run_dir (Printf.sprintf "kill%d" k) in
              clear dir;
              match
-               Vega.Pipeline.generate_backend_durable ~kill_at:k ~run_dir:dir
-                 t ~target ~decoder
+               Vega.Pipeline.generate_backend_durable ~kill_at:k ~domains
+                 ~run_dir:dir t ~target ~decoder
              with
              | exception R.Journal.Killed n ->
                  check
@@ -837,7 +866,7 @@ let faultcheck_cmd =
                    R.Journal.tear ~path:(Vega.Pipeline.journal_path dir);
                  (match
                     Vega.Pipeline.generate_backend_durable ~resume:true
-                      ~run_dir:dir t ~target ~decoder
+                      ~domains ~run_dir:dir t ~target ~decoder
                   with
                  | Error e ->
                      violation "%s: resume after kill-at %d failed (%s)" name
@@ -905,7 +934,7 @@ let faultcheck_cmd =
           any invariant violation")
     Term.(
       const run $ target_arg $ seed_arg $ json_flag $ kill_at_arg
-      $ run_dir_arg)
+      $ run_dir_arg $ domains_arg)
 
 let compile_cmd =
   let prog_arg =

@@ -56,4 +56,12 @@ let slot_candidate_counts analysis (view : Featsel.target_view) ~col ~line
             1 props
       | None -> 1)
 
-let function_confidence = function [] -> 0.0 | s :: _ -> s
+(* Eq. (1) rollup over the whole function: the minimum across kept
+   statements — a function is only as trustworthy as the weakest
+   statement it actually emits. Below-threshold statements are dropped
+   from the output (and flagged per-statement), so they do not drag the
+   rollup; with nothing kept there is no trustworthy output at all. *)
+let function_confidence scores =
+  match List.filter (fun s -> s >= threshold) scores with
+  | [] -> 0.0
+  | s :: rest -> List.fold_left Float.min s rest

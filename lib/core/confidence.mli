@@ -30,6 +30,9 @@ val slot_candidate_counts :
     slot for the given target (1 when unresolved). *)
 
 val function_confidence : float list -> float
-(** Confidence of a whole generated function: the paper uses the first
-    statement's (function definition's) score; we take it as
-    [List.hd scores] with 0 for an empty function. *)
+(** Confidence of a whole generated function: the minimum score across
+    kept statements (those at or above {!threshold}, i.e. the ones that
+    appear in the emitted function body), 0 when no statement is kept.
+    Taking only the head statement's score — the old behavior — let a
+    confident function definition mask low-confidence statements below
+    it and mis-ordered the Err-PS review queue. *)

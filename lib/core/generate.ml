@@ -200,7 +200,9 @@ let run ?fallback ?report ?sup ?on_stmt ctx (tpl : Template.t) analysis hints
       fvs
   in
   Option.iter Vega_robust.Supervisor.end_function sup;
-  let confidence = match stmts with [] -> 0.0 | s :: _ -> s.g_score in
+  let confidence =
+    Confidence.function_confidence (List.map (fun s -> s.g_score) stmts)
+  in
   {
     gf_fname = tpl.Template.fname;
     gf_module = tpl.Template.module_;

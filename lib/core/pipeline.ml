@@ -154,7 +154,9 @@ let in_train_fraction seed key fraction =
   float_of_int h /. 65536.0 < fraction
 
 let train cfg prep =
-  let train_pairs = ref [] and verify_pairs = ref [] in
+  (* one Featrep pass per bundle feeds both the model split and the
+     retrieval index (it used to be recomputed per consumer) *)
+  let train_pairs = ref [] and verify_pairs = ref [] and retr_pairs = ref [] in
   List.iter
     (fun b ->
       let fvs =
@@ -173,8 +175,13 @@ let train cfg prep =
                 | Backend_split -> fv.target
               in
               let pair = (fv.input, output) in
-              if in_train_fraction cfg.split_seed key cfg.train_fraction then
-                train_pairs := pair :: !train_pairs
+              if in_train_fraction cfg.split_seed key cfg.train_fraction then begin
+                train_pairs := pair :: !train_pairs;
+                (* the retrieval baseline indexes the train side only:
+                   indexing verification outputs would leak held-out
+                   answers into the statistical-method comparison *)
+                retr_pairs := (fv, output) :: !retr_pairs
+              end
               else verify_pairs := pair :: !verify_pairs
           | None -> ())
         fvs)
@@ -185,21 +192,6 @@ let train cfg prep =
       m "training CodeBE on %d pairs (%d verification)"
         (List.length train_pairs) (List.length verify_pairs));
   let codebe = Codebe.train cfg.train_cfg train_pairs in
-  (* the retrieval baseline needs fv records; rebuild them aligned *)
-  let retr_pairs = ref [] in
-  List.iter
-    (fun b ->
-      let fvs =
-        Featrep.training_fvs b.analysis b.tpl
-          ~max_inst_per_column:cfg.max_inst_per_column
-      in
-      List.iter
-        (fun (fv : Featrep.fv) ->
-          match fv.output with
-          | Some output -> retr_pairs := (fv, output) :: !retr_pairs
-          | None -> ())
-        fvs)
-    prep.bundles;
   let retrieval = Retrieval.build (List.rev !retr_pairs) in
   { prep; codebe; retrieval; train_pairs; verify_pairs }
 
@@ -211,12 +203,36 @@ let verification_exact_match t =
 let model_decoder t (fv : Featrep.fv) = Codebe.infer t.codebe fv.input
 let retrieval_decoder t = Retrieval.decode t.retrieval
 
-let generate_backend ?fallback ?report ?sup t ~target ~decoder =
-  List.map
-    (fun b ->
-      Generate.run ?fallback ?report ?sup t.prep.ctx b.tpl b.analysis b.hints
-        ~target ~decoder)
-    t.prep.bundles
+(* Bundles are independent, so whole-backend generation fans out over a
+   domain pool: every shared structure on the path is read-only at
+   generation time (vfs, vocab, model weights, retrieval entries,
+   pre-registered target catalogs), the autodiff tape is domain-local,
+   and the report is mutex-guarded. The supervisor carries per-function
+   mutable state, so each worker gets a fork whose stats the parent
+   absorbs after the join. Results keep bundle order regardless of
+   scheduling, so parallel output is bit-identical to sequential. *)
+let with_worker_sups ?sup ~domains run =
+  let subs =
+    Array.init domains (fun _ -> Option.map Vega_robust.Supervisor.fork sup)
+  in
+  let results = run (fun w -> subs.(w)) in
+  Option.iter
+    (fun parent ->
+      Array.iter
+        (Option.iter (Vega_robust.Supervisor.absorb parent))
+        subs)
+    sup;
+  results
+
+let generate_backend ?fallback ?report ?sup ?(domains = 1) t ~target ~decoder =
+  let gen sup b =
+    Generate.run ?fallback ?report ?sup t.prep.ctx b.tpl b.analysis b.hints
+      ~target ~decoder
+  in
+  if domains <= 1 then List.map (gen sup) t.prep.bundles
+  else
+    with_worker_sups ?sup ~domains (fun ctx ->
+        Vega_util.Par.map_ctx ~domains ~ctx gen t.prep.bundles)
 
 let generate_function ?fallback ?report ?sup t ~target ~decoder ~fname =
   Option.map
@@ -320,7 +336,7 @@ let check_snapshot report ~cpath ~fp completed =
         reject (Printf.sprintf "corrupt snapshot (%s); using journal replay" e)
 
 let generate_backend_durable ?fallback ?report ?sup ?(resume = false) ?kill_at
-    ?(checkpoint_every = 4) ~run_dir t ~target ~decoder =
+    ?(checkpoint_every = 4) ?(domains = 1) ~run_dir t ~target ~decoder =
   let report =
     match report with Some r -> r | None -> Vega_robust.Report.create ()
   in
@@ -378,46 +394,54 @@ let generate_backend_durable ?fallback ?report ?sup ?(resume = false) ?kill_at
       in
       let resumed = ref 0 and generated = ref 0 in
       let finished = ref (List.rev completed) in
+      (* guards the progress counters, the finished list and checkpoint
+         writes when generation fans out over domains; journal appends
+         carry their own lock *)
+      let progress = Mutex.create () in
+      let gen_bundle sup b =
+        let fname = b.spec.Vega_corpus.Spec.fname in
+        match Hashtbl.find_opt done_tbl fname with
+        | Some c ->
+            Mutex.protect progress (fun () -> incr resumed);
+            func_of_completed b target c
+        | None ->
+            J.append w (J.Func_begin fname);
+            let gf =
+              Generate.run ?fallback ~report ?sup
+                ~on_stmt:(fun s -> J.append w (J.Stmt (stmt_of_gen fname s)))
+                t.prep.ctx b.tpl b.analysis b.hints ~target ~decoder
+            in
+            J.append w
+              (J.Func_end
+                 {
+                   fname;
+                   confidence = gf.Generate.gf_confidence;
+                   n_stmts = List.length gf.Generate.gf_stmts;
+                 });
+            Mutex.protect progress (fun () ->
+                incr generated;
+                finished := completed_of_gen fname gf :: !finished;
+                if !generated mod checkpoint_every = 0 then
+                  Ckpt.save ~path:cpath
+                    {
+                      Ckpt.c_version = Ckpt.version;
+                      c_target = target;
+                      c_fingerprint = fp;
+                      c_funcs = List.rev !finished;
+                    });
+            gf
+      in
       let funcs =
         Fun.protect
           ~finally:(fun () ->
             cancel ();
             J.close w)
           (fun () ->
-            List.map
-              (fun b ->
-                let fname = b.spec.Vega_corpus.Spec.fname in
-                match Hashtbl.find_opt done_tbl fname with
-                | Some c ->
-                    incr resumed;
-                    func_of_completed b target c
-                | None ->
-                    J.append w (J.Func_begin fname);
-                    let gf =
-                      Generate.run ?fallback ~report ?sup
-                        ~on_stmt:(fun s ->
-                          J.append w (J.Stmt (stmt_of_gen fname s)))
-                        t.prep.ctx b.tpl b.analysis b.hints ~target ~decoder
-                    in
-                    J.append w
-                      (J.Func_end
-                         {
-                           fname;
-                           confidence = gf.Generate.gf_confidence;
-                           n_stmts = List.length gf.Generate.gf_stmts;
-                         });
-                    incr generated;
-                    finished := completed_of_gen fname gf :: !finished;
-                    if !generated mod checkpoint_every = 0 then
-                      Ckpt.save ~path:cpath
-                        {
-                          Ckpt.c_version = Ckpt.version;
-                          c_target = target;
-                          c_fingerprint = fp;
-                          c_funcs = List.rev !finished;
-                        };
-                    gf)
-              t.prep.bundles)
+            if domains <= 1 then List.map (gen_bundle sup) t.prep.bundles
+            else
+              with_worker_sups ?sup ~domains (fun ctx ->
+                  Vega_util.Par.map_ctx ~domains ~ctx gen_bundle
+                    t.prep.bundles))
       in
       Ok
         {

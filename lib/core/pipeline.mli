@@ -57,8 +57,9 @@ val bundle_for : prepared -> string -> bundle option
 (** Lookup by interface-function name. *)
 
 val train : config -> prepared -> t
-(** Stage 2 (Model Creation): build FVs, split, fine-tune CodeBE, and fit
-    the retrieval baseline on the same training pairs. *)
+(** Stage 2 (Model Creation): build FVs once per bundle, split, fine-tune
+    CodeBE, and fit the retrieval baseline on the {e train} side of the
+    split only — verification outputs never enter the index. *)
 
 val verification_exact_match : t -> float
 (** Exact Match on the verification set (paper: 99.03%). *)
@@ -70,10 +71,17 @@ val generate_backend :
   ?fallback:Generate.decoder ->
   ?report:Vega_robust.Report.t ->
   ?sup:Vega_robust.Supervisor.t ->
+  ?domains:int ->
   t -> target:string -> decoder:Generate.decoder -> Generate.gen_func list
 (** Stage 3: generate every interface function for a new target.
     [fallback], [report] and [sup] (deadlines, backoff, circuit breaker)
-    thread through to {!Generate.run}'s degradation ladder. *)
+    thread through to {!Generate.run}'s degradation ladder.
+
+    [domains] (default 1) fans the independent functions out over a
+    fixed-size domain pool. Results stay in bundle order and are
+    bit-identical to the sequential path; [sup] is forked per worker
+    (stats folded back after the join) and [report] recording is
+    mutex-guarded. *)
 
 val generate_function :
   ?fallback:Generate.decoder ->
@@ -114,6 +122,7 @@ val generate_backend_durable :
   ?resume:bool ->
   ?kill_at:int ->
   ?checkpoint_every:int ->
+  ?domains:int ->
   run_dir:string ->
   t -> target:string -> decoder:Generate.decoder ->
   (durable_outcome, string) result
@@ -130,4 +139,10 @@ val generate_backend_durable :
     escapes after that many durable records — the [faultcheck] harness).
     [Error] explains why the run directory cannot be used; faults during
     generation never produce [Error] — they degrade statements through
-    the ladder as usual and are journaled ahead like everything else. *)
+    the ladder as usual and are journaled ahead like everything else.
+
+    [domains] parallelizes generation like {!generate_backend}: journal
+    appends are mutex-guarded and replay keys statements by function
+    name, so interleaved trails from concurrent functions resume
+    correctly, and a [kill_at] crash in any domain stops every worker
+    (the writer stays dead). [d_funcs] keeps bundle order either way. *)

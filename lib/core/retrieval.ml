@@ -23,6 +23,7 @@ let build pairs =
        pairs)
 
 let size t = Array.length t
+let outputs t = Array.to_list (Array.map (fun e -> e.output) t)
 
 let cosine a b =
   let dot = ref 0.0 in

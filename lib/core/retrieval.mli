@@ -14,3 +14,7 @@ val build : (Featrep.fv * string list) list -> t
 val decode : t -> Generate.decoder
 
 val size : t -> int
+
+val outputs : t -> string list list
+(** Every indexed output, in build order — lets tests assert the index
+    covers exactly the training side of the split (no eval leakage). *)

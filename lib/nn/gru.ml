@@ -110,9 +110,10 @@ let generate t ~src ?(max_out = 48) () =
   T.with_tape (fun () ->
       let h = ref (encode t src) in
       let out = ref [] and probs = ref [] in
+      let n_out = ref 0 in
       let cur = ref Vocab.e2d in
       let continue_ = ref true in
-      while !continue_ && List.length !out < max_out do
+      while !continue_ && !n_out < max_out do
         let x = T.embed ~table:t.emb [| !cur |] in
         h := step t.dec ~x ~h:!h;
         let logits = Layers.linear_fwd t.out_proj !h in
@@ -131,7 +132,8 @@ let generate t ~src ?(max_out = 48) () =
         else begin
           out := !best :: !out;
           probs := (es.(!best) /. sum) :: !probs;
-          cur := !best
+          cur := !best;
+          incr n_out
         end
       done;
       (Array.of_list (List.rev !out), Array.of_list (List.rev !probs)))

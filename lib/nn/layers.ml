@@ -133,3 +133,145 @@ let dec_block_params b =
   attention_params b.self_att @ attention_params b.cross_att @ norm_params b.dn1
   @ norm_params b.dn2 @ norm_params b.dn3 @ linear_params b.dff1
   @ linear_params b.dff2
+
+(* Raw row primitives for the incremental decode path (KV cache). Each
+   mirrors the corresponding tensor op bit-for-bit — same accumulation
+   order and the same zero-skip as {!Tensor.matmul} — so a cached decode
+   reproduces a full re-decode exactly (see DESIGN.md). Nothing here
+   touches the tape. *)
+
+let row_linear l (x : float array) =
+  let w = l.w in
+  let k = w.T.rows and n = w.T.cols in
+  assert (Array.length x = k);
+  let acc = Array.make n 0.0 in
+  for p = 0 to k - 1 do
+    let av = x.(p) in
+    if av <> 0.0 then begin
+      let brow = p * n in
+      for j = 0 to n - 1 do
+        acc.(j) <- acc.(j) +. (av *. w.T.data.(brow + j))
+      done
+    end
+  done;
+  for j = 0 to n - 1 do
+    acc.(j) <- acc.(j) +. l.b.T.data.(j)
+  done;
+  acc
+
+let row_add a b = Array.init (Array.length a) (fun j -> a.(j) +. b.(j))
+
+let row_gelu x =
+  let k = sqrt (2.0 /. Float.pi) in
+  Array.map
+    (fun v ->
+      let t = tanh (k *. (v +. (0.044715 *. v *. v *. v))) in
+      0.5 *. v *. (1.0 +. t))
+    x
+
+let row_norm nrm (x : float array) =
+  let n = Array.length x in
+  let eps = 1e-5 in
+  let mu = ref 0.0 in
+  for j = 0 to n - 1 do
+    mu := !mu +. x.(j)
+  done;
+  let mu = !mu /. float_of_int n in
+  let var = ref 0.0 in
+  for j = 0 to n - 1 do
+    let d = x.(j) -. mu in
+    var := !var +. (d *. d)
+  done;
+  let sigma = sqrt ((!var /. float_of_int n) +. eps) in
+  Array.init n (fun j ->
+      (nrm.gain.T.data.(j) *. ((x.(j) -. mu) /. sigma)) +. nrm.bias.T.data.(j))
+
+(* One query row attending over [len] cached key/value rows. Keys and
+   values are full d_model projections; heads are read by column offset,
+   which matches [head_slice]'s column copy. *)
+let attention_row at ~q_all ~keys ~values ~len =
+  let dh = at.d_head in
+  let merged = Array.make (at.heads * dh) 0.0 in
+  let s = 1.0 /. sqrt (float_of_int dh) in
+  let scores = Array.make (max len 1) 0.0 in
+  for h = 0 to at.heads - 1 do
+    let off = h * dh in
+    Array.fill scores 0 len 0.0;
+    for p = 0 to dh - 1 do
+      let av = q_all.(off + p) in
+      if av <> 0.0 then
+        for j = 0 to len - 1 do
+          scores.(j) <- scores.(j) +. (av *. keys.(j).(off + p))
+        done
+    done;
+    for j = 0 to len - 1 do
+      scores.(j) <- s *. scores.(j)
+    done;
+    let mx = ref neg_infinity in
+    for j = 0 to len - 1 do
+      mx := Float.max !mx scores.(j)
+    done;
+    let sum = ref 0.0 in
+    for j = 0 to len - 1 do
+      let e = exp (scores.(j) -. !mx) in
+      scores.(j) <- e;
+      sum := !sum +. e
+    done;
+    if !sum > 0.0 then
+      for j = 0 to len - 1 do
+        scores.(j) <- scores.(j) /. !sum
+      done;
+    for p = 0 to len - 1 do
+      let wv = scores.(p) in
+      if wv <> 0.0 then
+        for j = 0 to dh - 1 do
+          merged.(off + j) <- merged.(off + j) +. (wv *. values.(p).(off + j))
+        done
+    done
+  done;
+  row_linear at.wo merged
+
+type dec_cache = {
+  cblk : dec_block;
+  self_k : float array array;
+  self_v : float array array;
+  mutable used : int;
+  cross_k : float array array;
+  cross_v : float array array;
+}
+
+let dec_cache blk ~memory ~capacity =
+  let mrow i = Array.sub memory.T.data (i * memory.T.cols) memory.T.cols in
+  {
+    cblk = blk;
+    self_k = Array.make capacity [||];
+    self_v = Array.make capacity [||];
+    used = 0;
+    cross_k =
+      Array.init memory.T.rows (fun i -> row_linear blk.cross_att.wk (mrow i));
+    cross_v =
+      Array.init memory.T.rows (fun i -> row_linear blk.cross_att.wv (mrow i));
+  }
+
+let dec_cache_len c = c.used
+
+let dec_cache_step c x_row =
+  let b = c.cblk in
+  assert (c.used < Array.length c.self_k);
+  let q = row_linear b.self_att.wq x_row in
+  c.self_k.(c.used) <- row_linear b.self_att.wk x_row;
+  c.self_v.(c.used) <- row_linear b.self_att.wv x_row;
+  c.used <- c.used + 1;
+  let a =
+    attention_row b.self_att ~q_all:q ~keys:c.self_k ~values:c.self_v
+      ~len:c.used
+  in
+  let x1 = row_norm b.dn1 (row_add x_row a) in
+  let q2 = row_linear b.cross_att.wq x1 in
+  let cr =
+    attention_row b.cross_att ~q_all:q2 ~keys:c.cross_k ~values:c.cross_v
+      ~len:(Array.length c.cross_k)
+  in
+  let x2 = row_norm b.dn2 (row_add x1 cr) in
+  let ff = row_linear b.dff2 (row_gelu (row_linear b.dff1 x2)) in
+  row_norm b.dn3 (row_add x2 ff)

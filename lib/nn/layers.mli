@@ -42,3 +42,28 @@ val decoder_fwd : dec_block -> x:Tensor.t -> memory:Tensor.t -> Tensor.t
 (** Causal self-attention then cross-attention over [memory]. *)
 
 val dec_block_params : dec_block -> Tensor.t list
+
+(** {1 Incremental decode (KV cache)}
+
+    Raw float-array row primitives that mirror the tensor ops
+    bit-for-bit (same accumulation order and zero-skip as
+    {!Tensor.matmul}); none of them records onto the autodiff tape. *)
+
+val row_linear : linear -> float array -> float array
+(** [linear_fwd] applied to a single row. *)
+
+type dec_cache
+(** Per-layer decoder cache: self-attention key/value rows accumulate
+    one position at a time; cross-attention keys/values are projected
+    from the encoder memory once at creation. *)
+
+val dec_cache : dec_block -> memory:Tensor.t -> capacity:int -> dec_cache
+(** Fresh cache for one decode; at most [capacity] positions. *)
+
+val dec_cache_step : dec_cache -> float array -> float array
+(** Feed this layer's input row for the next position and return the
+    layer's output row — bit-identical to the corresponding row of
+    [decoder_fwd] over the full prefix. *)
+
+val dec_cache_len : dec_cache -> int
+(** Number of positions fed so far. *)

@@ -6,27 +6,37 @@ type t = {
   is_param : bool;
 }
 
-(* The tape holds backward closures in forward order. *)
-let tape : (unit -> unit) list ref = ref []
-let tape_active = ref false
+(* The tape holds backward closures in reverse order: [push_back] conses
+   the newest closure onto the front, so the plain [List.iter] in
+   [backward] already visits operations last-to-first. Tape state is
+   domain-local ([Domain.DLS]), so forward/backward passes in different
+   OCaml 5 domains never share or interleave tapes. *)
+type tape_state = { mutable ops : (unit -> unit) list; mutable active : bool }
 
-let push_back f = if !tape_active then tape := f :: !tape
+let tape_key = Domain.DLS.new_key (fun () -> { ops = []; active = false })
+let tape () = Domain.DLS.get tape_key
+
+let push_back f =
+  let tp = tape () in
+  if tp.active then tp.ops <- f :: tp.ops
 
 let with_tape f =
-  assert (not !tape_active);
-  tape := [];
-  tape_active := true;
+  let tp = tape () in
+  assert (not tp.active);
+  tp.ops <- [];
+  tp.active <- true;
   Fun.protect
     ~finally:(fun () ->
-      tape := [];
-      tape_active := false)
+      tp.ops <- [];
+      tp.active <- false)
     f
 
 let backward t =
   assert (t.rows = 1 && t.cols = 1);
   t.grad.(0) <- 1.0;
-  List.iter (fun f -> f ()) !tape;
-  tape := []
+  let tp = tape () in
+  List.iter (fun f -> f ()) tp.ops;
+  tp.ops <- []
 
 let create rows cols data =
   assert (Array.length data = rows * cols);

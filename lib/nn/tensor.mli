@@ -2,8 +2,9 @@
 
     This is the substrate for CodeBE-mini, the from-scratch transformer
     that stands in for UniXcoder (see DESIGN.md). Tensors are row-major
-    [rows x cols]; a global tape records operations and [backward] replays
-    it in reverse. Parameters are tensors created with [param]; their
+    [rows x cols]; a domain-local tape records operations (newest first)
+    and [backward] replays it in reverse. Parameters are tensors created
+    with [param]; their
     gradients accumulate across examples until {!Adam} steps and
     {!zero_grads} clears them. *)
 
@@ -31,7 +32,9 @@ val set_ : t -> int -> int -> float -> unit
 
 val with_tape : (unit -> 'a) -> 'a
 (** Run a forward+backward pass with a fresh tape; the tape is discarded
-    afterwards. Nested calls are not allowed. *)
+    afterwards. Nested calls are not allowed. The tape is domain-local:
+    concurrent [with_tape] calls in separate domains do not interleave,
+    so read-only model state can be shared across domains. *)
 
 val backward : t -> unit
 (** Seed the (scalar) tensor's gradient with 1 and backpropagate through

@@ -85,36 +85,101 @@ let train_step t opt batch =
   Adam.step opt;
   !total /. float_of_int (max 1 (List.length batch))
 
+(* Incremental decoding: one KV cache per decoder layer. [decode_step]
+   advances one position and returns that position's logits row,
+   bit-identical to the last row of [decode_logits] over the prefix. *)
+
+type cache = {
+  model : t;
+  cache_layers : Layers.dec_cache array;
+  mutable pos : int;
+}
+
+let new_cache t ~memory =
+  {
+    model = t;
+    cache_layers =
+      Array.map
+        (fun b -> Layers.dec_cache b ~memory ~capacity:t.cfg.max_len)
+        t.dec;
+    pos = 0;
+  }
+
+let cache_len c = c.pos
+
+let decode_step c id =
+  let t = c.model in
+  let d = t.cfg.d_model in
+  assert (id >= 0 && id < t.cfg.vocab_size);
+  assert (c.pos < t.cfg.max_len);
+  let x0 =
+    Array.init d (fun j ->
+        t.tok_emb.T.data.((id * d) + j) +. t.pos_emb.T.data.((c.pos * d) + j))
+  in
+  c.pos <- c.pos + 1;
+  let x =
+    Array.fold_left (fun x lc -> Layers.dec_cache_step lc x) x0 c.cache_layers
+  in
+  Layers.row_linear t.out_proj x
+
+(* softmax + argmax over one logits row; strict [>] keeps the first of
+   tied maxima, as the original full-decode loop did *)
+let greedy row =
+  let n = Array.length row in
+  let mx = ref neg_infinity in
+  for j = 0 to n - 1 do
+    mx := Float.max !mx row.(j)
+  done;
+  let sum = ref 0.0 in
+  let es = Array.init n (fun j -> exp (row.(j) -. !mx)) in
+  Array.iter (fun e -> sum := !sum +. e) es;
+  let best = ref 0 in
+  for j = 1 to n - 1 do
+    if es.(j) > es.(!best) then best := j
+  done;
+  (!best, es.(!best) /. !sum)
+
 let generate t ~src ?(max_out = 48) () =
   let max_out = min max_out (t.cfg.max_len - 2) in
   T.with_tape (fun () ->
-      (* a tape accumulates, but we never call backward; with_tape keeps
+      (* the encoder records a tape we never replay; with_tape keeps
          memory bounded by discarding it afterwards *)
       let memory = encode t src in
+      let c = new_cache t ~memory in
       let out = ref [] and probs = ref [] in
+      let n_out = ref 0 in
+      let cur = ref Vocab.e2d in
       let continue_ = ref true in
-      while !continue_ && List.length !out < max_out do
+      while !continue_ && !n_out < max_out do
+        let best, p = greedy (decode_step c !cur) in
+        if best = Vocab.eos then continue_ := false
+        else begin
+          out := best :: !out;
+          probs := p :: !probs;
+          cur := best;
+          incr n_out
+        end
+      done;
+      (Array.of_list (List.rev !out), Array.of_list (List.rev !probs)))
+
+let generate_uncached t ~src ?(max_out = 48) () =
+  let max_out = min max_out (t.cfg.max_len - 2) in
+  T.with_tape (fun () ->
+      let memory = encode t src in
+      let out = ref [] and probs = ref [] in
+      let n_out = ref 0 in
+      let continue_ = ref true in
+      while !continue_ && !n_out < max_out do
         let dec_in = Array.of_list (Vocab.e2d :: List.rev !out) in
         let logits = decode_logits t ~memory dec_in in
         let last = logits.T.rows - 1 in
-        (* softmax over the last row *)
-        let n = logits.T.cols in
-        let mx = ref neg_infinity in
-        for j = 0 to n - 1 do
-          mx := Float.max !mx (T.get logits last j)
-        done;
-        let sum = ref 0.0 in
-        let es = Array.init n (fun j -> exp (T.get logits last j -. !mx)) in
-        Array.iter (fun e -> sum := !sum +. e) es;
-        let best = ref 0 in
-        for j = 1 to n - 1 do
-          if es.(j) > es.(!best) then best := j
-        done;
-        let p = es.(!best) /. !sum in
-        if !best = Vocab.eos then continue_ := false
+        let row = Array.init logits.T.cols (fun j -> T.get logits last j) in
+        let best, p = greedy row in
+        if best = Vocab.eos then continue_ := false
         else begin
-          out := !best :: !out;
-          probs := p :: !probs
+          out := best :: !out;
+          probs := p :: !probs;
+          incr n_out
         end
       done;
       (Array.of_list (List.rev !out), Array.of_list (List.rev !probs)))

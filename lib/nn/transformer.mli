@@ -32,4 +32,36 @@ val train_step : t -> Adam.t -> (int array * int array) list -> float
     the mean loss. *)
 
 val generate : t -> src:int array -> ?max_out:int -> unit -> int array * float array
-(** Greedy decode: output ids (without EOS) and per-token probabilities. *)
+(** Greedy decode: output ids (without EOS) and per-token probabilities.
+    Uses the incremental KV cache; bit-identical to
+    {!generate_uncached}. *)
+
+val generate_uncached :
+  t -> src:int array -> ?max_out:int -> unit -> int array * float array
+(** Reference greedy decode that re-runs [decode_logits] on the whole
+    prefix every step (O(L²·layers) per token); kept for equivalence
+    testing and benchmarking against {!generate}. *)
+
+(** {1 Incremental decoding} *)
+
+val encode : t -> int array -> Tensor.t
+(** Encoder memory for [src] (clipped to [max_len]). *)
+
+val decode_logits : t -> memory:Tensor.t -> int array -> Tensor.t
+(** Full-prefix decoder forward: logits for every position of
+    [dec_ids]. *)
+
+type cache
+(** Per-layer KV cache for one decode: self-attention key/value rows
+    accumulate as positions are fed; cross-attention keys/values are
+    projected from [memory] once at creation. *)
+
+val new_cache : t -> memory:Tensor.t -> cache
+
+val decode_step : cache -> int -> float array
+(** Feed the next token id and return the logits row for its position —
+    bit-identical to the last row of {!decode_logits} over the same
+    prefix. At most [max_len] positions per cache. *)
+
+val cache_len : cache -> int
+(** Number of positions fed so far. *)

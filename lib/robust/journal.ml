@@ -89,6 +89,9 @@ type writer = {
   kill_at : int option;
   mutable count : int;
   mutable killed : bool;
+  lock : Mutex.t;
+      (* serializes appends from parallel generation domains; released
+         on [Killed] so the crash can unwind through every domain *)
 }
 
 exception Killed of int
@@ -111,7 +114,7 @@ let create ?kill_at ~path header =
   close_out oc;
   Sys.rename tmp path;
   let oc = open_out_gen [ Open_append; Open_wronly; Open_binary ] 0o644 path in
-  let w = { oc; kill_at; count = 0; killed = false } in
+  let w = { oc; kill_at; count = 0; killed = false; lock = Mutex.create () } in
   wrote w;
   w
 
@@ -133,15 +136,16 @@ let open_append ?kill_at ~path () =
   in
   let oc = open_out_gen [ Open_append; Open_wronly; Open_binary ] 0o644 path in
   if needs_nl then output_string oc "\n";
-  { oc; kill_at; count = 0; killed = false }
+  { oc; kill_at; count = 0; killed = false; lock = Mutex.create () }
 
 let append w record =
-  (* a killed writer stays dead: any append attempted while the crash
-     unwinds re-raises instead of touching the closed channel *)
-  if w.killed then raise (Killed w.count);
-  output_string w.oc (encode record ^ "\n");
-  flush w.oc;
-  wrote w
+  Mutex.protect w.lock (fun () ->
+      (* a killed writer stays dead: any append attempted while the crash
+         unwinds re-raises instead of touching the closed channel *)
+      if w.killed then raise (Killed w.count);
+      output_string w.oc (encode record ^ "\n");
+      flush w.oc;
+      wrote w)
 
 let written w = w.count
 let close w = close_out_noerr w.oc

@@ -64,10 +64,14 @@ val open_append : ?kill_at:int -> path:string -> unit -> writer
 (** Re-open an existing journal for appending (the resume path). *)
 
 val append : writer -> record -> unit
-(** Write one record and flush it. With [kill_at = k], the [k]-th
-    appended record is written and flushed first, then {!Killed} is
-    raised: the record the crash interrupts is always durable, the run
-    simply never gets to act on it. *)
+(** Write one record and flush it. Mutex-guarded, so parallel generation
+    domains may share one writer; replay keys pending statements by
+    function name, so interleaved records from different functions
+    resume correctly. With [kill_at = k], the [k]-th appended record is
+    written and flushed first, then {!Killed} is raised: the record the
+    crash interrupts is always durable, the run simply never gets to act
+    on it. A killed writer stays dead — appends from any domain keep
+    raising {!Killed} with the same payload. *)
 
 val written : writer -> int
 (** Records appended through this writer. *)

@@ -13,26 +13,42 @@ type t = {
   mutable degradations : degradation list;
   mutable subscribers : (int * (event -> unit)) list;
   mutable next_sub : int;
+  lock : Mutex.t;
+      (* guards all four fields so recording is safe from parallel
+         generation domains; held across subscriber notification, which
+         also serializes journal fault records behind one event order *)
 }
 
-let create () = { events = []; degradations = []; subscribers = []; next_sub = 0 }
+let create () =
+  {
+    events = [];
+    degradations = [];
+    subscribers = [];
+    next_sub = 0;
+    lock = Mutex.create ();
+  }
 
 let record ?(backtrace = "") r ~stage fault =
   let ev = { ev_stage = stage; ev_fault = fault; ev_backtrace = backtrace } in
-  r.events <- ev :: r.events;
-  List.iter (fun (_, f) -> f ev) r.subscribers
+  Mutex.protect r.lock (fun () ->
+      r.events <- ev :: r.events;
+      List.iter (fun (_, f) -> f ev) r.subscribers)
 
 let subscribe r f =
-  let id = r.next_sub in
-  r.next_sub <- id + 1;
-  r.subscribers <- (id, f) :: r.subscribers;
-  fun () -> r.subscribers <- List.filter (fun (i, _) -> i <> id) r.subscribers
+  Mutex.protect r.lock (fun () ->
+      let id = r.next_sub in
+      r.next_sub <- id + 1;
+      r.subscribers <- (id, f) :: r.subscribers;
+      fun () ->
+        Mutex.protect r.lock (fun () ->
+            r.subscribers <- List.filter (fun (i, _) -> i <> id) r.subscribers))
 
 let record_degradation r ~fname ~col ~line ~inst level =
   if level <> Degrade.Primary then
-    r.degradations <-
-      { d_fname = fname; d_col = col; d_line = line; d_inst = inst; d_level = level }
-      :: r.degradations
+    Mutex.protect r.lock (fun () ->
+        r.degradations <-
+          { d_fname = fname; d_col = col; d_line = line; d_inst = inst; d_level = level }
+          :: r.degradations)
 
 let events r = List.rev r.events
 let faults r = List.rev_map (fun e -> e.ev_fault) r.events

@@ -3,7 +3,12 @@
     against this record — each injected fault must appear here.
 
     Reports serialize to the checksummed wire format (and back) so a
-    durable run can persist its fault history next to the journal. *)
+    durable run can persist its fault history next to the journal.
+
+    Recording, degradation recording and subscription are mutex-guarded:
+    one report may be shared by parallel generation domains. The lock is
+    held across subscriber notification, so subscribers see events in
+    one serialized order (and must not call back into this report). *)
 
 type event = {
   ev_stage : string;

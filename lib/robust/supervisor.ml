@@ -65,6 +65,19 @@ let config t = t.cfg
 let stats t = t.st
 let breaker_state t = t.breaker
 
+(* A supervisor carries mutable per-function state (deadline, breaker,
+   stats) and must not be shared across domains: each worker gets a
+   fork, and the parent absorbs its stats after the join. *)
+let fork t = create ~now:t.now ~sleep:t.sleep t.cfg
+
+let absorb t child =
+  let s = t.st and c = child.st in
+  s.sup_functions <- s.sup_functions + c.sup_functions;
+  s.sup_retried <- s.sup_retried + c.sup_retried;
+  s.sup_breaker_opened <- s.sup_breaker_opened + c.sup_breaker_opened;
+  s.sup_breaker_skips <- s.sup_breaker_skips + c.sup_breaker_skips;
+  s.sup_deadline_hits <- s.sup_deadline_hits + c.sup_deadline_hits
+
 let start_function t fname =
   t.fname <- fname;
   t.deadline <- Some (t.now () +. t.cfg.func_deadline_s);

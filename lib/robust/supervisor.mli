@@ -51,6 +51,16 @@ val config : t -> config
 val stats : t -> stats
 val breaker_state : t -> breaker
 
+val fork : t -> t
+(** Worker-private copy for one domain: same config, clock and sleep
+    hook, fresh stats, breaker and deadline. A supervisor carries
+    mutable per-function state and must never be shared across
+    domains. *)
+
+val absorb : t -> t -> unit
+(** [absorb parent child] folds a forked supervisor's stats back into
+    [parent]; call after joining the worker domain. *)
+
 val start_function : t -> string -> unit
 (** Arm the deadline: the named function's budget starts now. *)
 

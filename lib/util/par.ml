@@ -1,0 +1,66 @@
+(* Fixed-size domain pool with deterministic result ordering.
+
+   domainslib is not a dependency, so this is a hand-rolled pool:
+   workers pull item indices from an atomic counter and write results
+   into a slot array indexed by item, so the output order is always the
+   input order regardless of which domain ran what. The first exception
+   (by item index) is re-raised in the caller after every worker has
+   stopped; a stop flag keeps workers from starting new items once an
+   exception is recorded. *)
+
+let default_domains () =
+  max 1 (min 4 (Domain.recommended_domain_count () - 1))
+
+type 'a slot = Empty | Ok_ of 'a | Error_ of exn * Printexc.raw_backtrace
+
+let map_ctx ~domains ~ctx f items =
+  let items = Array.of_list items in
+  let n = Array.length items in
+  if n = 0 then []
+  else begin
+    let domains = max 1 (min domains n) in
+    let slots = Array.make n Empty in
+    let next = Atomic.make 0 in
+    let failed = Atomic.make false in
+    let worker w () =
+      let c = ctx w in
+      let continue_ = ref true in
+      while !continue_ do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n || Atomic.get failed then continue_ := false
+        else
+          match f c items.(i) with
+          | v -> slots.(i) <- Ok_ v
+          | exception e ->
+              slots.(i) <- Error_ (e, Printexc.get_raw_backtrace ());
+              Atomic.set failed true
+      done
+    in
+    if domains = 1 then worker 0 ()
+    else begin
+      (* worker 0 runs in the calling domain so a pool of size d spawns
+         only d-1 domains *)
+      let spawned =
+        Array.init (domains - 1) (fun k -> Domain.spawn (worker (k + 1)))
+      in
+      worker 0 ();
+      Array.iter Domain.join spawned
+    end;
+    (* re-raise the first failure by item index for determinism *)
+    Array.iter
+      (function
+        | Error_ (e, bt) -> Printexc.raise_with_backtrace e bt
+        | Empty | Ok_ _ -> ())
+      slots;
+    Array.to_list
+      (Array.map
+         (function
+           | Ok_ v -> v
+           | Empty | Error_ _ ->
+               (* unreachable: every slot below [next] is filled and no
+                  error survived the sweep above *)
+               assert false)
+         slots)
+  end
+
+let map ~domains f items = map_ctx ~domains ~ctx:(fun _ -> ()) (fun () x -> f x) items

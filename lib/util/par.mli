@@ -1,0 +1,22 @@
+(** Fixed-size domain pool (OCaml 5) with deterministic result order.
+
+    [map ~domains f items] applies [f] to every item across at most
+    [domains] domains (one of which is the calling domain) and returns
+    the results in input order, independent of scheduling. If any
+    application raises, the exception of the lowest-indexed failing item
+    is re-raised in the caller after all workers have stopped; items not
+    yet started when the failure was recorded are skipped.
+
+    [f] must be safe to run concurrently with itself: shared state it
+    touches must be immutable, domain-local, or lock-protected. *)
+
+val default_domains : unit -> int
+(** [recommended_domain_count - 1] clamped to [1, 4]. *)
+
+val map : domains:int -> ('a -> 'b) -> 'a list -> 'b list
+
+val map_ctx : domains:int -> ctx:(int -> 'c) -> ('c -> 'a -> 'b) -> 'a list -> 'b list
+(** Like {!map} but each worker first builds a private context with
+    [ctx w] ([w] is the worker index, [0] = calling domain) that is
+    passed to every application that worker runs — e.g. a forked
+    supervisor that must not be shared across domains. *)

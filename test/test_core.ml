@@ -226,6 +226,42 @@ let test_confidence_edge_cases () =
   Alcotest.(check bool) "threshold strictly between 0 and 1" true
     (V.Confidence.threshold > 0.0 && V.Confidence.threshold < 1.0)
 
+let test_confidence_rollup () =
+  (* function confidence is the minimum over the kept statements, not
+     whatever statement happens to lead the list *)
+  Alcotest.(check (float 1e-9)) "min across kept" 0.6
+    (V.Confidence.function_confidence [ 1.0; 0.6; 0.9 ]);
+  (* statements already under the reviewing cut are flagged per
+     statement and must not drag the function under with them *)
+  Alcotest.(check (float 1e-9)) "below-threshold scores are dropped" 0.8
+    (V.Confidence.function_confidence [ 0.8; 0.2 ]);
+  Alcotest.(check (float 1e-9)) "nothing kept" 0.0
+    (V.Confidence.function_confidence [ 0.3; 0.4 ]);
+  Alcotest.(check (float 1e-9)) "empty function" 0.0
+    (V.Confidence.function_confidence []);
+  Alcotest.(check (float 1e-9)) "exactly at the threshold is kept"
+    V.Confidence.threshold
+    (V.Confidence.function_confidence [ 0.9; V.Confidence.threshold ])
+
+let test_confidence_rollup_review_order () =
+  (* regression for the head-statement-only rollup: a function whose
+     confident signature masked a weak body statement sorted AFTER a
+     uniformly solid function in the Err-PS review queue, so the human
+     reviewed the wrong function first *)
+  let masked = [ 1.0; 0.55 ] and steady = [ 0.9; 0.9 ] in
+  let head = function [] -> 0.0 | s :: _ -> s in
+  let order rollup =
+    List.sort
+      (fun (_, a) (_, b) -> Float.compare a b)
+      [ ("masked", rollup masked); ("steady", rollup steady) ]
+    |> List.map fst
+  in
+  Alcotest.(check (list string)) "old head-only rollup mis-ordered review"
+    [ "steady"; "masked" ] (order head);
+  Alcotest.(check (list string)) "weakest kept statement reviews first"
+    [ "masked"; "steady" ]
+    (order V.Confidence.function_confidence)
+
 (* ---------------- feature representation ---------------- *)
 
 let test_fv_output_encoding () =
@@ -270,6 +306,10 @@ let suite =
     Alcotest.test_case "new-target candidates (Fig. 4)" `Quick test_featsel_new_target_candidates;
     Alcotest.test_case "confidence Eq. 1" `Quick test_confidence_eq1;
     Alcotest.test_case "confidence edge cases" `Quick test_confidence_edge_cases;
+    Alcotest.test_case "confidence rollup = min over kept" `Quick
+      test_confidence_rollup;
+    Alcotest.test_case "confidence rollup orders Err-PS review" `Quick
+      test_confidence_rollup_review_order;
     Alcotest.test_case "fv output encoding" `Quick test_fv_output_encoding;
     Alcotest.test_case "decode output" `Quick test_decode_output;
   ]

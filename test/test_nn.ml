@@ -175,6 +175,101 @@ let test_gru_overfits () =
   let m = Vega.Codebe.train ~arch:Vega.Codebe.Rnn cfg pairs in
   Alcotest.(check (float 1e-9)) "rnn exact match" 1.0 (Vega.Codebe.exact_match m pairs)
 
+(* KV cache: stepping the cache must reproduce the last row of a full
+   re-decode bit-for-bit, for every prefix length up to max_len. *)
+let test_kv_cache_bitident () =
+  let cfg =
+    {
+      Vega_nn.Transformer.d_model = 16;
+      heads = 4;
+      d_ff = 32;
+      n_layers = 2;
+      max_len = 24;
+      vocab_size = 30;
+    }
+  in
+  let m = Vega_nn.Transformer.create ~seed:42 cfg in
+  let src = Array.init 10 (fun i -> ((i * 5) + 1) mod cfg.vocab_size) in
+  let memory = Vega_nn.Transformer.encode m src in
+  let c = Vega_nn.Transformer.new_cache m ~memory in
+  let prefix = ref [] in
+  for k = 0 to cfg.max_len - 1 do
+    let id =
+      if k = 0 then Vega_nn.Vocab.e2d else ((k * 7) + 3) mod cfg.vocab_size
+    in
+    prefix := id :: !prefix;
+    let row = Vega_nn.Transformer.decode_step c id in
+    let dec_in = Array.of_list (List.rev !prefix) in
+    let logits = Vega_nn.Transformer.decode_logits m ~memory dec_in in
+    let last = logits.T.rows - 1 in
+    Array.iteri
+      (fun j v ->
+        let full = T.get logits last j in
+        if Int64.bits_of_float v <> Int64.bits_of_float full then
+          Alcotest.failf "step %d col %d: cached %h <> full %h" k j v full)
+      row
+  done;
+  Alcotest.(check int) "cache length" cfg.max_len
+    (Vega_nn.Transformer.cache_len c)
+
+let test_generate_cached_equals_uncached () =
+  let cfg =
+    {
+      Vega_nn.Transformer.d_model = 16;
+      heads = 2;
+      d_ff = 32;
+      n_layers = 2;
+      max_len = 32;
+      vocab_size = 26;
+    }
+  in
+  let m = Vega_nn.Transformer.create ~seed:5 cfg in
+  let src = Array.init 8 (fun i -> ((i * 3) + 2) mod cfg.vocab_size) in
+  let ids_c, probs_c = Vega_nn.Transformer.generate m ~src ~max_out:30 () in
+  let ids_u, probs_u =
+    Vega_nn.Transformer.generate_uncached m ~src ~max_out:30 ()
+  in
+  Alcotest.(check (array int)) "same ids" ids_u ids_c;
+  Alcotest.(check int) "same count" (Array.length probs_u) (Array.length probs_c);
+  Array.iteri
+    (fun i p ->
+      if Int64.bits_of_float p <> Int64.bits_of_float probs_u.(i) then
+        Alcotest.failf "prob %d: cached %h <> uncached %h" i p probs_u.(i))
+    probs_c
+
+(* Concurrent with_tape calls in separate domains must not interleave:
+   each domain's losses and accumulated gradients must match the
+   single-domain reference bit-for-bit. *)
+let test_tape_domain_safety () =
+  let run seed =
+    let rng = Rng.create seed in
+    let a = T.param rng 4 4 and b = T.param rng 4 4 in
+    let targets = [| 0; 1; 2; 3 |] in
+    let acc = ref 0.0 in
+    for _ = 1 to 40 do
+      T.with_tape (fun () ->
+          let l = T.cross_entropy ~logits:(T.matmul a b) ~targets in
+          T.backward l;
+          acc := !acc +. T.to_float l)
+    done;
+    (!acc, Array.copy a.T.grad)
+  in
+  let ref1 = run 1 and ref2 = run 2 in
+  let d1 = Domain.spawn (fun () -> run 1) in
+  let d2 = Domain.spawn (fun () -> run 2) in
+  let got1 = Domain.join d1 and got2 = Domain.join d2 in
+  let check_pair name (el, eg) (gl, gg) =
+    if Int64.bits_of_float el <> Int64.bits_of_float gl then
+      Alcotest.failf "%s: loss %h <> %h" name gl el;
+    Array.iteri
+      (fun i e ->
+        if Int64.bits_of_float e <> Int64.bits_of_float gg.(i) then
+          Alcotest.failf "%s: grad %d differs" name i)
+      eg
+  in
+  check_pair "domain 1" ref1 got1;
+  check_pair "domain 2" ref2 got2
+
 let suite =
   [
     Alcotest.test_case "gradcheck matmul+ce" `Quick test_grad_matmul;
@@ -188,4 +283,8 @@ let suite =
     Alcotest.test_case "checkpoint mismatch" `Quick test_checkpoint_shape_mismatch;
     Alcotest.test_case "gru gradcheck" `Quick test_gru_gradcheck;
     Alcotest.test_case "gru overfits" `Slow test_gru_overfits;
+    Alcotest.test_case "kv cache bit-identical" `Quick test_kv_cache_bitident;
+    Alcotest.test_case "generate cached = uncached" `Quick
+      test_generate_cached_equals_uncached;
+    Alcotest.test_case "tape domain-safe" `Quick test_tape_domain_safety;
   ]
