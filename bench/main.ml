@@ -666,6 +666,100 @@ let section_parallel (s : setup) =
     cores
 
 (* ------------------------------------------------------------------ *)
+(* Serving layer                                                       *)
+
+let section_serve (s : setup) =
+  heading "Serving — vega-serve request throughput, overload shedding, drain";
+  let module S = Vega_serve in
+  let t = s.pipeline in
+  let decoder = V.Pipeline.retrieval_decoder t in
+  let target = "RISCV" in
+  let fnames =
+    List.map
+      (fun (b : V.Pipeline.bundle) -> b.spec.Vega_corpus.Spec.fname)
+      t.V.Pipeline.prep.bundles
+  in
+  let n = List.length fnames in
+  let req ?(client = "bench") fname =
+    {
+      S.Proto.rq_client = client;
+      rq_target = target;
+      rq_fname = fname;
+      rq_deadline_ms = None;
+    }
+  in
+  let mk ?paused ~domains ~queue_cap () =
+    match
+      S.Server.create ?paused
+        ~config:
+          {
+            S.Server.default_config with
+            S.Server.domains;
+            queue_cap;
+            client_burst = float_of_int (16 * n);
+            client_rate = 0.0;
+          }
+        t ~target ~decoder
+    with
+    | Ok srv -> srv
+    | Error e -> failwith e
+  in
+  (* the cold round generates every interface function; the warm round
+     hits the idempotent replay cache, isolating serving-layer overhead *)
+  let tab = T.create ~headers:[ "Domains"; "Cold (req/s)"; "Warm (req/s)" ] in
+  List.iter
+    (fun domains ->
+      let srv = mk ~domains ~queue_cap:(n + 4) () in
+      let round () =
+        let tickets =
+          List.filter_map
+            (fun f -> Result.to_option (S.Server.submit srv (req f)))
+            fnames
+        in
+        List.iter (fun tk -> ignore (S.Server.await tk)) tickets
+      in
+      let cold = Vega_util.Timer.time_s round in
+      let warm = Vega_util.Timer.time_s round in
+      S.Server.drain srv;
+      let rps secs = float_of_int n /. secs in
+      T.add_row tab [ string_of_int domains; f2 (rps cold); f2 (rps warm) ];
+      metric_f (Printf.sprintf "serve_cold_rps_domains_%d" domains) (rps cold);
+      metric_f (Printf.sprintf "serve_warm_rps_domains_%d" domains) (rps warm))
+    [ 1; 2; 4 ];
+  print_string (T.render tab);
+  (* overload: workers paused, storm 4x the queue capacity — the excess
+     must shed synchronously at submit, and accounting must close *)
+  let cap = 4 in
+  let storm = 4 * cap in
+  let srv = mk ~paused:true ~domains:1 ~queue_cap:cap () in
+  let accepted, shed =
+    List.fold_left
+      (fun (a, r) i ->
+        match
+          S.Server.submit srv
+            (req
+               ~client:(Printf.sprintf "c%d" (i mod 3))
+               (List.nth fnames (i mod n)))
+        with
+        | Ok tk -> (tk :: a, r)
+        | Error _ -> (a, r + 1))
+      ([], 0)
+      (List.init storm Fun.id)
+  in
+  S.Server.resume_workers srv;
+  List.iter (fun tk -> ignore (S.Server.await tk)) accepted;
+  let drain_s = Vega_util.Timer.time_s (fun () -> S.Server.drain srv) in
+  Printf.printf
+    "overload at %dx queue capacity: %d accepted, %d shed (cap %d); \
+     graceful drain %.2f ms\n\
+     (shedding is synchronous in the submit path — the queue bound is a\n\
+    \ hard memory bound; accepted + shed must equal the storm size)\n"
+    (storm / cap) (List.length accepted) shed cap (1000.0 *. drain_s);
+  metric "serve_overload_accepted" (string_of_int (List.length accepted));
+  metric "serve_overload_shed" (string_of_int shed);
+  metric_f "serve_drain_ms" (1000.0 *. drain_s)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 
 let microbench (s : setup) =
@@ -791,6 +885,7 @@ let () =
   if want "killresume" then section_killresume (s ());
   if want "decode" then section_decode ();
   if want "parallel" then section_parallel (s ());
+  if want "serve" then section_serve (s ());
   if want "model_ablation" then section_model_ablation (s ());
   if want "rnn_ablation" then section_rnn_ablation (s ()) ~quick;
   if want "split_ablation" then section_split_ablation (s ()) ~quick;

@@ -10,6 +10,10 @@
      vega-cli faultcheck [-t T] [--seed N] [--json]   fault-injection matrix
      vega-cli faultcheck --kill-at K --run-dir d [--domains N]
                                               kill-and-resume check
+     vega-cli serve [--socket P] [--domains N] [--queue-cap K]
+                    [--deadline-ms D] [--run-dir d [--resume]]
+                                              resilient serving daemon
+     vega-cli request [--socket P] -f NAME [--health|--drain|--ping]
      vega-cli compile -t ARM -p fib -o O3 [--run]                          *)
 
 open Cmdliner
@@ -318,6 +322,7 @@ let lint_cmd =
    checks. Exit 1 on any violation. *)
 
 module R = Vega_robust
+module S = Vega_serve
 
 let faultcheck_cmd =
   let seed_arg =
@@ -388,6 +393,32 @@ let faultcheck_cmd =
     let t = Vega.Pipeline.train cfg prep in
     let decoder = Vega.Pipeline.retrieval_decoder t in
     check "clean corpus prepares without faults" (R.Report.total clean_report = 0);
+    (* bit-exact rendering of generated functions, for identity checks *)
+    let render (gfs : Vega.Generate.gen_func list) =
+      String.concat "\n"
+        (List.map
+           (fun (gf : Vega.Generate.gen_func) ->
+             Printf.sprintf "%s %h [%s]" gf.Vega.Generate.gf_fname
+               gf.Vega.Generate.gf_confidence
+               (String.concat ";"
+                  (List.map
+                     (fun (s : Vega.Generate.gen_stmt) ->
+                       Printf.sprintf "%d,%d,%d,%h,%b,%s,%s"
+                         s.Vega.Generate.g_col s.Vega.Generate.g_line
+                         s.Vega.Generate.g_inst s.Vega.Generate.g_score
+                         s.Vega.Generate.g_shape_ok
+                         (R.Degrade.name s.Vega.Generate.g_level)
+                         (String.concat " " s.Vega.Generate.g_tokens))
+                     gf.Vega.Generate.gf_stmts)))
+           gfs)
+    in
+    let rmf f = if Sys.file_exists f then Sys.remove f in
+    let clear dir =
+      rmf (Vega.Pipeline.journal_path dir);
+      rmf (Vega.Pipeline.journal_path dir ^ ".tmp");
+      rmf (Vega.Pipeline.checkpoint_path dir);
+      rmf (Vega.Pipeline.checkpoint_path dir ^ ".tmp")
+    in
 
     (* --kill-at narrows the run to the kill-and-resume determinism
        check; without it the whole injection matrix runs first *)
@@ -795,7 +826,303 @@ let faultcheck_cmd =
            "breaker: opened %d time(s), %d skip(s), %d retry(s), %d of %d \
             decode attempts made, %.3fs backoff"
            st.R.Supervisor.sup_breaker_opened st.R.Supervisor.sup_breaker_skips
-           st.R.Supervisor.sup_retried !calls ladder_attempts !slept)
+           st.R.Supervisor.sup_retried !calls ladder_attempts !slept);
+
+    (* ---- serving layer ---- *)
+    let serve_fnames =
+      List.map
+        (fun (b : Vega.Pipeline.bundle) ->
+          b.Vega.Pipeline.spec.Vega_corpus.Spec.fname)
+        t.Vega.Pipeline.prep.Vega.Pipeline.bundles
+    in
+    check "corpus has function templates to serve" (serve_fnames <> []);
+
+    (* overload at 4x queue capacity: the bounded queue sheds instead of
+       growing, and — the workers being paused while the seeded storm
+       submits — the accept/reject sequence is a pure function of the
+       submission order, so equal seeds give equal sequences ---- *)
+    (let name = "serve-overload" in
+     scenario name;
+     let cap = 4 in
+     let n = 4 * cap in
+     let scfg =
+       {
+         S.Server.default_config with
+         S.Server.domains = 1;
+         queue_cap = cap;
+         client_burst = float_of_int (2 * n);
+         client_rate = 0.0;
+       }
+     in
+     let storm = R.Inject.create ~seed R.Inject.Queue_storm in
+     let order = R.Inject.storm_order storm n in
+     let run_once () =
+       match S.Server.create ~config:scfg ~paused:true t ~target ~decoder with
+       | Error e -> Error e
+       | Ok srv ->
+           let tickets =
+             List.map
+               (fun i ->
+                 S.Server.submit srv
+                   {
+                     S.Proto.rq_client = Printf.sprintf "c%d" (i mod 3);
+                     rq_target = target;
+                     rq_fname =
+                       List.nth serve_fnames (i mod List.length serve_fnames);
+                     rq_deadline_ms = None;
+                   })
+               order
+           in
+           let seq =
+             String.concat ""
+               (List.map
+                  (function
+                    | Ok _ -> "A"
+                    | Error (S.Proto.Queue_full _) -> "S"
+                    | Error _ -> "R")
+                  tickets)
+           in
+           S.Server.resume_workers srv;
+           let replies =
+             List.filter_map
+               (function
+                 | Ok tk -> Some (S.Server.await tk) | Error _ -> None)
+               tickets
+           in
+           S.Server.drain srv;
+           Ok (seq, replies, S.Server.health srv)
+     in
+     match (run_once (), run_once ()) with
+     | Error e, _ | _, Error e ->
+         violation "%s: server creation failed (%s)" name e
+     | Ok (seq1, replies1, h1), Ok (seq2, _, _) ->
+         check (name ^ ": queue never grows past its cap")
+           (h1.S.Health.h_accepted = cap
+           && h1.S.Health.h_rejected = n - cap);
+         check (name ^ ": same seed, same accept/reject sequence")
+           (seq1 = seq2);
+         let dones =
+           List.length
+             (List.filter
+                (function S.Proto.Done _ -> true | _ -> false)
+                replies1)
+         in
+         check (name ^ ": sheds + successes account for every request")
+           (h1.S.Health.h_rejected + dones = n);
+         check (name ^ ": drained server is stopped, empty and idle")
+           (h1.S.Health.h_state = S.Health.Stopped
+           && h1.S.Health.h_queue_depth = 0
+           && h1.S.Health.h_busy = 0
+           && h1.S.Health.h_journal_lag = 0);
+         info "sequence %s; %d shed, %d done" seq1 h1.S.Health.h_rejected
+           dones);
+
+    (* ---- per-request deadline on a stalled decoder: the supervisor
+       budget fires and the ladder degrades the statement — the request
+       completes (capped) instead of hanging; a request whose deadline
+       lapses while queued is rejected at dequeue ---- *)
+    (let name = "serve-deadline" in
+     scenario name;
+     let vnow = ref 0.0 in
+     let scfg =
+       {
+         S.Server.default_config with
+         S.Server.domains = 1;
+         queue_cap = List.length serve_fnames + 4;
+         deadline_ms = 50;
+         client_burst = 1000.0;
+         client_rate = 0.0;
+       }
+     in
+     let inj = R.Inject.create ~seed ~every:1 R.Inject.Decoder_stall in
+     let stalling fv =
+       R.Inject.wrap_stalling_decoder inj
+         ~stall:(fun () -> vnow := !vnow +. 1.0)
+         decoder fv
+     in
+     let mk fname =
+       {
+         S.Proto.rq_client = "dl";
+         rq_target = target;
+         rq_fname = fname;
+         rq_deadline_ms = None;
+       }
+     in
+     (match
+        S.Server.create ~config:scfg
+          ~now:(fun () -> !vnow)
+          ~sleep:(fun d -> vnow := !vnow +. d)
+          ~fallback:decoder t ~target ~decoder:stalling
+      with
+     | Error e -> violation "%s: server creation failed (%s)" name e
+     | Ok srv ->
+         let replies =
+           List.map (fun f -> S.Server.request srv (mk f)) serve_fnames
+         in
+         check (name ^ ": every request completes (no hang)")
+           (List.for_all
+              (function S.Proto.Done _ -> true | _ -> false)
+              replies);
+         check (name ^ ": at least one reply reports degraded statements")
+           (List.exists
+              (function
+                | S.Proto.Done d -> d.r_degraded > 0 | _ -> false)
+              replies);
+         List.iter
+           (fun (gf : Vega.Generate.gen_func) ->
+             List.iter
+               (fun (s : Vega.Generate.gen_stmt) ->
+                 if
+                   s.Vega.Generate.g_score
+                   > R.Degrade.cap s.Vega.Generate.g_level +. 1e-9
+                 then
+                   violation "%s: score above the %s cap" name
+                     (R.Degrade.name s.Vega.Generate.g_level))
+               gf.Vega.Generate.gf_stmts)
+           (S.Server.functions srv);
+         S.Server.drain srv;
+         let h = S.Server.health srv in
+         check (name ^ ": supervisor deadline fired")
+           (h.S.Health.h_deadline_hits > 0);
+         info "%d deadline hit(s) across %d request(s)"
+           h.S.Health.h_deadline_hits (List.length replies));
+     (* expiry in queue: while the first request's stalled execution burns
+        the clock, the second sits queued past its deadline *)
+     match
+       S.Server.create ~config:scfg ~paused:true
+         ~now:(fun () -> !vnow)
+         ~sleep:(fun d -> vnow := !vnow +. d)
+         ~fallback:decoder t ~target ~decoder:stalling
+     with
+     | Error e -> violation "%s: expiry server creation failed (%s)" name e
+     | Ok srv -> (
+         let first = S.Server.submit srv (mk (List.hd serve_fnames)) in
+         let second = S.Server.submit srv (mk (List.hd serve_fnames)) in
+         S.Server.resume_workers srv;
+         match (first, second) with
+         | Ok k1, Ok k2 ->
+             let r1 = S.Server.await k1 and r2 = S.Server.await k2 in
+             check (name ^ ": first request completes")
+               (match r1 with S.Proto.Done _ -> true | _ -> false);
+             check
+               (name
+              ^ ": request queued past its deadline is rejected as expired")
+               (match r2 with
+               | S.Proto.Rejected (S.Proto.Expired _) -> true
+               | _ -> false);
+             S.Server.drain srv
+         | _ ->
+             violation "%s: expiry submissions were rejected" name;
+             S.Server.drain srv));
+
+    (* ---- durable serving: drain checkpoints, a kill mid-request loses
+       nothing durable, and a restarted server resumes to bit-identical
+       output ---- *)
+    (let name = "serve-drain-kill-resume" in
+     scenario name;
+     let dcfg =
+       {
+         S.Server.default_config with
+         S.Server.domains = 1;
+         queue_cap = List.length serve_fnames + 4;
+         client_burst = 1000.0;
+         client_rate = 0.0;
+       }
+     in
+     let mk fname =
+       {
+         S.Proto.rq_client = "kr";
+         rq_target = target;
+         rq_fname = fname;
+         rq_deadline_ms = None;
+       }
+     in
+     let ref_dir = Filename.concat run_dir "serve-ref" in
+     clear ref_dir;
+     match S.Server.create ~config:dcfg ~run_dir:ref_dir t ~target ~decoder with
+     | Error e -> violation "%s: reference server failed (%s)" name e
+     | Ok srv -> (
+         let replies =
+           List.map (fun f -> S.Server.request srv (mk f)) serve_fnames
+         in
+         check (name ^ ": reference run completes every request")
+           (List.for_all
+              (function S.Proto.Done _ -> true | _ -> false)
+              replies);
+         let records = (S.Server.health srv).S.Health.h_journal_records in
+         let expect = render (S.Server.functions srv) in
+         S.Server.drain srv;
+         check (name ^ ": drain leaves a loadable checkpoint")
+           (match
+              R.Checkpoint.load
+                ~path:(Vega.Pipeline.checkpoint_path ref_dir)
+            with
+           | Ok c ->
+               List.length c.R.Checkpoint.c_funcs
+               = List.length serve_fnames
+           | Error _ -> false);
+         let kinj = R.Inject.create ~seed R.Inject.Request_kill in
+         (* clamp past the midpoint so at least one function is durably
+            complete when the crash lands *)
+         let k = max (R.Inject.kill_offset kinj ~records) (records / 2) in
+         let dir = Filename.concat run_dir "serve-kill" in
+         clear dir;
+         match
+           S.Server.create ~config:dcfg ~run_dir:dir ~kill_at:k t ~target
+             ~decoder
+         with
+         | Error e -> violation "%s: killed server failed (%s)" name e
+         | Ok ksrv -> (
+             let tickets =
+               List.map (fun f -> S.Server.submit ksrv (mk f)) serve_fnames
+             in
+             (match S.Server.drain ksrv with
+             | () -> violation "%s: kill-at %d never fired" name k
+             | exception R.Journal.Killed n ->
+                 check
+                   (Printf.sprintf
+                      "%s: crash lands on the armed record (kill-at %d)" name
+                      k)
+                   (n = k));
+             (* every accepted request was answered (crash or flush) *)
+             List.iter
+               (function
+                 | Ok tk -> ignore (S.Server.await tk) | Error _ -> ())
+               tickets;
+             if k > 1 then
+               R.Journal.tear ~path:(Vega.Pipeline.journal_path dir);
+             match
+               S.Server.create ~config:dcfg ~run_dir:dir ~resume:true t
+                 ~target ~decoder
+             with
+             | Error e -> violation "%s: resume failed (%s)" name e
+             | Ok rsrv ->
+                 let restored = S.Server.resumed_functions rsrv in
+                 check
+                   (name ^ ": at least one function restored from the journal")
+                   (restored > 0);
+                 let replies =
+                   List.map (fun f -> S.Server.request rsrv (mk f)) serve_fnames
+                 in
+                 check (name ^ ": resumed run completes every request")
+                   (List.for_all
+                      (function S.Proto.Done _ -> true | _ -> false)
+                      replies);
+                 check (name ^ ": restored functions reply as resumed")
+                   (List.exists
+                      (function
+                        | S.Proto.Done d -> d.r_resumed | _ -> false)
+                      replies);
+                 let got = render (S.Server.functions rsrv) in
+                 S.Server.drain rsrv;
+                 if got <> expect then
+                   violation
+                     "%s: resumed output differs from the uninterrupted run \
+                      (kill-at %d)"
+                     name k
+                 else
+                   info "kill-at %d: bit-identical after restart (%d restored)"
+                     k restored)))
     end;
 
     (* ---- kill-and-resume determinism: crash after K durable records,
@@ -803,31 +1130,6 @@ let faultcheck_cmd =
        to an uninterrupted run ---- *)
     (let name = "kill-resume" in
      scenario name;
-     let render (gfs : Vega.Generate.gen_func list) =
-       String.concat "\n"
-         (List.map
-            (fun (gf : Vega.Generate.gen_func) ->
-              Printf.sprintf "%s %h [%s]" gf.Vega.Generate.gf_fname
-                gf.Vega.Generate.gf_confidence
-                (String.concat ";"
-                   (List.map
-                      (fun (s : Vega.Generate.gen_stmt) ->
-                        Printf.sprintf "%d,%d,%d,%h,%b,%s,%s"
-                          s.Vega.Generate.g_col s.Vega.Generate.g_line
-                          s.Vega.Generate.g_inst s.Vega.Generate.g_score
-                          s.Vega.Generate.g_shape_ok
-                          (R.Degrade.name s.Vega.Generate.g_level)
-                          (String.concat " " s.Vega.Generate.g_tokens))
-                      gf.Vega.Generate.gf_stmts)))
-            gfs)
-     in
-     let rmf f = if Sys.file_exists f then Sys.remove f in
-     let clear dir =
-       rmf (Vega.Pipeline.journal_path dir);
-       rmf (Vega.Pipeline.journal_path dir ^ ".tmp");
-       rmf (Vega.Pipeline.checkpoint_path dir);
-       rmf (Vega.Pipeline.checkpoint_path dir ^ ".tmp")
-     in
      let ref_dir = Filename.concat run_dir "ref" in
      clear ref_dir;
      match
@@ -985,6 +1287,241 @@ let compile_cmd =
     (Cmd.info "compile" ~doc:"Compile a VIR program with the base compiler")
     Term.(const run $ target_arg $ prog_arg $ opt_arg $ run_flag)
 
+let socket_arg =
+  let doc = "Unix socket path the daemon listens on." in
+  Arg.(
+    value
+    & opt string "/tmp/vega-serve.sock"
+    & info [ "socket" ] ~doc ~docv:"PATH")
+
+let serve_cmd =
+  let queue_cap_arg =
+    Arg.(
+      value
+      & opt int S.Server.default_config.S.Server.queue_cap
+      & info [ "queue-cap" ] ~docv:"K"
+          ~doc:
+            "Admission queue bound: the $(docv)+1'th concurrent request is \
+             shed with a queue-full rejection instead of growing memory.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "deadline-ms" ] ~docv:"D"
+          ~doc:
+            "Default per-request deadline. A stalled decode degrades through \
+             the supervisor ladder instead of hanging; 0 disables.")
+  in
+  let run_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "run-dir" ] ~docv:"DIR"
+          ~doc:
+            "Serve durably: write-ahead journal + checkpoints under $(docv); \
+             drain checkpoints in-flight work so a restart with \
+             $(b,--resume) loses nothing.")
+  in
+  let resume_flag =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:"Resume the journal already in $(b,--run-dir).")
+  in
+  let kill_at_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "kill-at" ] ~docv:"N"
+          ~doc:
+            "Fault harness: simulate a hard crash after $(docv) durable \
+             journal records (exit 2).")
+  in
+  let run socket target model domains queue_cap deadline_ms run_dir resume
+      kill_at =
+    let t, decoder = mk_pipeline ~model in
+    let config =
+      {
+        S.Server.default_config with
+        S.Server.domains;
+        queue_cap;
+        deadline_ms;
+      }
+    in
+    match
+      S.Server.create ~config ?run_dir ~resume ?kill_at t ~target ~decoder
+    with
+    | Error e ->
+        Printf.eprintf "vega-serve: %s\n" e;
+        exit 1
+    | Ok server -> (
+        let l = S.Sock.start server ~path:socket in
+        Printf.printf
+          "vega-serve: target %s on %s (%d domain(s), queue cap %d%s%s)\n%!"
+          target socket config.S.Server.domains config.S.Server.queue_cap
+          (if deadline_ms > 0 then Printf.sprintf ", deadline %dms" deadline_ms
+           else "")
+          (match run_dir with
+          | Some d ->
+              Printf.sprintf ", journal %s%s" d
+                (if resume then
+                   Printf.sprintf " (resumed %d function(s))"
+                     (S.Server.resumed_functions server)
+                 else "")
+          | None -> "");
+        match S.Sock.wait l with
+        | () ->
+            Printf.printf "vega-serve: drained — %s\n"
+              (S.Health.summary (S.Server.health server))
+        | exception Vega_robust.Journal.Killed n ->
+            Printf.eprintf
+              "vega-serve: simulated crash after %d journal record(s); \
+               restart with --resume\n"
+              n;
+            exit 2)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the resilient serving daemon: bounded admission with explicit \
+          load-shedding, per-request deadlines, per-client retry budgets, \
+          health snapshots, graceful checkpointing drain")
+    Term.(
+      const run $ socket_arg $ target_arg $ model_flag $ domains_arg
+      $ queue_cap_arg $ deadline_arg $ run_dir_arg $ resume_flag $ kill_at_arg)
+
+let request_cmd =
+  let fname_arg =
+    Arg.(
+      value
+      & opt string "getRelocType"
+      & info [ "f"; "function" ] ~doc:"Interface function to request.")
+  in
+  let client_arg =
+    Arg.(
+      value
+      & opt string "cli"
+      & info [ "client" ]
+          ~doc:"Client identity for the per-client retry budget.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"D"
+          ~doc:"Per-request deadline override.")
+  in
+  let health_flag =
+    Arg.(value & flag & info [ "health" ] ~doc:"Print a health snapshot.")
+  in
+  let drain_flag =
+    Arg.(
+      value & flag
+      & info [ "drain" ]
+          ~doc:
+            "Gracefully drain the daemon: stop admitting, finish or \
+             checkpoint in-flight requests, exit.")
+  in
+  let ping_flag =
+    Arg.(value & flag & info [ "ping" ] ~doc:"Liveness check only.")
+  in
+  let run socket target fname client deadline_ms health drain ping json =
+    let print_health = function
+      | None ->
+          Printf.eprintf "vega-request: no health reply from %s\n" socket;
+          exit 5
+      | Some h ->
+          if json then
+            print_endline
+              (json_obj
+                 [
+                   ("state", json_str (S.Health.state_name h.S.Health.h_state));
+                   ("queue_depth", string_of_int h.S.Health.h_queue_depth);
+                   ("queue_cap", string_of_int h.S.Health.h_queue_cap);
+                   ("busy", string_of_int h.S.Health.h_busy);
+                   ("domains", string_of_int h.S.Health.h_domains);
+                   ("accepted", string_of_int h.S.Health.h_accepted);
+                   ("rejected", string_of_int h.S.Health.h_rejected);
+                   ("completed", string_of_int h.S.Health.h_completed);
+                   ("deadline_hits", string_of_int h.S.Health.h_deadline_hits);
+                   ("breaker_open", string_of_bool h.S.Health.h_breaker_open);
+                   ( "journal_records",
+                     string_of_int h.S.Health.h_journal_records );
+                   ("journal_lag", string_of_int h.S.Health.h_journal_lag);
+                 ])
+          else print_endline (S.Health.summary h)
+    in
+    if ping then begin
+      if S.Sock.ping ~socket then print_endline "pong"
+      else begin
+        Printf.eprintf "vega-request: no pong from %s\n" socket;
+        exit 5
+      end
+    end
+    else if drain then print_health (S.Sock.drain ~socket)
+    else if health then print_health (S.Sock.health ~socket)
+    else begin
+      let req =
+        {
+          S.Proto.rq_client = client;
+          rq_target = target;
+          rq_fname = fname;
+          rq_deadline_ms = deadline_ms;
+        }
+      in
+      match S.Sock.request ~socket req with
+      | S.Proto.Done d ->
+          if json then
+            print_endline
+              (json_obj
+                 [
+                   ("status", json_str "done");
+                   ("fname", json_str d.r_fname);
+                   ("target", json_str d.r_target);
+                   ("confidence", Printf.sprintf "%.4f" d.r_confidence);
+                   ("degraded", string_of_int d.r_degraded);
+                   ("resumed", string_of_bool d.r_resumed);
+                   ("source", json_str d.r_source);
+                 ])
+          else
+            Printf.printf "// %s@%s confidence %.2f%s%s\n%s\n" d.r_fname
+              d.r_target d.r_confidence
+              (if d.r_degraded > 0 then
+                 Printf.sprintf " (%d degraded stmt(s))" d.r_degraded
+               else "")
+              (if d.r_resumed then " (resumed from journal)" else "")
+              d.r_source
+      | S.Proto.Rejected r ->
+          if json then
+            print_endline
+              (json_obj
+                 [
+                   ("status", json_str "rejected");
+                   ("reason", json_str (S.Proto.reject_label r));
+                   ("detail", json_str (S.Proto.reject_to_string r));
+                 ])
+          else Printf.eprintf "vega-request: %s\n" (S.Proto.reject_to_string r);
+          exit 4
+      | S.Proto.Failed m ->
+          if json then
+            print_endline
+              (json_obj
+                 [ ("status", json_str "failed"); ("detail", json_str m) ])
+          else Printf.eprintf "vega-request: %s\n" m;
+          exit 5
+    end
+  in
+  Cmd.v
+    (Cmd.info "request"
+       ~doc:
+         "Send one request (or $(b,--health)/$(b,--drain)/$(b,--ping)) to a \
+          running vega-serve daemon; exits 0 on success, 4 when the server \
+          sheds the request, 5 on failure")
+    Term.(
+      const run $ socket_arg $ target_arg $ fname_arg $ client_arg
+      $ deadline_arg $ health_flag $ drain_flag $ ping_flag $ json_flag)
+
 let () =
   let doc = "VEGA: automatically generating compiler backends (reproduction)" in
   exit
@@ -996,5 +1533,7 @@ let () =
             backend_cmd;
             lint_cmd;
             faultcheck_cmd;
+            serve_cmd;
+            request_cmd;
             compile_cmd;
           ]))

@@ -13,6 +13,7 @@ type prepared = {
   corpus : Corpus.t;
   ctx : Featsel.context;
   bundles : bundle list;
+  quarantined : string list;
   prep_report : Vega_robust.Report.t;
 }
 
@@ -129,6 +130,42 @@ let prepare ?report ?corpus () =
   let training_targets =
     List.map (fun (p : Vega_target.Profile.t) -> p.name) Vega_target.Registry.training
   in
+  (* Quarantine: a training target whose description files are binary
+     garbage is skipped — its catalog would poison feature selection for
+     every group — instead of failing whole-corpus prep. Each corrupt
+     file is recorded as a [Descfile_corruption] fault by the scan.
+     Held-out targets are not scanned here: they stay registered, and
+     generation against a corrupt held-out target degrades through the
+     ladder instead. *)
+  let quarantined, training_targets =
+    List.partition
+      (fun tgt ->
+        Vega_robust.Inject.scan_vfs ~report corpus.Corpus.vfs ~target:tgt
+        <> [])
+      training_targets
+  in
+  if quarantined <> [] then
+    Log.warn (fun m ->
+        m "quarantined training targets: %s" (String.concat ", " quarantined));
+  let corpus =
+    if quarantined = [] then corpus
+    else
+      {
+        corpus with
+        Corpus.groups =
+          List.map
+            (fun (g : Corpus.group) ->
+              {
+                g with
+                Corpus.impls =
+                  List.filter
+                    (fun (i : Corpus.impl) ->
+                      not (List.mem i.Corpus.target quarantined))
+                    g.Corpus.impls;
+              })
+            corpus.Corpus.groups;
+      }
+  in
   let ctx = Featsel.make_context corpus.Corpus.vfs ~targets:training_targets in
   (* register held-out targets so generation can read their files *)
   let ctx =
@@ -143,7 +180,7 @@ let prepare ?report ?corpus () =
       corpus.Corpus.groups
   in
   Log.info (fun m -> m "prepared %d function templates" (List.length bundles));
-  { corpus; ctx; bundles; prep_report = report }
+  { corpus; ctx; bundles; quarantined; prep_report = report }
 
 let bundle_for prep fname =
   List.find_opt (fun b -> b.spec.Vega_corpus.Spec.fname = fname) prep.bundles
@@ -213,7 +250,8 @@ let retrieval_decoder t = Retrieval.decode t.retrieval
    scheduling, so parallel output is bit-identical to sequential. *)
 let with_worker_sups ?sup ~domains run =
   let subs =
-    Array.init domains (fun _ -> Option.map Vega_robust.Supervisor.fork sup)
+    Array.init domains (fun w ->
+        Option.map (Vega_robust.Supervisor.fork ~index:w) sup)
   in
   let results = run (fun w -> subs.(w)) in
   Option.iter
@@ -345,7 +383,7 @@ let generate_backend_durable ?fallback ?report ?sup ?(resume = false) ?kill_at
   let fp = fingerprint t ~target in
   let setup =
     if resume then begin
-      let rc = J.read ~path:jpath in
+      let rc = J.read ~report ~path:jpath () in
       match J.replay rc.J.r_records with
       | Some (J.Header h), completed
         when h.version = J.version && h.target = target && h.fingerprint = fp

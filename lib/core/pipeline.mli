@@ -19,6 +19,12 @@ type prepared = {
   corpus : Vega_corpus.Corpus.t;
   ctx : Featsel.context;
   bundles : bundle list;
+  quarantined : string list;
+      (** training targets skipped because their description files are
+          corrupt (one [Descfile_corruption] fault per file in
+          [prep_report]); their reference implementations are dropped
+          too. Held-out targets are never quarantined — generation
+          against them degrades through the ladder instead. *)
   prep_report : Vega_robust.Report.t;
       (** corpus-corruption and stage faults observed while preparing;
           empty on a healthy corpus *)
@@ -114,6 +120,16 @@ type durable_outcome = {
 val journal_path : string -> string
 val checkpoint_path : string -> string
 (** Layout of a run directory. *)
+
+val stmt_of_gen : string -> Generate.gen_stmt -> Vega_robust.Journal.stmt
+val completed_of_gen :
+  string -> Generate.gen_func -> Vega_robust.Journal.completed
+val func_of_completed :
+  bundle -> string -> Vega_robust.Journal.completed -> Generate.gen_func
+(** Conversions between generation results and their journal records,
+    shared with the serving layer ([vega.serve]), which journals
+    per-request instead of per-backend but must replay to the same
+    bit-identical functions. *)
 
 val generate_backend_durable :
   ?fallback:Generate.decoder ->

@@ -10,6 +10,7 @@ type t =
   | Stage_failure of { stage : string; message : string }
   | Deadline_exceeded of { fname : string; budget_ms : int }
   | Breaker_open of { fname : string; failures : int }
+  | Record_oversize of { where : string; bytes : int; limit : int }
 
 exception Fault of t
 
@@ -25,6 +26,7 @@ type cls =
   | Cstage
   | Cdeadline
   | Cbreaker
+  | Coversize
 
 let all_classes =
   [
@@ -39,6 +41,7 @@ let all_classes =
     Cstage;
     Cdeadline;
     Cbreaker;
+    Coversize;
   ]
 
 let cls_of = function
@@ -53,6 +56,7 @@ let cls_of = function
   | Stage_failure _ -> Cstage
   | Deadline_exceeded _ -> Cdeadline
   | Breaker_open _ -> Cbreaker
+  | Record_oversize _ -> Coversize
 
 let cls_name = function
   | Cdecoder -> "decoder-failure"
@@ -66,6 +70,7 @@ let cls_name = function
   | Cstage -> "stage-failure"
   | Cdeadline -> "deadline"
   | Cbreaker -> "breaker-open"
+  | Coversize -> "record-oversize"
 
 let to_string = function
   | Decoder_failure { fname; stage; message } ->
@@ -91,6 +96,9 @@ let to_string = function
       Printf.sprintf
         "breaker-open[%s]: decoder circuit open after %d consecutive failures"
         fname failures
+  | Record_oversize { where; bytes; limit } ->
+      Printf.sprintf "record-oversize[%s]: %d-byte record exceeds the %d-byte \
+                      limit" where bytes limit
 
 (* Wire representation: constructor tag followed by its payload fields,
    consumed by the journal and the report serializer. *)
@@ -111,6 +119,8 @@ let to_fields = function
       [ "deadline"; fname; string_of_int budget_ms ]
   | Breaker_open { fname; failures } ->
       [ "breaker-open"; fname; string_of_int failures ]
+  | Record_oversize { where; bytes; limit } ->
+      [ "record-oversize"; where; string_of_int bytes; string_of_int limit ]
 
 let of_fields = function
   | [ "decoder-failure"; fname; stage; message ] ->
@@ -138,6 +148,10 @@ let of_fields = function
       Option.map
         (fun failures -> Breaker_open { fname; failures })
         (int_of_string_opt failures)
+  | [ "record-oversize"; where; bytes; limit ] -> (
+      match (int_of_string_opt bytes, int_of_string_opt limit) with
+      | Some bytes, Some limit -> Some (Record_oversize { where; bytes; limit })
+      | _ -> None)
   | _ -> None
 
 let nth ~what l i =

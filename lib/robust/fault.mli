@@ -30,6 +30,9 @@ type t =
   | Breaker_open of { fname : string; failures : int }
       (** the decoder circuit breaker is open: the decode was skipped so
           the ladder can route straight to a fallback rung *)
+  | Record_oversize of { where : string; bytes : int; limit : int }
+      (** a wire record (journal line, serve request) exceeded the size
+          bound and was rejected instead of allocated *)
 
 exception Fault of t
 (** The one exception robust stages raise and {!Stage.protect} catches. *)
@@ -47,6 +50,7 @@ type cls =
   | Cstage
   | Cdeadline
   | Cbreaker
+  | Coversize
 
 val all_classes : cls list
 val cls_of : t -> cls

@@ -7,6 +7,9 @@ type kind =
   | Decoder_garbage
   | Corpus_mangle
   | Descfile_garbage
+  | Decoder_stall
+  | Queue_storm
+  | Request_kill
 
 type plan = { seed : int; kind : kind; every : int }
 
@@ -32,7 +35,9 @@ let wrap_decoder t decode fv =
   let inject =
     match t.plan.kind with
     | Decoder_raise | Decoder_nan | Decoder_garbage -> fire t
-    | Corpus_mangle | Descfile_garbage -> false
+    | Corpus_mangle | Descfile_garbage | Decoder_stall | Queue_storm
+    | Request_kill ->
+        false
   in
   if not inject then decode fv
   else
@@ -52,7 +57,44 @@ let wrap_decoder t decode fv =
     | Decoder_garbage ->
         let toks, probs = decode fv in
         (toks, Array.make (max 1 (Array.length probs)) Float.neg_infinity)
-    | Corpus_mangle | Descfile_garbage -> assert false
+    | Corpus_mangle | Descfile_garbage | Decoder_stall | Queue_storm
+    | Request_kill ->
+        assert false
+
+(* ---- server-side fault classes (the vega.serve faultcheck harness) ---- *)
+
+(* Slow-decoder stall: on every fired opportunity, burn wall clock (or a
+   virtual clock — [stall] is injectable) before decoding. The decode
+   itself still succeeds; the damage is the per-request deadline the
+   supervisor then trips on the next guarded call. *)
+let wrap_stalling_decoder t ~stall decode fv =
+  (match t.plan.kind with
+  | Decoder_stall -> if fire t then stall ()
+  | _ -> ());
+  decode fv
+
+(* Queue-full storm: a seeded submission order for an [n]-request burst.
+   The permutation is a pure function of the plan's seed, so the
+   admission decisions a bounded queue makes against it replay
+   bit-identically — the property the serve overload scenario checks. *)
+let storm_order t n =
+  let rng = Vega_util.Rng.create (t.plan.seed lxor 0x570124) in
+  let order = Array.init n Fun.id in
+  Vega_util.Rng.shuffle rng order;
+  t.injected <- t.injected + n;
+  t.opportunities <- t.opportunities + n;
+  Array.to_list order
+
+(* Mid-request kill: a deterministic journal offset to arm [kill_at]
+   with, strictly after the header (offset 1) so a resume has a run to
+   pick up, and at most the final record. *)
+let kill_offset t ~records =
+  if records <= 1 then 1
+  else begin
+    t.injected <- t.injected + 1;
+    t.opportunities <- t.opportunities + 1;
+    2 + ((t.plan.seed * 0x9E3779B9) land max_int) mod (records - 1)
+  end
 
 let corrupt_corpus t (corpus : Corpus.t) =
   let groups =

@@ -13,6 +13,9 @@ type kind =
   | Decoder_garbage  (** decoder returns infinite token probabilities *)
   | Corpus_mangle  (** a reference impl's target renamed to garbage *)
   | Descfile_garbage  (** description files overwritten with binary junk *)
+  | Decoder_stall  (** decoder burns wall clock before answering *)
+  | Queue_storm  (** a seeded burst of concurrent requests *)
+  | Request_kill  (** hard kill mid-request (journal [kill_at]) *)
 
 type t
 
@@ -30,6 +33,29 @@ val fire : t -> bool
 val wrap_decoder : t -> ('a -> string list * float array) -> 'a -> string list * float array
 (** Wrap any decoder-shaped function with the planned decoder fault;
     non-decoder kinds pass through untouched. *)
+
+val wrap_stalling_decoder :
+  t ->
+  stall:(unit -> unit) ->
+  ('a -> string list * float array) ->
+  'a ->
+  string list * float array
+(** [Decoder_stall] wrapper: on each fired opportunity call [stall ()]
+    (wall-clock sleep or a virtual-clock advance) before decoding. The
+    decode still succeeds — the fault surfaces as the per-request
+    deadline tripping on the next supervised call. Other kinds never
+    stall. *)
+
+val storm_order : t -> int -> int list
+(** [Queue_storm] helper: a seeded permutation of [0 .. n-1] — the
+    submission order for an [n]-request overload burst. Pure in the
+    plan's seed, so a bounded queue's accept/reject decisions against it
+    replay bit-identically. *)
+
+val kill_offset : t -> records:int -> int
+(** [Request_kill] helper: a deterministic journal-record offset to arm
+    [kill_at] with — strictly after the header, at most the final
+    record, a pure function of the seed. *)
 
 val corrupt_corpus : t -> Vega_corpus.Corpus.t -> Vega_corpus.Corpus.t
 (** Rename the first implementation's target of each selected multi-impl

@@ -155,22 +155,54 @@ let close w = close_out_noerr w.oc
 
 type recovery = { r_records : record list; r_torn : bool }
 
-let read ~path =
+(* Bounded line reader: accumulate bytes up to the record-size limit and
+   stop dead on an oversize line instead of allocating for it. Returns
+   [`Line l], [`Oversize n] (n = bytes seen before giving up, >= limit)
+   or [`Eof]. An oversize line is corruption by construction — the
+   journal never writes records anywhere near [Wire.max_record_bytes] —
+   so the caller treats it exactly like a torn record: longest valid
+   prefix wins. *)
+let read_bounded_line ic ~limit =
+  let buf = Buffer.create 256 in
+  let rec go () =
+    match input_char ic with
+    | '\n' -> `Line (Buffer.contents buf)
+    | c ->
+        if Buffer.length buf >= limit then `Oversize (Buffer.length buf + 1)
+        else begin
+          Buffer.add_char buf c;
+          go ()
+        end
+    | exception End_of_file ->
+        if Buffer.length buf = 0 then `Eof else `Line (Buffer.contents buf)
+  in
+  go ()
+
+let read ?report ?(limit = Wire.max_record_bytes) ~path () =
   if not (Sys.file_exists path) then { r_records = []; r_torn = false }
   else begin
     let ic = open_in_bin path in
-    let contents = really_input_string ic (in_channel_length ic) in
-    close_in ic;
-    let lines = String.split_on_char '\n' contents in
-    let rec prefix acc = function
-      | [] -> (List.rev acc, false)
-      | "" :: rest -> prefix acc rest
-      | line :: rest -> (
+    let oversize bytes =
+      Option.iter
+        (fun r ->
+          Report.record r ~stage:"journal"
+            (Fault.Record_oversize { where = path; bytes; limit }))
+        report
+    in
+    let rec prefix acc =
+      match read_bounded_line ic ~limit with
+      | `Eof -> (List.rev acc, false)
+      | `Oversize bytes ->
+          oversize bytes;
+          (List.rev acc, true)
+      | `Line "" -> prefix acc
+      | `Line line -> (
           match decode line with
-          | Some r -> prefix (r :: acc) rest
+          | Some r -> prefix (r :: acc)
           | None -> (List.rev acc, true))
     in
-    let records, torn = prefix [] lines in
+    let records, torn = prefix [] in
+    close_in ic;
     { r_records = records; r_torn = torn }
   end
 

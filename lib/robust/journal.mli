@@ -87,8 +87,12 @@ type recovery = {
           a record torn mid-write *)
 }
 
-val read : path:string -> recovery
-(** Never raises on corrupt contents; a missing file reads as empty. *)
+val read : ?report:Report.t -> ?limit:int -> path:string -> unit -> recovery
+(** Never raises on corrupt contents; a missing file reads as empty.
+    Lines are read through a bounded accumulator: one longer than
+    [limit] (default {!Wire.max_record_bytes}) is never fully allocated
+    — reading stops at the preceding record, the tail counts as torn,
+    and a [Record_oversize] fault is recorded in [report]. *)
 
 val rewrite : path:string -> record list -> unit
 (** Atomically replace the journal with exactly these records (tmp file

@@ -37,6 +37,7 @@ type t = {
   st : stats;
   mutable fname : string;
   mutable deadline : float option;
+  mutable budget_override : float option;
   mutable breaker : breaker;
 }
 
@@ -58,6 +59,7 @@ let create ?(now = monotonic_now) ?(sleep = Unix.sleepf) cfg =
       };
     fname = "";
     deadline = None;
+    budget_override = None;
     breaker = Closed 0;
   }
 
@@ -67,8 +69,14 @@ let breaker_state t = t.breaker
 
 (* A supervisor carries mutable per-function state (deadline, breaker,
    stats) and must not be shared across domains: each worker gets a
-   fork, and the parent absorbs its stats after the join. *)
-let fork t = create ~now:t.now ~sleep:t.sleep t.cfg
+   fork, and the parent absorbs its stats after the join. Each fork
+   draws jitter from its own seeded stream — the base seed mixed with
+   the domain index — so parallel retry schedules are reproducible run
+   to run yet decorrelated across workers (no synchronized retry
+   storms). *)
+let fork ?(index = 0) t =
+  let seed = t.cfg.jitter_seed lxor (index * 0x9E3779B9) in
+  create ~now:t.now ~sleep:t.sleep { t.cfg with jitter_seed = seed }
 
 let absorb t child =
   let s = t.st and c = child.st in
@@ -78,9 +86,13 @@ let absorb t child =
   s.sup_breaker_skips <- s.sup_breaker_skips + c.sup_breaker_skips;
   s.sup_deadline_hits <- s.sup_deadline_hits + c.sup_deadline_hits
 
+let set_budget t budget_s = t.budget_override <- budget_s
+
+let budget_s t = Option.value ~default:t.cfg.func_deadline_s t.budget_override
+
 let start_function t fname =
   t.fname <- fname;
-  t.deadline <- Some (t.now () +. t.cfg.func_deadline_s);
+  t.deadline <- Some (t.now () +. budget_s t);
   t.st.sup_functions <- t.st.sup_functions + 1
 
 let end_function t =
@@ -102,7 +114,7 @@ let check_deadline t =
            (Fault.Deadline_exceeded
               {
                 fname = t.fname;
-                budget_ms = int_of_float (t.cfg.func_deadline_s *. 1000.0);
+                budget_ms = int_of_float (budget_s t *. 1000.0);
               }))
   | _ -> ()
 

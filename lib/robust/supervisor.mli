@@ -51,15 +51,27 @@ val config : t -> config
 val stats : t -> stats
 val breaker_state : t -> breaker
 
-val fork : t -> t
+val fork : ?index:int -> t -> t
 (** Worker-private copy for one domain: same config, clock and sleep
     hook, fresh stats, breaker and deadline. A supervisor carries
-    mutable per-function state and must never be shared across
-    domains. *)
+    mutable per-function state and must never be shared across domains.
+
+    [index] (default 0) selects the fork's jitter stream: the base seed
+    is mixed with the domain index, so every worker's backoff schedule
+    is reproducible across runs with equal seeds while distinct workers
+    stay decorrelated (equal seeds would retry in lock-step — a
+    thundering herd against the decoder). *)
 
 val absorb : t -> t -> unit
 (** [absorb parent child] folds a forked supervisor's stats back into
     [parent]; call after joining the worker domain. *)
+
+val set_budget : t -> float option -> unit
+(** Override the per-function wall-clock budget for subsequent
+    {!start_function} calls ([None] restores [func_deadline_s]) — how
+    the serving layer applies a per-request deadline without rebuilding
+    the supervisor. Sticky until changed; only the owning domain may
+    call it. *)
 
 val start_function : t -> string -> unit
 (** Arm the deadline: the named function's budget starts now. *)

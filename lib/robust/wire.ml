@@ -17,7 +17,14 @@ let encode_line fields =
   let payload = String.concat "\t" (List.map escape_field fields) in
   checksum payload ^ " " ^ payload
 
-let decode_line line =
+(* One record must fit comfortably in memory many times over: a reader
+   facing a multi-megabyte "line" is looking at corruption (or an
+   attack), not data, and must refuse before allocating for it. *)
+let max_record_bytes = 1 lsl 20
+
+let decode_line ?(limit = max_record_bytes) line =
+  if String.length line > limit then None
+  else
   match String.index_opt line ' ' with
   | None -> None
   | Some i ->

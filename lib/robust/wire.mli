@@ -14,11 +14,17 @@ val encode_line : string list -> string
 (** [encode_line fields] is ["<checksum> <payload>"] without a trailing
     newline. Fields may contain any bytes. *)
 
-val decode_line : string -> string list option
-(** Inverse of {!encode_line}: [None] when the checksum does not match
-    the payload or any field fails to unescape — i.e. the line is torn
-    or corrupt, never an exception. The empty record and a lone empty
-    field encode identically; both decode as [Some []]. *)
+val max_record_bytes : int
+(** Default per-record size bound (1 MiB). A line longer than this is
+    corruption by construction — no journal or serve record comes close
+    — and readers reject it instead of allocating for it. *)
+
+val decode_line : ?limit:int -> string -> string list option
+(** Inverse of {!encode_line}: [None] when the line exceeds [limit]
+    (default {!max_record_bytes}), the checksum does not match the
+    payload, or any field fails to unescape — i.e. the line is torn,
+    oversize or corrupt, never an exception. The empty record and a lone
+    empty field encode identically; both decode as [Some []]. *)
 
 val float_to_field : float -> string
 (** Hexadecimal float literal: round-trips bit-exactly through

@@ -1,0 +1,76 @@
+(* Bounded admission queue with synchronous load-shedding.
+
+   [offer] decides accept-or-shed in the caller's thread, under the
+   queue lock, before anything is enqueued: a full queue rejects
+   immediately instead of growing, so memory stays bounded under any
+   overload and — given a fixed submission order — the accept/reject
+   sequence is a pure function of that order. That determinism is why
+   shedding lives here and not in the workers: by the time a worker
+   could reject, scheduling has already made the outcome racy.
+
+   [take] blocks until an item, close, or resume. [pause] keeps workers
+   from dequeuing while callers build up a deterministic backlog (the
+   overload scenario); [close] stops admission, lets the backlog drain,
+   and wakes everyone once it is empty. *)
+
+type 'a t = {
+  cap : int;
+  q : 'a Queue.t;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  mutable closed : bool;
+  mutable paused : bool;
+}
+
+let create ?(paused = false) ~cap () =
+  {
+    cap = max 1 cap;
+    q = Queue.create ();
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+    closed = false;
+    paused;
+  }
+
+let capacity t = t.cap
+let depth t = Mutex.protect t.lock (fun () -> Queue.length t.q)
+
+type 'a offer_outcome = Accepted of int | Shed of int | Closed
+
+let offer t x =
+  Mutex.protect t.lock (fun () ->
+      if t.closed then Closed
+      else begin
+        let depth = Queue.length t.q in
+        if depth >= t.cap then Shed depth
+        else begin
+          Queue.add x t.q;
+          Condition.signal t.nonempty;
+          Accepted (depth + 1)
+        end
+      end)
+
+let take t =
+  Mutex.protect t.lock (fun () ->
+      while (t.paused || Queue.is_empty t.q) && not t.closed do
+        Condition.wait t.nonempty t.lock
+      done;
+      (* closed: drain the backlog first, then report exhaustion *)
+      if Queue.is_empty t.q then None else Some (Queue.pop t.q))
+
+let pause t =
+  Mutex.protect t.lock (fun () -> t.paused <- true)
+
+let resume t =
+  Mutex.protect t.lock (fun () ->
+      t.paused <- false;
+      Condition.broadcast t.nonempty)
+
+let close t =
+  Mutex.protect t.lock (fun () ->
+      t.closed <- true;
+      (* a closed queue must drain even if it was paused *)
+      t.paused <- false;
+      Condition.broadcast t.nonempty)
+
+let closed t = Mutex.protect t.lock (fun () -> t.closed)

@@ -1,0 +1,60 @@
+(* Per-client token bucket: every client identity gets [burst] tokens
+   refilled at [rate] tokens/second; one admission costs one token. A
+   client hammering the server exhausts its own bucket and is rejected
+   with Budget_exhausted while other clients keep being admitted — the
+   per-client retry budget of the serving layer.
+
+   The clock is injectable so tests drive it virtually; with a frozen
+   clock the bucket is a pure counter (burst admissions, then none),
+   which is what the deterministic overload scenario relies on. *)
+
+type state = { mutable tokens : float; mutable last : float }
+
+type t = {
+  rate : float;  (* tokens per second *)
+  burst : float;  (* bucket capacity, also the initial balance *)
+  now : unit -> float;
+  lock : Mutex.t;
+  tbl : (string, state) Hashtbl.t;
+}
+
+let create ?(now = Unix.gettimeofday) ~rate ~burst () =
+  {
+    rate = Float.max 0.0 rate;
+    burst = Float.max 1.0 burst;
+    now;
+    lock = Mutex.create ();
+    tbl = Hashtbl.create 16;
+  }
+
+let state_of t client =
+  match Hashtbl.find_opt t.tbl client with
+  | Some s -> s
+  | None ->
+      let s = { tokens = t.burst; last = t.now () } in
+      Hashtbl.replace t.tbl client s;
+      s
+
+let refill t s =
+  let now = t.now () in
+  let dt = Float.max 0.0 (now -. s.last) in
+  s.tokens <- Float.min t.burst (s.tokens +. (dt *. t.rate));
+  s.last <- now
+
+let take t client =
+  Mutex.protect t.lock (fun () ->
+      let s = state_of t client in
+      refill t s;
+      if s.tokens >= 1.0 then begin
+        s.tokens <- s.tokens -. 1.0;
+        true
+      end
+      else false)
+
+let balance t client =
+  Mutex.protect t.lock (fun () ->
+      let s = state_of t client in
+      refill t s;
+      s.tokens)
+
+let clients t = Mutex.protect t.lock (fun () -> Hashtbl.length t.tbl)

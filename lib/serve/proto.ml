@@ -1,0 +1,157 @@
+(* Request/reply protocol of the serving layer.
+
+   One request asks for one interface function of one target; one reply
+   carries the generated source or a typed rejection. Everything
+   round-trips through the checksummed wire format (Vega_robust.Wire),
+   so the newline-delimited socket transport and the journal share one
+   framing: a torn or oversize line is detected, never mis-parsed. *)
+
+module Wire = Vega_robust.Wire
+
+type request = {
+  rq_client : string;  (* rate-limit identity *)
+  rq_target : string;
+  rq_fname : string;  (* interface function to generate *)
+  rq_deadline_ms : int option;  (* per-request budget override *)
+}
+
+type reject_reason =
+  | Queue_full of { depth : int; cap : int }
+  | Budget_exhausted of { client : string }
+  | Draining
+  | Expired of { waited_ms : int }
+      (* deadline elapsed while the request sat in the queue *)
+  | Oversize of { bytes : int; limit : int }
+  | Bad_request of string
+
+type reply =
+  | Done of {
+      r_fname : string;
+      r_target : string;
+      r_confidence : float;
+      r_degraded : int;  (* statements produced below the Primary rung *)
+      r_resumed : bool;  (* restored from the journal, not regenerated *)
+      r_source : string;
+    }
+  | Rejected of reject_reason
+  | Failed of string
+
+(* Commands a socket connection may open with; in-process callers use
+   the Server API directly and never see these. *)
+type command = Creq of request | Chealth | Cdrain | Cping
+
+let reject_label = function
+  | Queue_full _ -> "queue-full"
+  | Budget_exhausted _ -> "budget-exhausted"
+  | Draining -> "draining"
+  | Expired _ -> "expired"
+  | Oversize _ -> "oversize"
+  | Bad_request _ -> "bad-request"
+
+let reject_to_string = function
+  | Queue_full { depth; cap } ->
+      Printf.sprintf "queue full (depth %d, cap %d)" depth cap
+  | Budget_exhausted { client } ->
+      Printf.sprintf "retry budget exhausted for client %S" client
+  | Draining -> "server draining; not admitting requests"
+  | Expired { waited_ms } ->
+      Printf.sprintf "deadline expired after %d ms in queue" waited_ms
+  | Oversize { bytes; limit } ->
+      Printf.sprintf "request line oversize (%d bytes, limit %d)" bytes limit
+  | Bad_request msg -> Printf.sprintf "bad request: %s" msg
+
+(* ---- wire encoding ---- *)
+
+let opt_int_to_field = function None -> "-" | Some n -> string_of_int n
+
+let opt_int_of_field = function
+  | "-" -> Some None
+  | s -> Option.map Option.some (Wire.int_of_field s)
+
+let encode_request r =
+  Wire.encode_line
+    [
+      "req"; r.rq_client; r.rq_target; r.rq_fname;
+      opt_int_to_field r.rq_deadline_ms;
+    ]
+
+let encode_command = function
+  | Creq r -> encode_request r
+  | Chealth -> Wire.encode_line [ "health" ]
+  | Cdrain -> Wire.encode_line [ "drain" ]
+  | Cping -> Wire.encode_line [ "ping" ]
+
+let reject_fields = function
+  | Queue_full { depth; cap } ->
+      [ "queue-full"; string_of_int depth; string_of_int cap ]
+  | Budget_exhausted { client } -> [ "budget-exhausted"; client ]
+  | Draining -> [ "draining" ]
+  | Expired { waited_ms } -> [ "expired"; string_of_int waited_ms ]
+  | Oversize { bytes; limit } ->
+      [ "oversize"; string_of_int bytes; string_of_int limit ]
+  | Bad_request msg -> [ "bad-request"; msg ]
+
+let reject_of_fields = function
+  | [ "queue-full"; depth; cap ] -> (
+      match (Wire.int_of_field depth, Wire.int_of_field cap) with
+      | Some depth, Some cap -> Some (Queue_full { depth; cap })
+      | _ -> None)
+  | [ "budget-exhausted"; client ] -> Some (Budget_exhausted { client })
+  | [ "draining" ] -> Some Draining
+  | [ "expired"; waited ] ->
+      Option.map
+        (fun waited_ms -> Expired { waited_ms })
+        (Wire.int_of_field waited)
+  | [ "oversize"; bytes; limit ] -> (
+      match (Wire.int_of_field bytes, Wire.int_of_field limit) with
+      | Some bytes, Some limit -> Some (Oversize { bytes; limit })
+      | _ -> None)
+  | [ "bad-request"; msg ] -> Some (Bad_request msg)
+  | _ -> None
+
+let encode_reply = function
+  | Done d ->
+      Wire.encode_line
+        [
+          "done"; d.r_fname; d.r_target;
+          Wire.float_to_field d.r_confidence;
+          string_of_int d.r_degraded;
+          Wire.bool_to_field d.r_resumed;
+          d.r_source;
+        ]
+  | Rejected r -> Wire.encode_line ("rej" :: reject_fields r)
+  | Failed msg -> Wire.encode_line [ "fail"; msg ]
+
+let decode_command line =
+  match Wire.decode_line line with
+  | Some [ "req"; rq_client; rq_target; rq_fname; deadline ] ->
+      Option.map
+        (fun rq_deadline_ms ->
+          Creq { rq_client; rq_target; rq_fname; rq_deadline_ms })
+        (opt_int_of_field deadline)
+  | Some [ "health" ] -> Some Chealth
+  | Some [ "drain" ] -> Some Cdrain
+  | Some [ "ping" ] -> Some Cping
+  | Some _ | None -> None
+
+let decode_reply line =
+  match Wire.decode_line line with
+  | Some [ "done"; r_fname; r_target; conf; degraded; resumed; r_source ]
+    -> (
+      match
+        ( Wire.float_of_field conf,
+          Wire.int_of_field degraded,
+          Wire.bool_of_field resumed )
+      with
+      | Some r_confidence, Some r_degraded, Some r_resumed ->
+          Some
+            (Done
+               {
+                 r_fname; r_target; r_confidence; r_degraded; r_resumed;
+                 r_source;
+               })
+      | _ -> None)
+  | Some ("rej" :: fields) ->
+      Option.map (fun r -> Rejected r) (reject_of_fields fields)
+  | Some [ "fail"; msg ] -> Some (Failed msg)
+  | Some _ | None -> None

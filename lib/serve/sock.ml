@@ -1,0 +1,239 @@
+(* Newline-delimited transport over a Unix domain socket.
+
+   One connection, one command, one reply line: a `req` submits a
+   request (admission decided synchronously in the accept loop, so the
+   wire observes the same deterministic accept/reject order as the
+   in-process API), `health` returns the snapshot, `ping` liveness, and
+   `drain` gracefully drains the server and shuts the listener down.
+
+   Accepted requests hand their ticket to a small awaiter domain which
+   writes the reply when a worker delivers it — so the accept loop never
+   blocks on generation, and concurrent clients really do race the
+   admission queue. Awaiter count is bounded by construction: accepted
+   tickets in flight never exceed queue capacity + worker count.
+
+   Incoming lines are read through a bounded accumulator; a line longer
+   than the limit is answered with a typed Oversize rejection instead of
+   being allocated. *)
+
+module Wire = Vega_robust.Wire
+module J = Vega_robust.Journal
+
+type listener = {
+  l_server : Server.t;
+  l_path : string;
+  l_fd : Unix.file_descr;
+  l_lock : Mutex.t;
+  mutable l_stopping : bool;
+  mutable l_awaiters : unit Domain.t list;
+  mutable l_accept : unit Domain.t option;
+  mutable l_exn : exn option;  (* crash observed during drain *)
+  l_done : Condition.t;
+  mutable l_finished : bool;
+}
+
+let max_line_bytes = Wire.max_record_bytes
+
+(* A peer that disappears (or stops reading) mid-write must surface as
+   EPIPE on the write — the default SIGPIPE disposition would kill the
+   whole process instead. *)
+let () =
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ -> ()
+
+(* ---- framed IO ---- *)
+
+let write_line fd line =
+  let data = Bytes.of_string (line ^ "\n") in
+  let len = Bytes.length data in
+  let rec go off =
+    if off < len then
+      match Unix.write fd data off (len - off) with
+      | 0 -> ()
+      | n -> go (off + n)
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()
+  in
+  go 0
+
+(* Read one newline-terminated line, never allocating past [limit];
+   [`Oversize n] reports how many bytes arrived before giving up. *)
+let read_bounded_line ?(limit = max_line_bytes) fd =
+  let buf = Buffer.create 256 in
+  let byte = Bytes.create 1 in
+  let rec go () =
+    match Unix.read fd byte 0 1 with
+    | 0 -> if Buffer.length buf = 0 then `Eof else `Line (Buffer.contents buf)
+    | _ -> (
+        match Bytes.get byte 0 with
+        | '\n' -> `Line (Buffer.contents buf)
+        | c ->
+            if Buffer.length buf >= limit then `Oversize (Buffer.length buf + 1)
+            else begin
+              Buffer.add_char buf c;
+              go ()
+            end)
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> `Eof
+  in
+  go ()
+
+(* ---- server side ---- *)
+
+let add_awaiter l d =
+  Mutex.protect l.l_lock (fun () -> l.l_awaiters <- d :: l.l_awaiters)
+
+let handle_conn l fd =
+  match read_bounded_line fd with
+  | `Eof -> Unix.close fd
+  | `Oversize bytes ->
+      write_line fd
+        (Proto.encode_reply
+           (Proto.Rejected (Proto.Oversize { bytes; limit = max_line_bytes })));
+      Unix.close fd
+  | `Line line -> (
+      match Proto.decode_command line with
+      | None ->
+          write_line fd
+            (Proto.encode_reply
+               (Proto.Rejected
+                  (Proto.Bad_request "unparseable command line")));
+          Unix.close fd
+      | Some (Proto.Creq req) -> (
+          match Server.submit l.l_server req with
+          | Error r ->
+              write_line fd (Proto.encode_reply (Proto.Rejected r));
+              Unix.close fd
+          | Ok ticket ->
+              (* reply later, off the accept path *)
+              add_awaiter l
+                (Domain.spawn (fun () ->
+                     let reply = Server.await ticket in
+                     write_line fd (Proto.encode_reply reply);
+                     Unix.close fd)))
+      | Some Proto.Chealth ->
+          write_line fd (Health.encode (Server.health l.l_server));
+          Unix.close fd
+      | Some Proto.Cping ->
+          write_line fd (Wire.encode_line [ "pong" ]);
+          Unix.close fd
+      | Some Proto.Cdrain ->
+          (match Server.drain l.l_server with
+          | () -> ()
+          | exception e -> Mutex.protect l.l_lock (fun () -> l.l_exn <- Some e));
+          write_line fd (Health.encode (Server.health l.l_server));
+          Unix.close fd;
+          Mutex.protect l.l_lock (fun () -> l.l_stopping <- true))
+
+let accept_loop l =
+  let rec go () =
+    let stop = Mutex.protect l.l_lock (fun () -> l.l_stopping) in
+    if not stop then begin
+      match Unix.accept l.l_fd with
+      | fd, _ ->
+          (* one command per connection; malformed peers cannot take the
+             listener down *)
+          (try handle_conn l fd
+           with e ->
+             (try Unix.close fd with Unix.Unix_error _ -> ());
+             Mutex.protect l.l_lock (fun () ->
+                 if l.l_exn = None then l.l_exn <- Some e));
+          go ()
+      | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
+          (* listen socket closed under us: shutdown *)
+          ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    end
+  in
+  go ();
+  Mutex.protect l.l_lock (fun () ->
+      l.l_finished <- true;
+      Condition.broadcast l.l_done)
+
+let start server ~path =
+  if Sys.file_exists path then Sys.remove path;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 64;
+  let l =
+    {
+      l_server = server;
+      l_path = path;
+      l_fd = fd;
+      l_lock = Mutex.create ();
+      l_stopping = false;
+      l_awaiters = [];
+      l_accept = None;
+      l_exn = None;
+      l_done = Condition.create ();
+      l_finished = false;
+    }
+  in
+  l.l_accept <- Some (Domain.spawn (fun () -> accept_loop l));
+  l
+
+let path l = l.l_path
+
+(* Block until the accept loop exits — i.e. a `drain` command was served
+   or {!stop} was called — then join everything and re-raise a stored
+   crash (the simulated-kill path surfaces here). *)
+let wait l =
+  Mutex.protect l.l_lock (fun () ->
+      while not l.l_finished do
+        Condition.wait l.l_done l.l_lock
+      done);
+  Option.iter Domain.join l.l_accept;
+  l.l_accept <- None;
+  let awaiters =
+    Mutex.protect l.l_lock (fun () ->
+        let a = l.l_awaiters in
+        l.l_awaiters <- [];
+        a)
+  in
+  List.iter Domain.join awaiters;
+  (try Unix.close l.l_fd with Unix.Unix_error _ -> ());
+  if Sys.file_exists l.l_path then (try Sys.remove l.l_path with Sys_error _ -> ());
+  match Mutex.protect l.l_lock (fun () -> l.l_exn) with
+  | Some e -> raise e
+  | None -> ()
+
+let stop l =
+  Mutex.protect l.l_lock (fun () -> l.l_stopping <- true);
+  (* wake the blocking accept *)
+  (try Unix.shutdown l.l_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  (try Unix.close l.l_fd with Unix.Unix_error _ -> ());
+  wait l
+
+(* ---- client side ---- *)
+
+let with_conn ~socket f =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_UNIX socket);
+      f fd)
+
+let roundtrip ~socket command =
+  with_conn ~socket (fun fd ->
+      write_line fd (Proto.encode_command command);
+      match read_bounded_line fd with
+      | `Line line -> Some line
+      | `Eof | `Oversize _ -> None)
+
+let request ~socket req =
+  match roundtrip ~socket (Proto.Creq req) with
+  | None -> Proto.Failed "connection closed without a reply"
+  | Some line -> (
+      match Proto.decode_reply line with
+      | Some reply -> reply
+      | None -> Proto.Failed "unparseable reply line")
+
+let health ~socket =
+  Option.bind (roundtrip ~socket Proto.Chealth) Health.decode
+
+let drain ~socket =
+  Option.bind (roundtrip ~socket Proto.Cdrain) Health.decode
+
+let ping ~socket =
+  match roundtrip ~socket Proto.Cping with
+  | Some line -> Wire.decode_line line = Some [ "pong" ]
+  | None -> false

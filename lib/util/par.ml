@@ -64,3 +64,38 @@ let map_ctx ~domains ~ctx f items =
   end
 
 let map ~domains f items = map_ctx ~domains ~ctx:(fun _ -> ()) (fun () x -> f x) items
+
+(* Persistent pool: long-lived worker domains for callers whose work
+   arrives over time (a serving loop) rather than as one list. Unlike
+   [map_ctx] the pool does not own the work distribution — each body
+   pulls its own (typically from a shared blocking queue) — it only owns
+   the domains' lifecycle and failure reporting. *)
+module Pool = struct
+  type t = {
+    size : int;
+    doms : unit Domain.t array;
+    slots : (exn * Printexc.raw_backtrace) option array;
+        (* one cell per worker, written only by that worker *)
+  }
+
+  let spawn ~domains body =
+    let domains = max 1 domains in
+    let slots = Array.make domains None in
+    let doms =
+      Array.init domains (fun w ->
+          Domain.spawn (fun () ->
+              try body w
+              with e -> slots.(w) <- Some (e, Printexc.get_raw_backtrace ())))
+    in
+    { size = domains; doms; slots }
+
+  let size t = t.size
+
+  let join t =
+    Array.iter Domain.join t.doms;
+    (* lowest worker index wins, matching [map_ctx] determinism *)
+    Array.iter
+      (function
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt | None -> ())
+      t.slots
+end

@@ -15,6 +15,7 @@ let () =
       ("analysis", Test_analysis.suite);
       ("robust", Test_robust.suite);
       ("durable", Test_durable.suite);
+      ("serve", Test_serve.suite);
       ("parallel", Test_parallel.suite);
       ("eval", Test_eval.suite);
       ("endtoend", Test_endtoend.suite);

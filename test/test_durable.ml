@@ -138,7 +138,7 @@ let test_journal_write_read_tear () =
   Alcotest.(check int) "written counts all records"
     (List.length sample_records) (J.written w);
   J.close w;
-  let rc = J.read ~path in
+  let rc = J.read ~path () in
   Alcotest.(check bool) "clean read is not torn" false rc.J.r_torn;
   Alcotest.(check int) "every record back" (List.length sample_records)
     (List.length rc.J.r_records);
@@ -147,14 +147,14 @@ let test_journal_write_read_tear () =
     sample_records rc.J.r_records;
   (* tear the final record mid-write: reader recovers the prefix *)
   J.tear ~path;
-  let rc = J.read ~path in
+  let rc = J.read ~path () in
   Alcotest.(check bool) "torn tail detected" true rc.J.r_torn;
   Alcotest.(check int) "longest valid prefix survives"
     (List.length sample_records - 1)
     (List.length rc.J.r_records);
   (* compaction makes the journal clean again *)
   J.rewrite ~path rc.J.r_records;
-  let rc2 = J.read ~path in
+  let rc2 = J.read ~path () in
   Alcotest.(check bool) "compacted journal is clean" false rc2.J.r_torn;
   Alcotest.(check int) "compaction keeps the prefix"
     (List.length rc.J.r_records)
@@ -163,15 +163,56 @@ let test_journal_write_read_tear () =
   let w = J.open_append ~path () in
   J.append w (J.Func_begin "next");
   J.close w;
-  let rc3 = J.read ~path in
+  let rc3 = J.read ~path () in
   Alcotest.(check bool) "clean after append" false rc3.J.r_torn;
   Alcotest.(check int) "append extends"
     (List.length rc2.J.r_records + 1)
     (List.length rc3.J.r_records);
   (* a missing file reads as empty, never raises *)
-  let rc4 = J.read ~path:(Filename.concat dir "nope.log") in
+  let rc4 = J.read ~path:(Filename.concat dir "nope.log") () in
   Alcotest.(check bool) "missing file is empty, not torn" true
     (rc4.J.r_records = [] && not rc4.J.r_torn)
+
+let test_journal_oversize_line () =
+  (* a multi-megabyte line in the journal (corruption, or a runaway
+     writer) must decode to a typed Record_oversize fault and bounded
+     allocation, never an unbounded read *)
+  let dir = fresh_dir "oversize" in
+  let path = Filename.concat dir "journal.log" in
+  let header = List.hd sample_records in
+  let w = J.create ~path header in
+  List.iter (J.append w) (List.tl sample_records);
+  J.close w;
+  (* splice a 3 MiB junk line into the middle, then a valid-looking
+     tail: recovery must stop at the oversize record *)
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+  output_string oc (String.make (3 * 1024 * 1024) 'A');
+  output_string oc "\n";
+  output_string oc (J.encode (J.Func_begin "after-oversize"));
+  output_string oc "\n";
+  close_out oc;
+  let report = R.Report.create () in
+  let rc = J.read ~report ~path () in
+  Alcotest.(check bool) "oversize tail reads as torn" true rc.J.r_torn;
+  Alcotest.(check int) "valid prefix survives"
+    (List.length sample_records)
+    (List.length rc.J.r_records);
+  Alcotest.(check int) "typed oversize fault recorded" 1
+    (R.Report.count_class report R.Fault.Coversize);
+  (* the bound is configurable: a tiny limit rejects even valid lines *)
+  let report2 = R.Report.create () in
+  let rc2 = J.read ~report:report2 ~limit:8 ~path () in
+  Alcotest.(check int) "tiny limit keeps nothing" 0
+    (List.length rc2.J.r_records);
+  Alcotest.(check bool) "tiny limit records faults" true
+    (R.Report.count_class report2 R.Fault.Coversize > 0);
+  (* compaction over the recovered prefix scrubs the junk *)
+  J.rewrite ~path rc.J.r_records;
+  let rc3 = J.read ~path () in
+  Alcotest.(check bool) "compacted clean" false rc3.J.r_torn;
+  Alcotest.(check int) "compaction keeps the prefix"
+    (List.length sample_records)
+    (List.length rc3.J.r_records)
 
 let test_journal_kill_at () =
   let dir = fresh_dir "kill" in
@@ -186,7 +227,7 @@ let test_journal_kill_at () =
   | `Completed -> Alcotest.fail "expected the simulated crash"
   | exception J.Killed n ->
       Alcotest.(check int) "killed on the armed record" 3 n);
-  let rc = J.read ~path in
+  let rc = J.read ~path () in
   Alcotest.(check int) "all records durable at the crash point" 3
     (List.length rc.J.r_records);
   Alcotest.(check bool) "crash after a flush leaves no torn tail" false
@@ -337,6 +378,25 @@ let decoder_fault =
   R.Fault.Fault
     (R.Fault.Decoder_failure { fname = "f"; stage = "s"; message = "boom" })
 
+let test_fork_jitter_streams () =
+  let sup, _, _ = virtual_sup () in
+  let delays s = List.init 6 (R.Supervisor.backoff_delay s) in
+  (* forking the same index twice yields the same jitter stream *)
+  let a = delays (R.Supervisor.fork ~index:1 sup) in
+  let b = delays (R.Supervisor.fork ~index:1 sup) in
+  Alcotest.(check (list (float 0.0))) "same index, same stream" a b;
+  (* distinct worker indices decorrelate: no two streams collide *)
+  let streams =
+    List.map
+      (fun w -> delays (R.Supervisor.fork ~index:w sup))
+      [ 0; 1; 2; 3 ]
+  in
+  Alcotest.(check int) "four workers, four distinct streams" 4
+    (List.length (List.sort_uniq compare streams));
+  (* index 0 is the sequential path: it inherits the base stream *)
+  Alcotest.(check (list (float 0.0))) "index 0 inherits the base stream"
+    (delays sup) (List.hd streams)
+
 let test_breaker_transitions () =
   let cfg =
     {
@@ -463,6 +523,41 @@ let render (gfs : V.Generate.gen_func list) =
                      (String.concat " " s.V.Generate.g_tokens))
                  gf.V.Generate.gf_stmts)))
        gfs)
+
+let test_worker_jitter_domains () =
+  (* a transiently flaky decoder exercises retry + backoff on every
+     worker; 1, 2 and 4 domains must render bit-identically even though
+     each worker draws from its own jitter stream *)
+  let t = Lazy.force Test_robust.pipeline in
+  let decoder = V.Pipeline.retrieval_decoder t in
+  (* failure is a pure function of the feature vector (never of call
+     order), and the breaker is disabled, so which statements degrade is
+     independent of how statements are partitioned across workers *)
+  let flaky fv =
+    if Hashtbl.hash fv mod 5 = 0 then raise decoder_fault else decoder fv
+  in
+  let run domains =
+    let cfg =
+      {
+        R.Supervisor.default_config with
+        R.Supervisor.func_deadline_s = 1e9;
+        breaker_threshold = max_int;
+      }
+    in
+    let sup, _, _ = virtual_sup ~cfg () in
+    let out =
+      render
+        (V.Pipeline.generate_backend ~fallback:decoder ~sup ~domains t
+           ~target:"RISCV" ~decoder:flaky)
+    in
+    (out, (R.Supervisor.stats sup).R.Supervisor.sup_retried)
+  in
+  let r1, retried1 = run 1 in
+  Alcotest.(check bool) "retries (and so backoff jitter) exercised" true
+    (retried1 > 0);
+  let r2, _ = run 2 and r4, _ = run 4 in
+  Alcotest.(check string) "2 domains identical to 1" r1 r2;
+  Alcotest.(check string) "4 domains identical to 1" r1 r4
 
 let test_durable_matches_plain () =
   let t = Lazy.force Test_robust.pipeline in
@@ -592,7 +687,7 @@ let test_durable_breaker_permafail () =
            *. cfg.R.Supervisor.backoff_max_s)
            +. 1e-9);
       (* breaker faults were journaled ahead with everything else *)
-      let rc = J.read ~path:(V.Pipeline.journal_path dir) in
+      let rc = J.read ~path:(V.Pipeline.journal_path dir) () in
       Alcotest.(check bool) "breaker-open faults journaled" true
         (List.exists
            (function
@@ -610,7 +705,12 @@ let suite =
       test_journal_record_roundtrip;
     Alcotest.test_case "journal write/read/tear" `Quick
       test_journal_write_read_tear;
+    Alcotest.test_case "journal oversize line" `Quick
+      test_journal_oversize_line;
     Alcotest.test_case "journal kill-at" `Quick test_journal_kill_at;
+    Alcotest.test_case "fork jitter streams" `Quick test_fork_jitter_streams;
+    Alcotest.test_case "worker jitter domains 1/2/4" `Quick
+      test_worker_jitter_domains;
     Alcotest.test_case "journal replay" `Quick test_journal_replay;
     Alcotest.test_case "checkpoint round-trip" `Quick test_checkpoint_roundtrip;
     Alcotest.test_case "backoff determinism" `Quick test_backoff_determinism;

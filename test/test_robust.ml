@@ -20,6 +20,8 @@ let sample_faults =
     R.Fault.Stage_failure { stage = "s"; message = "m" };
     R.Fault.Deadline_exceeded { fname = "f"; budget_ms = 30_000 };
     R.Fault.Breaker_open { fname = "f"; failures = 5 };
+    R.Fault.Record_oversize
+      { where = "journal"; bytes = 9_000_000; limit = 1 lsl 20 };
   ]
 
 (* ---------------- taxonomy ---------------- *)
@@ -389,6 +391,41 @@ let test_descfile_corruption_scan () =
   Alcotest.(check int) "scan records every corrupted file" (List.length paths)
     (R.Report.count_class report R.Fault.Cdescfile)
 
+let test_descfile_quarantine () =
+  (* a training target whose description files are mangled is quarantined
+     at prepare — recorded, its training data dropped, the run continues *)
+  let c = Vega_corpus.Corpus.build () in
+  let vfs = c.Vega_corpus.Corpus.vfs in
+  let victim =
+    (List.hd Vega_target.Registry.training).Vega_target.Profile.name
+  in
+  let inj = R.Inject.create ~every:1 ~seed:13 R.Inject.Descfile_garbage in
+  let paths = R.Inject.corrupt_descfiles inj vfs ~target:victim in
+  Alcotest.(check bool) "files were corrupted" true (paths <> []);
+  let report = R.Report.create () in
+  let prep = V.Pipeline.prepare ~report ~corpus:c () in
+  Alcotest.(check (list string)) "victim quarantined" [ victim ]
+    prep.V.Pipeline.quarantined;
+  Alcotest.(check bool) "corruption recorded" true
+    (R.Report.count_class report R.Fault.Cdescfile > 0);
+  Alcotest.(check bool) "bundles survive" true (prep.V.Pipeline.bundles <> []);
+  (* the quarantined target's reference implementations are gone *)
+  List.iter
+    (fun (g : Vega_corpus.Corpus.group) ->
+      Alcotest.(check bool)
+        (g.Vega_corpus.Corpus.spec.Vega_corpus.Spec.fname
+        ^ ": victim impls dropped")
+        false
+        (List.exists
+           (fun (i : Vega_corpus.Corpus.impl) ->
+             i.Vega_corpus.Corpus.target = victim)
+           g.Vega_corpus.Corpus.impls))
+    prep.V.Pipeline.corpus.Vega_corpus.Corpus.groups;
+  (* a healthy corpus quarantines nothing *)
+  let clean = V.Pipeline.prepare () in
+  Alcotest.(check (list string)) "clean corpus: no quarantine" []
+    clean.V.Pipeline.quarantined
+
 let suite =
   [
     Alcotest.test_case "fault taxonomy" `Quick test_taxonomy;
@@ -409,4 +446,6 @@ let suite =
     Alcotest.test_case "decoder nan injection" `Quick test_decoder_nan_injection;
     Alcotest.test_case "corpus corruption" `Quick test_corpus_corruption;
     Alcotest.test_case "descfile corruption scan" `Quick test_descfile_corruption_scan;
+    Alcotest.test_case "descfile quarantine at prepare" `Quick
+      test_descfile_quarantine;
   ]
