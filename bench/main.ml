@@ -243,7 +243,7 @@ let section_table2 (s : setup) =
       ~headers:
         [
           "Target"; "Flagged"; "Parse"; "Symbol"; "Dataflow"; "Interface";
-          "FalseAlarm"; "ConfFlag/Clean"; "TaxAgree";
+          "Sem"; "FalseAlarm"; "ConfFlag/Clean"; "TaxAgree";
         ]
   in
   List.iter
@@ -259,10 +259,32 @@ let section_table2 (s : setup) =
           cls Vega_analysis.Diagnostic.Symbol;
           cls Vega_analysis.Diagnostic.Dataflow;
           cls Vega_analysis.Diagnostic.Interface;
+          cls Vega_analysis.Diagnostic.Sem;
           pct (E.Metrics.static_false_alarm_rate te.te_fns);
           Printf.sprintf "%.2f/%.2f" cf cc;
           pct (E.Metrics.taxonomy_agreement te.te_fns);
         ])
+    s.evals;
+  print_string (T.render tab);
+  heading "Semantic verdicts — the absint verifier on generated functions";
+  let tab =
+    T.create ~headers:[ "Target"; "SemErrors"; "SemFlagged"; "SemFalseAlarm" ]
+  in
+  List.iter
+    (fun (name, (te : E.Metrics.target_eval)) ->
+      T.add_row tab
+        [
+          name;
+          string_of_int (E.Metrics.sem_error_count te.te_fns);
+          pct (E.Metrics.sem_flag_rate te.te_fns);
+          pct (E.Metrics.sem_false_alarm_rate te.te_fns);
+        ];
+      metric (name ^ "_sem_errors")
+        (string_of_int (E.Metrics.sem_error_count te.te_fns));
+      metric_f (name ^ "_sem_flag_rate") (E.Metrics.sem_flag_rate te.te_fns);
+      metric_f
+        (name ^ "_sem_false_alarm_rate")
+        (E.Metrics.sem_false_alarm_rate te.te_fns))
     s.evals;
   print_string (T.render tab)
 
@@ -666,6 +688,57 @@ let section_parallel (s : setup) =
     cores
 
 (* ------------------------------------------------------------------ *)
+(* Semantic verification                                                *)
+
+let section_verify () =
+  heading "Semantic verification — absint over every reference backend";
+  let module Verify = Vega_absint.Verify in
+  let corpus = Vega_corpus.Corpus.build () in
+  let vfs = corpus.Vega_corpus.Corpus.vfs in
+  let targets = Vega_target.Registry.all in
+  let verify_all ~domains =
+    Vega_util.Par.map ~domains (fun p -> Verify.verify_target vfs p) targets
+  in
+  let reports, secs1 = Vega_util.Timer.time (fun () -> verify_all ~domains:1) in
+  let dn = Vega_util.Par.default_domains () in
+  let reports_par, secs_n =
+    Vega_util.Timer.time (fun () -> verify_all ~domains:dn)
+  in
+  let tab = T.create ~headers:[ "Target"; "Funcs"; "Diags"; "Sem" ] in
+  let total_sem = ref 0 in
+  List.iter
+    (fun (r : Verify.report) ->
+      let sem = Verify.sem_count r in
+      total_sem := !total_sem + sem;
+      T.add_row tab
+        [
+          r.Verify.v_target;
+          string_of_int (List.length r.Verify.v_funcs);
+          string_of_int (Verify.diag_count r);
+          string_of_int sem;
+        ];
+      metric
+        (Printf.sprintf "verify_sem_%s" r.Verify.v_target)
+        (string_of_int sem))
+    reports;
+  print_string (T.render tab);
+  let identical =
+    List.for_all2
+      (fun a b -> Verify.diag_count a = Verify.diag_count b)
+      reports reports_par
+  in
+  Printf.printf
+    "verdicts: %d semantic diagnostic(s) over %d target(s) (must be 0)\n\
+     wall: %.2f s single-domain, %.2f s over %d domains (%.2fx)%s\n"
+    !total_sem (List.length targets) secs1 secs_n dn
+    (secs1 /. Float.max secs_n 1e-9)
+    (if identical then "" else "  [MISMATCH vs single-domain]");
+  metric "verify_sem_total" (string_of_int !total_sem);
+  metric_f "verify_wall_s_domains_1" secs1;
+  metric_f (Printf.sprintf "verify_wall_s_domains_%d" dn) secs_n;
+  metric "verify_parallel_identical" (if identical then "true" else "false")
+
+(* ------------------------------------------------------------------ *)
 (* Serving layer                                                       *)
 
 let section_serve (s : setup) =
@@ -884,6 +957,7 @@ let () =
   if want "faults" then section_faults (s ());
   if want "killresume" then section_killresume (s ());
   if want "decode" then section_decode ();
+  if want "verify" then section_verify ();
   if want "parallel" then section_parallel (s ());
   if want "serve" then section_serve (s ());
   if want "model_ablation" then section_model_ablation (s ());

@@ -7,6 +7,8 @@
      vega-cli generate ... --domains N        fan functions over N domains
      vega-cli backend -t XCore [--model]      generate + pass@1 the backend
      vega-cli lint -t RISCV [--generated] [--json]
+     vega-cli verify [-t T|all] [--generated] [--json]
+                                              semantic verifier (absint)
      vega-cli faultcheck [-t T] [--seed N] [--json]   fault-injection matrix
      vega-cli faultcheck --kill-at K --run-dir d [--domains N]
                                               kill-and-resume check
@@ -217,12 +219,14 @@ let lint_cmd =
              (retrieval decoder) instead of the reference backend.")
   in
   let run target generated json =
-    let p =
-      match Vega_target.Registry.find target with
-      | Some p -> p
-      | None ->
-          Printf.eprintf "unknown target %s\n" target;
-          exit 1
+    let targets =
+      if target = "all" then Vega_target.Registry.all
+      else
+        match Vega_target.Registry.find target with
+        | Some p -> [ p ]
+        | None ->
+            Printf.eprintf "unknown target %s\n" target;
+            exit 1
     in
     let print_report (r : Vega_analysis.Lint.report) =
       if json then begin
@@ -276,45 +280,196 @@ let lint_cmd =
               fr.Vega_analysis.Lint.fr_diags)
           r.Vega_analysis.Lint.r_funcs
       end;
-      exit (if Vega_analysis.Lint.error_count r > 0 then 1 else 0)
+      Vega_analysis.Lint.error_count r > 0
     in
-    if not generated then begin
-      let corpus = Vega_corpus.Corpus.build () in
-      print_report
-        (Vega_analysis.Lint.lint_target corpus.Vega_corpus.Corpus.vfs p)
-    end
-    else begin
-      let t, decoder = mk_pipeline ~model:false in
-      let vfs = t.Vega.Pipeline.prep.Vega.Pipeline.corpus.Vega_corpus.Corpus.vfs in
-      let tab = Vega_analysis.Lint.symtab vfs p in
-      let funcs =
-        List.filter_map
-          (fun (b : Vega.Pipeline.bundle) ->
-            let spec = b.Vega.Pipeline.spec in
-            if not (spec.Vega_corpus.Spec.applies p) then None
-            else
-              let gf =
-                Vega.Generate.run t.Vega.Pipeline.prep.Vega.Pipeline.ctx
-                  b.Vega.Pipeline.tpl b.Vega.Pipeline.analysis
-                  b.Vega.Pipeline.hints ~target
-                  ~decoder
-              in
-              Some
-                {
-                  Vega_analysis.Lint.fr_fname = spec.Vega_corpus.Spec.fname;
-                  fr_diags =
-                    Vega_analysis.Lint.lint_generated tab b.Vega.Pipeline.tpl gf;
-                })
-          t.Vega.Pipeline.prep.Vega.Pipeline.bundles
-      in
-      print_report { Vega_analysis.Lint.r_target = target; r_funcs = funcs }
-    end
+    let report_of =
+      if not generated then begin
+        let corpus = Vega_corpus.Corpus.build () in
+        fun (p : Vega_target.Profile.t) ->
+          Vega_analysis.Lint.lint_target corpus.Vega_corpus.Corpus.vfs p
+      end
+      else begin
+        let t, decoder = mk_pipeline ~model:false in
+        fun (p : Vega_target.Profile.t) ->
+          let vfs =
+            t.Vega.Pipeline.prep.Vega.Pipeline.corpus.Vega_corpus.Corpus.vfs
+          in
+          let tab = Vega_analysis.Lint.symtab vfs p in
+          let funcs =
+            List.filter_map
+              (fun (b : Vega.Pipeline.bundle) ->
+                let spec = b.Vega.Pipeline.spec in
+                if not (spec.Vega_corpus.Spec.applies p) then None
+                else
+                  let gf =
+                    Vega.Generate.run t.Vega.Pipeline.prep.Vega.Pipeline.ctx
+                      b.Vega.Pipeline.tpl b.Vega.Pipeline.analysis
+                      b.Vega.Pipeline.hints ~target:p.Vega_target.Profile.name
+                      ~decoder
+                  in
+                  Some
+                    {
+                      Vega_analysis.Lint.fr_fname = spec.Vega_corpus.Spec.fname;
+                      fr_diags =
+                        Vega_analysis.Lint.lint_generated tab b.Vega.Pipeline.tpl
+                          gf;
+                    })
+              t.Vega.Pipeline.prep.Vega.Pipeline.bundles
+          in
+          {
+            Vega_analysis.Lint.r_target = p.Vega_target.Profile.name;
+            r_funcs = funcs;
+          }
+      end
+    in
+    (* a sweep fails when ANY target fails: fold, don't short-circuit, so
+       every target's findings are still printed *)
+    let failed =
+      List.fold_left
+        (fun acc p -> if print_report (report_of p) then true else acc)
+        false targets
+    in
+    exit (if failed then 1 else 0)
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
          "Static-analyze a backend (parse/shape, symbols, dataflow, \
-          interface conformance); non-zero exit on errors")
+          interface conformance); $(b,-t all) sweeps every registered \
+          target; non-zero exit when any target has errors")
+    Term.(const run $ target_arg $ generated_flag $ json_flag)
+
+(* ------------------------------------------------------------------ *)
+(* verify: the abstract-interpretation semantic verifier. Exit contract:
+   0 clean, 4 when any semantic diagnostic is reported, 2 on a crash. *)
+
+let verify_cmd =
+  let generated_flag =
+    Arg.(
+      value & flag
+      & info [ "generated" ]
+          ~doc:
+            "Verify the functions the pipeline generates for the target \
+             (retrieval decoder) against their reference implementations, \
+             instead of the reference backend against itself.")
+  in
+  let diag_json (d : Vega_analysis.Diagnostic.t) =
+    json_obj
+      ([
+         ("rule", json_str d.Vega_analysis.Diagnostic.rule);
+         ("cls", json_str (Vega_analysis.Diagnostic.cls_name d.cls));
+         ("severity", json_str (Vega_analysis.Diagnostic.severity_name d.severity));
+         ("taxonomy", json_str (Vega_analysis.Diagnostic.taxonomy d));
+         ("fname", json_str d.fname);
+       ]
+      @ (match d.span with
+        | Some sp ->
+            [
+              ("line", string_of_int sp.Vega_srclang.Span.line);
+              ("col", string_of_int sp.Vega_srclang.Span.col);
+            ]
+        | None -> [])
+      @ [ ("msg", json_str d.msg) ])
+  in
+  let run target generated json =
+    let targets =
+      if target = "all" then Vega_target.Registry.all
+      else
+        match Vega_target.Registry.find target with
+        | Some p -> [ p ]
+        | None ->
+            Printf.eprintf "unknown target %s\n" target;
+            exit 2
+    in
+    let print_verdicts tname (funcs : (string * Vega_analysis.Diagnostic.t list) list) =
+      let diags = List.concat_map snd funcs in
+      let sem =
+        List.filter
+          (fun (d : Vega_analysis.Diagnostic.t) ->
+            d.cls = Vega_analysis.Diagnostic.Sem)
+          diags
+      in
+      if json then begin
+        List.iter (fun d -> print_endline (diag_json d)) diags;
+        print_endline
+          (json_obj
+             [
+               ("event", json_str "summary");
+               ("target", json_str tname);
+               ("functions", string_of_int (List.length funcs));
+               ("diagnostics", string_of_int (List.length diags));
+               ("semantic", string_of_int (List.length sem));
+             ])
+      end
+      else begin
+        Printf.printf
+          "target %s: %d function(s) verified, %d diagnostic(s), %d semantic\n"
+          tname (List.length funcs) (List.length diags) (List.length sem);
+        List.iter
+          (fun d -> print_endline ("  " ^ Vega_analysis.Diagnostic.to_string d))
+          diags
+      end;
+      diags <> []
+    in
+    let verdicts_of =
+      if not generated then begin
+        let corpus = Vega_corpus.Corpus.build () in
+        fun (p : Vega_target.Profile.t) ->
+          let r =
+            Vega_absint.Verify.verify_target corpus.Vega_corpus.Corpus.vfs p
+          in
+          List.map
+            (fun (fv : Vega_absint.Verify.func_verdict) ->
+              (fv.Vega_absint.Verify.fv_fname, fv.Vega_absint.Verify.fv_diags))
+            r.Vega_absint.Verify.v_funcs
+          @ (match r.Vega_absint.Verify.v_asm with
+            | [] -> []
+            | asm -> [ ("<emitted-asm>", asm) ])
+      end
+      else begin
+        let t, decoder = mk_pipeline ~model:false in
+        fun (p : Vega_target.Profile.t) ->
+          List.filter_map
+            (fun (b : Vega.Pipeline.bundle) ->
+              let spec = b.Vega.Pipeline.spec in
+              if not (spec.Vega_corpus.Spec.applies p) then None
+              else
+                let gf =
+                  Vega.Generate.run t.Vega.Pipeline.prep.Vega.Pipeline.ctx
+                    b.Vega.Pipeline.tpl b.Vega.Pipeline.analysis
+                    b.Vega.Pipeline.hints ~target:p.Vega_target.Profile.name
+                    ~decoder
+                in
+                let fname = spec.Vega_corpus.Spec.fname in
+                let reference = Vega_corpus.Corpus.reference_inlined spec p in
+                Some
+                  ( fname,
+                    Vega_absint.Verify.verify_source ?reference ~fname
+                      (Vega.Generate.source_of gf) ))
+            t.Vega.Pipeline.prep.Vega.Pipeline.bundles
+      end
+    in
+    match
+      List.fold_left
+        (fun acc p ->
+          if print_verdicts p.Vega_target.Profile.name (verdicts_of p) then true
+          else acc)
+        false targets
+    with
+    | true -> exit 4
+    | false -> exit 0
+    | exception e ->
+        Printf.eprintf "vega-cli verify: %s\n" (Printexc.to_string e);
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Semantically verify a backend by abstract interpretation \
+          (value ranges, initialization, differential summaries against \
+          the reference, emitted-code register discipline). $(b,-t all) \
+          sweeps every registered target. Exits 0 when clean, 4 on \
+          semantic diagnostics, 2 on a crash.")
     Term.(const run $ target_arg $ generated_flag $ json_flag)
 
 (* ------------------------------------------------------------------ *)
@@ -1532,6 +1687,7 @@ let () =
             generate_cmd;
             backend_cmd;
             lint_cmd;
+            verify_cmd;
             faultcheck_cmd;
             serve_cmd;
             request_cmd;

@@ -1,0 +1,207 @@
+(** Control-flow graphs for the abstract interpreter.
+
+    Two sources of CFGs share this representation: BackendC function
+    bodies (built here from the {!Vega_srclang.Ast}) and emitted
+    machine code (built by {!Regdom} from the assembler's instruction
+    stream). Nodes carry an arbitrary payload; [loop_head] marks the
+    widening points the fixpoint engine ({!Fixpoint}) needs for
+    termination. Every cycle the builders produce passes through a
+    marked head: AST loops widen at their condition node, machine-code
+    back edges are detected by instruction order. *)
+
+module A = Vega_srclang.Ast
+
+type 'a node = {
+  id : int;
+  payload : 'a;
+  mutable succs : int list;
+  mutable preds : int list;
+  mutable loop_head : bool;
+}
+
+type 'a t = { nodes : 'a node array; entry : int; exit_ : int }
+
+(* ---------------------------------------------------------------- *)
+(* Generic construction                                              *)
+
+(** [create payloads succs ~entry ~exit_] builds a graph with one node
+    per payload; [succs.(i)] lists successor ids. Predecessor lists are
+    derived; out-of-range edges are dropped. *)
+let create (payloads : 'a array) (succs : int list array) ~entry ~exit_ =
+  let n = Array.length payloads in
+  let nodes =
+    Array.init n (fun i ->
+        {
+          id = i;
+          payload = payloads.(i);
+          succs = List.sort_uniq compare (List.filter (fun s -> s >= 0 && s < n) succs.(i));
+          preds = [];
+          loop_head = false;
+        })
+  in
+  Array.iter
+    (fun nd ->
+      List.iter (fun s -> nodes.(s).preds <- nd.id :: nodes.(s).preds) nd.succs)
+    nodes;
+  Array.iter (fun nd -> nd.preds <- List.sort_uniq compare nd.preds) nodes;
+  { nodes; entry; exit_ }
+
+(** Mark as loop heads all targets of back edges in instruction order
+    (an edge [i -> j] with [j <= i]). Sound for the machine-code CFGs:
+    the emitter lays blocks out in order, so every loop re-enters a
+    lower-indexed node. *)
+let mark_loop_heads_by_index t =
+  Array.iter
+    (fun nd ->
+      List.iter (fun s -> if s <= nd.id then t.nodes.(s).loop_head <- true) nd.succs)
+    t.nodes
+
+(* ---------------------------------------------------------------- *)
+(* CFG recovery from BackendC ASTs                                   *)
+
+(** Program points of an AST-level CFG. Compound statements are split:
+    their condition/scrutinee becomes a [Branch] node (also carrying the
+    owning statement, for span lookup) and their bodies become separate
+    nodes, so a [Stmt] payload is always a simple statement. *)
+type point =
+  | Entry
+  | Exit
+  | Stmt of A.stmt
+  | Branch of A.expr * A.stmt  (** condition/scrutinee, owning statement *)
+
+(* Calls that never return end the path, exactly as in
+   {!Vega_analysis.Checks}. *)
+let noreturn_stmt = function
+  | A.Expr (A.Call (("llvm_unreachable" | "report_fatal_error"), _)) -> true
+  | _ -> false
+
+type builder = {
+  mutable rev_nodes : (int * point * int list ref * bool ref) list;
+  mutable count : int;
+}
+
+let of_func (f : A.func) : point t =
+  let b = { rev_nodes = []; count = 0 } in
+  let succs_of = Hashtbl.create 64 in
+  let mk payload =
+    let id = b.count in
+    b.count <- b.count + 1;
+    let succs = ref [] and lh = ref false in
+    b.rev_nodes <- (id, payload, succs, lh) :: b.rev_nodes;
+    Hashtbl.replace succs_of id (succs, lh);
+    id
+  in
+  let connect preds id =
+    List.iter
+      (fun p ->
+        let s, _ = Hashtbl.find succs_of p in
+        if not (List.mem id !s) then s := id :: !s)
+      preds
+  in
+  let mark_head id =
+    let _, lh = Hashtbl.find succs_of id in
+    lh := true
+  in
+  let entry = mk Entry in
+  let exit_ = mk Exit in
+  (* [seq stmts preds] threads the list of dangling predecessors through
+     a statement sequence and returns the survivors; [brk] collects
+     break sources, [cont] is the continue target. *)
+  let rec seq stmts preds ~brk ~cont =
+    List.fold_left (fun preds s -> stmt s preds ~brk ~cont) preds stmts
+  and stmt s preds ~brk ~cont =
+    match s with
+    | A.Return _ ->
+        let id = mk (Stmt s) in
+        connect preds id;
+        connect [ id ] exit_;
+        []
+    | A.Break ->
+        let id = mk (Stmt s) in
+        connect preds id;
+        (match brk with Some r -> r := id :: !r | None -> ());
+        []
+    | A.Continue ->
+        let id = mk (Stmt s) in
+        connect preds id;
+        (match cont with Some t -> connect [ id ] t | None -> ());
+        []
+    | A.If (c, t, e) ->
+        let bn = mk (Branch (c, s)) in
+        connect preds bn;
+        let t_out = seq t [ bn ] ~brk ~cont in
+        let e_out = seq e [ bn ] ~brk ~cont in
+        t_out @ e_out
+    | A.While (c, body) ->
+        let bn = mk (Branch (c, s)) in
+        connect preds bn;
+        mark_head bn;
+        let brk' = ref [] in
+        let body_out = seq body [ bn ] ~brk:(Some brk') ~cont:(Some bn) in
+        connect body_out bn;
+        bn :: !brk'
+    | A.For (init, cond, step, body) ->
+        let preds =
+          match init with Some i -> stmt i preds ~brk ~cont | None -> preds
+        in
+        let c = Option.value cond ~default:(A.Bool true) in
+        let bn = mk (Branch (c, s)) in
+        connect preds bn;
+        mark_head bn;
+        let step_node = Option.map (fun st -> mk (Stmt st)) step in
+        let cont_target = Option.value step_node ~default:bn in
+        let brk' = ref [] in
+        let body_out =
+          seq body [ bn ] ~brk:(Some brk') ~cont:(Some cont_target)
+        in
+        connect body_out cont_target;
+        (match step_node with Some id -> connect [ id ] bn | None -> ());
+        let exits = if cond = None then !brk' else bn :: !brk' in
+        exits
+    | A.Switch (scrut, arms, default) ->
+        let bn = mk (Branch (scrut, s)) in
+        connect preds bn;
+        let brk' = ref [] in
+        (* each arm is entered from the scrutinee and from the previous
+           arm's fallthrough; the default body also catches the
+           no-match edge *)
+        let carry =
+          List.fold_left
+            (fun carry (a : A.arm) ->
+              seq a.A.body (bn :: carry) ~brk:(Some brk') ~cont)
+            [] arms
+        in
+        let dflt_out = seq default (bn :: carry) ~brk:(Some brk') ~cont in
+        dflt_out @ !brk'
+    | _ when noreturn_stmt s ->
+        let id = mk (Stmt s) in
+        connect preds id;
+        connect [ id ] exit_;
+        []
+    | A.Decl _ | A.Assign _ | A.Expr _ ->
+        let id = mk (Stmt s) in
+        connect preds id;
+        [ id ]
+  in
+  let out = seq f.A.body [ entry ] ~brk:None ~cont:None in
+  connect out exit_;
+  (* freeze *)
+  let n = b.count in
+  let payloads = Array.make n Entry in
+  let succs = Array.make n [] in
+  let heads = Array.make n false in
+  List.iter
+    (fun (id, p, s, lh) ->
+      payloads.(id) <- p;
+      succs.(id) <- !s;
+      heads.(id) <- !lh)
+    b.rev_nodes;
+  let t = create payloads succs ~entry ~exit_ in
+  Array.iteri (fun i h -> if h then t.nodes.(i).loop_head <- true) heads;
+  t
+
+(** Statements appearing in a node's payload (for span lookup). *)
+let point_stmt = function
+  | Entry | Exit -> None
+  | Stmt s -> Some s
+  | Branch (_, s) -> Some s

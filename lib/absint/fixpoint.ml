@@ -1,0 +1,83 @@
+(** Worklist fixpoint engine, parameterized by an abstract domain.
+
+    The engine computes, for every CFG node, the least (post-)fixpoint
+    of [in(n) = join of out(preds n)] and [out(n) = transfer n (in n)],
+    starting from [init] at the entry node and [bottom] elsewhere.
+    Inputs ascend monotonically (new inputs are joined with old ones),
+    and at nodes marked [loop_head] the join is replaced by the domain's
+    widening, so analyses over infinite-height domains (intervals)
+    terminate as long as every cycle passes through a marked head —
+    which the {!Cfg} builders guarantee. Nodes whose input stays
+    [bottom] are unreachable and their transfer is never applied. *)
+
+module type DOMAIN = sig
+  type t
+
+  val bottom : t
+  (** Unreachable / no information. Must be a unit of [join]. *)
+
+  val equal : t -> t -> bool
+
+  val join : t -> t -> t
+  (** Least upper bound (path merge). Commutative, idempotent. *)
+
+  val widen : t -> t -> t
+  (** [widen old next]: an upper bound of [old] and [next] that
+      stabilizes every ascending chain in finitely many steps. *)
+end
+
+module Make (D : DOMAIN) = struct
+  type result = { input : D.t array; output : D.t array }
+
+  exception Diverged of string
+
+  let solve (cfg : 'a Cfg.t) ~(init : D.t)
+      ~(transfer : 'a Cfg.node -> D.t -> D.t) =
+    let n = Array.length cfg.Cfg.nodes in
+    let input = Array.make n D.bottom in
+    let output = Array.make n D.bottom in
+    let inq = Array.make n false in
+    let q = Queue.create () in
+    let push i =
+      if not inq.(i) then begin
+        inq.(i) <- true;
+        Queue.add i q
+      end
+    in
+    push cfg.Cfg.entry;
+    (* safety net: a lawful widening stabilizes far below this *)
+    let budget = 10_000 * (n + 1) in
+    let steps = ref 0 in
+    while not (Queue.is_empty q) do
+      incr steps;
+      if !steps > budget then
+        raise
+          (Diverged
+             (Printf.sprintf
+                "fixpoint exceeded %d steps over %d nodes (widening did not \
+                 stabilize)"
+                budget n));
+      let i = Queue.pop q in
+      inq.(i) <- false;
+      let node = cfg.Cfg.nodes.(i) in
+      let joined =
+        List.fold_left
+          (fun acc p -> D.join acc output.(p))
+          (if i = cfg.Cfg.entry then init else D.bottom)
+          node.Cfg.preds
+      in
+      let next =
+        if node.Cfg.loop_head then D.widen input.(i) joined
+        else D.join input.(i) joined
+      in
+      input.(i) <- next;
+      let out =
+        if D.equal next D.bottom then D.bottom else transfer node next
+      in
+      if not (D.equal output.(i) out) then begin
+        output.(i) <- out;
+        List.iter push node.Cfg.succs
+      end
+    done;
+    { input; output }
+end

@@ -1,0 +1,146 @@
+(** Path-sensitive initialized-before-use analysis.
+
+    Upgrades the straight-line VA-D02 lint to all-paths reasoning: a
+    local's abstract state is [Uninit] (no path reaching here assigned
+    it), [Init] (every path did) or [Maybe] (some did, some did not).
+    Reading an [Uninit] local is a definite error (VS-I01); reading a
+    [Maybe] one is a warning (VS-I02) — the read is wrong on at least
+    one executable path unless the paths are correlated in a way the
+    domain cannot see. Parameters start [Init]; identifiers the
+    function never declares or assigns (globals, enum values) are not
+    tracked. *)
+
+module A = Vega_srclang.Ast
+module D = Vega_analysis.Diagnostic
+
+type v = Uninit | Init | Maybe
+
+let join_v a b = if a = b then a else Maybe
+
+module Env = Map.Make (String)
+
+type t = Unreachable | Reached of v Env.t
+
+let bottom = Unreachable
+
+let equal a b =
+  match (a, b) with
+  | Unreachable, Unreachable -> true
+  | Reached x, Reached y -> Env.equal ( = ) x y
+  | _ -> false
+
+let join a b =
+  match (a, b) with
+  | Unreachable, x | x, Unreachable -> x
+  | Reached x, Reached y ->
+      Reached
+        (Env.merge
+           (fun _ a b ->
+             match (a, b) with
+             | Some a, Some b -> Some (join_v a b)
+             | Some v, None | None, Some v ->
+                 (* declared on one path only: scope questions are
+                    VA-D01's business, keep what we know *)
+                 Some v
+             | None, None -> None)
+           x y)
+
+(* finite height: join is already a widening *)
+let widen = join
+
+let transfer (node : Cfg.point Cfg.node) st =
+  match st with
+  | Unreachable -> Unreachable
+  | Reached env -> (
+      match node.Cfg.payload with
+      | Cfg.Entry | Cfg.Exit | Cfg.Branch _ -> st
+      | Cfg.Stmt s -> (
+          match s with
+          | A.Decl (_, x, Some _) -> Reached (Env.add x Init env)
+          | A.Decl (_, x, None) -> Reached (Env.add x Uninit env)
+          | A.Assign (_, A.Id x, _) -> Reached (Env.add x Init env)
+          | _ -> st))
+
+(* variables *read* by a point; compound assignments read their lhs *)
+let reads_of_point p =
+  let rec vars (e : A.expr) acc =
+    match e with
+    | A.Id x -> x :: acc
+    | A.Int _ | A.Str _ | A.Chr _ | A.Bool _ | A.Nullptr | A.Scoped _ -> acc
+    | A.Call (_, args) -> List.fold_right vars args acc
+    | A.Method (r, _, args) -> vars r (List.fold_right vars args acc)
+    | A.Member (r, _) -> vars r acc
+    | A.Index (r, i) -> vars r (vars i acc)
+    | A.Unop (_, a) -> vars a acc
+    | A.Binop (_, a, b) -> vars a (vars b acc)
+    | A.Ternary (c, t, f) -> vars c (vars t (vars f acc))
+    | A.Cast (_, a) -> vars a acc
+  in
+  match p with
+  | Cfg.Entry | Cfg.Exit -> []
+  | Cfg.Branch (e, _) -> vars e []
+  | Cfg.Stmt s -> (
+      match s with
+      | A.Decl (_, _, Some e) -> vars e []
+      | A.Decl (_, _, None) -> []
+      | A.Assign (A.Set, A.Id _, rhs) -> vars rhs []
+      | A.Assign (_, A.Id x, rhs) -> x :: vars rhs []
+      | A.Assign (_, lhs, rhs) -> vars lhs (vars rhs [])
+      | A.Expr e -> vars e []
+      | A.Return (Some e) -> vars e []
+      | A.Return None | A.Break | A.Continue -> []
+      | A.If _ | A.Switch _ | A.While _ | A.For _ -> [])
+
+module F = Fixpoint.Make (struct
+  type nonrec t = t
+
+  let bottom = bottom
+  let equal = equal
+  let join = join
+  let widen = widen
+end)
+
+(** VS-I01 definite, VS-I02 possible use of an uninitialized local. *)
+let check ~fname ?(marks = []) (f : A.func) : D.t list =
+  let init =
+    Reached
+      (List.fold_left
+         (fun env (p : A.param) -> Env.add p.A.pname Init env)
+         Env.empty f.A.params)
+  in
+  let cfg = Cfg.of_func f in
+  let r = F.solve cfg ~init ~transfer in
+  let diags = ref [] in
+  Array.iteri
+    (fun i (node : Cfg.point Cfg.node) ->
+      match r.F.input.(i) with
+      | Unreachable -> ()
+      | Reached env ->
+          let span =
+            Option.bind (Cfg.point_stmt node.Cfg.payload)
+              (Vega_srclang.Parser.stmt_span marks)
+          in
+          List.iter
+            (fun x ->
+              match Env.find_opt x env with
+              | Some Uninit ->
+                  diags :=
+                    D.make ~rule:"VS-I01" ~cls:D.Sem ~severity:D.Error ~fname
+                      ?span
+                      (Printf.sprintf
+                         "'%s' is read but uninitialized on every path \
+                          reaching this statement"
+                         x)
+                    :: !diags
+              | Some Maybe ->
+                  diags :=
+                    D.make ~rule:"VS-I02" ~cls:D.Sem ~severity:D.Warning
+                      ~fname ?span
+                      (Printf.sprintf
+                         "'%s' may be read before initialization on some path"
+                         x)
+                    :: !diags
+              | Some Init | None -> ())
+            (List.sort_uniq compare (reads_of_point node.Cfg.payload)))
+    cfg.Cfg.nodes;
+  List.rev !diags

@@ -1,0 +1,308 @@
+(** Constant/interval value domain over BackendC locals.
+
+    Abstract values are intervals with optional bounds ([None] is the
+    corresponding infinity); the environment maps local variables to
+    intervals, with absent bindings meaning "any value" so the map stays
+    small. The checker only reports *definite* violations — a divisor
+    that is exactly zero on every path reaching the expression, a shift
+    amount that is certainly out of range — keeping the false-positive
+    rate on known-good reference backends at zero. *)
+
+module A = Vega_srclang.Ast
+module D = Vega_analysis.Diagnostic
+
+(* ---------------------------------------------------------------- *)
+(* Intervals                                                         *)
+
+type itv = Bot | Itv of int option * int option  (** lo, hi *)
+
+let top = Itv (None, None)
+let const n = Itv (Some n, Some n)
+
+let is_const = function Itv (Some a, Some b) when a = b -> Some a | _ -> None
+
+let lo_min a b =
+  match (a, b) with None, _ | _, None -> None | Some x, Some y -> Some (min x y)
+
+let hi_max a b =
+  match (a, b) with None, _ | _, None -> None | Some x, Some y -> Some (max x y)
+
+let join_itv a b =
+  match (a, b) with
+  | Bot, x | x, Bot -> x
+  | Itv (l1, h1), Itv (l2, h2) -> Itv (lo_min l1 l2, hi_max h1 h2)
+
+(* drop any bound the new value pushes past: classic interval widening *)
+let widen_itv a b =
+  match (a, b) with
+  | Bot, x | x, Bot -> x
+  | Itv (l1, h1), Itv (l2, h2) ->
+      let lo =
+        match (l1, l2) with
+        | None, _ -> None
+        | Some x, Some y when y >= x -> Some x
+        | Some _, _ -> None
+      in
+      let hi =
+        match (h1, h2) with
+        | None, _ -> None
+        | Some x, Some y when y <= x -> Some x
+        | Some _, _ -> None
+      in
+      Itv (lo, hi)
+
+(* interval arithmetic; [None] bounds poison the affected side *)
+let add_itv a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Itv (l1, h1), Itv (l2, h2) ->
+      let ( +? ) x y =
+        match (x, y) with Some a, Some b -> Some (a + b) | _ -> None
+      in
+      Itv (l1 +? l2, h1 +? h2)
+
+let neg_itv = function
+  | Bot -> Bot
+  | Itv (l, h) ->
+      Itv (Option.map (fun x -> -x) h, Option.map (fun x -> -x) l)
+
+let sub_itv a b = add_itv a (neg_itv b)
+
+let bool_itv = Itv (Some 0, Some 1)
+
+(* definite truth value, when the interval pins one down *)
+let truth = function
+  | Bot -> None
+  | Itv (Some l, Some h) when l = 0 && h = 0 -> Some false
+  | Itv (Some l, _) when l > 0 -> Some true
+  | Itv (_, Some h) when h < 0 -> Some true
+  | _ -> None
+
+(* ---------------------------------------------------------------- *)
+(* Environment domain                                                *)
+
+module Env = Map.Make (String)
+
+type t = Unreachable | Reached of itv Env.t
+
+let bottom = Unreachable
+
+let equal a b =
+  match (a, b) with
+  | Unreachable, Unreachable -> true
+  | Reached x, Reached y -> Env.equal ( = ) x y
+  | _ -> false
+
+let merge_envs f a b =
+  Env.merge
+    (fun _ x y ->
+      match (x, y) with
+      | Some x, Some y ->
+          let j = f x y in
+          if j = top then None else Some j
+      | _ -> None (* absent = top on that side *))
+    a b
+
+let join a b =
+  match (a, b) with
+  | Unreachable, x | x, Unreachable -> x
+  | Reached x, Reached y -> Reached (merge_envs join_itv x y)
+
+let widen a b =
+  match (a, b) with
+  | Unreachable, x | x, Unreachable -> x
+  | Reached x, Reached y -> Reached (merge_envs widen_itv x y)
+
+let find x env = match Env.find_opt x env with Some v -> v | None -> top
+
+(* ---------------------------------------------------------------- *)
+(* Expression evaluation                                             *)
+
+let rec eval env (e : A.expr) : itv =
+  match e with
+  | A.Int n -> const n
+  | A.Chr c -> const (Char.code c)
+  | A.Bool b -> const (if b then 1 else 0)
+  | A.Nullptr -> const 0
+  | A.Id x -> find x env
+  | A.Cast (_, e) -> eval env e
+  | A.Unop (A.Neg, e) -> neg_itv (eval env e)
+  | A.Unop (A.Not, e) -> (
+      match truth (eval env e) with
+      | Some true -> const 0
+      | Some false -> const 1
+      | None -> bool_itv)
+  | A.Unop (A.Bnot, e) -> (
+      match is_const (eval env e) with
+      | Some n -> const (lnot n)
+      | None -> top)
+  | A.Ternary (c, t, f) -> (
+      match truth (eval env c) with
+      | Some true -> eval env t
+      | Some false -> eval env f
+      | None -> join_itv (eval env t) (eval env f))
+  | A.Binop (op, a, b) -> eval_binop op (eval env a) (eval env b)
+  | A.Str _ | A.Scoped _ | A.Call _ | A.Method _ | A.Member _ | A.Index _ ->
+      top
+
+and eval_binop op a b =
+  let cc f =
+    match (is_const a, is_const b) with
+    | Some x, Some y -> f x y
+    | _ -> top
+  in
+  let cmp f =
+    match (is_const a, is_const b) with
+    | Some x, Some y -> const (if f x y then 1 else 0)
+    | _ -> bool_itv
+  in
+  match op with
+  | A.Add -> add_itv a b
+  | A.Sub -> sub_itv a b
+  | A.Mul -> cc (fun x y -> const (x * y))
+  | A.Div -> cc (fun x y -> if y = 0 then top else const (x / y))
+  | A.Rem -> cc (fun x y -> if y = 0 then top else const (x mod y))
+  | A.Shl -> cc (fun x y -> if y < 0 || y > 62 then top else const (x lsl y))
+  | A.Shr -> cc (fun x y -> if y < 0 || y > 62 then top else const (x lsr y))
+  | A.Band -> cc (fun x y -> const (x land y))
+  | A.Bor -> cc (fun x y -> const (x lor y))
+  | A.Bxor -> cc (fun x y -> const (x lxor y))
+  | A.Land | A.Lor -> (
+      match (truth a, truth b, op) with
+      | Some false, _, A.Land | _, Some false, A.Land -> const 0
+      | Some true, Some true, A.Land -> const 1
+      | Some true, _, A.Lor | _, Some true, A.Lor -> const 1
+      | Some false, Some false, A.Lor -> const 0
+      | _ -> bool_itv)
+  | A.Eq -> cmp ( = )
+  | A.Ne -> cmp ( <> )
+  | A.Lt -> cmp ( < )
+  | A.Gt -> cmp ( > )
+  | A.Le -> cmp ( <= )
+  | A.Ge -> cmp ( >= )
+
+(* ---------------------------------------------------------------- *)
+(* Transfer function over AST CFG points                             *)
+
+let binop_of_assign = function
+  | A.Set -> None
+  | A.Add_set -> Some A.Add
+  | A.Sub_set -> Some A.Sub
+  | A.Or_set -> Some A.Bor
+  | A.And_set -> Some A.Band
+  | A.Shl_set -> Some A.Shl
+  | A.Shr_set -> Some A.Shr
+
+let bind x v env = if v = top then Env.remove x env else Env.add x v env
+
+let transfer (node : Cfg.point Cfg.node) st =
+  match st with
+  | Unreachable -> Unreachable
+  | Reached env -> (
+      match node.Cfg.payload with
+      | Cfg.Entry | Cfg.Exit | Cfg.Branch _ -> st
+      | Cfg.Stmt s -> (
+          match s with
+          | A.Decl (_, x, Some e) -> Reached (bind x (eval env e) env)
+          | A.Decl (_, x, None) -> Reached (bind x top env)
+          | A.Assign (A.Set, A.Id x, e) -> Reached (bind x (eval env e) env)
+          | A.Assign (op, A.Id x, e) -> (
+              match binop_of_assign op with
+              | Some bop ->
+                  Reached
+                    (bind x (eval_binop bop (find x env) (eval env e)) env)
+              | None -> st)
+          | _ -> st))
+
+(* ---------------------------------------------------------------- *)
+(* Checker                                                           *)
+
+module F = Fixpoint.Make (struct
+  type nonrec t = t
+
+  let bottom = bottom
+  let equal = equal
+  let join = join
+  let widen = widen
+end)
+
+let exprs_of_point = function
+  | Cfg.Entry | Cfg.Exit -> []
+  | Cfg.Branch (e, _) -> [ e ]
+  | Cfg.Stmt s -> (
+      match s with
+      | A.Decl (_, _, Some e) -> [ e ]
+      | A.Decl (_, _, None) -> []
+      | A.Assign (_, lhs, rhs) -> [ lhs; rhs ]
+      | A.Expr e -> [ e ]
+      | A.Return (Some e) -> [ e ]
+      | A.Return None | A.Break | A.Continue -> []
+      | A.If _ | A.Switch _ | A.While _ | A.For _ -> [])
+
+let rec subexprs (e : A.expr) acc =
+  let acc = e :: acc in
+  match e with
+  | A.Int _ | A.Str _ | A.Chr _ | A.Bool _ | A.Nullptr | A.Id _ | A.Scoped _
+    ->
+      acc
+  | A.Call (_, args) -> List.fold_right subexprs args acc
+  | A.Method (r, _, args) -> subexprs r (List.fold_right subexprs args acc)
+  | A.Member (r, _) -> subexprs r acc
+  | A.Index (r, i) -> subexprs r (subexprs i acc)
+  | A.Unop (_, a) -> subexprs a acc
+  | A.Binop (_, a, b) -> subexprs a (subexprs b acc)
+  | A.Ternary (c, t, f) -> subexprs c (subexprs t (subexprs f acc))
+  | A.Cast (_, a) -> subexprs a acc
+
+(** Run the domain over a function and report definite value errors:
+    VS-V01 division/modulo by zero, VS-V02 out-of-range shift. *)
+let check ~fname ?(marks = []) (f : A.func) : D.t list =
+  let cfg = Cfg.of_func f in
+  let init =
+    (* parameters hold arbitrary values: an empty map is all-top *)
+    Reached Env.empty
+  in
+  let r = F.solve cfg ~init ~transfer in
+  let diags = ref [] in
+  let report ~rule ~span msg =
+    diags := D.make ~rule ~cls:D.Sem ~severity:D.Error ~fname ?span msg :: !diags
+  in
+  Array.iteri
+    (fun i (node : Cfg.point Cfg.node) ->
+      match r.F.input.(i) with
+      | Unreachable -> ()
+      | Reached env ->
+          let span =
+            Option.bind (Cfg.point_stmt node.Cfg.payload)
+              (Vega_srclang.Parser.stmt_span marks)
+          in
+          List.iter
+            (fun e ->
+              List.iter
+                (fun sub ->
+                  match sub with
+                  | A.Binop (((A.Div | A.Rem) as op), _, d) ->
+                      if is_const (eval env d) = Some 0 then
+                        report ~rule:"VS-V01" ~span
+                          (Printf.sprintf
+                             "%s by zero: divisor %s is always 0 here"
+                             (if op = A.Div then "division" else "modulo")
+                             (Vega_srclang.Printer.expr d))
+                  | A.Binop ((A.Shl | A.Shr), _, d) -> (
+                      match eval env d with
+                      | Itv (_, Some h) when h < 0 ->
+                          report ~rule:"VS-V02" ~span
+                            (Printf.sprintf
+                               "shift amount %s is always negative"
+                               (Vega_srclang.Printer.expr d))
+                      | Itv (Some l, _) when l > 63 ->
+                          report ~rule:"VS-V02" ~span
+                            (Printf.sprintf
+                               "shift amount %s always exceeds the word size"
+                               (Vega_srclang.Printer.expr d))
+                      | _ -> ())
+                  | _ -> ())
+                (subexprs e []))
+            (exprs_of_point node.Cfg.payload))
+    cfg.Cfg.nodes;
+  List.rev !diags

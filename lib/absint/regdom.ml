@@ -1,0 +1,475 @@
+(** Register-class and calling-convention state over emitted assembly.
+
+    The domain tracks, per machine register, whether it still holds its
+    value from function entry ([Orig]), a known constant, or a
+    stack-pointer-relative address; the frame is modeled as a finite map
+    from entry-SP-relative byte offsets to abstract values, so the
+    prologue's saves and the epilogue's restores cancel out exactly.
+    At every return instruction the analyzer checks the frame contract
+    {!Vega_backend.Regalloc} establishes: callee-saved registers, the
+    frame pointer and the return address hold their entry values
+    (VS-R01/VS-R03) and the stack pointer is restored (VS-R02).
+
+    Assumptions, documented rather than checked: callees honour the
+    same convention (calls preserve SP/FP/callee-saved and the caller's
+    frame), and non-stack-derived pointers do not alias the frame. Both
+    hold for MiniLLVM-emitted code; hand-mangled assembly is exactly
+    what the checks are for. *)
+
+module I = Vega_mc.Mcinst
+module B = Vega_backend
+module D = Vega_analysis.Diagnostic
+
+(* ---------------------------------------------------------------- *)
+(* Abstract values                                                   *)
+
+type av =
+  | Orig of int  (** the value register [r] held at function entry *)
+  | Const of int
+  | Stack of int option  (** entry-SP + offset; [None] = unknown offset *)
+  | Other  (** defined, but nothing tracked *)
+
+let join_av a b =
+  if a = b then a
+  else
+    match (a, b) with
+    | Stack _, Stack _ -> Stack None
+    | _ -> Other
+
+module IMap = Map.Make (Int)
+
+type st = Bot | St of { regs : av array; mem : av IMap.t }
+
+let bottom = Bot
+
+let equal a b =
+  match (a, b) with
+  | Bot, Bot -> true
+  | St x, St y -> x.regs = y.regs && IMap.equal ( = ) x.mem y.mem
+  | _ -> false
+
+let join a b =
+  match (a, b) with
+  | Bot, x | x, Bot -> x
+  | St x, St y ->
+      let regs = Array.init (Array.length x.regs) (fun i ->
+          join_av x.regs.(i) y.regs.(i))
+      in
+      let mem =
+        IMap.merge
+          (fun _ u v ->
+            match (u, v) with
+            | Some u, Some v -> if u = v then Some u else None
+            | _ -> None)
+          x.mem y.mem
+      in
+      St { regs; mem }
+
+(* the per-register lattice has height 3 and joined frames only shrink,
+   so join already stabilizes; cap the frame size as a safety net *)
+let widen a b =
+  match join a b with
+  | St x when IMap.cardinal x.mem > 256 -> St { x with mem = IMap.empty }
+  | s -> s
+
+(* ---------------------------------------------------------------- *)
+(* Instruction stream segmented into functions                       *)
+
+type anode = Aentry | Aexit | Ainst of I.inst
+
+type afunc = {
+  af_name : string;
+  af_insts : I.inst list;  (** in layout order *)
+  af_labels : (string * int) list;  (** label -> index of next instruction *)
+}
+
+(* Scan the assembly text for labels and function starts (the emitter
+   prints [.globl f] immediately before a function's entry label); the
+   assembler itself drops label lines, so the split is re-derived here
+   with the same comment stripping. *)
+let segment (conv : B.Conv.t) asm (insts : I.inst list) : afunc list =
+  let find_sub ~sub s =
+    let sl = String.length sub and l = String.length s in
+    if sl = 0 then None
+    else
+      let rec go i =
+        if i + sl > l then None
+        else if String.sub s i sl = sub then Some i
+        else go (i + 1)
+      in
+      go 0
+  in
+  let strip line =
+    let line =
+      match find_sub ~sub:conv.B.Conv.comment_char line with
+      | Some i -> String.sub line 0 i
+      | None -> line
+    in
+    String.trim line
+  in
+  let globls = Hashtbl.create 8 in
+  let events = ref [] in
+  (* (inst ordinal, label) in order *)
+  let ordinal = ref 0 in
+  String.split_on_char '\n' asm
+  |> List.iter (fun raw ->
+         let line = strip raw in
+         if line = "" then ()
+         else if String.length line > 0 && line.[String.length line - 1] = ':'
+         then
+           events := (!ordinal, String.sub line 0 (String.length line - 1)) :: !events
+         else if line.[0] = '.' then begin
+           match String.split_on_char ' ' line with
+           | [ ".globl"; name ] -> Hashtbl.replace globls name ()
+           | _ -> ()
+         end
+         else incr ordinal);
+  let labels = List.rev !events in
+  let insts_arr = Array.of_list insts in
+  let starts =
+    List.filter (fun (_, l) -> Hashtbl.mem globls l) labels
+  in
+  let bounds =
+    let rec go = function
+      | (s, name) :: ((s', _) :: _ as rest) -> (name, s, s') :: go rest
+      | [ (s, name) ] -> [ (name, s, Array.length insts_arr) ]
+      | [] -> []
+    in
+    go starts
+  in
+  List.map
+    (fun (name, s, e) ->
+      {
+        af_name = name;
+        af_insts =
+          Array.to_list (Array.sub insts_arr s (max 0 (e - s)));
+        af_labels =
+          List.filter_map
+            (fun (o, l) -> if o >= s && o <= e then Some (l, o - s) else None)
+            labels;
+      })
+    bounds
+
+(* ---------------------------------------------------------------- *)
+(* Per-function CFG                                                  *)
+
+let sem_of tab (inst : I.inst) =
+  Option.map (fun i -> i.B.Insntab.sem) (B.Insntab.by_opcode tab inst.I.opcode)
+
+let cfg_of_afunc tab (af : afunc) : anode Cfg.t =
+  let insts = Array.of_list af.af_insts in
+  let n = Array.length insts in
+  (* node 0 = entry, 1..n = instructions, n+1 = exit *)
+  let payloads =
+    Array.init (n + 2) (fun i ->
+        if i = 0 then Aentry
+        else if i = n + 1 then Aexit
+        else Ainst insts.(i - 1))
+  in
+  let target l =
+    match List.assoc_opt l af.af_labels with
+    | Some k when k < n -> Some (k + 1)
+    | _ -> None
+  in
+  (* most recent label at or before each instruction: the hardware-loop
+     end's implicit back edge returns to its own block *)
+  let own_block = Array.make (max n 1) 1 in
+  let cur = ref 1 in
+  for k = 0 to n - 1 do
+    if List.exists (fun (_, o) -> o = k) af.af_labels then cur := k + 1;
+    own_block.(k) <- !cur
+  done;
+  let succs = Array.make (n + 2) [] in
+  succs.(0) <- (if n = 0 then [ n + 1 ] else [ 1 ]);
+  for i = 1 to n do
+    let inst = insts.(i - 1) in
+    let fall = if i = n then [ n + 1 ] else [ i + 1 ] in
+    let label_edges =
+      List.filter_map
+        (function I.Olabel l -> target l | _ -> None)
+        inst.I.ops
+    in
+    succs.(i) <-
+      (match sem_of tab inst with
+      | Some B.Insntab.Sret -> [ n + 1 ]
+      | Some B.Insntab.Sjump ->
+          if label_edges = [] then [ n + 1 ] else label_edges
+      | Some (B.Insntab.Sbranch _) -> label_edges @ fall
+      | Some B.Insntab.Scall -> fall (* call targets are other functions *)
+      | Some B.Insntab.Slpend -> own_block.(i - 1) :: fall
+      | _ -> fall)
+  done;
+  let t = Cfg.create payloads succs ~entry:0 ~exit_:(n + 1) in
+  Cfg.mark_loop_heads_by_index t;
+  t
+
+(* ---------------------------------------------------------------- *)
+(* Transfer function                                                 *)
+
+type ctx = {
+  tab : B.Insntab.t;
+  nregs : int;
+  sp : int;
+  fp : int;
+  ra : int;
+  zero : int option;
+  callee_saved : int list;
+}
+
+let ctx_of_conv (conv : B.Conv.t) ~callee_saved =
+  {
+    tab = conv.B.Conv.tab;
+    nregs = conv.B.Conv.nregs;
+    sp = conv.B.Conv.sp;
+    fp = conv.B.Conv.fp;
+    ra = conv.B.Conv.ra;
+    zero = conv.B.Conv.zero;
+    callee_saved;
+  }
+
+let init_state ctx =
+  let regs = Array.init ctx.nregs (fun r -> Orig r) in
+  regs.(ctx.sp) <- Stack (Some 0);
+  (match ctx.zero with Some z -> regs.(z) <- Const 0 | None -> ());
+  St { regs; mem = IMap.empty }
+
+let reg_ops inst =
+  List.filter_map (function I.Oreg r -> Some r | _ -> None) inst.I.ops
+
+let imm_op inst =
+  List.find_map (function I.Oimm n -> Some n | _ -> None) inst.I.ops
+
+let set_reg ctx regs r v =
+  if r >= 0 && r < Array.length regs then begin
+    let regs = Array.copy regs in
+    regs.(r) <- (match ctx.zero with Some z when z = r -> Const 0 | _ -> v);
+    regs
+  end
+  else regs
+
+let get_reg regs r =
+  if r >= 0 && r < Array.length regs then regs.(r) else Other
+
+let alu_val op a b =
+  let add a b =
+    match (a, b) with
+    | Const x, Const y -> Const (x + y)
+    | Stack (Some o), Const c | Const c, Stack (Some o) -> Stack (Some (o + c))
+    | Stack None, Const _ | Const _, Stack None -> Stack None
+    | _ -> Other
+  in
+  match op with
+  | B.Insntab.Aadd -> add a b
+  | B.Insntab.Asub -> (
+      match (a, b) with
+      | Const x, Const y -> Const (x - y)
+      | Stack (Some o), Const c -> Stack (Some (o - c))
+      | Stack None, Const _ -> Stack None
+      | _ -> Other)
+  | B.Insntab.Aand | B.Insntab.Aor | B.Insntab.Axor | B.Insntab.Ashl
+  | B.Insntab.Ashr | B.Insntab.Aslt -> (
+      match (a, b) with
+      | Const x, Const y -> (
+          match op with
+          | B.Insntab.Aand -> Const (x land y)
+          | B.Insntab.Aor -> Const (x lor y)
+          | B.Insntab.Axor -> Const (x lxor y)
+          | B.Insntab.Ashl when y >= 0 && y <= 62 -> Const (x lsl y)
+          | B.Insntab.Ashr when y >= 0 && y <= 62 -> Const (x asr y)
+          | B.Insntab.Aslt -> Const (if x < y then 1 else 0)
+          | _ -> Other)
+      | _ -> Other)
+
+let transfer ctx (node : anode Cfg.node) st =
+  match (st, node.Cfg.payload) with
+  | Bot, _ -> Bot
+  | _, (Aentry | Aexit) -> st
+  | St { regs; mem }, Ainst inst -> (
+      let def v = St { regs = set_reg ctx regs (List.hd (reg_ops inst)) v; mem } in
+      match (sem_of ctx.tab inst, reg_ops inst) with
+      | Some (B.Insntab.Salu op), d :: a :: b :: _ ->
+          St
+            {
+              regs = set_reg ctx regs d (alu_val op (get_reg regs a) (get_reg regs b));
+              mem;
+            }
+      | Some (B.Insntab.Salui op), d :: a :: _ ->
+          let b = match imm_op inst with Some n -> Const n | None -> Other in
+          St
+            {
+              regs = set_reg ctx regs d (alu_val op (get_reg regs a) b);
+              mem;
+            }
+      | Some B.Insntab.Smovi, _ :: _ -> (
+          match imm_op inst with
+          | Some n -> def (Const n)
+          | None -> def Other (* symbol address *))
+      | Some B.Insntab.Smov, d :: s :: _ ->
+          St { regs = set_reg ctx regs d (get_reg regs s); mem }
+      | Some (B.Insntab.Smul | B.Insntab.Sdiv | B.Insntab.Smadd), _ :: _ ->
+          def Other
+      | Some B.Insntab.Sload, d :: base :: _ -> (
+          let off = Option.value (imm_op inst) ~default:0 in
+          match get_reg regs base with
+          | Stack (Some o) ->
+              let v =
+                match IMap.find_opt (o + off) mem with
+                | Some v -> v
+                | None -> Other
+              in
+              St { regs = set_reg ctx regs d v; mem }
+          | _ -> def Other)
+      | Some B.Insntab.Sstore, src :: base :: _ -> (
+          let off = Option.value (imm_op inst) ~default:0 in
+          match get_reg regs base with
+          | Stack (Some o) ->
+              St { regs; mem = IMap.add (o + off) (get_reg regs src) mem }
+          | Stack None | Other ->
+              (* store through an unknown pointer: only stack-derived
+                 pointers may alias the frame, and this one might *)
+              if get_reg regs base = Stack None then St { regs; mem = IMap.empty }
+              else St { regs; mem }
+          | _ -> St { regs; mem })
+      | Some B.Insntab.Scall, _ ->
+          let keep r =
+            r = ctx.sp || r = ctx.fp
+            || Some r = ctx.zero
+            || List.mem r ctx.callee_saved
+          in
+          St
+            {
+              regs =
+                Array.init (Array.length regs) (fun r ->
+                    if keep r then regs.(r) else Other);
+              mem;
+            }
+      | ( Some
+            ( B.Insntab.Sbranch _ | B.Insntab.Sjump | B.Insntab.Sret
+            | B.Insntab.Snop | B.Insntab.Slpsetup | B.Insntab.Slpend
+            | B.Insntab.Svadd | B.Insntab.Svmul ),
+          _ )
+      (* defining instructions with a malformed operand list: no
+         tracked effect *)
+      | Some _, _ ->
+          st
+      | None, _ ->
+          (* unknown opcode: clobber everything it names *)
+          St
+            {
+              regs =
+                List.fold_left
+                  (fun regs r -> set_reg ctx regs r Other)
+                  regs (reg_ops inst);
+              mem;
+            })
+
+(* ---------------------------------------------------------------- *)
+(* Checker                                                           *)
+
+module F = Fixpoint.Make (struct
+  type t = st
+
+  let bottom = bottom
+  let equal = equal
+  let join = join
+  let widen = widen
+end)
+
+let reg_name (conv : B.Conv.t) r = B.Conv.reg_name conv r
+
+(** Check one segmented function against the calling convention. *)
+let check_afunc conv ctx (af : afunc) : D.t list =
+  let cfg = cfg_of_afunc ctx.tab af in
+  let r = F.solve cfg ~init:(init_state ctx) ~transfer:(transfer ctx) in
+  let diags = ref [] in
+  let report ~rule msg =
+    diags :=
+      D.make ~rule ~cls:D.Sem ~severity:D.Error ~fname:af.af_name msg :: !diags
+  in
+  Array.iteri
+    (fun i (node : anode Cfg.node) ->
+      match (node.Cfg.payload, r.F.input.(i)) with
+      | Ainst inst, St { regs; _ }
+        when sem_of ctx.tab inst = Some B.Insntab.Sret ->
+          (if get_reg regs ctx.sp <> Stack (Some 0) then
+             report ~rule:"VS-R02"
+               (Printf.sprintf
+                  "stack discipline: %s is not restored to its entry value \
+                   at return"
+                  (reg_name conv ctx.sp)));
+          List.iter
+            (fun cs ->
+              if cs <> ctx.sp && get_reg regs cs <> Orig cs then
+                report ~rule:"VS-R01"
+                  (Printf.sprintf
+                     "calling convention: callee-saved %s does not hold its \
+                      entry value at return"
+                     (reg_name conv cs)))
+            (List.sort_uniq compare (ctx.fp :: ctx.callee_saved));
+          if get_reg regs ctx.ra <> Orig ctx.ra then
+            report ~rule:"VS-R03"
+              (Printf.sprintf
+                 "calling convention: return address %s is clobbered at \
+                  return"
+                 (reg_name conv ctx.ra))
+      | _ -> ())
+    cfg.Cfg.nodes;
+  List.rev !diags
+
+(** Parse and verify a whole assembly listing. A listing whose
+    instruction stream the target's own assembler hooks cannot parse is
+    itself reported (VS-R04). Directive lines are dropped first: they
+    carry no register semantics, and data directives (the emitter's
+    [.word] tables) are not part of every target's assembler dialect. *)
+let check_asm (conv : B.Conv.t) ~callee_saved asm : D.t list =
+  let is_directive raw =
+    let line =
+      match
+        let cc = conv.B.Conv.comment_char in
+        let rec find i =
+          if i + String.length cc > String.length raw then None
+          else if String.sub raw i (String.length cc) = cc then Some i
+          else find (i + 1)
+        in
+        find 0
+      with
+      | Some i -> String.trim (String.sub raw 0 i)
+      | None -> String.trim raw
+    in
+    String.length line > 0 && line.[0] = '.'
+  in
+  let inst_text =
+    String.split_on_char '\n' asm
+    |> List.filter (fun l -> not (is_directive l))
+    |> String.concat "\n"
+  in
+  match B.Asmparser.parse conv inst_text with
+  | Error m ->
+      [
+        D.make ~rule:"VS-R04" ~cls:D.Sem ~severity:D.Error ~fname:"<asm>"
+          (Printf.sprintf "assembly does not parse: %s" m);
+      ]
+  | Ok insts ->
+      let ctx = ctx_of_conv conv ~callee_saved in
+      List.concat_map (check_afunc conv ctx) (segment conv asm insts)
+
+(** True for a line that restores a callee-saved register, the frame
+    pointer or the return address from the frame — the lines fault
+    injection deletes to seed VS-R01/VS-R03 defects. *)
+let restore_line (conv : B.Conv.t) ~callee_saved line =
+  let line = String.trim line in
+  match B.Insntab.by_enum conv.B.Conv.tab "LDri" with
+  | None -> false
+  | Some info ->
+      let mn = info.B.Insntab.mnemonic ^ " " in
+      let ml = String.length mn in
+      String.length line > ml
+      && String.sub line 0 ml = mn
+      &&
+      match String.index_opt line ',' with
+      | None -> false
+      | Some c ->
+          let dest = String.trim (String.sub line ml (c - ml)) in
+          List.exists
+            (fun r -> B.Conv.reg_name conv r = dest)
+            (conv.B.Conv.ra :: conv.B.Conv.fp :: callee_saved)

@@ -1,0 +1,524 @@
+(** Static differential summaries.
+
+    A summary is the set of guarded input→output paths of an interface
+    function, computed by symbolic execution over the AST: every path
+    carries the branch guards taken (as normalized symbolic expressions
+    over the parameters) and its outcome (return value, noreturn sink,
+    or falling off the end). Comparing the summary of a generated
+    function against the reference backend's yields *structural
+    disagreement*: a pair of paths whose guards can be satisfied
+    together but whose outcomes differ. Disagreement is strong evidence
+    of a semantic defect (VS-M01/VS-M02); agreement is *not* a proof of
+    equivalence — paths through loops, effectful calls or truncated
+    (path-budget-exceeded) regions are marked impure and excluded, so
+    the comparator is deliberately sound-but-incomplete: it never
+    flags two identical functions, and anything it does flag deserves
+    Err-PS review. *)
+
+module A = Vega_srclang.Ast
+module D = Vega_analysis.Diagnostic
+
+(* ---------------------------------------------------------------- *)
+(* Normalized symbolic expressions                                   *)
+
+(* opaque values (havocked loop variables, uninitialized locals) are
+   encoded as identifiers no BackendC program can contain *)
+let opaque =
+  let n = ref 0 in
+  fun tag ->
+    incr n;
+    A.Id (Printf.sprintf "?%s%d" tag !n)
+
+let is_opaque_id x = String.length x > 0 && x.[0] = '?'
+
+let rec has_opaque (e : A.expr) =
+  match e with
+  | A.Id x -> is_opaque_id x
+  | A.Int _ | A.Str _ | A.Chr _ | A.Bool _ | A.Nullptr | A.Scoped _ -> false
+  | A.Call (_, args) -> List.exists has_opaque args
+  | A.Method (r, _, args) -> has_opaque r || List.exists has_opaque args
+  | A.Member (r, _) -> has_opaque r
+  | A.Index (r, i) -> has_opaque r || has_opaque i
+  | A.Unop (_, a) -> has_opaque a
+  | A.Binop (_, a, b) -> has_opaque a || has_opaque b
+  | A.Ternary (c, t, f) -> has_opaque c || has_opaque t || has_opaque f
+  | A.Cast (_, a) -> has_opaque a
+
+let commutative = function
+  | A.Add | A.Mul | A.Band | A.Bor | A.Bxor | A.Eq | A.Ne -> true
+  | _ -> false
+
+let fold_binop op a b =
+  match op with
+  | A.Add -> Some (a + b)
+  | A.Sub -> Some (a - b)
+  | A.Mul -> Some (a * b)
+  | A.Div -> if b = 0 then None else Some (a / b)
+  | A.Rem -> if b = 0 then None else Some (a mod b)
+  | A.Shl -> if b < 0 || b > 62 then None else Some (a lsl b)
+  | A.Shr -> if b < 0 || b > 62 then None else Some (a lsr b)
+  | A.Band -> Some (a land b)
+  | A.Bor -> Some (a lor b)
+  | A.Bxor -> Some (a lxor b)
+  | A.Land -> Some (if a <> 0 && b <> 0 then 1 else 0)
+  | A.Lor -> Some (if a <> 0 || b <> 0 then 1 else 0)
+  | A.Eq -> Some (if a = b then 1 else 0)
+  | A.Ne -> Some (if a <> b then 1 else 0)
+  | A.Lt -> Some (if a < b then 1 else 0)
+  | A.Gt -> Some (if a > b then 1 else 0)
+  | A.Le -> Some (if a <= b then 1 else 0)
+  | A.Ge -> Some (if a >= b then 1 else 0)
+
+(* one canonical spelling per symbolic value: casts dropped, constants
+   folded, commutative operands ordered *)
+let rec norm (e : A.expr) : A.expr =
+  match e with
+  | A.Int _ | A.Str _ | A.Chr _ | A.Bool _ | A.Nullptr | A.Id _ | A.Scoped _
+    ->
+      e
+  | A.Cast (_, a) -> norm a
+  | A.Call (f, args) -> A.Call (f, List.map norm args)
+  | A.Method (r, m, args) -> A.Method (norm r, m, List.map norm args)
+  | A.Member (r, f) -> A.Member (norm r, f)
+  | A.Index (r, i) -> A.Index (norm r, norm i)
+  | A.Unop (op, a) -> (
+      let a = norm a in
+      match (op, a) with
+      | A.Neg, A.Int n -> A.Int (-n)
+      | A.Not, A.Int n -> A.Int (if n = 0 then 1 else 0)
+      | A.Bnot, A.Int n -> A.Int (lnot n)
+      | _ -> A.Unop (op, a))
+  | A.Binop (op, a, b) -> (
+      let a = norm a and b = norm b in
+      match (a, b) with
+      | A.Int x, A.Int y -> (
+          match fold_binop op x y with
+          | Some n -> A.Int n
+          | None -> A.Binop (op, a, b))
+      | _ ->
+          if commutative op && compare a b > 0 then A.Binop (op, b, a)
+          else A.Binop (op, a, b))
+  | A.Ternary (c, t, f) -> (
+      let c = norm c in
+      match c with
+      | A.Int 0 -> norm f
+      | A.Int _ -> norm t
+      | _ -> A.Ternary (c, norm t, norm f))
+
+(* ---------------------------------------------------------------- *)
+(* Summaries                                                         *)
+
+type guard = {
+  g_expr : A.expr;  (** normalized atom, for display and identity *)
+  g_case : (A.expr * A.expr) option;
+      (** [Some (scrutinee, label)] when the guard is a switch case:
+          labels are compile-time constants, so two distinct labels on
+          the same scrutinee contradict even when they are plain enum
+          identifiers rather than ground literals *)
+  g_taken : bool;
+}
+
+type outcome = Oret of A.expr option | Onoreturn | Ofallthrough
+
+type path = {
+  p_guards : guard list;
+  p_outcome : outcome;
+  p_pure : bool;
+      (** no havocked values, opaque effects or truncation on the path *)
+  p_span : Vega_srclang.Span.t option;  (** outcome statement, if known *)
+}
+
+type t = {
+  s_fname : string;
+  s_paths : path list;
+  s_complete : bool;  (** false when the path budget truncated execution *)
+}
+
+(* keep path enumeration bounded on pathological nesting *)
+let path_budget = 512
+
+(* ---------------------------------------------------------------- *)
+(* Symbolic execution                                                *)
+
+module Env = Map.Make (String)
+
+type state = { env : A.expr Env.t; guards : guard list; pure : bool }
+
+type halt =
+  | Hnone
+  | Hret of A.expr option * A.stmt
+  | Hbreak
+  | Hcont
+  | Hnoret of A.stmt
+
+let rec sym_eval env (e : A.expr) : A.expr =
+  match e with
+  | A.Id x -> ( match Env.find_opt x env with Some v -> v | None -> e)
+  | A.Int _ | A.Str _ | A.Chr _ | A.Bool _ | A.Nullptr | A.Scoped _ -> e
+  | A.Call (f, args) -> A.Call (f, List.map (sym_eval env) args)
+  | A.Method (r, m, args) ->
+      A.Method (sym_eval env r, m, List.map (sym_eval env) args)
+  | A.Member (r, f) -> A.Member (sym_eval env r, f)
+  | A.Index (r, i) -> A.Index (sym_eval env r, sym_eval env i)
+  | A.Unop (op, a) -> A.Unop (op, sym_eval env a)
+  | A.Binop (op, a, b) -> A.Binop (op, sym_eval env a, sym_eval env b)
+  | A.Ternary (c, t, f) ->
+      A.Ternary (sym_eval env c, sym_eval env t, sym_eval env f)
+  | A.Cast (ty, a) -> A.Cast (ty, sym_eval env a)
+
+let binop_of_assign = function
+  | A.Set -> None
+  | A.Add_set -> Some A.Add
+  | A.Sub_set -> Some A.Sub
+  | A.Or_set -> Some A.Bor
+  | A.And_set -> Some A.Band
+  | A.Shl_set -> Some A.Shl
+  | A.Shr_set -> Some A.Shr
+
+(* names assigned anywhere below a statement (for loop havoc) *)
+let rec assigned_names (s : A.stmt) acc =
+  match s with
+  | A.Decl (_, x, _) -> x :: acc
+  | A.Assign (_, A.Id x, _) -> x :: acc
+  | A.Assign _ | A.Expr _ | A.Return _ | A.Break | A.Continue -> acc
+  | A.If (_, t, e) ->
+      List.fold_right assigned_names t (List.fold_right assigned_names e acc)
+  | A.Switch (_, arms, d) ->
+      List.fold_right
+        (fun (a : A.arm) acc -> List.fold_right assigned_names a.A.body acc)
+        arms
+        (List.fold_right assigned_names d acc)
+  | A.While (_, body) -> List.fold_right assigned_names body acc
+  | A.For (i, _, st, body) ->
+      let acc = List.fold_right assigned_names body acc in
+      let acc = match i with Some i -> assigned_names i acc | None -> acc in
+      (match st with Some st -> assigned_names st acc | None -> acc)
+
+(* an expression statement whose evaluation may change state we track
+   nothing about: conservatively poisons the path *)
+let effectful (e : A.expr) =
+  let rec go = function
+    | A.Call _ | A.Method _ -> true
+    | A.Int _ | A.Str _ | A.Chr _ | A.Bool _ | A.Nullptr | A.Id _
+    | A.Scoped _ ->
+        false
+    | A.Member (r, _) -> go r
+    | A.Index (r, i) -> go r || go i
+    | A.Unop (_, a) -> go a
+    | A.Binop (_, a, b) -> go a || go b
+    | A.Ternary (c, t, f) -> go c || go t || go f
+    | A.Cast (_, a) -> go a
+  in
+  go e
+
+let noreturn_stmt = Cfg.noreturn_stmt
+
+exception Budget
+
+(** [marks] must be the statement spans of [f] itself (spans are keyed
+    by physical identity); callers that only have a detached AST should
+    round-trip it through {!Vega_srclang.Lines.to_source} first. *)
+let summarize ?(fname = "") ?(marks = []) (f : A.func) : t =
+  let complete = ref true in
+  let count = ref 0 in
+  let spend states =
+    count := !count + List.length states;
+    if !count > path_budget then begin
+      complete := false;
+      raise Budget
+    end;
+    states
+  in
+  let impure st = { st with pure = false } in
+  (* returns (state, halt) pairs; a [Hnone] halt means execution fell
+     through the sequence *)
+  let rec exec_seq st stmts : (state * halt) list =
+    match stmts with
+    | [] -> [ (st, Hnone) ]
+    | s :: rest ->
+        List.concat_map
+          (fun (st', h) ->
+            match h with Hnone -> exec_seq st' rest | _ -> [ (st', h) ])
+          (exec_stmt st s)
+  and exec_stmt st (s : A.stmt) : (state * halt) list =
+    if noreturn_stmt s then [ (st, Hnoret s) ]
+    else
+      match s with
+      | A.Decl (_, x, init) ->
+          let v =
+            match init with
+            | Some e -> norm (sym_eval st.env e)
+            | None -> opaque "uninit"
+          in
+          [ ({ st with env = Env.add x v st.env }, Hnone) ]
+      | A.Assign (op, A.Id x, e) ->
+          let rhs = sym_eval st.env e in
+          let v =
+            match binop_of_assign op with
+            | None -> rhs
+            | Some bop ->
+                let cur =
+                  match Env.find_opt x st.env with
+                  | Some v -> v
+                  | None -> A.Id x
+                in
+                A.Binop (bop, cur, rhs)
+          in
+          [ ({ st with env = Env.add x (norm v) st.env }, Hnone) ]
+      | A.Assign (_, _, _) ->
+          (* write through a member/index: an effect the summary does
+             not model *)
+          [ (impure st, Hnone) ]
+      | A.Expr e ->
+          [ ((if effectful e then impure st else st), Hnone) ]
+      | A.Return e ->
+          [ (st, Hret (Option.map (fun e -> norm (sym_eval st.env e)) e, s)) ]
+      | A.Break -> [ (st, Hbreak) ]
+      | A.Continue -> [ (st, Hcont) ]
+      | A.If (c, t, e) -> (
+          let cv = norm (sym_eval st.env c) in
+          match cv with
+          | A.Int n -> exec_seq st (if n <> 0 then t else e)
+          | _ ->
+              let guard taken =
+                { g_expr = cv; g_case = None; g_taken = taken }
+              in
+              spend
+                (exec_seq
+                   { st with guards = guard true :: st.guards }
+                   t
+                @ exec_seq
+                    { st with guards = guard false :: st.guards }
+                    e))
+      | A.Switch (scrut, arms, default) ->
+          let sv = norm (sym_eval st.env scrut) in
+          let arms_arr = Array.of_list arms in
+          (* run bodies from arm [i] onward with C fallthrough, then the
+             default body, converting Break into normal exit *)
+          let run_from st i =
+            let rec chain st i =
+              if i >= Array.length arms_arr then exec_seq st default
+              else
+                List.concat_map
+                  (fun (st', h) ->
+                    match h with
+                    | Hnone -> chain st' (i + 1)
+                    | _ -> [ (st', h) ])
+                  (exec_seq st arms_arr.(i).A.body)
+            in
+            List.map
+              (fun (st', h) ->
+                match h with Hbreak -> (st', Hnone) | _ -> (st', h))
+              (chain st i)
+          in
+          let case_guard taken l =
+            let lv = norm (sym_eval st.env l) in
+            {
+              g_expr = norm (A.Binop (A.Eq, sv, lv));
+              g_case = Some (sv, lv);
+              g_taken = taken;
+            }
+          in
+          let entry_paths =
+            List.concat
+              (List.mapi
+                 (fun i (a : A.arm) ->
+                   List.map
+                     (fun l ->
+                       let g = case_guard true l in
+                       run_from { st with guards = g :: st.guards } i)
+                     a.A.labels)
+                 arms)
+          in
+          let default_guards =
+            List.concat_map
+              (fun (a : A.arm) -> List.map (case_guard false) a.A.labels)
+              arms
+          in
+          let default_path =
+            run_from
+              { st with guards = default_guards @ st.guards }
+              (Array.length arms_arr)
+          in
+          spend (List.concat entry_paths @ default_path)
+      | A.While (_, body) ->
+          (* loops are not unrolled: havoc everything the body can
+             assign and poison the continuation *)
+          let env =
+            List.fold_right
+              (fun x env -> Env.add x (opaque "loop") env)
+              (List.fold_right assigned_names body [])
+              st.env
+          in
+          [ (impure { st with env }, Hnone) ]
+      | A.For (init, _, step, body) ->
+          let sts =
+            match init with Some i -> exec_stmt st i | None -> [ (st, Hnone) ]
+          in
+          List.map
+            (fun (st', h) ->
+              match h with
+              | Hnone ->
+                  let names =
+                    List.fold_right assigned_names body
+                      (match step with
+                      | Some s -> assigned_names s []
+                      | None -> [])
+                  in
+                  let env =
+                    List.fold_right
+                      (fun x env -> Env.add x (opaque "loop") env)
+                      names st'.env
+                  in
+                  (impure { st' with env }, Hnone)
+              | _ -> (st', h))
+            sts
+  in
+  let fname = if fname = "" then f.A.name else fname in
+  let init_st = { env = Env.empty; guards = []; pure = true } in
+  let raw =
+    try exec_seq init_st f.A.body
+    with Budget -> []
+  in
+  let mk_path (st, h) =
+    let outcome, span_stmt =
+      match h with
+      | Hret (v, s) -> (Oret v, Some s)
+      | Hnoret s -> (Onoreturn, Some s)
+      | Hnone | Hbreak | Hcont -> (Ofallthrough, None)
+    in
+    let pure =
+      st.pure
+      && (not (List.exists (fun g -> has_opaque g.g_expr) st.guards))
+      &&
+      match outcome with
+      | Oret (Some v) -> not (has_opaque v)
+      | _ -> true
+    in
+    {
+      p_guards = List.rev st.guards;
+      p_outcome = outcome;
+      p_pure = pure;
+      p_span = Option.bind span_stmt (Vega_srclang.Parser.stmt_span marks);
+    }
+  in
+  { s_fname = fname; s_paths = List.map mk_path raw; s_complete = !complete }
+
+(* ---------------------------------------------------------------- *)
+(* Differential comparison                                           *)
+
+(* two ground constants that certainly denote different values; enum
+   members of the description files are distinct by construction *)
+let ground_distinct a b =
+  match (a, b) with
+  | A.Int x, A.Int y -> x <> y
+  | A.Scoped x, A.Scoped y -> x <> y
+  | A.Chr x, A.Chr y -> x <> y
+  | A.Bool x, A.Bool y -> x <> y
+  | _ -> false
+
+let is_ground = function
+  | A.Int _ | A.Scoped _ | A.Chr _ | A.Bool _ -> true
+  | _ -> false
+
+(* split a normalized equality into (scrutinee, ground constant);
+   normalization orders commutative operands structurally, so the
+   constant can land on either side *)
+let eq_parts = function
+  | A.Binop (A.Eq, a, b) when is_ground b && not (is_ground a) -> Some (a, b)
+  | A.Binop (A.Eq, a, b) when is_ground a && not (is_ground b) -> Some (b, a)
+  | _ -> None
+
+(* can guards [g1] and [g2] hold at once? No iff one contradicts the
+   other: same atom with opposite polarity, two positive equalities
+   pinning the same scrutinee to distinct ground constants, or two
+   switch cases on the same scrutinee with distinct labels (case labels
+   are compile-time constants; gen and ref draw them from the same enum
+   namespace, so distinct spellings denote distinct values) *)
+let contradict g1 g2 =
+  (g1.g_expr = g2.g_expr && g1.g_taken <> g2.g_taken)
+  ||
+  if not (g1.g_taken && g2.g_taken) then false
+  else
+    match (g1.g_case, g2.g_case) with
+    | Some (s1, l1), Some (s2, l2) ->
+        s1 = s2 && l1 <> l2 && not (has_opaque l1 || has_opaque l2)
+    | _ -> (
+        match (eq_parts g1.g_expr, eq_parts g2.g_expr) with
+        | Some (s1, c1), Some (s2, c2) -> s1 = s2 && ground_distinct c1 c2
+        | _ -> false)
+
+let compatible p1 p2 =
+  not
+    (List.exists
+       (fun g1 -> List.exists (fun g2 -> contradict g1 g2) p2.p_guards)
+       p1.p_guards)
+
+let show_sym = function
+  | None -> "void"
+  | Some e -> Vega_srclang.Printer.expr e
+
+let show_outcome = function
+  | Oret v -> Printf.sprintf "returns %s" (show_sym v)
+  | Onoreturn -> "diverges (llvm_unreachable/report_fatal_error)"
+  | Ofallthrough -> "falls off the end"
+
+let show_guards gs =
+  match gs with
+  | [] -> "any input"
+  | gs ->
+      String.concat " && "
+        (List.map
+           (fun g ->
+             let s = Vega_srclang.Printer.expr g.g_expr in
+             if g.g_taken then s else "!(" ^ s ^ ")")
+           gs)
+
+(** Compare a generated function's summary against the reference's.
+    Reports VS-M01 when a shared pure path produces structurally
+    different outcomes and VS-M02 when the generated function falls off
+    a path on which the reference terminates. *)
+let compare_summaries ~fname (gen : t) (ref_ : t) : D.t list =
+  let diags = ref [] in
+  let seen = Hashtbl.create 16 in
+  let report ~rule ~span msg =
+    if not (Hashtbl.mem seen (rule, span, msg)) then begin
+      Hashtbl.add seen (rule, span, msg) ();
+      diags :=
+        D.make ~rule ~cls:D.Sem ~severity:D.Error ~fname ?span msg :: !diags
+    end
+  in
+  List.iter
+    (fun gp ->
+      if gp.p_pure then
+        List.iter
+          (fun rp ->
+            if rp.p_pure && compatible gp rp then
+              match (gp.p_outcome, rp.p_outcome) with
+              | Oret a, Oret b when a <> b ->
+                  report ~rule:"VS-M01" ~span:gp.p_span
+                    (Printf.sprintf
+                       "differential: on %s the generated function %s but \
+                        the reference %s"
+                       (show_guards gp.p_guards)
+                       (show_outcome gp.p_outcome)
+                       (show_outcome rp.p_outcome))
+              | Oret _, Onoreturn | Onoreturn, Oret _ ->
+                  report ~rule:"VS-M01" ~span:gp.p_span
+                    (Printf.sprintf
+                       "differential: on %s the generated function %s but \
+                        the reference %s"
+                       (show_guards gp.p_guards)
+                       (show_outcome gp.p_outcome)
+                       (show_outcome rp.p_outcome))
+              | Ofallthrough, (Oret _ | Onoreturn) ->
+                  report ~rule:"VS-M02" ~span:gp.p_span
+                    (Printf.sprintf
+                       "differential: the generated function can fall off \
+                        the end on %s where the reference %s"
+                       (show_guards gp.p_guards)
+                       (show_outcome rp.p_outcome))
+              | _ -> ())
+          ref_.s_paths)
+    gen.s_paths;
+  List.rev !diags

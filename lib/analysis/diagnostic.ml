@@ -31,12 +31,29 @@
     - VA-I02 method arity: known MC-layer method called with the wrong
       number of arguments.
     - VA-I03 hook signature: the function's parameter list does not match
-      the interface spec it implements. *)
+      the interface spec it implements.
+
+    Semantic rules (class [Sem], reported by {!Vega_absint}):
+    - VS-V01 definite division/modulo by zero.
+    - VS-V02 definitely out-of-range shift amount.
+    - VS-I01 a local is read while uninitialized on every path reaching
+      the read (path-sensitive upgrade of VA-D02).
+    - VS-I02 a local may be read before initialization on some path.
+    - VS-M01 differential summary: generated and reference functions
+      produce structurally different outcomes on a shared path.
+    - VS-M02 differential summary: the generated function falls off a
+      path on which the reference terminates.
+    - VS-R01 calling convention: a callee-saved register (or the frame
+      pointer) does not hold its entry value at return.
+    - VS-R02 stack discipline: the stack pointer is not restored.
+    - VS-R03 the return address is clobbered at return.
+    - VS-R04 emitted assembly the target's own assembler cannot parse. *)
 
 type severity = Error | Warning
 
-type cls = Parse | Symbol | Dataflow | Interface
-(** The analyzer's four passes; each diagnostic belongs to exactly one. *)
+type cls = Parse | Symbol | Dataflow | Interface | Sem
+(** The analyzer's four syntactic passes plus the semantic verifier;
+    each diagnostic belongs to exactly one. *)
 
 type t = {
   rule : string;  (** stable ID, e.g. ["VA-S01"] *)
@@ -55,18 +72,21 @@ let cls_name = function
   | Symbol -> "symbol"
   | Dataflow -> "dataflow"
   | Interface -> "interface"
+  | Sem -> "semantic"
 
 let severity_name = function Error -> "error" | Warning -> "warning"
 
 (** Paper Table 2 bucket a statically-detected defect lands in: unknown
-    values are Err-V, control/dataflow defects are Err-CS, and anything
+    values are Err-V, control/dataflow defects are Err-CS, anything
     structurally deficient (unparsable, wrong shape, wrong interface) is
-    Err-Def. *)
+    Err-Def, and semantic disagreement with the reference is
+    program-semantics territory, Err-PS. *)
 let taxonomy d =
   match d.cls with
   | Symbol -> "Err-V"
   | Dataflow -> "Err-CS"
   | Parse | Interface -> "Err-Def"
+  | Sem -> "Err-PS"
 
 let is_error d = d.severity = Error
 
@@ -82,12 +102,30 @@ let to_string d =
 
 let pp fmt d = Format.pp_print_string fmt (to_string d)
 
-let sort ds =
-  List.stable_sort
-    (fun a b ->
-      match (a.span, b.span) with
-      | Some x, Some y -> Vega_srclang.Span.compare x y
-      | Some _, None -> -1
-      | None, Some _ -> 1
-      | None, None -> compare a.rule b.rule)
-    ds
+(* span first (diagnostics without one sort last), then rule ID, then
+   message: a total, deterministic order regardless of which pass or
+   domain emitted what first *)
+let compare_diag a b =
+  let c =
+    match (a.span, b.span) with
+    | Some x, Some y -> Vega_srclang.Span.compare x y
+    | Some _, None -> -1
+    | None, Some _ -> 1
+    | None, None -> 0
+  in
+  if c <> 0 then c
+  else
+    let c = compare a.rule b.rule in
+    if c <> 0 then c else compare (a.fname, a.msg) (b.fname, b.msg)
+
+let sort ds = List.stable_sort compare_diag ds
+
+(** Sort and drop structural duplicates — two passes flagging the same
+    defect at the same span collapse to one record, keeping lint/verify
+    output and its JSON rendering deterministic. *)
+let dedup ds =
+  let rec uniq = function
+    | a :: (b :: _ as rest) -> if a = b then uniq rest else a :: uniq rest
+    | l -> l
+  in
+  uniq (sort ds)

@@ -29,7 +29,7 @@ let lint_source tab ?spec ~fname src =
           (Printf.sprintf "function does not parse: %s" m);
       ]
   | Ok { Parser.sp_fn; sp_marks } ->
-      Checks.check_function tab ?spec ~marks:sp_marks sp_fn
+      D.dedup (Checks.check_function tab ?spec ~marks:sp_marks sp_fn)
 
 (** Passes 2–4 over an already-parsed function. Spans are recovered by
     printing the function in canonical form and re-parsing, so reported
@@ -49,7 +49,7 @@ let lint_generated tab (tpl : Vega.Template.t) (gf : Vega.Generate.gen_func) =
         let spec = C.find_spec gf.Vega.Generate.gf_fname in
         Checks.check_function tab ?spec ~marks:sp_marks sp_fn
   in
-  D.sort (shape @ deep)
+  D.dedup (shape @ deep)
 
 (** Lint every reference implementation of a target's backend. The
     acceptance bar for the reference corpus is an empty report. *)

@@ -65,3 +65,13 @@ let function_confidence scores =
   match List.filter (fun s -> s >= threshold) scores with
   | [] -> 0.0
   | s :: rest -> List.fold_left Float.min s rest
+
+(* Semantic evidence outranks token statistics: a verifier-flagged
+   function must never sit above the accept threshold, and more
+   findings push it further down so the Err-PS review queue (ordered by
+   confidence) surfaces the worst functions first. *)
+let semantic_cap = 0.35
+
+let apply_semantic_verdict ~sem_errors c =
+  if sem_errors <= 0 then sanitize c
+  else Float.min (sanitize c) (semantic_cap /. float_of_int sem_errors)

@@ -36,3 +36,13 @@ val function_confidence : float list -> float
     Taking only the head statement's score — the old behavior — let a
     confident function definition mask low-confidence statements below
     it and mis-ordered the Err-PS review queue. *)
+
+val semantic_cap : float
+(** Ceiling applied by {!apply_semantic_verdict}: strictly below
+    {!threshold}, so a semantically-flagged function always lands in the
+    Err-PS review queue. *)
+
+val apply_semantic_verdict : sem_errors:int -> float -> float
+(** Fold a semantic verifier verdict into a function confidence:
+    with [sem_errors = 0] the score passes through (sanitized), with
+    [n > 0] findings it is capped at [semantic_cap /. n]. *)

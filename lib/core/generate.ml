@@ -211,6 +211,18 @@ let run ?fallback ?report ?sup ?on_stmt ctx (tpl : Template.t) analysis hints
     gf_stmts = stmts;
   }
 
+(* fold a semantic-verifier verdict into the function's confidence; the
+   verifier itself lives above this library (vega.absint), so only the
+   error count crosses the boundary *)
+let apply_verdict gf ~sem_errors =
+  if sem_errors <= 0 then gf
+  else
+    {
+      gf with
+      gf_confidence =
+        Confidence.apply_semantic_verdict ~sem_errors gf.gf_confidence;
+    }
+
 let kept_stmts gf =
   List.filter (fun s -> s.g_score >= Confidence.threshold) gf.gf_stmts
 

@@ -56,6 +56,12 @@ val run :
     [on_stmt] fires once per produced statement, outside stage
     isolation, in stream order — the write-ahead-journal hook. *)
 
+val apply_verdict : gen_func -> sem_errors:int -> gen_func
+(** Fold a semantic verifier verdict into [gf_confidence] via
+    {!Confidence.apply_semantic_verdict}: any semantic error caps the
+    function below the accept threshold so it enqueues for Err-PS
+    review; [sem_errors = 0] is the identity. *)
+
 val kept_stmts : gen_func -> gen_stmt list
 (** Statements at or above the 0.5 confidence threshold (what pass@1
     evaluates after the paper's removal step). *)

@@ -17,6 +17,7 @@ type fn_eval = {
   fe_err_def : bool;
   fe_diags : Vega_analysis.Diagnostic.t list;
       (** static-analyzer findings on the generated function *)
+  fe_sem : int;  (** semantic-verifier errors (Sem class) among fe_diags *)
   fe_shape_bad : int;  (** kept statements failing the template shape check *)
   fe_degraded : int;
   fe_omitted : int;
@@ -118,12 +119,26 @@ let eval_generated prep vfs (p : Vega_target.Profile.t) reference
   in
   let source = Vega.Generate.source_of gf in
   let parsed = Vega_srclang.Parser.parse_function_opt source in
+  let ref_func = C.reference_inlined spec p in
   let ref_lines, ref_kinds =
-    match C.reference_inlined spec p with
+    match ref_func with
     | Some f -> (canon_lines f, line_kinds f)
     | None -> ([], [])
   in
   ignore ref_kinds;
+  (* semantic verdict: run the abstract-interpretation verifier on the
+     kept source (differential against the reference when we have one)
+     and fold any semantic error into the function's confidence so it
+     lands in the Err-PS review queue *)
+  let sem_diags =
+    match parsed with
+    | Error _ -> []
+    | Ok _ ->
+        Vega_absint.Verify.verify_source ?reference:ref_func
+          ~fname:spec.Vega_corpus.Spec.fname source
+  in
+  let sem_errors = Vega_absint.Verify.sem_errors sem_diags in
+  let gf = Vega.Generate.apply_verdict gf ~sem_errors in
   let pass_result =
     match parsed with
     | Error m -> Error { Regression.f_case = "<parse>"; f_reason = m }
@@ -163,7 +178,8 @@ let eval_generated prep vfs (p : Vega_target.Profile.t) reference
     fe_err_v = (not pass) && err_v;
     fe_err_cs = (not pass) && err_cs;
     fe_err_def = (not pass) && err_def;
-    fe_diags = diags;
+    fe_diags = Vega_analysis.Diagnostic.dedup (diags @ sem_diags);
+    fe_sem = sem_errors;
     fe_shape_bad = shape_bad;
     fe_degraded =
       List.length
@@ -276,6 +292,7 @@ let evaluate_forkflow (prep : Vega.Pipeline.prepared) (p : Vega_target.Profile.t
               fe_err_cs = false;
               fe_err_def = false;
               fe_diags = Vega_analysis.Lint.lint_function tab ~spec f;
+              fe_sem = 0;
               fe_shape_bad = 0;
               fe_degraded = 0;
               fe_omitted = 0;
@@ -363,11 +380,27 @@ let static_flag_by_class fns =
         List.exists (fun (d : Vega_analysis.Diagnostic.t) -> d.cls = c) f.fe_diags
       in
       (c, ratio (List.length (List.filter hit fl)) (List.length fl)))
-    Vega_analysis.Diagnostic.[ Parse; Symbol; Dataflow; Interface ]
+    Vega_analysis.Diagnostic.[ Parse; Symbol; Dataflow; Interface; Sem ]
 
 let static_false_alarm_rate fns =
   let ok = List.filter (fun f -> f.fe_pass) fns in
   ratio (List.length (List.filter flagged ok)) (List.length ok)
+
+(* ------------------------------------------------------------------ *)
+(* Semantic-verdict correlation: the abstract-interpretation verifier's
+   share of pass@1 failure, and its false-alarm rate on passes           *)
+
+let sem_flagged f = f.fe_sem > 0
+
+let sem_flag_rate fns =
+  let fl = failures fns in
+  ratio (List.length (List.filter sem_flagged fl)) (List.length fl)
+
+let sem_false_alarm_rate fns =
+  let ok = List.filter (fun f -> f.fe_pass) fns in
+  ratio (List.length (List.filter sem_flagged ok)) (List.length ok)
+
+let sem_error_count fns = List.fold_left (fun a f -> a + f.fe_sem) 0 fns
 
 (** Mean confidence of statically-flagged vs clean functions; a working
     confidence score should be lower on flagged ones. *)

@@ -17,7 +17,12 @@ type fn_eval = {
   fe_err_cs : bool;
   fe_err_def : bool;
   fe_diags : Vega_analysis.Diagnostic.t list;
-      (** static-analyzer findings on the generated function *)
+      (** static-analyzer findings on the generated function, including
+          the semantic verifier's (deduped, span-then-rule order) *)
+  fe_sem : int;
+      (** semantic-verifier errors ([Sem]-class, Err-PS bucket); when
+          non-zero the confidence was capped by
+          {!Vega.Generate.apply_verdict} *)
   fe_shape_bad : int;  (** kept statements failing the template shape check *)
   fe_degraded : int;
       (** statements produced below the primary degradation rung *)
@@ -100,6 +105,20 @@ val static_flag_by_class : fn_eval list -> (Vega_analysis.Diagnostic.cls * float
 
 val static_false_alarm_rate : fn_eval list -> float
 (** Fraction of pass@1 successes that the analyzer flags anyway. *)
+
+(** {1 Semantic-verdict correlation} *)
+
+val sem_flag_rate : fn_eval list -> float
+(** Fraction of pass@1 failures with at least one semantic-verifier
+    error (the abstract-interpretation domains or the differential
+    summary comparator). *)
+
+val sem_false_alarm_rate : fn_eval list -> float
+(** Fraction of pass@1 successes carrying a semantic error — the
+    verifier's empirical false-positive rate on this run. *)
+
+val sem_error_count : fn_eval list -> int
+(** Total semantic-verifier errors over the functions. *)
 
 val confidence_by_flag : fn_eval list -> float * float
 (** (mean confidence of flagged functions, mean of clean ones). *)

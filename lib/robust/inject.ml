@@ -10,6 +10,7 @@ type kind =
   | Decoder_stall
   | Queue_storm
   | Request_kill
+  | Register_mangle
 
 type plan = { seed : int; kind : kind; every : int }
 
@@ -36,7 +37,7 @@ let wrap_decoder t decode fv =
     match t.plan.kind with
     | Decoder_raise | Decoder_nan | Decoder_garbage -> fire t
     | Corpus_mangle | Descfile_garbage | Decoder_stall | Queue_storm
-    | Request_kill ->
+    | Request_kill | Register_mangle ->
         false
   in
   if not inject then decode fv
@@ -58,8 +59,21 @@ let wrap_decoder t decode fv =
         let toks, probs = decode fv in
         (toks, Array.make (max 1 (Array.length probs)) Float.neg_infinity)
     | Corpus_mangle | Descfile_garbage | Decoder_stall | Queue_storm
-    | Request_kill ->
+    | Request_kill | Register_mangle ->
         assert false
+
+(* Register-mangle: delete selected instruction lines from an emitted
+   assembly listing. The selector is injected by the caller (e.g. "this
+   line restores a callee-saved register") so this library stays
+   backend-agnostic; firing counts one opportunity per candidate line,
+   keeping the plan's replay guarantee. *)
+let mangle_asm t ~candidate asm =
+  match t.plan.kind with
+  | Register_mangle ->
+      String.split_on_char '\n' asm
+      |> List.filter (fun line -> not (candidate line && fire t))
+      |> String.concat "\n"
+  | _ -> asm
 
 (* ---- server-side fault classes (the vega.serve faultcheck harness) ---- *)
 

@@ -16,6 +16,7 @@ type kind =
   | Decoder_stall  (** decoder burns wall clock before answering *)
   | Queue_storm  (** a seeded burst of concurrent requests *)
   | Request_kill  (** hard kill mid-request (journal [kill_at]) *)
+  | Register_mangle  (** emitted-assembly lines deleted (see {!mangle_asm}) *)
 
 type t
 
@@ -33,6 +34,14 @@ val fire : t -> bool
 val wrap_decoder : t -> ('a -> string list * float array) -> 'a -> string list * float array
 (** Wrap any decoder-shaped function with the planned decoder fault;
     non-decoder kinds pass through untouched. *)
+
+val mangle_asm : t -> candidate:(string -> bool) -> string -> string
+(** [Register_mangle] helper: delete every fired [candidate] line from
+    an assembly listing (one opportunity per candidate line). The
+    selector keeps this library backend-agnostic — callers pass e.g.
+    {!Vega_absint}'s "restores a callee-saved register" predicate to
+    seed calling-convention defects the semantic verifier must catch.
+    Other kinds return the listing unchanged. *)
 
 val wrap_stalling_decoder :
   t ->

@@ -13,6 +13,7 @@ let () =
       ("core", Test_core.suite);
       ("backend", Test_backend.suite);
       ("analysis", Test_analysis.suite);
+      ("absint", Test_absint.suite);
       ("robust", Test_robust.suite);
       ("durable", Test_durable.suite);
       ("serve", Test_serve.suite);
