@@ -833,6 +833,102 @@ let section_serve (s : setup) =
   metric_f "serve_drain_ms" (1000.0 *. drain_s)
 
 (* ------------------------------------------------------------------ *)
+(* Sharded serving                                                     *)
+
+let section_shard (s : setup) =
+  heading "Sharded serving — router throughput and the content-addressed cache";
+  let module S = Vega_serve in
+  let module Sh = Vega_shard in
+  let t = s.pipeline in
+  let decoder = V.Pipeline.retrieval_decoder t in
+  let target = "RISCV" in
+  let fnames =
+    List.map
+      (fun (b : V.Pipeline.bundle) -> b.spec.Vega_corpus.Spec.fname)
+      t.V.Pipeline.prep.bundles
+  in
+  let n = List.length fnames in
+  let fingerprint = V.Pipeline.fingerprint t ~target in
+  let desc_hash =
+    Sh.Cache.desc_hash_of_vfs t.V.Pipeline.prep.corpus.Vega_corpus.Corpus.vfs
+      ~target
+  in
+  let req fname =
+    {
+      S.Proto.rq_client = "bench";
+      rq_target = target;
+      rq_fname = fname;
+      rq_deadline_ms = None;
+    }
+  in
+  let mk_router ?cache shards =
+    let eps =
+      List.init shards (fun i ->
+          match
+            S.Server.create
+              ~config:
+                {
+                  S.Server.default_config with
+                  S.Server.domains = 1;
+                  queue_cap = n + 4;
+                  client_burst = float_of_int (16 * n);
+                  client_rate = 0.0;
+                }
+              t ~target ~decoder
+          with
+          | Ok srv -> Sh.Router.of_server ~name:(Printf.sprintf "shard-%d" i) srv
+          | Error e -> failwith e)
+    in
+    match Sh.Router.create ?cache ~fingerprint ~desc_hash eps with
+    | Ok r -> r
+    | Error e -> failwith e
+  in
+  (* cold: every request generates on its owner shard; warm: the shards'
+     idempotent replay answers — router + shard overhead without decode *)
+  let tab = T.create ~headers:[ "Shards"; "Cold (req/s)"; "Warm (req/s)" ] in
+  List.iter
+    (fun shards ->
+      let r = mk_router shards in
+      let round () =
+        List.iter (fun f -> ignore (Sh.Router.route r (req f))) fnames
+      in
+      let cold = Vega_util.Timer.time_s round in
+      let warm = Vega_util.Timer.time_s round in
+      Sh.Router.drain r;
+      let rps secs = float_of_int n /. secs in
+      T.add_row tab [ string_of_int shards; f2 (rps cold); f2 (rps warm) ];
+      metric_f (Printf.sprintf "shard_cold_rps_shards_%d" shards) (rps cold);
+      metric_f (Printf.sprintf "shard_warm_rps_shards_%d" shards) (rps warm))
+    [ 1; 2; 4 ];
+  print_string (T.render tab);
+  (* the content-addressed cache: per-request latency of cold generation
+     vs a checksummed on-disk cache hit (zero decoder involvement) *)
+  let cache_dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "vega_bench_shardcache_%d" (Unix.getpid ()))
+  in
+  let cache = Sh.Cache.create ~dir:cache_dir ~fingerprint ~desc_hash () in
+  let r = mk_router ~cache 2 in
+  let round () =
+    List.iter (fun f -> ignore (Sh.Router.route r (req f))) fnames
+  in
+  let cold_s = Vega_util.Timer.time_s round in
+  let hit_s = Vega_util.Timer.time_s round in
+  let c = Sh.Router.counters r in
+  Sh.Router.drain r;
+  let per secs = 1e6 *. secs /. float_of_int n in
+  let speedup = cold_s /. hit_s in
+  Printf.printf
+    "cache: cold generation %.1f us/req, cache hit %.1f us/req — %.1fx\n\
+     (%d of %d warm requests answered by the cache; acceptance floor:\n\
+    \ cache-hit latency >= 10x below cold generation)\n"
+    (per cold_s) (per hit_s) speedup c.Sh.Router.rt_cache_hits n;
+  metric_f "shard_cache_cold_us_per_req" (per cold_s);
+  metric_f "shard_cache_hit_us_per_req" (per hit_s);
+  metric_f "shard_cache_speedup" speedup;
+  metric "shard_cache_hits" (string_of_int c.Sh.Router.rt_cache_hits)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 
 let microbench (s : setup) =
@@ -960,6 +1056,7 @@ let () =
   if want "verify" then section_verify ();
   if want "parallel" then section_parallel (s ());
   if want "serve" then section_serve (s ());
+  if want "shard" then section_shard (s ());
   if want "model_ablation" then section_model_ablation (s ());
   if want "rnn_ablation" then section_rnn_ablation (s ()) ~quick;
   if want "split_ablation" then section_split_ablation (s ()) ~quick;

@@ -478,6 +478,7 @@ let verify_cmd =
 
 module R = Vega_robust
 module S = Vega_serve
+module Sh = Vega_shard
 
 let faultcheck_cmd =
   let seed_arg =
@@ -501,7 +502,19 @@ let faultcheck_cmd =
       & info [ "run-dir" ]
           ~doc:"Directory for the kill-and-resume run journals." ~docv:"DIR")
   in
-  let run target seed json kill_at run_dir domains =
+  let shard_kill_arg =
+    Arg.(
+      value & flag
+      & info [ "shard-kill" ]
+          ~doc:
+            "Run only the sharded-serving scenarios: the content-addressed \
+             cache round-trip (corruption falls through to generation) and \
+             the shard-storm-kill determinism check (kill 1 of 3 shards at \
+             4x capacity mid-storm, assert a byte-reproducible \
+             accept/reroute/shed sequence, journal resume, and final output \
+             bit-identical to the unkilled run).")
+  in
+  let run target seed json kill_at run_dir shard_only domains =
     let p =
       match Vega_target.Registry.find target with
       | Some p -> p
@@ -576,8 +589,9 @@ let faultcheck_cmd =
     in
 
     (* --kill-at narrows the run to the kill-and-resume determinism
-       check; without it the whole injection matrix runs first *)
-    if kill_at = None then begin
+       check, --shard-kill to the sharded-serving scenarios; without
+       either the whole injection matrix runs first *)
+    if kill_at = None && not shard_only then begin
 
     (* ---- baseline: no injection -> no faults, no degradation, and the
        report plumbing itself must not change the generated output ---- *)
@@ -1283,6 +1297,7 @@ let faultcheck_cmd =
     (* ---- kill-and-resume determinism: crash after K durable records,
        tear the tail mid-record, resume, and require output bit-identical
        to an uninterrupted run ---- *)
+    if not shard_only then
     (let name = "kill-resume" in
      scenario name;
      let ref_dir = Filename.concat run_dir "ref" in
@@ -1363,6 +1378,426 @@ let faultcheck_cmd =
                    name k e)
            offsets);
 
+    (* ---- sharded serving: content-addressed cache round-trip and the
+       shard-storm-kill determinism check ---- *)
+    if kill_at = None then begin
+      let fleet_fnames =
+        List.map
+          (fun (b : Vega.Pipeline.bundle) ->
+            b.Vega.Pipeline.spec.Vega_corpus.Spec.fname)
+          t.Vega.Pipeline.prep.Vega.Pipeline.bundles
+      in
+      let fingerprint = Vega.Pipeline.fingerprint t ~target in
+      let desc_hash =
+        Sh.Cache.desc_hash_of_vfs
+          t.Vega.Pipeline.prep.Vega.Pipeline.corpus.Vega_corpus.Corpus.vfs
+          ~target
+      in
+      let mkreq fname =
+        {
+          S.Proto.rq_client = "shard";
+          rq_target = target;
+          rq_fname = fname;
+          rq_deadline_ms = None;
+        }
+      in
+      let merge_funcs lists =
+        let tbl = Hashtbl.create 32 in
+        List.iter
+          (List.iter (fun (gf : Vega.Generate.gen_func) ->
+               if not (Hashtbl.mem tbl gf.Vega.Generate.gf_fname) then
+                 Hashtbl.add tbl gf.Vega.Generate.gf_fname gf))
+          lists;
+        List.sort
+          (fun (a : Vega.Generate.gen_func) (b : Vega.Generate.gen_func) ->
+            compare a.Vega.Generate.gf_fname b.Vega.Generate.gf_fname)
+          (Hashtbl.fold (fun _ gf acc -> gf :: acc) tbl [])
+      in
+
+      (* ---- the cache answers repeats bit-identically with zero decoder
+         involvement; a flipped byte is detected, evicted, recorded as a
+         fault, and the request falls through to generation ---- *)
+      (let name = "shard-cache" in
+       scenario name;
+       let decodes = Atomic.make 0 in
+       let counting fv =
+         Atomic.incr decodes;
+         decoder fv
+       in
+       let scfg =
+         {
+           S.Server.default_config with
+           S.Server.domains = 1;
+           queue_cap = List.length fleet_fnames + 4;
+           client_burst = 1000.0;
+           client_rate = 0.0;
+         }
+       in
+       let cache_dir = Filename.concat run_dir "shard-cache" in
+       (if Sys.file_exists cache_dir then
+          Array.iter
+            (fun f ->
+              if
+                Filename.check_suffix f Sh.Cache.entry_ext
+                || Filename.check_suffix f ".tmp"
+              then rmf (Filename.concat cache_dir f))
+            (Sys.readdir cache_dir));
+       let report = R.Report.create () in
+       let cache =
+         Sh.Cache.create ~report ~dir:cache_dir ~fingerprint ~desc_hash ()
+       in
+       let rcfg =
+         {
+           Sh.Router.default_config with
+           Sh.Router.retries = 0;
+           probe_every = 0;
+           seed;
+         }
+       in
+       (* a fresh two-shard fleet per round: a repeat answered by a new
+          fleet can only have come from the cache, never a shard's
+          in-memory replay table *)
+       let with_fleet k =
+         let mk_srv () =
+           S.Server.create ~config:scfg t ~target ~decoder:counting
+         in
+         match (mk_srv (), mk_srv ()) with
+         | Ok a, Ok b -> (
+             let eps =
+               [ Sh.Router.of_server ~name:"s0" a;
+                 Sh.Router.of_server ~name:"s1" b ]
+             in
+             match
+               Sh.Router.create ~config:rcfg ~cache ~report
+                 ~sleep:(fun _ -> ())
+                 ~fingerprint ~desc_hash eps
+             with
+             | Error e ->
+                 violation "%s: router creation failed (%s)" name e;
+                 None
+             | Ok router ->
+                 let r = k router in
+                 Sh.Router.drain router;
+                 Some r)
+         | Error e, _ | _, Error e ->
+             violation "%s: shard server failed to start (%s)" name e;
+             None
+       in
+       let round fnames =
+         with_fleet (fun router ->
+             let replies =
+               List.map (fun f -> Sh.Router.route router (mkreq f)) fnames
+             in
+             (Sh.Router.decisions router, replies))
+       in
+       match round fleet_fnames with
+       | None -> ()
+       | Some (d1, replies1) -> (
+           let cold = Atomic.get decodes in
+           check (name ^ ": cold round reaches the decoder") (cold > 0);
+           check (name ^ ": cold round is answered by the shards")
+             (String.for_all (fun c -> c = 'A') d1);
+           check (name ^ ": cold round completes every request")
+             (List.for_all
+                (function S.Proto.Done _ -> true | _ -> false)
+                replies1);
+           match round fleet_fnames with
+           | None -> ()
+           | Some (d2, replies2) -> (
+               check (name ^ ": warm round is answered entirely by the cache")
+                 (d2 = String.make (List.length fleet_fnames) 'C');
+               check (name ^ ": cache hits touch no decoder")
+                 (Atomic.get decodes = cold);
+               check (name ^ ": cached replies bit-identical to the cold round")
+                 (List.map S.Proto.encode_reply replies2
+                 = List.map S.Proto.encode_reply replies1);
+               let victim_f = List.hd fleet_fnames in
+               let cinj = R.Inject.create ~seed R.Inject.Cache_corrupt in
+               match
+                 R.Inject.corrupt_cache_entry cinj
+                   ~path:(Sh.Cache.path cache ~fname:victim_f)
+               with
+               | None -> violation "%s: no cache entry to corrupt" name
+               | Some off -> (
+                   info "flipped byte %d of %s's cache entry" off victim_f;
+                   match round [ victim_f ] with
+                   | None -> ()
+                   | Some (d3, replies3) ->
+                       check
+                         (name
+                        ^ ": corrupt entry falls through to generation")
+                         (d3 = "A" && Atomic.get decodes > cold);
+                       check (name ^ ": corruption recorded as a cache fault")
+                         (R.Report.count_class report R.Fault.Ccache >= 1);
+                       check
+                         (name
+                        ^ ": regenerated reply bit-identical to the cold one")
+                         (List.map S.Proto.encode_reply replies3
+                         = [ S.Proto.encode_reply (List.hd replies1) ]);
+                       let st = Sh.Cache.stats cache in
+                       check (name ^ ": corrupt entry evicted")
+                         (st.Sh.Cache.c_evictions >= 1);
+                       check (name ^ ": regenerated result re-cached")
+                         (Sh.Cache.get cache ~fname:victim_f <> None);
+                       info
+                         "cache: %d hit(s), %d miss(es), %d put(s), %d \
+                          eviction(s), %d entries"
+                         st.Sh.Cache.c_hits st.Sh.Cache.c_misses
+                         st.Sh.Cache.c_puts st.Sh.Cache.c_evictions
+                         st.Sh.Cache.c_entries))));
+
+      (* ---- kill 1 of 3 shards at 4x aggregate queue capacity mid-storm:
+         the accept/reroute/shed sequence is byte-reproducible under the
+         seed, the restarted shard resumes from its own journal, and the
+         final generated outputs are bit-identical to the unkilled run ---- *)
+      (let name = "shard-storm-kill" in
+       scenario name;
+       let shards_n = 3 in
+       let cap = 4 in
+       let nf = List.length fleet_fnames in
+       let n = 4 * shards_n * cap in
+       let scfg =
+         {
+           S.Server.default_config with
+           S.Server.domains = 1;
+           queue_cap = cap;
+           client_burst = float_of_int (2 * n);
+           client_rate = 0.0;
+         }
+       in
+       let storm = R.Inject.create ~seed R.Inject.Queue_storm in
+       let storm_fnames =
+         List.map
+           (fun i -> List.nth fleet_fnames (i mod nf))
+           (R.Inject.storm_order storm n)
+       in
+       let rcfg policy =
+         {
+           Sh.Router.default_config with
+           Sh.Router.policy;
+           retries = 0;
+           probe_every = 0;
+           breaker_threshold = 2;
+           breaker_cooldown = 4;
+           seed;
+         }
+       in
+       let names = List.init shards_n (Printf.sprintf "shard-%d") in
+       (* the same pure ring the router builds, to name each key's owner *)
+       let ring =
+         Sh.Ring.create
+           ~replicas:Sh.Router.default_config.Sh.Router.replicas names
+       in
+       let owner fname =
+         Sh.Ring.lookup ring
+           (Sh.Cache.request_key ~fingerprint ~desc_hash ~fname)
+       in
+       let storm_dir tag = Filename.concat run_dir ("shard-storm-" ^ tag) in
+       (* a three-shard fleet, each with its own journal segment; [kill]
+          arms one shard's journal with a crash offset *)
+       let mk_fleet ~tag ~policy ~kill =
+         let rec go i acc =
+           if i < 0 then Some acc
+           else begin
+             let dir = Sh.Router.shard_run_dir (storm_dir tag) i in
+             clear dir;
+             let kill_at =
+               match kill with Some (v, at) when v = i -> Some at | _ -> None
+             in
+             match
+               S.Server.create ~config:scfg ~run_dir:dir ?kill_at t ~target
+                 ~decoder
+             with
+             | Ok srv -> go (i - 1) (srv :: acc)
+             | Error e ->
+                 violation "%s: shard %d failed to start (%s)" name i e;
+                 None
+           end
+         in
+         match go (shards_n - 1) [] with
+         | None -> None
+         | Some servers -> (
+             let eps =
+               List.mapi
+                 (fun i srv ->
+                   Sh.Router.of_server ~name:(Printf.sprintf "shard-%d" i) srv)
+                 servers
+             in
+             let report = R.Report.create () in
+             match
+               Sh.Router.create ~config:(rcfg policy) ~report
+                 ~sleep:(fun _ -> ())
+                 ~fingerprint ~desc_hash eps
+             with
+             | Error e ->
+                 violation "%s: router creation failed (%s)" name e;
+                 None
+             | Ok router -> Some (servers, router, report))
+       in
+       match mk_fleet ~tag:"ref" ~policy:Sh.Router.Reroute ~kill:None with
+       | None -> ()
+       | Some (ref_servers, ref_router, _) -> (
+           let ref_replies =
+             List.map (fun f -> Sh.Router.route ref_router (mkreq f))
+               storm_fnames
+           in
+           let d_ref = Sh.Router.decisions ref_router in
+           check (name ^ ": unkilled storm completes every request")
+             (List.for_all
+                (function S.Proto.Done _ -> true | _ -> false)
+                ref_replies);
+           check (name ^ ": unkilled storm routes every request to its owner")
+             (d_ref = String.make n 'A');
+           let expect =
+             render (merge_funcs (List.map S.Server.functions ref_servers))
+           in
+           let kinj = R.Inject.create ~seed R.Inject.Shard_kill in
+           let victim = R.Inject.shard_victim kinj ~shards:shards_n in
+           let victim_name = Printf.sprintf "shard-%d" victim in
+           (* the victim's share of the storm — the functions the
+              restarted shard must serve again for the final-output
+              identity check to cover the same set as the reference *)
+           let victim_fnames =
+             List.filter
+               (fun f -> owner f = victim_name)
+               (List.sort_uniq compare storm_fnames)
+           in
+           check (name ^ ": the victim owns at least one function")
+             (victim_fnames <> []);
+           let victim_records =
+             (S.Server.health (List.nth ref_servers victim))
+               .S.Health.h_journal_records
+           in
+           Sh.Router.drain ref_router;
+           (* clamp into the middle half of the victim's journal: past the
+              midpoint so at least one function is durably complete when
+              the crash lands, short of the tail so a meaningful stretch
+              of the storm still reroutes *)
+           let k =
+             max
+               (max 2 (victim_records / 2))
+               (min
+                  (R.Inject.kill_offset kinj ~records:victim_records)
+                  (victim_records * 3 / 4))
+           in
+           info "victim shard-%d, kill-at %d of its %d journal record(s)"
+             victim k victim_records;
+           let killed_run ~tag ~policy =
+             match mk_fleet ~tag ~policy ~kill:(Some (victim, k)) with
+             | None -> None
+             | Some (servers, router, report) ->
+                 let replies =
+                   List.map (fun f -> Sh.Router.route router (mkreq f))
+                     storm_fnames
+                 in
+                 let d = Sh.Router.decisions router in
+                 let funcs = List.map S.Server.functions servers in
+                 (match Sh.Router.drain router with
+                 | () -> violation "%s: kill-at %d never fired (%s)" name k tag
+                 | exception R.Journal.Killed rn ->
+                     check
+                       (Printf.sprintf
+                          "%s: crash lands on the armed record (kill-at %d)"
+                          name k)
+                       (rn = k));
+                 check (name ^ ": shard failures recorded by the router")
+                   (R.Report.count_class report R.Fault.Cshard > 0);
+                 Some (d, replies, funcs)
+           in
+           match
+             ( killed_run ~tag:"kill-a" ~policy:Sh.Router.Reroute,
+               killed_run ~tag:"kill-b" ~policy:Sh.Router.Reroute )
+           with
+           | Some (d1, replies1, funcs1), Some (d2, _, _) -> (
+               check (name ^ ": same seed, same accept/reroute sequence")
+                 (d1 = d2);
+               check (name ^ ": reroute policy still completes every request")
+                 (List.for_all
+                    (function S.Proto.Done _ -> true | _ -> false)
+                    replies1);
+               check (name ^ ": at least one request rerouted off the victim")
+                 (String.contains d1 'R');
+               info "reroute decisions %s" d1;
+               (match killed_run ~tag:"shed" ~policy:Sh.Router.Shed with
+               | None -> ()
+               | Some (d3, replies3, _) ->
+                   check
+                     (name
+                    ^ ": shed decisions differ from reroute exactly at R->D")
+                     (String.length d3 = String.length d1
+                     && List.for_all2
+                          (fun a b -> a = b || (a = 'R' && b = 'D'))
+                          (List.init (String.length d1) (String.get d1))
+                          (List.init (String.length d3) (String.get d3)));
+                   check (name ^ ": at least one request shed") (String.contains d3 'D');
+                   List.iteri
+                     (fun i reply ->
+                       if d3.[i] = 'D' then
+                         match reply with
+                         | S.Proto.Rejected (S.Proto.Shard_down { shard })
+                           when shard = victim_name ->
+                             ()
+                         | _ ->
+                             violation
+                               "%s: shed request %d lacks a shard-down \
+                                rejection naming the victim"
+                               name i)
+                     replies3);
+               (* the victim's own journal segment: tear the tail (when
+                  there is more than the header plus one record to lose),
+                  restart, and the shard resumes its own functions *)
+               let victim_dir =
+                 Sh.Router.shard_run_dir (storm_dir "kill-a") victim
+               in
+               if k > 2 then
+                 R.Journal.tear ~path:(Vega.Pipeline.journal_path victim_dir);
+               match
+                 S.Server.create ~config:scfg ~run_dir:victim_dir ~resume:true
+                   t ~target ~decoder
+               with
+               | Error e -> violation "%s: victim resume failed (%s)" name e
+               | Ok rsrv ->
+                   let restored = S.Server.resumed_functions rsrv in
+                   check
+                     (name
+                    ^ ": restarted victim resumes from its own journal")
+                     (restored > 0);
+                   let vreplies =
+                     List.map
+                       (fun f -> S.Server.request rsrv (mkreq f))
+                       victim_fnames
+                   in
+                   check (name ^ ": restarted victim answers its functions")
+                     (List.for_all
+                        (function S.Proto.Done _ -> true | _ -> false)
+                        vreplies);
+                   check (name ^ ": at least one reply restored from journal")
+                     (List.exists
+                        (function
+                          | S.Proto.Done { r_resumed; _ } -> r_resumed
+                          | _ -> false)
+                        vreplies);
+                   let survivors =
+                     List.filteri (fun i _ -> i <> victim) funcs1
+                   in
+                   let got =
+                     render
+                       (merge_funcs (S.Server.functions rsrv :: survivors))
+                   in
+                   S.Server.drain rsrv;
+                   if got <> expect then
+                     violation
+                       "%s: final outputs differ from the unkilled run \
+                        (kill-at %d)"
+                       name k
+                   else
+                     info
+                       "kill-at %d: final outputs bit-identical (%d \
+                        resumed on shard-%d)"
+                       k restored victim)
+           | _ -> ()))
+    end;
+
     if json then
       print_endline
         (json_obj
@@ -1387,11 +1822,11 @@ let faultcheck_cmd =
        ~doc:
          "Run the deterministic fault-injection matrix (decoder, corpus, \
           description files, interpreter and simulator fuel, circuit \
-          breaker, kill-and-resume) against one target; non-zero exit on \
-          any invariant violation")
+          breaker, kill-and-resume, sharded serving) against one target; \
+          non-zero exit on any invariant violation")
     Term.(
       const run $ target_arg $ seed_arg $ json_flag $ kill_at_arg
-      $ run_dir_arg $ domains_arg)
+      $ run_dir_arg $ shard_kill_arg $ domains_arg)
 
 let compile_cmd =
   let prog_arg =
@@ -1677,6 +2112,181 @@ let request_cmd =
       const run $ socket_arg $ target_arg $ fname_arg $ client_arg
       $ deadline_arg $ health_flag $ drain_flag $ ping_flag $ json_flag)
 
+let route_cmd =
+  let shards_arg =
+    Arg.(
+      value
+      & opt int 3
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"Number of in-process serving shards behind the router.")
+  in
+  let policy_arg =
+    Arg.(
+      value
+      & opt string "reroute"
+      & info [ "policy" ] ~docv:"P"
+          ~doc:
+            "Degrade policy when a shard is down: $(b,reroute) walks the \
+             ring successors, $(b,shed) answers a typed shard-down \
+             rejection.")
+  in
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Content-addressed result cache: repeats of (model, description \
+             files, function) are answered from checksummed entries under \
+             $(docv) without touching a shard or the decoder.")
+  in
+  let run_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "run-dir" ] ~docv:"DIR"
+          ~doc:
+            "Durable fleet: shard $(i,i) journals under $(docv)/shard-$(i,i) \
+             and can be resumed from its own segment after a crash.")
+  in
+  let queue_cap_arg =
+    Arg.(
+      value
+      & opt int S.Server.default_config.S.Server.queue_cap
+      & info [ "queue-cap" ] ~docv:"K"
+          ~doc:"Per-shard admission queue bound.")
+  in
+  let run socket target model domains shards policy cache_dir run_dir queue_cap
+      =
+    let policy =
+      match Sh.Router.policy_of_name policy with
+      | Some p -> p
+      | None ->
+          Printf.eprintf "vega-route: unknown policy %s (reroute|shed)\n"
+            policy;
+          exit 1
+    in
+    if shards < 1 then begin
+      Printf.eprintf "vega-route: need at least one shard\n";
+      exit 1
+    end;
+    let t, decoder = mk_pipeline ~model in
+    let fingerprint = Vega.Pipeline.fingerprint t ~target in
+    let desc_hash =
+      Sh.Cache.desc_hash_of_vfs
+        t.Vega.Pipeline.prep.Vega.Pipeline.corpus.Vega_corpus.Corpus.vfs
+        ~target
+    in
+    let config =
+      { S.Server.default_config with S.Server.domains; queue_cap }
+    in
+    let servers =
+      List.init shards (fun i ->
+          let run_dir = Option.map (fun d -> Sh.Router.shard_run_dir d i) run_dir in
+          match S.Server.create ~config ?run_dir t ~target ~decoder with
+          | Ok srv -> (i, srv)
+          | Error e ->
+              Printf.eprintf "vega-route: shard %d failed to start: %s\n" i e;
+              exit 1)
+    in
+    let cache =
+      Option.map
+        (fun dir -> Sh.Cache.create ~dir ~fingerprint ~desc_hash ())
+        cache_dir
+    in
+    let eps =
+      List.map
+        (fun (i, srv) ->
+          Sh.Router.of_server ~name:(Printf.sprintf "shard-%d" i) srv)
+        servers
+    in
+    let rcfg = { Sh.Router.default_config with Sh.Router.policy } in
+    match
+      Sh.Router.create ~config:rcfg ?cache ~fingerprint ~desc_hash eps
+    with
+    | Error e ->
+        Printf.eprintf "vega-route: %s\n" e;
+        exit 1
+    | Ok router -> (
+        let l = Sh.Rsock.start router ~path:socket in
+        Printf.printf
+          "vega-route: %d shard(s) for %s on %s (policy %s%s%s)\n%!" shards
+          target socket
+          (Sh.Router.policy_name policy)
+          (match cache_dir with
+          | Some d -> Printf.sprintf ", cache %s" d
+          | None -> "")
+          (match run_dir with
+          | Some d -> Printf.sprintf ", journals %s/shard-*" d
+          | None -> "");
+        match Sh.Rsock.wait l with
+        | () ->
+            let c = Sh.Router.counters router in
+            Printf.printf
+              "vega-route: drained — %d routed, %d cache hit(s), %d \
+               reroute(s), %d shed\n"
+              c.Sh.Router.rt_routed c.Sh.Router.rt_cache_hits
+              c.Sh.Router.rt_reroutes c.Sh.Router.rt_sheds
+        | exception Vega_robust.Journal.Killed n ->
+            Printf.eprintf
+              "vega-route: a shard simulated a crash after %d journal \
+               record(s); restart with --resume on its segment\n"
+              n;
+            exit 2)
+  in
+  Cmd.v
+    (Cmd.info "route"
+       ~doc:
+         "Run the sharded serving tier: a consistent-hash router over N \
+          worker shards with per-shard circuit breakers, deterministic \
+          reroute-or-shed degrade, and an optional content-addressed \
+          result cache; speaks the same socket protocol as $(b,serve)")
+    Term.(
+      const run $ socket_arg $ target_arg $ model_flag $ domains_arg
+      $ shards_arg $ policy_arg $ cache_dir_arg $ run_dir_arg $ queue_cap_arg)
+
+let shard_status_cmd =
+  let run socket json =
+    match Sh.Rsock.shard_status ~socket with
+    | None ->
+        Printf.eprintf
+          "vega-shard-status: no shard table from %s (is it a router?)\n"
+          socket;
+        exit 5
+    | Some statuses ->
+        if json then
+          List.iter
+            (fun (s : Sh.Router.shard_status) ->
+              print_endline
+                (json_obj
+                   [
+                     ("shard", json_str s.Sh.Router.ss_name);
+                     ("breaker", json_str s.Sh.Router.ss_breaker);
+                     ("state", json_str s.Sh.Router.ss_state);
+                     ("routed", string_of_int s.Sh.Router.ss_routed);
+                     ("failures", string_of_int s.Sh.Router.ss_failures);
+                     ("rerouted", string_of_int s.Sh.Router.ss_rerouted);
+                     ("shed", string_of_int s.Sh.Router.ss_shed);
+                   ]))
+            statuses
+        else
+          List.iter
+            (fun (s : Sh.Router.shard_status) ->
+              Printf.printf
+                "%-12s breaker %-9s state %-8s routed %-6d failures %-4d \
+                 rerouted %-4d shed %d\n"
+                s.Sh.Router.ss_name s.Sh.Router.ss_breaker s.Sh.Router.ss_state
+                s.Sh.Router.ss_routed s.Sh.Router.ss_failures
+                s.Sh.Router.ss_rerouted s.Sh.Router.ss_shed)
+            statuses
+  in
+  Cmd.v
+    (Cmd.info "shard-status"
+       ~doc:
+         "Print a running router's per-shard table: breaker state, probed \
+          health, routed/failure/reroute/shed counters")
+    Term.(const run $ socket_arg $ json_flag)
+
 let () =
   let doc = "VEGA: automatically generating compiler backends (reproduction)" in
   exit
@@ -1691,5 +2301,7 @@ let () =
             faultcheck_cmd;
             serve_cmd;
             request_cmd;
+            route_cmd;
+            shard_status_cmd;
             compile_cmd;
           ]))

@@ -11,6 +11,8 @@ type t =
   | Deadline_exceeded of { fname : string; budget_ms : int }
   | Breaker_open of { fname : string; failures : int }
   | Record_oversize of { where : string; bytes : int; limit : int }
+  | Cache_corruption of { key : string; detail : string }
+  | Shard_failure of { shard : string; detail : string }
 
 exception Fault of t
 
@@ -27,6 +29,8 @@ type cls =
   | Cdeadline
   | Cbreaker
   | Coversize
+  | Ccache
+  | Cshard
 
 let all_classes =
   [
@@ -42,6 +46,8 @@ let all_classes =
     Cdeadline;
     Cbreaker;
     Coversize;
+    Ccache;
+    Cshard;
   ]
 
 let cls_of = function
@@ -57,6 +63,8 @@ let cls_of = function
   | Deadline_exceeded _ -> Cdeadline
   | Breaker_open _ -> Cbreaker
   | Record_oversize _ -> Coversize
+  | Cache_corruption _ -> Ccache
+  | Shard_failure _ -> Cshard
 
 let cls_name = function
   | Cdecoder -> "decoder-failure"
@@ -71,6 +79,8 @@ let cls_name = function
   | Cdeadline -> "deadline"
   | Cbreaker -> "breaker-open"
   | Coversize -> "record-oversize"
+  | Ccache -> "cache-corruption"
+  | Cshard -> "shard-failure"
 
 let to_string = function
   | Decoder_failure { fname; stage; message } ->
@@ -99,6 +109,10 @@ let to_string = function
   | Record_oversize { where; bytes; limit } ->
       Printf.sprintf "record-oversize[%s]: %d-byte record exceeds the %d-byte \
                       limit" where bytes limit
+  | Cache_corruption { key; detail } ->
+      Printf.sprintf "cache-corruption[%s]: %s" key detail
+  | Shard_failure { shard; detail } ->
+      Printf.sprintf "shard-failure[%s]: %s" shard detail
 
 (* Wire representation: constructor tag followed by its payload fields,
    consumed by the journal and the report serializer. *)
@@ -121,6 +135,8 @@ let to_fields = function
       [ "breaker-open"; fname; string_of_int failures ]
   | Record_oversize { where; bytes; limit } ->
       [ "record-oversize"; where; string_of_int bytes; string_of_int limit ]
+  | Cache_corruption { key; detail } -> [ "cache-corruption"; key; detail ]
+  | Shard_failure { shard; detail } -> [ "shard-failure"; shard; detail ]
 
 let of_fields = function
   | [ "decoder-failure"; fname; stage; message ] ->
@@ -152,6 +168,8 @@ let of_fields = function
       match (int_of_string_opt bytes, int_of_string_opt limit) with
       | Some bytes, Some limit -> Some (Record_oversize { where; bytes; limit })
       | _ -> None)
+  | [ "cache-corruption"; key; detail ] -> Some (Cache_corruption { key; detail })
+  | [ "shard-failure"; shard; detail ] -> Some (Shard_failure { shard; detail })
   | _ -> None
 
 let nth ~what l i =

@@ -33,6 +33,12 @@ type t =
   | Record_oversize of { where : string; bytes : int; limit : int }
       (** a wire record (journal line, serve request) exceeded the size
           bound and was rejected instead of allocated *)
+  | Cache_corruption of { key : string; detail : string }
+      (** a content-addressed result-cache entry failed its checksum or
+          metadata check and was evicted instead of served *)
+  | Shard_failure of { shard : string; detail : string }
+      (** a serving shard was unreachable, crashed mid-request, or
+          stalled past the router's patience *)
 
 exception Fault of t
 (** The one exception robust stages raise and {!Stage.protect} catches. *)
@@ -51,6 +57,8 @@ type cls =
   | Cdeadline
   | Cbreaker
   | Coversize
+  | Ccache
+  | Cshard
 
 val all_classes : cls list
 val cls_of : t -> cls

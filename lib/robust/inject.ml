@@ -11,6 +11,9 @@ type kind =
   | Queue_storm
   | Request_kill
   | Register_mangle
+  | Shard_kill
+  | Shard_stall
+  | Cache_corrupt
 
 type plan = { seed : int; kind : kind; every : int }
 
@@ -37,7 +40,8 @@ let wrap_decoder t decode fv =
     match t.plan.kind with
     | Decoder_raise | Decoder_nan | Decoder_garbage -> fire t
     | Corpus_mangle | Descfile_garbage | Decoder_stall | Queue_storm
-    | Request_kill | Register_mangle ->
+    | Request_kill | Register_mangle | Shard_kill | Shard_stall
+    | Cache_corrupt ->
         false
   in
   if not inject then decode fv
@@ -59,7 +63,8 @@ let wrap_decoder t decode fv =
         let toks, probs = decode fv in
         (toks, Array.make (max 1 (Array.length probs)) Float.neg_infinity)
     | Corpus_mangle | Descfile_garbage | Decoder_stall | Queue_storm
-    | Request_kill | Register_mangle ->
+    | Request_kill | Register_mangle | Shard_kill | Shard_stall
+    | Cache_corrupt ->
         assert false
 
 (* Register-mangle: delete selected instruction lines from an emitted
@@ -109,6 +114,53 @@ let kill_offset t ~records =
     t.opportunities <- t.opportunities + 1;
     2 + ((t.plan.seed * 0x9E3779B9) land max_int) mod (records - 1)
   end
+
+(* ---- router-tier fault classes (the vega.shard faultcheck harness) ---- *)
+
+(* Shard-kill: pick the victim shard deterministically from the seed.
+   The caller then arms that shard's journal [kill_at] (via
+   {!kill_offset}) so the "kill" is a real mid-write crash, not a mock. *)
+let shard_victim t ~shards =
+  if shards <= 0 then invalid_arg "Inject.shard_victim: shards <= 0";
+  t.injected <- t.injected + 1;
+  t.opportunities <- t.opportunities + 1;
+  ((t.plan.seed * 0x9E3779B9) land max_int) mod shards
+
+(* Shard-stall: on fired opportunities the endpoint burns (virtual)
+   clock and then fails — from the router's seat a stalled shard is
+   indistinguishable from a dead one once its patience runs out, so the
+   wrapper raises the typed shard fault after stalling. *)
+let wrap_stalling_shard t ~shard ~stall request req =
+  let inject = match t.plan.kind with Shard_stall -> fire t | _ -> false in
+  if inject then begin
+    stall ();
+    raise
+      (Fault.Fault
+         (Fault.Shard_failure { shard; detail = "injected shard stall" }))
+  end
+  else request req
+
+(* Cache-corrupt: flip one seeded byte of an on-disk cache entry in
+   place. Returns the flipped offset, or [None] when the kind doesn't
+   apply or the file is empty/unreadable. *)
+let corrupt_cache_entry t ~path =
+  match t.plan.kind with
+  | Cache_corrupt -> (
+      match In_channel.with_open_bin path In_channel.input_all with
+      | "" -> None
+      | contents ->
+          t.injected <- t.injected + 1;
+          t.opportunities <- t.opportunities + 1;
+          let len = String.length contents in
+          let off = ((t.plan.seed * 0x9E3779B9) land max_int) mod len in
+          let bytes = Bytes.of_string contents in
+          Bytes.set bytes off
+            (Char.chr (Char.code (Bytes.get bytes off) lxor 0x01));
+          Out_channel.with_open_bin path (fun oc ->
+              Out_channel.output_bytes oc bytes);
+          Some off
+      | exception Sys_error _ -> None)
+  | _ -> None
 
 let corrupt_corpus t (corpus : Corpus.t) =
   let groups =

@@ -17,6 +17,9 @@ type kind =
   | Queue_storm  (** a seeded burst of concurrent requests *)
   | Request_kill  (** hard kill mid-request (journal [kill_at]) *)
   | Register_mangle  (** emitted-assembly lines deleted (see {!mangle_asm}) *)
+  | Shard_kill  (** one serving shard hard-killed mid-storm *)
+  | Shard_stall  (** a shard endpoint stalls, then fails *)
+  | Cache_corrupt  (** one byte of a result-cache entry flipped on disk *)
 
 type t
 
@@ -65,6 +68,25 @@ val kill_offset : t -> records:int -> int
 (** [Request_kill] helper: a deterministic journal-record offset to arm
     [kill_at] with — strictly after the header, at most the final
     record, a pure function of the seed. *)
+
+val shard_victim : t -> shards:int -> int
+(** [Shard_kill] helper: the index of the shard to kill — a pure
+    function of the seed. The caller arms that shard's journal
+    [kill_at] (via {!kill_offset}) so the kill is a real mid-write
+    crash. *)
+
+val wrap_stalling_shard :
+  t -> shard:string -> stall:(unit -> unit) -> ('a -> 'b) -> 'a -> 'b
+(** [Shard_stall] wrapper around a shard request endpoint: on each fired
+    opportunity call [stall ()] and then raise
+    [Fault (Shard_failure _)] — from the router's seat a stalled shard
+    is indistinguishable from a dead one once its patience runs out.
+    Other kinds pass through. *)
+
+val corrupt_cache_entry : t -> path:string -> int option
+(** [Cache_corrupt] helper: flip one seeded byte of the file at [path]
+    in place; returns the flipped offset, [None] when the kind doesn't
+    apply or the file is empty/unreadable. *)
 
 val corrupt_corpus : t -> Vega_corpus.Corpus.t -> Vega_corpus.Corpus.t
 (** Rename the first implementation's target of each selected multi-impl

@@ -8,6 +8,23 @@
 
 module Wire = Vega_robust.Wire
 
+(* Protocol version. Every command and reply line leads with a [vN]
+   field; a peer speaking a different version gets a typed
+   [Version_mismatch] rejection instead of a parse fault, so rolling a
+   mixed-version shard fleet degrades loudly rather than corrupting. *)
+let version = 1
+
+let version_to_field v = "v" ^ string_of_int v
+
+let version_of_field s =
+  if String.length s >= 2 && s.[0] = 'v' then
+    int_of_string_opt (String.sub s 1 (String.length s - 1))
+  else None
+
+(* Three-way decode result: a line can be well-formed for a different
+   protocol version — that is not malformed, it is a skewed peer. *)
+type 'a decoded = Decoded of 'a | Version_skew of { got : int } | Malformed
+
 type request = {
   rq_client : string;  (* rate-limit identity *)
   rq_target : string;
@@ -23,6 +40,10 @@ type reject_reason =
       (* deadline elapsed while the request sat in the queue *)
   | Oversize of { bytes : int; limit : int }
   | Bad_request of string
+  | Version_mismatch of { got : int; want : int }
+      (* peer speaks protocol version [got], we speak [want] *)
+  | Shard_down of { shard : string }
+      (* the shard owning this key is dead and policy says shed *)
 
 type reply =
   | Done of {
@@ -37,8 +58,9 @@ type reply =
   | Failed of string
 
 (* Commands a socket connection may open with; in-process callers use
-   the Server API directly and never see these. *)
-type command = Creq of request | Chealth | Cdrain | Cping
+   the Server API directly and never see these. [Cshards] asks a router
+   for per-shard status; a plain single-process server rejects it. *)
+type command = Creq of request | Chealth | Cdrain | Cping | Cshards
 
 let reject_label = function
   | Queue_full _ -> "queue-full"
@@ -47,6 +69,8 @@ let reject_label = function
   | Expired _ -> "expired"
   | Oversize _ -> "oversize"
   | Bad_request _ -> "bad-request"
+  | Version_mismatch _ -> "version-mismatch"
+  | Shard_down _ -> "shard-down"
 
 let reject_to_string = function
   | Queue_full { depth; cap } ->
@@ -59,6 +83,11 @@ let reject_to_string = function
   | Oversize { bytes; limit } ->
       Printf.sprintf "request line oversize (%d bytes, limit %d)" bytes limit
   | Bad_request msg -> Printf.sprintf "bad request: %s" msg
+  | Version_mismatch { got; want } ->
+      Printf.sprintf "protocol version mismatch (peer v%d, server v%d)" got
+        want
+  | Shard_down { shard } ->
+      Printf.sprintf "shard %s is down; request shed by the router" shard
 
 (* ---- wire encoding ---- *)
 
@@ -68,18 +97,26 @@ let opt_int_of_field = function
   | "-" -> Some None
   | s -> Option.map Option.some (Wire.int_of_field s)
 
-let encode_request r =
-  Wire.encode_line
-    [
-      "req"; r.rq_client; r.rq_target; r.rq_fname;
-      opt_int_to_field r.rq_deadline_ms;
-    ]
+let request_fields r =
+  [
+    "req"; r.rq_client; r.rq_target; r.rq_fname;
+    opt_int_to_field r.rq_deadline_ms;
+  ]
 
-let encode_command = function
-  | Creq r -> encode_request r
-  | Chealth -> Wire.encode_line [ "health" ]
-  | Cdrain -> Wire.encode_line [ "drain" ]
-  | Cping -> Wire.encode_line [ "ping" ]
+let command_fields = function
+  | Creq r -> request_fields r
+  | Chealth -> [ "health" ]
+  | Cdrain -> [ "drain" ]
+  | Cping -> [ "ping" ]
+  | Cshards -> [ "shards" ]
+
+(* [encode_command_at] exists so tests (and future mixed-version
+   tooling) can stamp a line with an arbitrary version. *)
+let encode_command_at ~version:v c =
+  Wire.encode_line (version_to_field v :: command_fields c)
+
+let encode_command c = encode_command_at ~version c
+let encode_request r = encode_command (Creq r)
 
 let reject_fields = function
   | Queue_full { depth; cap } ->
@@ -90,6 +127,9 @@ let reject_fields = function
   | Oversize { bytes; limit } ->
       [ "oversize"; string_of_int bytes; string_of_int limit ]
   | Bad_request msg -> [ "bad-request"; msg ]
+  | Version_mismatch { got; want } ->
+      [ "version-mismatch"; string_of_int got; string_of_int want ]
+  | Shard_down { shard } -> [ "shard-down"; shard ]
 
 let reject_of_fields = function
   | [ "queue-full"; depth; cap ] -> (
@@ -107,37 +147,58 @@ let reject_of_fields = function
       | Some bytes, Some limit -> Some (Oversize { bytes; limit })
       | _ -> None)
   | [ "bad-request"; msg ] -> Some (Bad_request msg)
+  | [ "version-mismatch"; got; want ] -> (
+      match (Wire.int_of_field got, Wire.int_of_field want) with
+      | Some got, Some want -> Some (Version_mismatch { got; want })
+      | _ -> None)
+  | [ "shard-down"; shard ] -> Some (Shard_down { shard })
   | _ -> None
 
-let encode_reply = function
+let reply_fields = function
   | Done d ->
-      Wire.encode_line
-        [
-          "done"; d.r_fname; d.r_target;
-          Wire.float_to_field d.r_confidence;
-          string_of_int d.r_degraded;
-          Wire.bool_to_field d.r_resumed;
-          d.r_source;
-        ]
-  | Rejected r -> Wire.encode_line ("rej" :: reject_fields r)
-  | Failed msg -> Wire.encode_line [ "fail"; msg ]
+      [
+        "done"; d.r_fname; d.r_target;
+        Wire.float_to_field d.r_confidence;
+        string_of_int d.r_degraded;
+        Wire.bool_to_field d.r_resumed;
+        d.r_source;
+      ]
+  | Rejected r -> "rej" :: reject_fields r
+  | Failed msg -> [ "fail"; msg ]
 
-let decode_command line =
+let encode_reply_at ~version:v reply =
+  Wire.encode_line (version_to_field v :: reply_fields reply)
+
+let encode_reply reply = encode_reply_at ~version reply
+
+(* Shared version gate: a checksum-valid line whose leading field names
+   another version is [Version_skew], not [Malformed]. *)
+let decode_versioned line parse =
   match Wire.decode_line line with
-  | Some [ "req"; rq_client; rq_target; rq_fname; deadline ] ->
+  | Some (vf :: rest) -> (
+      match version_of_field vf with
+      | None -> Malformed
+      | Some got when got <> version -> Version_skew { got }
+      | Some _ -> (
+          match parse rest with Some x -> Decoded x | None -> Malformed))
+  | Some [] | None -> Malformed
+
+let command_of_fields = function
+  | [ "req"; rq_client; rq_target; rq_fname; deadline ] ->
       Option.map
         (fun rq_deadline_ms ->
           Creq { rq_client; rq_target; rq_fname; rq_deadline_ms })
         (opt_int_of_field deadline)
-  | Some [ "health" ] -> Some Chealth
-  | Some [ "drain" ] -> Some Cdrain
-  | Some [ "ping" ] -> Some Cping
-  | Some _ | None -> None
+  | [ "health" ] -> Some Chealth
+  | [ "drain" ] -> Some Cdrain
+  | [ "ping" ] -> Some Cping
+  | [ "shards" ] -> Some Cshards
+  | _ -> None
 
-let decode_reply line =
-  match Wire.decode_line line with
-  | Some [ "done"; r_fname; r_target; conf; degraded; resumed; r_source ]
-    -> (
+let decode_command line = decode_versioned line command_of_fields
+
+let reply_of_fields = function
+  | [ "done"; r_fname; r_target; conf; degraded; resumed; r_source ] -> (
       match
         ( Wire.float_of_field conf,
           Wire.int_of_field degraded,
@@ -151,7 +212,8 @@ let decode_reply line =
                  r_source;
                })
       | _ -> None)
-  | Some ("rej" :: fields) ->
-      Option.map (fun r -> Rejected r) (reject_of_fields fields)
-  | Some [ "fail"; msg ] -> Some (Failed msg)
-  | Some _ | None -> None
+  | "rej" :: fields -> Option.map (fun r -> Rejected r) (reject_of_fields fields)
+  | [ "fail"; msg ] -> Some (Failed msg)
+  | _ -> None
+
+let decode_reply line = decode_versioned line reply_of_fields

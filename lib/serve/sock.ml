@@ -43,14 +43,20 @@ let () =
 
 (* ---- framed IO ---- *)
 
+(* Write the whole line, completing partial writes in a loop and
+   retrying on EINTR — [Unix.single_write] maps to one write(2), which
+   may move fewer bytes than asked (small socket buffers, signals), and
+   a truncated reply would be indistinguishable from a torn line to the
+   peer. Only a gone peer (EPIPE/ECONNRESET) abandons the write. *)
 let write_line fd line =
   let data = Bytes.of_string (line ^ "\n") in
   let len = Bytes.length data in
   let rec go off =
     if off < len then
-      match Unix.write fd data off (len - off) with
+      match Unix.single_write fd data off (len - off) with
       | 0 -> ()
       | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
       | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()
   in
   go 0
@@ -72,6 +78,7 @@ let read_bounded_line ?(limit = max_line_bytes) fd =
               Buffer.add_char buf c;
               go ()
             end)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
     | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> `Eof
   in
   go ()
@@ -91,13 +98,21 @@ let handle_conn l fd =
       Unix.close fd
   | `Line line -> (
       match Proto.decode_command line with
-      | None ->
+      | Proto.Malformed ->
           write_line fd
             (Proto.encode_reply
                (Proto.Rejected
                   (Proto.Bad_request "unparseable command line")));
           Unix.close fd
-      | Some (Proto.Creq req) -> (
+      | Proto.Version_skew { got } ->
+          (* well-formed line, wrong protocol version: typed rejection,
+             not a parse fault *)
+          write_line fd
+            (Proto.encode_reply
+               (Proto.Rejected
+                  (Proto.Version_mismatch { got; want = Proto.version })));
+          Unix.close fd
+      | Proto.Decoded (Proto.Creq req) -> (
           match Server.submit l.l_server req with
           | Error r ->
               write_line fd (Proto.encode_reply (Proto.Rejected r));
@@ -109,13 +124,21 @@ let handle_conn l fd =
                      let reply = Server.await ticket in
                      write_line fd (Proto.encode_reply reply);
                      Unix.close fd)))
-      | Some Proto.Chealth ->
+      | Proto.Decoded Proto.Chealth ->
           write_line fd (Health.encode (Server.health l.l_server));
           Unix.close fd
-      | Some Proto.Cping ->
+      | Proto.Decoded Proto.Cping ->
           write_line fd (Wire.encode_line [ "pong" ]);
           Unix.close fd
-      | Some Proto.Cdrain ->
+      | Proto.Decoded Proto.Cshards ->
+          (* a single-process server has no shard table; routers answer
+             this in Rsock *)
+          write_line fd
+            (Proto.encode_reply
+               (Proto.Rejected
+                  (Proto.Bad_request "not a router: no shard table")));
+          Unix.close fd
+      | Proto.Decoded Proto.Cdrain ->
           (match Server.drain l.l_server with
           | () -> ()
           | exception e -> Mutex.protect l.l_lock (fun () -> l.l_exn <- Some e));
@@ -224,8 +247,10 @@ let request ~socket req =
   | None -> Proto.Failed "connection closed without a reply"
   | Some line -> (
       match Proto.decode_reply line with
-      | Some reply -> reply
-      | None -> Proto.Failed "unparseable reply line")
+      | Proto.Decoded reply -> reply
+      | Proto.Version_skew { got } ->
+          Proto.Rejected (Proto.Version_mismatch { got; want = Proto.version })
+      | Proto.Malformed -> Proto.Failed "unparseable reply line")
 
 let health ~socket =
   Option.bind (roundtrip ~socket Proto.Chealth) Health.decode
@@ -237,3 +262,8 @@ let ping ~socket =
   match roundtrip ~socket Proto.Cping with
   | Some line -> Wire.decode_line line = Some [ "pong" ]
   | None -> false
+
+(* Raw per-shard status line from a router's listener (a plain server
+   answers with a typed rejection instead). Decoding lives in
+   [Vega_shard.Router] — lib/serve cannot depend on lib/shard. *)
+let shards ~socket = roundtrip ~socket Proto.Cshards

@@ -1,0 +1,109 @@
+(* Consistent-hash ring over shard names.
+
+   Each shard contributes [replicas] virtual points, hashed from
+   "name\x00i" with 64-bit FNV-1a; a key belongs to the first point
+   clockwise from its own hash (wrapping). Because a shard's points
+   depend only on its name and replica index — never on the other
+   shards — removing a shard leaves every surviving point exactly where
+   it was: only the removed shard's keys change owner (minimal
+   disruption, the property the qcheck suite pins down).
+
+   Everything is pure and deterministic: same shard set, same ring, on
+   every host and every run. That determinism is what lets the
+   faultcheck scenarios demand byte-reproducible routing decisions. *)
+
+type t = {
+  replicas : int;
+  points : (int64 * string) array;  (* sorted by unsigned point, then name *)
+  names : string list;  (* distinct shard names, sorted *)
+}
+
+let fnv1a s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  !h
+
+(* FNV-1a alone has almost no avalanche on short suffixes — the vnode
+   hashes of "name\x00{0..k}" land in one tiny arc and the ring
+   degenerates to one arc per shard. A murmur3-style finalizer restores
+   full-width dispersion; together the pair is still pure, portable,
+   and dependency-free. *)
+let mix h =
+  let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+  let h = Int64.mul h 0xff51afd7ed558ccdL in
+  let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+  let h = Int64.mul h 0xc4ceb9fe1a85ec53L in
+  Int64.logxor h (Int64.shift_right_logical h 33)
+
+let hash s = mix (fnv1a s)
+
+let point_compare (h1, n1) (h2, n2) =
+  match Int64.unsigned_compare h1 h2 with 0 -> compare n1 n2 | c -> c
+
+let create ?(replicas = 64) names =
+  if names = [] then invalid_arg "Ring.create: no shards";
+  if replicas <= 0 then invalid_arg "Ring.create: replicas <= 0";
+  let sorted = List.sort_uniq compare names in
+  if List.length sorted <> List.length names then
+    invalid_arg "Ring.create: duplicate shard name";
+  if List.mem "" sorted then invalid_arg "Ring.create: empty shard name";
+  let points =
+    List.concat_map
+      (fun name ->
+        List.init replicas (fun i ->
+            (hash (Printf.sprintf "%s\x00%d" name i), name)))
+      sorted
+    |> Array.of_list
+  in
+  Array.sort point_compare points;
+  { replicas; points; names = sorted }
+
+let shards t = t.names
+let size t = List.length t.names
+let replicas t = t.replicas
+
+(* Index of the first point whose hash is >= [h] (unsigned), wrapping
+   to 0 past the last point. *)
+let successor_index t h =
+  let n = Array.length t.points in
+  let rec bsearch lo hi =
+    (* invariant: points.(lo-1) < h <= points.(hi), treating
+       out-of-range as -inf/+inf *)
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if Int64.unsigned_compare (fst t.points.(mid)) h < 0 then
+        bsearch (mid + 1) hi
+      else bsearch lo mid
+  in
+  let i = bsearch 0 n in
+  if i = n then 0 else i
+
+let lookup t key = snd t.points.(successor_index t (hash key))
+
+(* All shards in ring order starting from [key]'s owner, each named
+   once — the router's failover candidate order. *)
+let successors t key =
+  let n = Array.length t.points in
+  let start = successor_index t (hash key) in
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let want = size t in
+  let i = ref 0 in
+  while Hashtbl.length seen < want && !i < n do
+    let name = snd t.points.((start + !i) mod n) in
+    if not (Hashtbl.mem seen name) then begin
+      Hashtbl.add seen name ();
+      out := name :: !out
+    end;
+    incr i
+  done;
+  List.rev !out
+
+let remove t name =
+  match List.filter (fun n -> n <> name) t.names with
+  | [] -> invalid_arg "Ring.remove: removing the last shard"
+  | rest -> create ~replicas:t.replicas rest

@@ -1,0 +1,506 @@
+(* Front-door router over N serving shards.
+
+   A request's key is the same triple the cache addresses by —
+   (pipeline fingerprint, descfile hash, function name) — consistent-
+   hashed onto the shard ring. The router is the robustness layer:
+
+   - the content-addressed {!Cache} answers repeats O(1) with zero
+     decoder involvement;
+   - a per-shard circuit breaker (the {!Vega_robust.Supervisor} state
+     machine, cooldown counted in routing decisions, not wall clock)
+     stops hammering a dead shard;
+   - failed contacts retry with bounded, seeded exponential backoff
+     (same jitter discipline as the supervisor: deterministic per-shard
+     streams);
+   - when the owner is down, policy decides: [Reroute] walks the ring
+     successors, [Shed] answers a typed [Shard_down] rejection.
+
+   Every routing decision appends one character to the decision log —
+   'C' cache hit, 'A' answered by the owner, 'R' rerouted to a
+   successor, 'D' shed — so a storm's outcome is a string two runs can
+   compare byte-for-byte. The lock covers decisions and bookkeeping
+   only, never the shard call itself: a single-threaded caller gets a
+   fully deterministic decision sequence, concurrent callers get
+   parallel shards.
+
+   Shard failure means the shard is *gone* — the endpoint raised
+   (socket refused, peer crashed) or answered [Failed]/[Draining].
+   Typed admission rejections (queue-full, budget, expiry, bad
+   request) are the shard speaking, not dying: they pass through to
+   the client untouched, so the router never converts overload into
+   double work on another shard. *)
+
+module Sup = Vega_robust.Supervisor
+module Fault = Vega_robust.Fault
+module Report = Vega_robust.Report
+module Wire = Vega_robust.Wire
+module Rng = Vega_util.Rng
+module Proto = Vega_serve.Proto
+module Health = Vega_serve.Health
+module Server = Vega_serve.Server
+module Sock = Vega_serve.Sock
+
+type policy = Reroute | Shed
+
+let policy_name = function Reroute -> "reroute" | Shed -> "shed"
+
+let policy_of_name = function
+  | "reroute" -> Some Reroute
+  | "shed" -> Some Shed
+  | _ -> None
+
+type config = {
+  policy : policy;
+  retries : int;  (* extra attempts per shard after the first failure *)
+  backoff_base_s : float;
+  backoff_max_s : float;
+  breaker_threshold : int;  (* consecutive failures that open the breaker *)
+  breaker_cooldown : int;  (* routing decisions skipped while open *)
+  probe_every : int;  (* health-probe one contact in N; 0 disables *)
+  replicas : int;  (* virtual points per shard on the ring *)
+  seed : int;  (* backoff jitter streams *)
+}
+
+let default_config =
+  {
+    policy = Reroute;
+    retries = 1;
+    backoff_base_s = 0.01;
+    backoff_max_s = 0.25;
+    breaker_threshold = 3;
+    breaker_cooldown = 8;
+    probe_every = 16;
+    replicas = 64;
+    seed = 0x5eed;
+  }
+
+(* A shard as the router sees it: name + three closures. In-process
+   shards wrap {!Server}, remote shards wrap the {!Sock} client. *)
+type endpoint = {
+  ep_name : string;
+  ep_request : Proto.request -> Proto.reply;
+  ep_health : unit -> Health.snapshot option;
+  ep_drain : unit -> Health.snapshot option;
+}
+
+type shard = {
+  sh_ep : endpoint;
+  sh_rng : Rng.t;  (* per-shard backoff jitter stream *)
+  mutable sh_breaker : Sup.breaker;
+  mutable sh_routed : int;  (* requests this shard answered *)
+  mutable sh_failures : int;  (* failed contact attempts *)
+  mutable sh_rerouted : int;  (* owned requests answered elsewhere *)
+  mutable sh_shed : int;  (* owned requests shed *)
+  mutable sh_contacts : int;  (* probe cadence counter *)
+  mutable sh_last_state : Health.state option;  (* latest probe result *)
+}
+
+type t = {
+  cfg : config;
+  ring : Ring.t;
+  tbl : (string, shard) Hashtbl.t;
+  order : string list;  (* endpoint order, for status/drain *)
+  cache : Cache.t option;
+  report : Report.t;
+  sleep : float -> unit;
+  lock : Mutex.t;
+  dlog : Buffer.t;
+  fingerprint : string;
+  desc_hash : string;
+  mutable routed : int;
+  mutable cache_hits : int;
+  mutable reroutes : int;
+  mutable sheds : int;
+}
+
+let shard_run_dir base i = Filename.concat base (Printf.sprintf "shard-%d" i)
+
+let of_server ~name srv =
+  {
+    ep_name = name;
+    ep_request = (fun req -> Server.request srv req);
+    ep_health = (fun () -> Some (Server.health srv));
+    ep_drain =
+      (fun () ->
+        Server.drain srv;
+        Some (Server.health srv));
+  }
+
+let of_socket ~name ~socket =
+  {
+    ep_name = name;
+    ep_request = (fun req -> Sock.request ~socket req);
+    ep_health = (fun () -> try Sock.health ~socket with _ -> None);
+    ep_drain = (fun () -> try Sock.drain ~socket with _ -> None);
+  }
+
+let create ?(config = default_config) ?cache ?report ?sleep ~fingerprint
+    ~desc_hash endpoints =
+  match endpoints with
+  | [] -> Error "router needs at least one shard"
+  | _ -> (
+      let names = List.map (fun ep -> ep.ep_name) endpoints in
+      match Ring.create ~replicas:config.replicas names with
+      | exception Invalid_argument m -> Error m
+      | ring ->
+          let tbl = Hashtbl.create (List.length endpoints) in
+          List.iteri
+            (fun i ep ->
+              Hashtbl.replace tbl ep.ep_name
+                {
+                  sh_ep = ep;
+                  (* same per-worker stream mixing as Supervisor.fork *)
+                  sh_rng = Rng.create (config.seed lxor (i * 0x9E3779B9));
+                  sh_breaker = Sup.Closed 0;
+                  sh_routed = 0;
+                  sh_failures = 0;
+                  sh_rerouted = 0;
+                  sh_shed = 0;
+                  sh_contacts = 0;
+                  sh_last_state = None;
+                })
+            endpoints;
+          Ok
+            {
+              cfg = config;
+              ring;
+              tbl;
+              order = names;
+              cache;
+              report = (match report with Some r -> r | None -> Report.create ());
+              sleep = (match sleep with Some f -> f | None -> Unix.sleepf);
+              lock = Mutex.create ();
+              dlog = Buffer.create 256;
+              fingerprint;
+              desc_hash;
+              routed = 0;
+              cache_hits = 0;
+              reroutes = 0;
+              sheds = 0;
+            })
+
+let report t = t.report
+let cache t = t.cache
+let shards t = t.order
+let decisions t = Mutex.protect t.lock (fun () -> Buffer.contents t.dlog)
+
+let find t name = Hashtbl.find t.tbl name
+
+(* ---- breaker (all transitions under the router lock) ---- *)
+
+(* May we contact this shard for this routing decision? An open breaker
+   counts down its cooldown in skipped decisions — deterministic, no
+   wall clock — and lets exactly one probe request through half-open. *)
+let breaker_admits t sh =
+  Mutex.protect t.lock (fun () ->
+      match sh.sh_breaker with
+      | Sup.Closed _ | Sup.Half_open -> true
+      | Sup.Open k ->
+          if k > 1 then begin
+            sh.sh_breaker <- Sup.Open (k - 1);
+            false
+          end
+          else begin
+            sh.sh_breaker <- Sup.Half_open;
+            true
+          end)
+
+let note_success t sh =
+  Mutex.protect t.lock (fun () -> sh.sh_breaker <- Sup.Closed 0)
+
+let note_failure t sh ~detail =
+  Report.record t.report ~stage:"router"
+    (Fault.Shard_failure { shard = sh.sh_ep.ep_name; detail });
+  Mutex.protect t.lock (fun () ->
+      sh.sh_failures <- sh.sh_failures + 1;
+      match sh.sh_breaker with
+      | Sup.Half_open ->
+          (* the half-open probe failed: back to a full cooldown *)
+          sh.sh_breaker <- Sup.Open t.cfg.breaker_cooldown
+      | Sup.Closed n ->
+          if n + 1 >= t.cfg.breaker_threshold then
+            sh.sh_breaker <- Sup.Open t.cfg.breaker_cooldown
+          else sh.sh_breaker <- Sup.Closed (n + 1)
+      | Sup.Open _ -> ())
+
+(* Seeded exponential backoff, mirroring Supervisor.backoff_delay:
+   base * 2^attempt, jittered to [0.75, 1.25), capped. *)
+let backoff_delay t sh attempt =
+  let expo =
+    t.cfg.backoff_base_s *. (2.0 ** float_of_int (min attempt 16))
+  in
+  let jitter =
+    Mutex.protect t.lock (fun () ->
+        Rng.uniform sh.sh_rng ~lo:0.75 ~hi:1.25)
+  in
+  Float.min t.cfg.backoff_max_s (expo *. jitter)
+
+(* ---- health probes ---- *)
+
+let probe_shard t sh =
+  let state = Option.map (fun h -> h.Health.h_state) (sh.sh_ep.ep_health ()) in
+  Mutex.protect t.lock (fun () -> sh.sh_last_state <- state);
+  state
+
+(* Layered on the contact path: every [probe_every]-th contact refreshes
+   the shard's health snapshot; an unreachable or non-Ready shard is a
+   failed contact before we even send the request. *)
+let maybe_probe t sh =
+  let due =
+    t.cfg.probe_every > 0
+    && Mutex.protect t.lock (fun () ->
+           sh.sh_contacts <- sh.sh_contacts + 1;
+           (sh.sh_contacts - 1) mod t.cfg.probe_every = 0)
+  in
+  if not due then true
+  else
+    match probe_shard t sh with
+    | Some Health.Ready -> true
+    | Some (Health.Starting | Health.Draining | Health.Stopped) ->
+        note_failure t sh ~detail:"health probe: shard not ready";
+        false
+    | None ->
+        note_failure t sh ~detail:"health probe: shard unreachable";
+        false
+
+(* ---- routing ---- *)
+
+(* One shard, up to 1 + retries attempts. A half-open breaker gets a
+   single probe attempt — retrying a probe would defeat the point. *)
+let try_shard t sh req =
+  if not (breaker_admits t sh) then None
+  else if not (maybe_probe t sh) then None
+  else
+    let single = Mutex.protect t.lock (fun () -> sh.sh_breaker = Sup.Half_open) in
+    let rec attempt n =
+      let outcome =
+        match sh.sh_ep.ep_request req with
+        | Proto.Failed m -> Error ("shard failed request: " ^ m)
+        | Proto.Rejected Proto.Draining -> Error "shard draining"
+        | reply -> Ok reply
+        | exception Fault.Fault f -> Error (Fault.to_string f)
+        | exception Unix.Unix_error (e, fn, _) ->
+            Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+      in
+      match outcome with
+      | Ok reply ->
+          note_success t sh;
+          Some reply
+      | Error detail ->
+          note_failure t sh ~detail;
+          if (not single) && n < t.cfg.retries then begin
+            t.sleep (backoff_delay t sh n);
+            attempt (n + 1)
+          end
+          else None
+    in
+    attempt 0
+
+let request_key t ~fname =
+  Cache.request_key ~fingerprint:t.fingerprint ~desc_hash:t.desc_hash ~fname
+
+let log_decision t c =
+  Mutex.protect t.lock (fun () -> Buffer.add_char t.dlog c)
+
+let route t (req : Proto.request) =
+  Mutex.protect t.lock (fun () -> t.routed <- t.routed + 1);
+  let fname = req.Proto.rq_fname in
+  match
+    match t.cache with None -> None | Some c -> Cache.get c ~fname
+  with
+  | Some reply ->
+      Mutex.protect t.lock (fun () -> t.cache_hits <- t.cache_hits + 1);
+      log_decision t 'C';
+      reply
+  | None -> (
+      let candidates = Ring.successors t.ring (request_key t ~fname) in
+      let owner = List.hd candidates in
+      let candidates =
+        match t.cfg.policy with
+        | Reroute -> candidates
+        | Shed -> [ owner ]
+      in
+      let rec walk = function
+        | [] ->
+            Mutex.protect t.lock (fun () ->
+                t.sheds <- t.sheds + 1;
+                (find t owner).sh_shed <- (find t owner).sh_shed + 1);
+            log_decision t 'D';
+            Proto.Rejected (Proto.Shard_down { shard = owner })
+        | name :: rest -> (
+            let sh = find t name in
+            match try_shard t sh req with
+            | Some reply ->
+                Mutex.protect t.lock (fun () ->
+                    sh.sh_routed <- sh.sh_routed + 1;
+                    if name <> owner then begin
+                      t.reroutes <- t.reroutes + 1;
+                      let ow = find t owner in
+                      ow.sh_rerouted <- ow.sh_rerouted + 1
+                    end);
+                log_decision t (if name = owner then 'A' else 'R');
+                (match t.cache with
+                | Some c -> ignore (Cache.put c ~fname reply)
+                | None -> ());
+                reply
+            | None -> walk rest)
+      in
+      walk candidates)
+
+(* ---- status ---- *)
+
+type shard_status = {
+  ss_name : string;
+  ss_breaker : string;  (* "closed" | "open" | "half-open" *)
+  ss_routed : int;
+  ss_failures : int;
+  ss_rerouted : int;
+  ss_shed : int;
+  ss_state : string;  (* last probed health state, or "unknown" *)
+}
+
+let breaker_name = function
+  | Sup.Closed _ -> "closed"
+  | Sup.Open _ -> "open"
+  | Sup.Half_open -> "half-open"
+
+let status ?(probe = false) t =
+  if probe then
+    List.iter (fun name -> ignore (probe_shard t (find t name))) t.order;
+  Mutex.protect t.lock (fun () ->
+      List.map
+        (fun name ->
+          let sh = find t name in
+          {
+            ss_name = name;
+            ss_breaker = breaker_name sh.sh_breaker;
+            ss_routed = sh.sh_routed;
+            ss_failures = sh.sh_failures;
+            ss_rerouted = sh.sh_rerouted;
+            ss_shed = sh.sh_shed;
+            ss_state =
+              (match sh.sh_last_state with
+              | Some s -> Health.state_name s
+              | None -> "unknown");
+          })
+        t.order)
+
+let status_fields s =
+  [
+    s.ss_name;
+    s.ss_breaker;
+    string_of_int s.ss_routed;
+    string_of_int s.ss_failures;
+    string_of_int s.ss_rerouted;
+    string_of_int s.ss_shed;
+    s.ss_state;
+  ]
+
+let encode_status statuses =
+  Wire.encode_line
+    ("shard-status"
+    :: string_of_int (List.length statuses)
+    :: List.concat_map status_fields statuses)
+
+let decode_status line =
+  match Wire.decode_line line with
+  | Some ("shard-status" :: n :: rest) -> (
+      match Wire.int_of_field n with
+      | Some n when n >= 0 && List.length rest = n * 7 ->
+          let rec chunks = function
+            | [] -> Some []
+            | name :: breaker :: routed :: failures :: rerouted :: shed
+              :: state :: more -> (
+                match
+                  ( Wire.int_of_field routed,
+                    Wire.int_of_field failures,
+                    Wire.int_of_field rerouted,
+                    Wire.int_of_field shed )
+                with
+                | Some ss_routed, Some ss_failures, Some ss_rerouted,
+                  Some ss_shed ->
+                    Option.map
+                      (fun tail ->
+                        {
+                          ss_name = name;
+                          ss_breaker = breaker;
+                          ss_routed;
+                          ss_failures;
+                          ss_rerouted;
+                          ss_shed;
+                          ss_state = state;
+                        }
+                        :: tail)
+                      (chunks more)
+                | _ -> None)
+            | _ -> None
+          in
+          chunks rest
+      | _ -> None)
+  | _ -> None
+
+(* ---- aggregates ---- *)
+
+type counters = {
+  rt_routed : int;
+  rt_cache_hits : int;
+  rt_reroutes : int;
+  rt_sheds : int;
+}
+
+let counters t =
+  Mutex.protect t.lock (fun () ->
+      {
+        rt_routed = t.routed;
+        rt_cache_hits = t.cache_hits;
+        rt_reroutes = t.reroutes;
+        rt_sheds = t.sheds;
+      })
+
+(* Fleet-wide health: counters summed over reachable shards, state the
+   worst of the fleet (any non-Ready shard drags the aggregate). *)
+let health t =
+  let snaps =
+    List.filter_map (fun name -> (find t name).sh_ep.ep_health ()) t.order
+  in
+  let sum f = List.fold_left (fun n s -> n + f s) 0 snaps in
+  let state =
+    if snaps = [] then Health.Stopped
+    else if List.for_all (fun s -> s.Health.h_state = Health.Ready) snaps then
+      Health.Ready
+    else if List.exists (fun s -> s.Health.h_state = Health.Stopped) snaps then
+      Health.Stopped
+    else Health.Draining
+  in
+  {
+    Health.h_state = state;
+    h_queue_depth = sum (fun s -> s.Health.h_queue_depth);
+    h_queue_cap = sum (fun s -> s.Health.h_queue_cap);
+    h_busy = sum (fun s -> s.Health.h_busy);
+    h_domains = sum (fun s -> s.Health.h_domains);
+    h_accepted = sum (fun s -> s.Health.h_accepted);
+    h_rejected = sum (fun s -> s.Health.h_rejected);
+    h_completed = sum (fun s -> s.Health.h_completed);
+    h_deadline_hits = sum (fun s -> s.Health.h_deadline_hits);
+    h_breaker_open =
+      List.exists (fun s -> s.Health.h_breaker_open) snaps
+      || Mutex.protect t.lock (fun () ->
+             List.exists
+               (fun name -> breaker_name (find t name).sh_breaker <> "closed")
+               t.order);
+    h_journal_records = sum (fun s -> s.Health.h_journal_records);
+    h_journal_lag = sum (fun s -> s.Health.h_journal_lag);
+  }
+
+(* Drain every shard in endpoint order; the first crash (e.g. a
+   simulated-kill Journal.Killed) is re-raised after the rest have
+   drained, so one dying shard cannot leave the fleet running. *)
+let drain t =
+  let first_exn = ref None in
+  List.iter
+    (fun name ->
+      match (find t name).sh_ep.ep_drain () with
+      | _ -> ()
+      | exception e -> if !first_exn = None then first_exn := Some e)
+    t.order;
+  match !first_exn with Some e -> raise e | None -> ()

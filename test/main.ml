@@ -17,6 +17,7 @@ let () =
       ("robust", Test_robust.suite);
       ("durable", Test_durable.suite);
       ("serve", Test_serve.suite);
+      ("shard", Test_shard.suite);
       ("parallel", Test_parallel.suite);
       ("eval", Test_eval.suite);
       ("endtoend", Test_endtoend.suite);

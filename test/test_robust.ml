@@ -22,6 +22,8 @@ let sample_faults =
     R.Fault.Breaker_open { fname = "f"; failures = 5 };
     R.Fault.Record_oversize
       { where = "journal"; bytes = 9_000_000; limit = 1 lsl 20 };
+    R.Fault.Cache_corruption { key = "abc123"; detail = "checksum mismatch" };
+    R.Fault.Shard_failure { shard = "shard-1"; detail = "connection refused" };
   ]
 
 (* ---------------- taxonomy ---------------- *)

@@ -140,15 +140,15 @@ let test_proto_roundtrip () =
   List.iter
     (fun r ->
       match S.Proto.decode_command (S.Proto.encode_request r) with
-      | Some (S.Proto.Creq r') ->
+      | S.Proto.Decoded (S.Proto.Creq r') ->
           Alcotest.(check bool) "request round-trips" true (r = r')
       | _ -> Alcotest.fail "request failed to round-trip")
     requests;
   List.iter
     (fun c ->
       Alcotest.(check bool) "command round-trips" true
-        (S.Proto.decode_command (S.Proto.encode_command c) = Some c))
-    [ S.Proto.Chealth; S.Proto.Cdrain; S.Proto.Cping ];
+        (S.Proto.decode_command (S.Proto.encode_command c) = S.Proto.Decoded c))
+    [ S.Proto.Chealth; S.Proto.Cdrain; S.Proto.Cping; S.Proto.Cshards ];
   let replies =
     [
       S.Proto.Done
@@ -166,6 +166,8 @@ let test_proto_roundtrip () =
       S.Proto.Rejected (S.Proto.Expired { waited_ms = 51 });
       S.Proto.Rejected (S.Proto.Oversize { bytes = 9999999; limit = 1024 });
       S.Proto.Rejected (S.Proto.Bad_request "nope");
+      S.Proto.Rejected (S.Proto.Version_mismatch { got = 9; want = 1 });
+      S.Proto.Rejected (S.Proto.Shard_down { shard = "shard-2" });
       S.Proto.Failed "boom";
     ]
   in
@@ -174,14 +176,39 @@ let test_proto_roundtrip () =
       Alcotest.(check bool)
         ("reply round-trips: " ^ S.Proto.encode_reply r)
         true
-        (S.Proto.decode_reply (S.Proto.encode_reply r) = Some r))
+        (S.Proto.decode_reply (S.Proto.encode_reply r) = S.Proto.Decoded r))
     replies;
   (* junk never parses *)
   List.iter
     (fun line ->
       Alcotest.(check bool) "junk rejected" true
-        (S.Proto.decode_command line = None && S.Proto.decode_reply line = None))
+        (S.Proto.decode_command line = S.Proto.Malformed
+        && S.Proto.decode_reply line = S.Proto.Malformed))
     [ ""; "hello"; "req|a|b"; String.make 64 '\xff' ]
+
+let test_proto_version_skew () =
+  (* a well-formed line stamped with another version is version skew,
+     not a parse fault, on both the command and the reply side *)
+  let skewed_cmd = S.Proto.encode_command_at ~version:9 S.Proto.Cping in
+  (match S.Proto.decode_command skewed_cmd with
+  | S.Proto.Version_skew { got } ->
+      Alcotest.(check int) "skewed command carries peer version" 9 got
+  | _ -> Alcotest.fail "skewed command not detected");
+  let skewed_reply =
+    S.Proto.encode_reply_at ~version:3 (S.Proto.Failed "old peer")
+  in
+  (match S.Proto.decode_reply skewed_reply with
+  | S.Proto.Version_skew { got } ->
+      Alcotest.(check int) "skewed reply carries peer version" 3 got
+  | _ -> Alcotest.fail "skewed reply not detected");
+  (* a garbled version field is malformed, not skew *)
+  let bad = R.Wire.encode_line [ "vX"; "ping" ] in
+  Alcotest.(check bool) "garbled version field is malformed" true
+    (S.Proto.decode_command bad = S.Proto.Malformed);
+  (* current-version lines still decode *)
+  Alcotest.(check bool) "current version decodes" true
+    (S.Proto.decode_command (S.Proto.encode_command S.Proto.Cping)
+    = S.Proto.Decoded S.Proto.Cping)
 
 let test_health_wire () =
   let snap =
@@ -496,21 +523,66 @@ let test_sock_bad_lines () =
             S.Sock.write_line fd line;
             match S.Sock.read_bounded_line fd with
             | `Line reply -> S.Proto.decode_reply reply
-            | `Eof | `Oversize _ -> None)
+            | `Eof | `Oversize _ -> S.Proto.Malformed)
       in
       (* an unparseable line gets a typed bad-request, not a hang *)
       (match send_raw "complete garbage" with
-      | Some (S.Proto.Rejected (S.Proto.Bad_request _)) -> ()
+      | S.Proto.Decoded (S.Proto.Rejected (S.Proto.Bad_request _)) -> ()
       | _ -> Alcotest.fail "garbage line must answer bad-request");
       (* a multi-megabyte line is rejected with bounded allocation *)
       (match send_raw (String.make (2 * 1024 * 1024) 'A') with
-      | Some (S.Proto.Rejected (S.Proto.Oversize { limit; _ })) ->
+      | S.Proto.Decoded (S.Proto.Rejected (S.Proto.Oversize { limit; _ })) ->
           Alcotest.(check int) "limit reported" S.Sock.max_line_bytes limit
       | _ -> Alcotest.fail "oversize line must answer oversize");
-      (* the server survives both *)
+      (* a well-formed line from a future protocol version gets the
+         typed version rejection, not a parse fault *)
+      (match send_raw (S.Proto.encode_command_at ~version:99 S.Proto.Cping) with
+      | S.Proto.Decoded
+          (S.Proto.Rejected (S.Proto.Version_mismatch { got; want })) ->
+          Alcotest.(check int) "peer version echoed" 99 got;
+          Alcotest.(check int) "server version reported" S.Proto.version want
+      | _ -> Alcotest.fail "version-skewed line must answer version-mismatch");
+      (* a shard-status probe against a plain server is a typed no *)
+      (match send_raw (S.Proto.encode_command S.Proto.Cshards) with
+      | S.Proto.Decoded (S.Proto.Rejected (S.Proto.Bad_request _)) -> ()
+      | _ -> Alcotest.fail "Cshards on a plain server must answer bad-request");
+      (* the server survives all of it *)
       expect_done (S.Sock.request ~socket (mk (List.hd (fnames t))));
       ignore (S.Sock.drain ~socket);
       S.Sock.wait l
+
+(* Partial-write hardening: push a line much larger than the socket
+   buffers through a socketpair shrunk to a few kB — write_line must
+   loop over the short writes single_write returns, and the reader must
+   reassemble the exact line. *)
+let test_sock_partial_writes () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt_int a Unix.SO_SNDBUF 4096;
+     Unix.setsockopt_int b Unix.SO_RCVBUF 4096
+   with Unix.Unix_error _ -> ());
+  let payload =
+    String.init 300_000 (fun i ->
+        Char.chr (32 + ((i * 131) mod 90)) (* printable, no '\n' *))
+  in
+  let writer =
+    Domain.spawn (fun () ->
+        S.Sock.write_line a payload;
+        S.Sock.write_line a "tail";
+        Unix.close a)
+  in
+  (match S.Sock.read_bounded_line b with
+  | `Line got ->
+      Alcotest.(check int) "length preserved" (String.length payload)
+        (String.length got);
+      Alcotest.(check bool) "payload byte-identical" true (got = payload)
+  | `Eof -> Alcotest.fail "eof before the big line arrived"
+  | `Oversize _ -> Alcotest.fail "big line misread as oversize");
+  (match S.Sock.read_bounded_line b with
+  | `Line got -> Alcotest.(check string) "next line intact" "tail" got
+  | _ -> Alcotest.fail "second line lost after the big write");
+  Domain.join writer;
+  Unix.close b
 
 (* ---------------- worker pool ---------------- *)
 
@@ -539,6 +611,7 @@ let suite =
     Alcotest.test_case "admission queue" `Quick test_admission;
     Alcotest.test_case "admission pause/resume" `Quick test_admission_paused;
     Alcotest.test_case "protocol round-trip" `Quick test_proto_roundtrip;
+    Alcotest.test_case "protocol version skew" `Quick test_proto_version_skew;
     Alcotest.test_case "health wire format" `Quick test_health_wire;
     Alcotest.test_case "serve basic + idempotent" `Quick test_serve_basic;
     Alcotest.test_case "queue-full shedding" `Quick test_queue_full_shedding;
@@ -551,5 +624,6 @@ let suite =
       test_drain_resume_bit_identity;
     Alcotest.test_case "socket parity" `Quick test_sock_parity;
     Alcotest.test_case "socket bad lines" `Quick test_sock_bad_lines;
+    Alcotest.test_case "socket partial writes" `Quick test_sock_partial_writes;
     Alcotest.test_case "worker pool" `Quick test_pool;
   ]

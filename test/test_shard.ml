@@ -1,0 +1,560 @@
+(* Tests for the sharded serving tier: the consistent-hash ring (unit +
+   qcheck balance / minimal-disruption properties), the content-
+   addressed result cache (bit-identical hits with zero decoder calls,
+   corrupt-entry eviction + fall-through), and the router (reroute vs
+   shed policy, circuit breaker, seeded backoff determinism, status
+   wire format, multi-shard parity with a single server). *)
+
+module V = Vega
+module R = Vega_robust
+module S = Vega_serve
+module Sh = Vega_shard
+
+let target = "RISCV"
+let pipeline = Test_robust.pipeline
+
+let fresh_dir =
+  let n = ref 0 in
+  fun name ->
+    incr n;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "vega_shard_%d_%s%d" (Unix.getpid ()) name !n)
+    in
+    if not (Sys.file_exists d) then Unix.mkdir d 0o755;
+    d
+
+let mk ?(client = "t") fname =
+  {
+    S.Proto.rq_client = client;
+    rq_target = target;
+    rq_fname = fname;
+    rq_deadline_ms = None;
+  }
+
+let fnames t =
+  List.map
+    (fun (b : V.Pipeline.bundle) -> b.V.Pipeline.spec.Vega_corpus.Spec.fname)
+    t.V.Pipeline.prep.V.Pipeline.bundles
+
+let tcfg =
+  {
+    S.Server.default_config with
+    S.Server.domains = 1;
+    queue_cap = 128;
+    client_burst = 100000.0;
+    client_rate = 0.0;
+  }
+
+(* Router config for tests: instant "sleeps", no probes, no retries
+   unless the test asks for them. *)
+let rcfg =
+  { Sh.Router.default_config with retries = 0; probe_every = 0; seed = 77 }
+
+let expect_done = function
+  | S.Proto.Done _ -> ()
+  | S.Proto.Rejected r ->
+      Alcotest.failf "rejected: %s" (S.Proto.reject_to_string r)
+  | S.Proto.Failed m -> Alcotest.failf "failed: %s" m
+
+let mk_server ?(decoder = None) ?run_dir ?resume ?kill_at () =
+  let t = Lazy.force pipeline in
+  let decoder =
+    match decoder with
+    | Some d -> d
+    | None -> V.Pipeline.retrieval_decoder t
+  in
+  match
+    S.Server.create ~config:tcfg ?run_dir ?resume ?kill_at t ~target ~decoder
+  with
+  | Ok srv -> srv
+  | Error e -> Alcotest.failf "server create failed: %s" e
+
+let mk_router ?(config = rcfg) ?cache ?report eps =
+  match
+    Sh.Router.create ~config ?cache ?report ~sleep:(fun _ -> ())
+      ~fingerprint:"fp-test" ~desc_hash:"dh-test" eps
+  with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "router create failed: %s" e
+
+(* An endpoint that is down hard: every contact raises. *)
+let dead_endpoint ?(contacts = ref 0) name =
+  {
+    Sh.Router.ep_name = name;
+    ep_request =
+      (fun _ ->
+        incr contacts;
+        raise
+          (R.Fault.Fault
+             (R.Fault.Shard_failure { shard = name; detail = "dead" })));
+    ep_health = (fun () -> None);
+    ep_drain = (fun () -> None);
+  }
+
+(* ---------------- ring ---------------- *)
+
+let test_ring_basics () =
+  let ring = Sh.Ring.create ~replicas:64 [ "a"; "b"; "c" ] in
+  Alcotest.(check int) "three shards" 3 (Sh.Ring.size ring);
+  Alcotest.(check (list string)) "names sorted" [ "a"; "b"; "c" ]
+    (Sh.Ring.shards ring);
+  (* lookup is deterministic and owned by the successor walk head *)
+  List.iter
+    (fun key ->
+      let owner = Sh.Ring.lookup ring key in
+      Alcotest.(check string) "lookup stable" owner (Sh.Ring.lookup ring key);
+      match Sh.Ring.successors ring key with
+      | head :: rest ->
+          Alcotest.(check string) "owner heads the successor walk" owner head;
+          Alcotest.(check (list string))
+            "successors cover every shard once"
+            (Sh.Ring.shards ring)
+            (List.sort compare (head :: rest))
+      | [] -> Alcotest.fail "no successors")
+    [ "k1"; "k2"; "getRelocType"; "" ];
+  (* bad configurations are loud *)
+  (match Sh.Ring.create [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty shard list accepted");
+  (match Sh.Ring.create [ "a"; "a" ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate shard accepted");
+  match Sh.Ring.remove (Sh.Ring.create [ "solo" ]) "solo" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "removing the last shard accepted"
+
+let test_ring_balance_fixed () =
+  (* deterministic balance check on a fixed ring: 3 shards, 1200 keys *)
+  let ring = Sh.Ring.create ~replicas:64 [ "shard-0"; "shard-1"; "shard-2" ] in
+  let counts = Hashtbl.create 3 in
+  for i = 0 to 1199 do
+    let owner = Sh.Ring.lookup ring (Printf.sprintf "key-%d" i) in
+    Hashtbl.replace counts owner
+      (1 + Option.value ~default:0 (Hashtbl.find_opt counts owner))
+  done;
+  List.iter
+    (fun name ->
+      let n = Option.value ~default:0 (Hashtbl.find_opt counts name) in
+      let share = float_of_int n /. 1200.0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s share %.3f within [0.1333, 0.6667]" name share)
+        true
+        (share >= 1.0 /. 7.5 && share <= 2.0 /. 3.0))
+    (Sh.Ring.shards ring)
+
+(* qcheck generators: 2-5 distinct shard names, alphanumeric keys *)
+let shard_names_gen =
+  QCheck.Gen.(
+    let name = map (Printf.sprintf "sh%d") (int_range 0 99) in
+    list_size (int_range 2 5) name
+    |> map (fun l -> List.sort_uniq compare l)
+    |> map (fun l -> if List.length l < 2 then [ "sh0"; "sh1" ] else l))
+
+let key_gen = QCheck.Gen.(map (Printf.sprintf "k%d") (int_range 0 1_000_000))
+
+let qcheck_balance =
+  QCheck.Test.make ~name:"ring key distribution within balance bound"
+    ~count:30
+    (QCheck.make ~print:(fun names -> String.concat "," names) shard_names_gen)
+    (fun names ->
+      let ring = Sh.Ring.create ~replicas:96 names in
+      let total = 600 in
+      let counts = Hashtbl.create 8 in
+      for i = 0 to total - 1 do
+        let owner = Sh.Ring.lookup ring (Printf.sprintf "bkey-%d" i) in
+        Hashtbl.replace counts owner
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts owner))
+      done;
+      let fair = float_of_int total /. float_of_int (List.length names) in
+      List.for_all
+        (fun name ->
+          let n =
+            float_of_int (Option.value ~default:0 (Hashtbl.find_opt counts name))
+          in
+          n >= fair /. 4.0 && n <= fair *. 4.0)
+        names)
+
+let qcheck_minimal_disruption =
+  QCheck.Test.make
+    ~name:"removing a shard remaps only that shard's keys" ~count:30
+    (QCheck.pair
+       (QCheck.make ~print:(String.concat ",") shard_names_gen)
+       (QCheck.make
+          ~print:(String.concat ",")
+          (QCheck.Gen.list_size (QCheck.Gen.return 80) key_gen)))
+    (fun (names, keys) ->
+      let ring = Sh.Ring.create ~replicas:64 names in
+      let victim = List.hd names in
+      let ring' = Sh.Ring.remove ring victim in
+      List.for_all
+        (fun key ->
+          let owner = Sh.Ring.lookup ring key in
+          let owner' = Sh.Ring.lookup ring' key in
+          if owner = victim then
+            (* the victim's keys land somewhere that still exists *)
+            List.mem owner' (Sh.Ring.shards ring')
+          else
+            (* every other key keeps its owner — minimal disruption *)
+            owner' = owner)
+        keys)
+
+(* ---------------- cache ---------------- *)
+
+let done_reply ?(degraded = 0) fname =
+  S.Proto.Done
+    {
+      r_fname = fname;
+      r_target = target;
+      r_confidence = 0.8125;
+      r_degraded = degraded;
+      r_resumed = false;
+      r_source = "unsigned " ^ fname ^ " ( ) {\nreturn 7 ;\n}";
+    }
+
+let test_cache_roundtrip () =
+  let report = R.Report.create () in
+  let cache =
+    Sh.Cache.create ~report ~dir:(fresh_dir "cache") ~fingerprint:"fp"
+      ~desc_hash:"dh" ()
+  in
+  Alcotest.(check bool) "cold miss" true (Sh.Cache.get cache ~fname:"f" = None);
+  let reply = done_reply "f" in
+  Alcotest.(check bool) "clean done is cached" true
+    (Sh.Cache.put cache ~fname:"f" reply);
+  (match Sh.Cache.get cache ~fname:"f" with
+  | Some got ->
+      Alcotest.(check bool) "hit is bit-identical" true
+        (S.Proto.encode_reply got = S.Proto.encode_reply reply)
+  | None -> Alcotest.fail "entry vanished");
+  (* degraded / rejected / failed results are never cached *)
+  Alcotest.(check bool) "degraded not cached" false
+    (Sh.Cache.put cache ~fname:"g" (done_reply ~degraded:1 "g"));
+  Alcotest.(check bool) "rejection not cached" false
+    (Sh.Cache.put cache ~fname:"g" (S.Proto.Rejected S.Proto.Draining));
+  Alcotest.(check bool) "failure not cached" false
+    (Sh.Cache.put cache ~fname:"g" (S.Proto.Failed "no"));
+  (* a different model fingerprint addresses a different entry *)
+  let other =
+    Sh.Cache.create ~dir:(Sh.Cache.dir cache) ~fingerprint:"fp2"
+      ~desc_hash:"dh" ()
+  in
+  Alcotest.(check bool) "other fingerprint misses" true
+    (Sh.Cache.get other ~fname:"f" = None);
+  let stats = Sh.Cache.stats cache in
+  Alcotest.(check int) "one entry on disk" 1 stats.Sh.Cache.c_entries;
+  Alcotest.(check int) "one hit" 1 stats.Sh.Cache.c_hits;
+  Alcotest.(check int) "one put" 1 stats.Sh.Cache.c_puts;
+  Alcotest.(check int) "no evictions" 0 stats.Sh.Cache.c_evictions
+
+let test_cache_corrupt_entry () =
+  let report = R.Report.create () in
+  let cache =
+    Sh.Cache.create ~report ~dir:(fresh_dir "cachecorrupt") ~fingerprint:"fp"
+      ~desc_hash:"dh" ()
+  in
+  ignore (Sh.Cache.put cache ~fname:"f" (done_reply "f"));
+  let path = Sh.Cache.path cache ~fname:"f" in
+  Alcotest.(check bool) "entry written" true (Sys.file_exists path);
+  (* flip one seeded byte on disk *)
+  let inj = R.Inject.create ~seed:5 R.Inject.Cache_corrupt in
+  (match R.Inject.corrupt_cache_entry inj ~path with
+  | Some _ -> ()
+  | None -> Alcotest.fail "injector did not flip a byte");
+  (* the corrupt entry is detected, evicted, recorded — and not served *)
+  Alcotest.(check bool) "corrupt entry not served" true
+    (Sh.Cache.get cache ~fname:"f" = None);
+  Alcotest.(check bool) "corrupt entry deleted" false (Sys.file_exists path);
+  Alcotest.(check int) "cache-corruption fault recorded" 1
+    (R.Report.count_class report R.Fault.Ccache);
+  let stats = Sh.Cache.stats cache in
+  Alcotest.(check int) "eviction counted" 1 stats.Sh.Cache.c_evictions;
+  (* the slot is usable again *)
+  Alcotest.(check bool) "re-put after eviction" true
+    (Sh.Cache.put cache ~fname:"f" (done_reply "f"));
+  Alcotest.(check bool) "entry back" true (Sh.Cache.get cache ~fname:"f" <> None)
+
+(* Cache in front of a real shard: a hit answers bit-identically with
+   zero decoder calls. *)
+let test_cache_zero_decodes () =
+  let t = Lazy.force pipeline in
+  let base = V.Pipeline.retrieval_decoder t in
+  let decodes = Atomic.make 0 in
+  let counting fv =
+    Atomic.incr decodes;
+    base fv
+  in
+  let srv = mk_server ~decoder:(Some counting) () in
+  let report = R.Report.create () in
+  let cache =
+    Sh.Cache.create ~report ~dir:(fresh_dir "cachefront") ~fingerprint:"fp"
+      ~desc_hash:"dh" ()
+  in
+  let router = mk_router ~cache ~report [ Sh.Router.of_server ~name:"s0" srv ] in
+  let fname = List.hd (fnames t) in
+  let r1 = Sh.Router.route router (mk fname) in
+  expect_done r1;
+  let cold = Atomic.get decodes in
+  Alcotest.(check bool) "cold route decodes" true (cold > 0);
+  (* the hit: bit-identical payload, decoder untouched *)
+  let r2 = Sh.Router.route router (mk fname) in
+  Alcotest.(check bool) "hit bit-identical to cold reply" true
+    (S.Proto.encode_reply r2 = S.Proto.encode_reply r1);
+  Alcotest.(check int) "zero decoder calls on the hit" cold
+    (Atomic.get decodes);
+  Alcotest.(check string) "decision log: accept then cache hit" "AC"
+    (Sh.Router.decisions router);
+  (* flip a byte on disk: the next route evicts, falls through to a
+     fresh shard (new done table), re-generates, re-caches *)
+  (match
+     R.Inject.corrupt_cache_entry
+       (R.Inject.create ~seed:3 R.Inject.Cache_corrupt)
+       ~path:(Sh.Cache.path cache ~fname)
+   with
+  | Some _ -> ()
+  | None -> Alcotest.fail "no byte flipped");
+  let srv2 = mk_server ~decoder:(Some counting) () in
+  let router2 =
+    mk_router ~cache ~report [ Sh.Router.of_server ~name:"s0" srv2 ]
+  in
+  let r3 = Sh.Router.route router2 (mk fname) in
+  expect_done r3;
+  Alcotest.(check bool) "fell through to generation" true
+    (Atomic.get decodes > cold);
+  Alcotest.(check bool) "regenerated reply bit-identical" true
+    (S.Proto.encode_reply r3 = S.Proto.encode_reply r1);
+  Alcotest.(check int) "corruption recorded" 1
+    (R.Report.count_class report R.Fault.Ccache);
+  Alcotest.(check bool) "entry re-cached" true
+    (Sys.file_exists (Sh.Cache.path cache ~fname));
+  S.Server.drain srv;
+  S.Server.drain srv2
+
+(* ---------------- router ---------------- *)
+
+(* With one dead shard, reroute policy answers every request from the
+   survivor; shed policy drops exactly the dead shard's keys. *)
+let test_router_reroute_vs_shed () =
+  let t = Lazy.force pipeline in
+  let names = fnames t in
+  let run policy =
+    let srv = mk_server () in
+    let eps =
+      [ Sh.Router.of_server ~name:"alive" srv; dead_endpoint "dead" ]
+    in
+    let router =
+      mk_router ~config:{ rcfg with Sh.Router.policy } eps
+    in
+    let replies = List.map (fun f -> (f, Sh.Router.route router (mk f))) names in
+    let log = Sh.Router.decisions router in
+    S.Server.drain srv;
+    (router, replies, log)
+  in
+  (* reroute: everything lands on the live shard, dead-owned keys as 'R' *)
+  let router, replies, log = run Sh.Router.Reroute in
+  List.iter (fun (_, r) -> expect_done r) replies;
+  Alcotest.(check bool) "some keys owned by the dead shard" true
+    (String.contains log 'R');
+  Alcotest.(check bool) "some keys owned by the live shard" true
+    (String.contains log 'A');
+  Alcotest.(check bool) "nothing shed under reroute" false
+    (String.contains log 'D');
+  Alcotest.(check int) "no cache: every request routed"
+    (List.length names)
+    (Sh.Router.counters router).Sh.Router.rt_routed;
+  (* shard failures recorded for router-observed contact faults *)
+  Alcotest.(check bool) "shard failures recorded" true
+    (R.Report.count_class (Sh.Router.report router) R.Fault.Cshard > 0);
+  (* shed: dead-owned keys get the typed rejection, the rest succeed *)
+  let _, replies', log' = run Sh.Router.Shed in
+  let sheds =
+    List.filter
+      (fun (_, r) ->
+        match r with
+        | S.Proto.Rejected (S.Proto.Shard_down { shard }) ->
+            Alcotest.(check string) "shed names the dead owner" "dead" shard;
+            true
+        | r ->
+            expect_done r;
+            false)
+      replies'
+  in
+  Alcotest.(check bool) "shed policy drops the dead shard's keys" true
+    (List.length sheds > 0);
+  Alcotest.(check bool) "shed log has D and no R" true
+    (String.contains log' 'D' && not (String.contains log' 'R'));
+  (* the two policies agree on which keys are troubled: 'R' positions
+     under reroute are exactly 'D' positions under shed *)
+  Alcotest.(check int) "same decision length"
+    (String.length log) (String.length log');
+  String.iteri
+    (fun i c ->
+      let c' = log'.[i] in
+      match c with
+      | 'R' -> Alcotest.(check char) "R maps to D" 'D' c'
+      | c -> Alcotest.(check char) "A maps to A" c c')
+    log
+
+let test_router_breaker () =
+  let contacts = ref 0 in
+  let srv = mk_server () in
+  let cfg =
+    {
+      rcfg with
+      Sh.Router.policy = Sh.Router.Shed;
+      breaker_threshold = 2;
+      breaker_cooldown = 3;
+    }
+  in
+  let dead = dead_endpoint ~contacts "dead" in
+  (* single-shard router: every key is owned by the dead shard *)
+  let router = mk_router ~config:cfg [ dead ] in
+  let t = Lazy.force pipeline in
+  let fname = List.hd (fnames t) in
+  let shoot () = ignore (Sh.Router.route router (mk fname)) in
+  (* threshold contacts open the breaker *)
+  shoot ();
+  shoot ();
+  Alcotest.(check int) "two contacts before the breaker opens" 2 !contacts;
+  (match Sh.Router.status router with
+  | [ s ] -> Alcotest.(check string) "breaker open" "open" s.Sh.Router.ss_breaker
+  | _ -> Alcotest.fail "one shard expected");
+  (* cooldown: the next [cooldown - 1] decisions shed without contact *)
+  shoot ();
+  shoot ();
+  Alcotest.(check int) "open breaker stops contacts" 2 !contacts;
+  (* cooldown expires: half-open lets exactly one probe through *)
+  shoot ();
+  Alcotest.(check int) "half-open probes once" 3 !contacts;
+  (match Sh.Router.status router with
+  | [ s ] ->
+      Alcotest.(check string) "probe failed: open again" "open"
+        s.Sh.Router.ss_breaker;
+      Alcotest.(check int) "every request shed" 5 s.Sh.Router.ss_shed
+  | _ -> Alcotest.fail "one shard expected");
+  S.Server.drain srv
+
+(* Backoff delays are seeded: two routers with the same seed retry with
+   byte-identical delay sequences; the delays stay in the jitter band. *)
+let test_router_backoff_determinism () =
+  let delays seed =
+    let log = ref [] in
+    let cfg =
+      {
+        rcfg with
+        Sh.Router.policy = Sh.Router.Shed;
+        retries = 3;
+        breaker_threshold = 100;
+        seed;
+      }
+    in
+    match
+      Sh.Router.create ~config:cfg
+        ~sleep:(fun d -> log := d :: !log)
+        ~fingerprint:"fp" ~desc_hash:"dh"
+        [ dead_endpoint "dead" ]
+    with
+    | Error e -> Alcotest.failf "router create failed: %s" e
+    | Ok router ->
+        ignore (Sh.Router.route router (mk "f"));
+        List.rev !log
+  in
+  let d1 = delays 42 in
+  Alcotest.(check int) "three retries, three sleeps" 3 (List.length d1);
+  Alcotest.(check bool) "same seed, same delays" true (d1 = delays 42);
+  Alcotest.(check bool) "different seed, different delays" true
+    (d1 <> delays 43);
+  List.iteri
+    (fun i d ->
+      let expo = rcfg.Sh.Router.backoff_base_s *. (2.0 ** float_of_int i) in
+      Alcotest.(check bool)
+        (Printf.sprintf "delay %d in jitter band" i)
+        true
+        (d <= rcfg.Sh.Router.backoff_max_s +. 1e-9
+        && d >= Float.min rcfg.Sh.Router.backoff_max_s (0.75 *. expo) -. 1e-9))
+    d1
+
+let test_status_wire () =
+  let statuses =
+    [
+      {
+        Sh.Router.ss_name = "shard-0";
+        ss_breaker = "closed";
+        ss_routed = 12;
+        ss_failures = 0;
+        ss_rerouted = 0;
+        ss_shed = 0;
+        ss_state = "ready";
+      };
+      {
+        Sh.Router.ss_name = "shard-1";
+        ss_breaker = "open";
+        ss_routed = 3;
+        ss_failures = 7;
+        ss_rerouted = 5;
+        ss_shed = 2;
+        ss_state = "unknown";
+      };
+    ]
+  in
+  Alcotest.(check bool) "status round-trips" true
+    (Sh.Router.decode_status (Sh.Router.encode_status statuses)
+    = Some statuses);
+  Alcotest.(check bool) "empty fleet round-trips" true
+    (Sh.Router.decode_status (Sh.Router.encode_status []) = Some []);
+  Alcotest.(check bool) "junk rejected" true
+    (Sh.Router.decode_status "junk" = None)
+
+(* Three shards vs one server: same requests, bit-identical replies —
+   sharding must not change a single generated byte. *)
+let test_three_shard_parity () =
+  let t = Lazy.force pipeline in
+  let names = fnames t in
+  let solo = mk_server () in
+  let servers = List.init 3 (fun _ -> mk_server ()) in
+  let eps =
+    List.mapi
+      (fun i srv -> Sh.Router.of_server ~name:(Printf.sprintf "shard-%d" i) srv)
+      servers
+  in
+  let router = mk_router eps in
+  List.iter
+    (fun fname ->
+      let direct = S.Server.request solo (mk fname) in
+      let routed = Sh.Router.route router (mk fname) in
+      expect_done routed;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s identical through the router" fname)
+        true
+        (S.Proto.encode_reply direct = S.Proto.encode_reply routed))
+    names;
+  (* the work actually spread: more than one shard answered *)
+  let busy =
+    List.filter
+      (fun (s : Sh.Router.shard_status) -> s.Sh.Router.ss_routed > 0)
+      (Sh.Router.status router)
+  in
+  Alcotest.(check bool) "work spread across shards" true (List.length busy > 1);
+  Alcotest.(check string) "all accepted at the owner"
+    (String.make (List.length names) 'A')
+    (Sh.Router.decisions router);
+  S.Server.drain solo;
+  Sh.Router.drain router
+
+let suite =
+  [
+    Alcotest.test_case "ring basics" `Quick test_ring_basics;
+    Alcotest.test_case "ring balance (fixed)" `Quick test_ring_balance_fixed;
+    QCheck_alcotest.to_alcotest qcheck_balance;
+    QCheck_alcotest.to_alcotest qcheck_minimal_disruption;
+    Alcotest.test_case "cache round-trip" `Quick test_cache_roundtrip;
+    Alcotest.test_case "cache corrupt entry" `Quick test_cache_corrupt_entry;
+    Alcotest.test_case "cache-hit zero decodes" `Quick test_cache_zero_decodes;
+    Alcotest.test_case "reroute vs shed" `Quick test_router_reroute_vs_shed;
+    Alcotest.test_case "circuit breaker" `Quick test_router_breaker;
+    Alcotest.test_case "backoff determinism" `Quick
+      test_router_backoff_determinism;
+    Alcotest.test_case "status wire format" `Quick test_status_wire;
+    Alcotest.test_case "three-shard parity" `Quick test_three_shard_parity;
+  ]
